@@ -1,0 +1,85 @@
+// Section 5.1.4: "Static analysis ... completes the analysis within
+// seconds for most benchmark applications ... linear to the length of the
+// source code." Measures parse+analyze time per workload kernel and the
+// scaling against synthetically enlarged sources, via google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "catt/analysis.hpp"
+#include "frontend/parser.hpp"
+#include "harness/harness.hpp"
+#include "ir/codegen.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace catt;
+
+/// Full pipeline: parse + analyze every kernel of a workload.
+void bm_workload_analysis(benchmark::State& state, const std::string& name) {
+  const wl::Workload& w = wl::find_workload(name, bench::kNumSms);
+  const arch::GpuArch gpu = bench::max_l1d_arch();
+  // Regenerate the source so the parse cost is included.
+  std::string source;
+  for (const auto& k : w.kernels) {
+    source += "//@regs=" + std::to_string(k.regs_per_thread) + "\n" + ir::to_cuda(k);
+  }
+  for (auto _ : state) {
+    auto kernels = frontend::parse_program(source);
+    for (std::size_t i = 0; i < w.schedule.size(); ++i) {
+      const auto& entry = w.schedule[i];
+      for (const auto& k : kernels) {
+        if (k.name != entry.kernel) continue;
+        benchmark::DoNotOptimize(analysis::analyze(gpu, k, entry.launch, entry.params));
+      }
+    }
+  }
+  state.SetLabel(std::to_string(source.size()) + " bytes of source");
+}
+
+/// Linear-scaling claim: concatenate N copies of the ATAX kernel (renamed)
+/// and measure parse+analyze time vs. N.
+void bm_scaling(benchmark::State& state) {
+  const int copies = static_cast<int>(state.range(0));
+  std::string source;
+  for (int c = 0; c < copies; ++c) {
+    source += R"(
+//@regs=32
+__global__ void atax_copy)" + std::to_string(c) + R"((float *A, float *x, float *tmp, int NX) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NX) {
+        for (int j = 0; j < NX; j++) {
+            tmp[i] += A[i * NX + j] * x[j];
+        }
+    }
+}
+)";
+  }
+  const arch::GpuArch gpu = bench::max_l1d_arch();
+  const arch::LaunchConfig launch{{8}, {256}};
+  const expr::ParamEnv params{{"NX", 2048}};
+  for (auto _ : state) {
+    auto kernels = frontend::parse_program(source);
+    for (const auto& k : kernels) {
+      benchmark::DoNotOptimize(analysis::analyze(gpu, k, launch, params));
+    }
+  }
+  state.SetComplexityN(copies);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const auto& w : wl::all_workloads(bench::kNumSms)) {
+    benchmark::RegisterBenchmark(("analyze/" + w.name).c_str(),
+                                 [name = w.name](benchmark::State& s) {
+                                   bm_workload_analysis(s, name);
+                                 });
+  }
+  benchmark::RegisterBenchmark("analyze_scaling", bm_scaling)
+      ->RangeMultiplier(2)
+      ->Range(1, 64)
+      ->Complexity(benchmark::oN);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// multi_phase_app: builds a two-phase application *programmatically* with
+// the IR builder API (no parser) — one divergent phase, one coalesced — and
+// shows why per-loop CATT beats any single fixed factor on it. This is the
+// paper's central argument (Section 5.1) on a minimal custom app, and a
+// template for embedding the library in your own tooling.
+#include <cstdio>
+
+#include "arch/gpu_arch.hpp"
+#include "catt/analysis.hpp"
+#include "catt/report.hpp"
+#include "common/rng.hpp"
+#include "gpusim/gpu.hpp"
+#include "ir/codegen.hpp"
+#include "transform/transform.hpp"
+
+namespace {
+
+using namespace catt;
+
+/// out[i] = sum_j D[i*S + j] + sum_j C[j*S + i]: loop 0 is row-major
+/// (divergent, contended), loop 1 is column-major (coalesced, contention-
+/// free). Built with the ir:: builder API.
+ir::Kernel build_two_phase(int /*n*/) {
+  using namespace expr;
+  ir::Kernel k;
+  k.name = "two_phase";
+  k.regs_per_thread = 32;
+  k.arrays = {{"D", ir::ElemType::kF32}, {"C", ir::ElemType::kF32}, {"out", ir::ElemType::kF32}};
+  k.scalars = {{"N"}};
+
+  k.body.push_back(ir::decl_int("i", linear_tid_x()));
+  k.body.push_back(ir::decl_float("acc", fconst(0.0)));
+
+  // Phase 1: divergent row walk D[i*N + j], accumulated straight into
+  // out[i] (an extra load+store per iteration, like the paper's Figure 1).
+  std::vector<ir::StmtPtr> body1;
+  body1.push_back(ir::store(
+      "out", var("i"),
+      add(load("out", var("i")), load("D", add(mul(var("i"), var("N")), var("j"))))));
+  k.body.push_back(ir::make_for("j", iconst(0), lt(var("j"), var("N")), iconst(1),
+                                std::move(body1)));
+
+  // Phase 2: coalesced column walk C[j2*N + i].
+  std::vector<ir::StmtPtr> body2;
+  body2.push_back(ir::assign(
+      "acc", add(fvar("acc"), load("C", add(mul(var("j2"), var("N")), var("i"))))));
+  k.body.push_back(ir::make_for("j2", iconst(0), lt(var("j2"), var("N")), iconst(1),
+                                std::move(body2)));
+
+  k.body.push_back(ir::store("out", var("i"), add(load("out", var("i")), fvar("acc"))));
+  ir::number_loops(k);
+  ir::validate(k);
+  return k;
+}
+
+std::int64_t simulate(const ir::Kernel& k, const arch::GpuArch& gpu, int n,
+                      const arch::LaunchConfig& launch) {
+  sim::DeviceMemory mem;
+  Rng rng(7);
+  std::vector<float> d(static_cast<std::size_t>(n) * n);
+  for (auto& v : d) v = rng.next_float(0.0f, 1.0f);
+  std::vector<float> c = d;
+  mem.alloc_f32("D", std::move(d));
+  mem.alloc_f32("C", std::move(c));
+  mem.alloc_f32("out", static_cast<std::size_t>(n), 0.0f);
+  sim::Gpu sim_gpu(gpu, mem);
+  return sim_gpu.run({&k, launch, {{"N", n}}}).cycles;
+}
+
+}  // namespace
+
+int main() {
+  const int n = 2048;
+  const arch::GpuArch gpu = arch::GpuArch::titan_v(2);
+  const arch::LaunchConfig launch{{static_cast<std::uint32_t>(n / 256)}, {256}};
+
+  const ir::Kernel k = build_two_phase(n);
+  std::printf("=== generated kernel ===\n%s\n", ir::to_cuda(k).c_str());
+
+  const analysis::KernelAnalysis ka = analysis::analyze(gpu, k, launch, {{"N", n}});
+  std::printf("=== analysis ===\n%s\n", analysis::report(ka, gpu).c_str());
+
+  const std::int64_t base = simulate(k, gpu, n, launch);
+
+  // CATT: per-loop plan (throttles only the divergent phase).
+  const xform::TransformResult catt = xform::apply_plan(gpu, k, launch, ka.plan);
+  const std::int64_t catt_cycles = simulate(catt.kernel, gpu, n, launch);
+
+  // Fixed factor: the same N applied to BOTH loops (what a per-app scheme
+  // must do).
+  int n_div = 1;
+  for (const auto& t : ka.plan.warp_throttles) n_div = std::max(n_div, t.n_divisor);
+  ir::Kernel fixed = k.clone();
+  if (n_div > 1) {
+    for (int id = static_cast<int>(ir::collect_loops(fixed).size()) - 1; id >= 0; --id) {
+      fixed = xform::apply_warp_throttle(fixed, launch, id, n_div, 32);
+    }
+  }
+  const std::int64_t fixed_cycles = simulate(fixed, gpu, n, launch);
+
+  std::printf("=== results ===\n");
+  std::printf("baseline:               %10lld cycles (1.00x)\n", (long long)base);
+  std::printf("fixed N=%d (both loops): %10lld cycles (%.2fx)\n", n_div,
+              (long long)fixed_cycles, double(base) / double(fixed_cycles));
+  std::printf("CATT (per loop):        %10lld cycles (%.2fx)\n", (long long)catt_cycles,
+              double(base) / double(catt_cycles));
+  std::printf("\nCATT throttles only the divergent loop; the fixed factor pays the\n"
+              "underutilization cost in the coalesced phase too (Section 5.1).\n");
+  return 0;
+}

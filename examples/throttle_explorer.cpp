@@ -1,0 +1,83 @@
+// throttle_explorer: interactively explore how thread throttling affects a
+// workload — runs a named workload (see `--list`) under the baseline, every
+// fixed warp-throttling factor, BFTT, and CATT, and prints a comparison of
+// cycles / L1D hit rate / DRAM traffic.
+//
+// Usage:
+//   throttle_explorer atax
+//   throttle_explorer km --l1d 32
+//   throttle_explorer --list
+#include <cstdio>
+#include <cstring>
+
+#include "common/table.hpp"
+#include "harness/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace catt;
+
+  std::string name;
+  bool small_l1d = false;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--list") == 0) {
+      for (const auto& w : wl::all_workloads(bench::kNumSms)) {
+        std::printf("%-10s [%s] %s\n", w.name.c_str(), wl::to_string(w.group),
+                    w.description.c_str());
+      }
+      return 0;
+    }
+    if (std::strcmp(argv[a], "--l1d") == 0 && a + 1 < argc) {
+      small_l1d = std::strcmp(argv[++a], "32") == 0;
+    } else {
+      name = argv[a];
+    }
+  }
+  if (name.empty()) {
+    std::fprintf(stderr, "usage: throttle_explorer <workload> [--l1d 32] | --list\n");
+    return 2;
+  }
+
+  throttle::Runner runner(small_l1d ? bench::small_l1d_arch() : bench::max_l1d_arch());
+  const wl::Workload& w = wl::find_workload(name, bench::kNumSms);
+  std::printf("workload %s (%s): %s\n\n", w.name.c_str(), wl::to_string(w.group),
+              w.description.c_str());
+
+  const throttle::AppResult base = runner.run_baseline(w);
+  TextTable table({"policy", "cycles", "speedup", "L1D hit", "DRAM lines"});
+  auto add = [&](const throttle::AppResult& r) {
+    std::uint64_t dram = 0;
+    for (const auto& l : r.launches) dram += l.dram_lines;
+    table.row()
+        .cell(r.policy)
+        .cell(static_cast<long long>(r.total_cycles))
+        .cell(format_speedup(bench::speedup(base.total_cycles, r.total_cycles)))
+        .cell(format_percent(r.l1_hit_rate()))
+        .cell(static_cast<unsigned long long>(dram));
+  };
+
+  add(base);
+  for (const throttle::FixedFactor& f : runner.candidate_factors(w)) {
+    if (f.tb_limit != 0 || f.n_divisor == 1) continue;  // warp axis only here
+    add(runner.run_fixed(w, f));
+  }
+  const auto bftt = runner.run_bftt(w);
+  add(bftt.best);
+  add(runner.run_catt(w));
+  std::printf("%s\n", table.str().c_str());
+
+  // Show CATT's reasoning per kernel.
+  std::printf("CATT decisions (per kernel, per top-level loop):\n");
+  for (std::size_t i = 0; i < w.schedule.size(); ++i) {
+    const auto choices = runner.catt_choices(w);
+    const auto& c = choices[i];
+    std::printf("  %s: baseline %s ->", bench::kernel_label(w, i).c_str(),
+                c.baseline_occ.tlp_string().c_str());
+    if (c.loops.empty()) std::printf(" (no loops)");
+    for (const auto& l : c.loops) {
+      std::printf(" loop%d:(%d,%d)%s", l.loop_id, l.warps, l.tbs,
+                  l.unresolvable ? "*unresolvable" : "");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "arch/gpu_arch.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace catt::arch {
+
+std::size_t GpuArch::l1d_bytes_for_carveout(std::size_t shared_bytes) const {
+  std::size_t l1d = 0;
+  if (!unified_l1_shared) {
+    l1d = fixed_l1d_bytes;
+  } else {
+    if (shared_bytes > unified_cache_bytes) {
+      throw SimError("carve-out " + std::to_string(shared_bytes) + " exceeds unified cache of " +
+                     std::to_string(unified_cache_bytes) + " bytes");
+    }
+    l1d = unified_cache_bytes - shared_bytes;
+  }
+  if (l1d_cap_bytes != 0) l1d = std::min(l1d, l1d_cap_bytes);
+  return l1d;
+}
+
+std::size_t GpuArch::smallest_carveout_for(std::size_t shared_bytes_needed) const {
+  if (!unified_l1_shared) {
+    if (shared_bytes_needed > fixed_shared_bytes) {
+      throw SimError("shared memory need exceeds fixed shared capacity");
+    }
+    return fixed_shared_bytes;
+  }
+  for (std::size_t option : shared_carveouts) {
+    if (option >= shared_bytes_needed) return option;
+  }
+  throw SimError("shared memory need " + std::to_string(shared_bytes_needed) +
+                 " exceeds the largest carve-out");
+}
+
+GpuArch GpuArch::titan_v(int num_sms) {
+  GpuArch a;
+  a.name = "titan-v-sim";
+  a.num_sms = num_sms;
+  a.warp_size = 32;
+  a.max_warps_per_sm = 64;
+  a.max_tbs_per_sm = 32;
+  a.max_threads_per_tb = 1024;
+  a.register_file_bytes = 256_KiB;
+  a.unified_cache_bytes = 128_KiB;
+  a.unified_l1_shared = true;
+  a.shared_carveouts = {0, 8_KiB, 16_KiB, 32_KiB, 64_KiB, 96_KiB};
+  a.line_bytes = 128;
+  a.sector_bytes = 32;
+  a.l1_assoc = 32;
+  a.l1_mshrs = 128;
+  a.l2_bytes = 256_KiB * static_cast<std::size_t>(num_sms > 0 ? num_sms : 1);
+  a.l2_assoc = 16;
+  a.schedulers_per_sm = 4;
+  return a;
+}
+
+GpuArch GpuArch::pascal_like(int num_sms) {
+  GpuArch a = titan_v(num_sms);
+  a.name = "pascal-like-sim";
+  a.unified_l1_shared = false;
+  a.fixed_l1d_bytes = 24_KiB;
+  a.fixed_shared_bytes = 96_KiB;
+  a.l2_bytes = 192_KiB * static_cast<std::size_t>(num_sms > 0 ? num_sms : 1);
+  return a;
+}
+
+GpuArch GpuArch::titan_v_32k_l1d(int num_sms) {
+  GpuArch a = titan_v(num_sms);
+  a.name = "titan-v-sim-32k-l1d";
+  a.l1d_cap_bytes = 32_KiB;
+  return a;
+}
+
+}  // namespace catt::arch

@@ -1,0 +1,103 @@
+// GPU architecture descriptions: the static hardware parameters the CATT
+// analysis (occupancy, footprint vs. L1D capacity) and the simulator consume.
+//
+// The default machine mirrors the paper's Nvidia Titan V (Volta, Table 1),
+// with the SM count scaled down for simulation (SMs are homogeneous and the
+// L1D is per-SM, so per-SM contention behaviour is representative).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace catt::arch {
+
+/// Timing parameters for the simulator's memory hierarchy (cycles).
+struct MemoryTiming {
+  int l1_hit_latency = 28;
+  int l2_hit_latency = 190;
+  int dram_latency = 375;
+  /// Minimum cycles between transaction issues per LSU group — divergent
+  /// (many-transaction) memory instructions serialize here.
+  int lsu_issue_interval = 1;
+  /// L2 bandwidth: minimum cycles between L2 services (shared by all SMs).
+  int l2_service_interval = 2;
+  /// DRAM bandwidth expressed as minimum cycles per 32 B sector fill.
+  /// Volta fetches 32 B sectors on miss, so a fully divergent access costs
+  /// 1/4 of a coalesced line in bandwidth. Calibrated to a 2-SM slice of
+  /// Titan V: 650 GB/s / 80 SMs * 2 SMs ~= 11 B/cycle ~= one 32 B sector
+  /// every ~3 cycles (a full 128 B line ~= 12 cycles).
+  int dram_sector_interval = 3;
+};
+
+/// Static description of the modeled GPU.
+struct GpuArch {
+  std::string name;
+
+  // --- SIMT geometry ---
+  int num_sms = 4;
+  int warp_size = 32;
+  int max_warps_per_sm = 64;
+  int max_tbs_per_sm = 32;
+  int max_threads_per_tb = 1024;
+
+  // --- Per-SM storage ---
+  std::size_t register_file_bytes = 256 * 1024;
+  /// Unified on-chip memory split between L1D and shared memory (Volta).
+  /// For split-cache architectures (Pascal/Maxwell) this is l1d + smem fixed.
+  std::size_t unified_cache_bytes = 128 * 1024;
+  bool unified_l1_shared = true;
+  /// Legal shared-memory carve-outs (bytes), ascending. Volta: 0..96 KB.
+  std::vector<std::size_t> shared_carveouts;
+  /// Fixed sizes used when unified_l1_shared == false.
+  std::size_t fixed_l1d_bytes = 24 * 1024;
+  std::size_t fixed_shared_bytes = 96 * 1024;
+
+  // --- Cache geometry ---
+  int line_bytes = 128;
+  int sector_bytes = 32;
+  int l1_assoc = 32;  // Volta's L1 behaves near-fully-associative
+  int l1_mshrs = 128;
+  /// L2 capacity for the simulated slice. Titan V's 4.5 MB serves 80 SMs;
+  /// a 2-SM slice gets a proportional ~512 KB so the L1-vs-L2-vs-DRAM
+  /// balance matches the real machine's per-SM ratios.
+  std::size_t l2_bytes = 512 * 1024;
+  int l2_assoc = 16;
+
+  // --- Scheduling ---
+  int schedulers_per_sm = 4;
+
+  MemoryTiming timing;
+
+  /// L1D capacity when `shared_bytes` of the unified space is carved out for
+  /// shared memory. For split architectures, returns the fixed L1D size.
+  std::size_t l1d_bytes_for_carveout(std::size_t shared_bytes) const;
+
+  /// Smallest legal carve-out >= `shared_bytes_needed` (Section 4.1:
+  /// "the smallest configurable option that is greater than or equal to
+  /// USE_shm_SM so as to maximize the TLP"). Throws SimError if the need
+  /// exceeds the largest carve-out.
+  std::size_t smallest_carveout_for(std::size_t shared_bytes_needed) const;
+
+  /// The paper's Titan V (Volta) at simulation scale. `num_sms` defaults to
+  /// a small value for simulation speed; the real card has 80.
+  static GpuArch titan_v(int num_sms = 2);
+
+  /// A split-cache previous-generation device (Pascal-like) used by the
+  /// Section 5.1.3 sensitivity discussion: small fixed L1D.
+  static GpuArch pascal_like(int num_sms = 2);
+
+  /// Titan V with the L1D forced to 32 KB (Figure 10 configuration):
+  /// the unified space is restricted so at most 32 KB serves as L1D.
+  static GpuArch titan_v_32k_l1d(int num_sms = 2);
+
+  /// Maximum L1D capacity attainable with zero shared-memory usage.
+  std::size_t max_l1d_bytes() const { return l1d_bytes_for_carveout(0); }
+
+  /// Optional cap on the L1D carve-out result (0 = uncapped); used to model
+  /// the 32 KB-L1D configuration of Figure 10.
+  std::size_t l1d_cap_bytes = 0;
+};
+
+}  // namespace catt::arch

@@ -1,0 +1,22 @@
+#include "arch/launch.hpp"
+
+#include "common/units.hpp"
+
+namespace catt::arch {
+
+std::string to_string(const Dim3& d) {
+  return "(" + std::to_string(d.x) + "," + std::to_string(d.y) + "," + std::to_string(d.z) + ")";
+}
+
+int LaunchConfig::warps_per_block(int warp_size) const {
+  return static_cast<int>(ceil_div<std::uint64_t>(block.count(), static_cast<std::uint64_t>(warp_size)));
+}
+
+std::string to_string(const LaunchConfig& cfg) {
+  std::string s = "<<<" + to_string(cfg.grid) + ", " + to_string(cfg.block);
+  if (cfg.dyn_shared_bytes > 0) s += ", " + std::to_string(cfg.dyn_shared_bytes);
+  s += ">>>";
+  return s;
+}
+
+}  // namespace catt::arch

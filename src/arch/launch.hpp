@@ -1,0 +1,58 @@
+// CUDA-style launch geometry: grid/block dimensions and per-launch resources.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace catt::arch {
+
+/// CUDA dim3. Dimensions default to 1 so `Dim3{256}` is a 1-D block of 256.
+struct Dim3 {
+  std::uint32_t x = 1;
+  std::uint32_t y = 1;
+  std::uint32_t z = 1;
+
+  constexpr std::uint64_t count() const {
+    return static_cast<std::uint64_t>(x) * y * z;
+  }
+  friend bool operator==(const Dim3&, const Dim3&) = default;
+};
+
+std::string to_string(const Dim3& d);
+
+/// Kernel launch geometry plus dynamically-requested shared memory,
+/// mirroring `kernel<<<grid, block, dyn_shared>>>`.
+struct LaunchConfig {
+  Dim3 grid;
+  Dim3 block;
+  std::size_t dyn_shared_bytes = 0;
+
+  std::uint64_t threads_per_block() const { return block.count(); }
+  std::uint64_t num_blocks() const { return grid.count(); }
+  std::uint64_t total_threads() const { return grid.count() * block.count(); }
+
+  /// Warps per thread block, rounding partial warps up (hardware allocates
+  /// a full warp slot even for a ragged tail).
+  int warps_per_block(int warp_size) const;
+};
+
+std::string to_string(const LaunchConfig& cfg);
+
+/// Flattens a 3-D thread index to the canonical CUDA linear id:
+/// tid.x + tid.y*ntid.x + tid.z*ntid.x*ntid.y.
+constexpr std::uint64_t linearize(const Dim3& idx, const Dim3& extent) {
+  return idx.x + static_cast<std::uint64_t>(idx.y) * extent.x +
+         static_cast<std::uint64_t>(idx.z) * extent.x * extent.y;
+}
+
+/// Inverse of linearize.
+constexpr Dim3 delinearize(std::uint64_t linear, const Dim3& extent) {
+  Dim3 d;
+  d.x = static_cast<std::uint32_t>(linear % extent.x);
+  d.y = static_cast<std::uint32_t>((linear / extent.x) % extent.y);
+  d.z = static_cast<std::uint32_t>(linear / (static_cast<std::uint64_t>(extent.x) * extent.y));
+  return d;
+}
+
+}  // namespace catt::arch

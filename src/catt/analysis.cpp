@@ -1,0 +1,471 @@
+#include "catt/analysis.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "expr/eval.hpp"
+
+namespace catt::analysis {
+
+namespace {
+
+using expr::Expr;
+using ir::Kernel;
+using ir::Stmt;
+using ir::StmtKind;
+
+/// A memory access site discovered by walking the kernel body: the index
+/// expression plus the stack of loops enclosing it (innermost last).
+struct RawAccess {
+  std::string array;
+  const Expr* index = nullptr;
+  bool is_store = false;
+  std::vector<const Stmt*> loop_stack;
+};
+
+/// Collects every global-array access in the kernel, with its loop context.
+class AccessCollector {
+ public:
+  explicit AccessCollector(const Kernel& k) : kernel_(k) {}
+
+  std::vector<RawAccess> run() {
+    walk_body(kernel_.body);
+    return std::move(accesses_);
+  }
+
+ private:
+  void walk_expr(const Expr& e) {
+    if (e.kind == expr::ExprKind::kLoad) {
+      // Shared-memory accesses do not touch the L1D footprint, but their
+      // index may itself contain global loads — keep recursing either way.
+      if (kernel_.find_array(e.name) != nullptr) {
+        accesses_.push_back({e.name, e.args[0].get(), false, loop_stack_});
+      }
+    }
+    for (const auto& a : e.args) walk_expr(*a);
+  }
+
+  void walk_body(const std::vector<ir::StmtPtr>& body) {
+    for (const auto& s : body) walk_stmt(*s);
+  }
+
+  void walk_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kDeclInt:
+      case StmtKind::kDeclFloat:
+      case StmtKind::kAssign:
+        walk_expr(*s.value);
+        break;
+      case StmtKind::kStore:
+        walk_expr(*s.index);
+        walk_expr(*s.value);
+        if (kernel_.find_array(s.name) != nullptr) {
+          accesses_.push_back({s.name, s.index.get(), true, loop_stack_});
+        }
+        break;
+      case StmtKind::kFor:
+        walk_expr(*s.value);
+        loop_stack_.push_back(&s);
+        walk_expr(*s.cond);
+        walk_expr(*s.step);
+        walk_body(s.body);
+        loop_stack_.pop_back();
+        break;
+      case StmtKind::kIf:
+        walk_expr(*s.cond);
+        walk_body(s.body);
+        walk_body(s.else_body);
+        break;
+      case StmtKind::kSync:
+        break;
+    }
+  }
+
+  const Kernel& kernel_;
+  std::vector<const Stmt*> loop_stack_;
+  std::vector<RawAccess> accesses_;
+};
+
+std::int64_t builtin_lane_value(expr::Builtin b, int lane, const arch::LaunchConfig& launch) {
+  const arch::Dim3 t = arch::delinearize(static_cast<std::uint64_t>(lane), launch.block);
+  switch (b) {
+    case expr::Builtin::kThreadIdxX: return t.x;
+    case expr::Builtin::kThreadIdxY: return t.y;
+    case expr::Builtin::kThreadIdxZ: return t.z;
+    // A representative warp of a representative block; blockIdx affects
+    // only the base address, not the within-warp spread.
+    case expr::Builtin::kBlockIdxX:
+    case expr::Builtin::kBlockIdxY:
+    case expr::Builtin::kBlockIdxZ:
+      return 0;
+    case expr::Builtin::kBlockDimX: return launch.block.x;
+    case expr::Builtin::kBlockDimY: return launch.block.y;
+    case expr::Builtin::kBlockDimZ: return launch.block.z;
+    case expr::Builtin::kGridDimX: return launch.grid.x;
+    case expr::Builtin::kGridDimY: return launch.grid.y;
+    case expr::Builtin::kGridDimZ: return launch.grid.z;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int enumerate_req_warp(const expr::LinearForm& lf, const arch::LaunchConfig& launch,
+                       int warp_size, int line_bytes, std::size_t elem_bytes) {
+  if (!lf.valid) throw IrError("enumerate_req_warp on non-affine form");
+  const int lanes =
+      static_cast<int>(std::min<std::uint64_t>(launch.block.count(), warp_size));
+  std::set<std::int64_t> lines;
+  for (int lane = 0; lane < lanes; ++lane) {
+    std::int64_t idx = lf.c0;
+    for (const auto& [key, coeff] : lf.coeffs) {
+      // Loop variables are held at their first iteration (0 offset): the
+      // within-warp spread is what matters for coalescing.
+      std::int64_t v = 0;
+      if (key.is_builtin) v = builtin_lane_value(key.builtin, lane, launch);
+      idx += coeff * v;
+    }
+    const std::int64_t byte_addr = idx * static_cast<std::int64_t>(elem_bytes);
+    // floor-divide toward -inf so negative offsets map consistently
+    std::int64_t line = byte_addr / line_bytes;
+    if (byte_addr < 0 && byte_addr % line_bytes != 0) --line;
+    lines.insert(line);
+  }
+  return static_cast<int>(lines.size());
+}
+
+std::size_t LoopAnalysis::footprint_for_warps(int active_warps, int line_bytes) const {
+  // Eq. 8, restricted to accesses whose reuse the cache can actually
+  // protect (Section 4.2 measures footprints "for loops where cache
+  // locality presents"); conservatively-handled irregular accesses have no
+  // knowable reuse and are excluded, which keeps BFS/CFD at baseline TLP.
+  std::size_t lines = 0;
+  for (const auto& a : accesses) {
+    if (!a.has_locality) continue;
+    lines += static_cast<std::size_t>(a.sweep_lines) * static_cast<std::size_t>(active_warps);
+  }
+  return lines * static_cast<std::size_t>(line_bytes);
+}
+
+std::optional<std::int64_t> const_trip_count(const ir::Stmt& loop, const expr::AffineEnv& env) {
+  if (loop.kind != StmtKind::kFor) return std::nullopt;
+  const expr::LinearForm init = expr::analyze_affine(*loop.value, env);
+  const expr::LinearForm step = expr::analyze_affine(*loop.step, env);
+  if (!init.is_constant() || !step.is_constant() || step.c0 == 0) return std::nullopt;
+
+  // Canonical conditions: v < bound, v <= bound (ascending) or v > bound,
+  // v >= bound (descending); `bound` constant after parameter substitution.
+  const expr::Expr& c = *loop.cond;
+  if (c.kind != expr::ExprKind::kBinary) return std::nullopt;
+  const bool var_lhs = c.args[0]->kind == expr::ExprKind::kVar && c.args[0]->name == loop.name;
+  if (!var_lhs) return std::nullopt;
+  const expr::LinearForm bound = expr::analyze_affine(*c.args[1], env);
+  if (!bound.is_constant()) return std::nullopt;
+
+  std::int64_t span = 0;
+  switch (c.bin) {
+    case expr::BinOp::kLt: span = bound.c0 - init.c0; break;
+    case expr::BinOp::kLe: span = bound.c0 - init.c0 + 1; break;
+    case expr::BinOp::kGt: span = init.c0 - bound.c0; break;
+    case expr::BinOp::kGe: span = init.c0 - bound.c0 + 1; break;
+    default: return std::nullopt;
+  }
+  const std::int64_t stride = std::abs(step.c0);
+  if (span <= 0) return 0;
+  return (span + stride - 1) / stride;
+}
+
+int ThrottlePlan::n_for_loop(int loop_id) const {
+  for (const auto& t : warp_throttles) {
+    if (t.loop_id == loop_id) return t.n_divisor;
+  }
+  return 1;
+}
+
+namespace {
+
+/// Dedupe-extension footprint: distinct lines touched by one active warp
+/// group across the resident TBs (per-thread enumeration), with unknown
+/// (irregular) accesses falling back to the additive conservative count.
+std::size_t footprint_dedupe(const LoopAnalysis& loop, const arch::GpuArch& arch,
+                             const arch::LaunchConfig& launch,
+                             const occupancy::Occupancy& occ, int n, int m) {
+  const int group_warps = occ.warps_per_tb / n;
+  const int tbs = occ.tbs_per_sm - m;
+  const std::uint64_t group_threads =
+      std::min<std::uint64_t>(launch.block.count(),
+                              static_cast<std::uint64_t>(group_warps) * arch.warp_size);
+
+  // Distinct (array, line) keys grouped by inner-sweep multiplier; keys
+  // with the same multiplier deduplicate against each other.
+  std::map<std::int64_t, std::set<std::uint64_t>> keys;
+  std::int64_t extra_lines = 0;
+
+  for (const AccessAnalysis& a : loop.accesses) {
+    if (!a.has_locality) continue;  // unprotectable reuse: excluded (as in Eq. 8)
+    if (a.irregular || !a.lf.valid) {
+      extra_lines += static_cast<std::int64_t>(a.req_warp) * group_warps * tbs * a.sweep_mult;
+      continue;
+    }
+    auto& set = keys[a.sweep_mult];
+    for (int tb = 0; tb < tbs; ++tb) {
+      // Blocks land on one SM round-robin: SM 0 sees blocks 0, S, 2S, ...
+      const std::uint64_t block_linear =
+          static_cast<std::uint64_t>(tb) * static_cast<std::uint64_t>(arch.num_sms);
+      if (block_linear >= launch.num_blocks()) break;
+      const arch::Dim3 bidx = arch::delinearize(block_linear, launch.grid);
+      for (std::uint64_t t = 0; t < group_threads; ++t) {
+        const arch::Dim3 tidx = arch::delinearize(t, launch.block);
+        std::int64_t idx = a.lf.c0;
+        for (const auto& [key, coeff] : a.lf.coeffs) {
+          if (!key.is_builtin) continue;  // loop vars held at iteration 0
+          std::int64_t v = 0;
+          switch (key.builtin) {
+            case expr::Builtin::kThreadIdxX: v = tidx.x; break;
+            case expr::Builtin::kThreadIdxY: v = tidx.y; break;
+            case expr::Builtin::kThreadIdxZ: v = tidx.z; break;
+            case expr::Builtin::kBlockIdxX: v = bidx.x; break;
+            case expr::Builtin::kBlockIdxY: v = bidx.y; break;
+            case expr::Builtin::kBlockIdxZ: v = bidx.z; break;
+            default: v = 0; break;  // dims were folded by the launch env
+          }
+          idx += coeff * v;
+        }
+        const std::int64_t byte = idx * static_cast<std::int64_t>(a.elem_bytes);
+        std::int64_t line = byte / arch.line_bytes;
+        if (byte < 0 && byte % arch.line_bytes != 0) --line;
+        set.insert((static_cast<std::uint64_t>(a.array_id) << 44) ^
+                   static_cast<std::uint64_t>(line + (1LL << 40)));
+      }
+    }
+  }
+
+  std::int64_t lines = extra_lines;
+  for (const auto& [mult, set] : keys) {
+    lines += mult * static_cast<std::int64_t>(set.size());
+  }
+  return static_cast<std::size_t>(lines) * static_cast<std::size_t>(arch.line_bytes);
+}
+
+/// Eq. 9 search: find (N, M) such that the loop footprint fits `l1d_bytes`.
+LoopDecision decide(const LoopAnalysis& loop, const occupancy::Occupancy& occ,
+                    std::size_t l1d_bytes, const arch::GpuArch& arch,
+                    const arch::LaunchConfig& launch, const AnalysisOptions& opts) {
+  LoopDecision d;
+  const int line_bytes = arch.line_bytes;
+  const auto fits = [&](int n, int m) {
+    if (opts.dedupe_tb_footprint) {
+      const int active = (occ.warps_per_tb / n) * (occ.tbs_per_sm - m);
+      if (active < opts.min_active_warps) return false;  // latency floor
+      return footprint_dedupe(loop, arch, launch, occ, n, m) <= l1d_bytes;
+    }
+    const int active = (occ.warps_per_tb / n) * (occ.tbs_per_sm - m);
+    return loop.footprint_for_warps(active, line_bytes) <= l1d_bytes;
+  };
+
+  if (fits(1, 0)) return d;  // footprint already fits: no throttling
+  d.contended = true;
+
+  if (opts.warp_level_first) {
+    for (int n = 2; n <= occ.warps_per_tb; n *= 2) {
+      if (occ.warps_per_tb % n != 0) break;
+      if (fits(n, 0)) {
+        d.n_divisor = n;
+        return d;
+      }
+    }
+  }
+
+  // Warp-level alone is insufficient (or disabled): reduce TBs by M with N
+  // at its maximum (Section 4.2: "If SIZE'_req (N = #Warps_TB) is still
+  // larger than the L1D capacity, we decrease #TB_SM by M").
+  int n_max = 1;
+  if (opts.warp_level_first) {
+    while (n_max * 2 <= occ.warps_per_tb && occ.warps_per_tb % (n_max * 2) == 0) n_max *= 2;
+  }
+  if (opts.enable_tb_level) {
+    for (int m = 1; m < occ.tbs_per_sm; ++m) {
+      if (fits(n_max, m)) {
+        d.n_divisor = n_max;
+        d.m_tb_reduce = m;
+        return d;
+      }
+    }
+  }
+
+  // Even minimum TLP cannot fit (the paper's CORR case): leave untouched.
+  d.unresolvable = true;
+  return d;
+}
+
+}  // namespace
+
+KernelAnalysis analyze(const arch::GpuArch& arch, const ir::Kernel& kernel,
+                       const arch::LaunchConfig& launch, const expr::ParamEnv& params,
+                       const AnalysisOptions& opts) {
+  KernelAnalysis out;
+  out.kernel_name = kernel.name;
+  out.occ = occupancy::compute(arch, kernel, launch);
+  out.l1d_bytes = out.occ.l1d_bytes;
+
+  const expr::LocalDefs defs = ir::single_assignment_int_defs(kernel);
+  std::set<std::string> loop_vars;
+  for (const auto& v : ir::loop_var_names(kernel)) loop_vars.insert(v);
+
+  expr::AffineEnv env;
+  env.params = &params;
+  env.local_defs = &defs;
+  env.loop_vars = &loop_vars;
+  env.launch = &launch;
+
+  AccessCollector collector(kernel);
+  const std::vector<RawAccess> raw = collector.run();
+
+  // Determine which loops are nested inside another loop: decisions are
+  // made (and the transform applied) at the outermost level.
+  std::set<int> nested_ids;
+  {
+    struct Scan {
+      static void run(const std::vector<ir::StmtPtr>& body, int depth, std::set<int>& nested) {
+        for (const auto& s : body) {
+          const int next_depth = s->kind == StmtKind::kFor ? depth + 1 : depth;
+          if (s->kind == StmtKind::kFor && depth > 0) nested.insert(s->loop_id);
+          Scan::run(s->body, next_depth, nested);
+          Scan::run(s->else_body, depth, nested);
+        }
+      }
+    };
+    Scan::run(kernel.body, 0, nested_ids);
+  }
+
+  // Record a per-loop analysis for every loop (reports show nested
+  // structure); each access is attributed to every loop enclosing it.
+  const auto loops = ir::collect_loops(kernel);
+  for (const Stmt* loop : loops) {
+    LoopAnalysis la;
+    la.loop_id = loop->loop_id;
+    la.loop_var = loop->name;
+    la.top_level = !nested_ids.contains(loop->loop_id);
+
+    for (const RawAccess& acc : raw) {
+      const bool in_this_loop =
+          std::find(acc.loop_stack.begin(), acc.loop_stack.end(), loop) != acc.loop_stack.end();
+      if (!in_this_loop) continue;
+
+      AccessAnalysis aa;
+      aa.array = acc.array;
+      aa.index_text = acc.index->str();
+      aa.is_store = acc.is_store;
+      const std::size_t elem = ir::elem_size(kernel.array_elem_type(acc.array));
+
+      const expr::LinearForm lf = expr::analyze_affine(*acc.index, env);
+      if (!lf.valid) {
+        aa.irregular = true;
+        if (opts.conservative_irregular) {
+          // Section 4.2: conservatively treat the access as unit-stride so
+          // thread throttling is never applied on guesswork. Its reuse is
+          // unknowable, so it carries no protectable locality and is
+          // excluded from the footprint sum.
+          aa.c_tid = 1;
+          aa.req_warp = static_cast<int>(
+              std::max<std::size_t>(1, (static_cast<std::size_t>(arch.warp_size) * elem) /
+                                           static_cast<std::size_t>(arch.line_bytes)));
+          aa.has_locality = false;
+        } else {
+          // Ablation: assume fully divergent and protectable —
+          // over-throttling risk on BFS/CFD.
+          aa.c_tid = arch.line_bytes;
+          aa.req_warp = arch.warp_size;
+          aa.has_locality = true;
+        }
+        aa.sweep_lines = aa.req_warp;
+      } else {
+        const expr::IndexProfile prof = expr::profile_index(lf, launch.block);
+        aa.c_tid = prof.c_tid;
+        // Innermost enclosing loop variable determines C_i (Eq. 6)...
+        const Stmt* innermost = acc.loop_stack.back();
+        auto it = prof.c_loop.find(innermost->name);
+        aa.c_iter = it == prof.c_loop.end() ? 0 : it->second;
+        // ...but reuse may also be carried by any enclosing loop the index
+        // is line-invariant over (the CORR pattern).
+        aa.has_locality = false;
+        const auto pos =
+            std::find(acc.loop_stack.begin(), acc.loop_stack.end(), loop) -
+            acc.loop_stack.begin();
+        for (std::size_t d = static_cast<std::size_t>(pos); d < acc.loop_stack.size(); ++d) {
+          auto ci = prof.c_loop.find(acc.loop_stack[d]->name);
+          const std::int64_t c = ci == prof.c_loop.end() ? 0 : ci->second;
+          if (std::abs(c) * static_cast<std::int64_t>(elem) <= arch.line_bytes) {
+            aa.has_locality = true;
+            break;
+          }
+        }
+        aa.req_warp =
+            enumerate_req_warp(lf, launch, arch.warp_size, arch.line_bytes, elem);
+
+        // Sweep factor: lines this access touches across one iteration of
+        // the analyzed loop, i.e. across a full execution of every loop
+        // nested between the analyzed loop and the access. Unknown trip
+        // counts contribute 1 (conservative: never over-throttle).
+        std::int64_t mult = 1;
+        for (std::size_t d = static_cast<std::size_t>(pos) + 1; d < acc.loop_stack.size(); ++d) {
+          const Stmt* inner = acc.loop_stack[d];
+          auto ci = prof.c_loop.find(inner->name);
+          const std::int64_t c = std::abs(ci == prof.c_loop.end() ? 0 : ci->second);
+          if (c == 0) continue;  // index invariant over this inner loop
+          const auto trip = const_trip_count(*inner, env);
+          if (!trip.has_value() || *trip <= 1) continue;
+          const std::int64_t stride_bytes = c * static_cast<std::int64_t>(elem);
+          const std::int64_t span =
+              stride_bytes >= arch.line_bytes
+                  ? *trip
+                  : (*trip * stride_bytes + arch.line_bytes - 1) / arch.line_bytes;
+          mult *= std::max<std::int64_t>(1, span);
+        }
+        aa.sweep_mult = mult;
+        aa.sweep_lines = aa.req_warp * mult;
+        aa.lf = lf;
+        aa.elem_bytes = elem;
+        for (std::size_t ai = 0; ai < kernel.arrays.size(); ++ai) {
+          if (kernel.arrays[ai].name == acc.array) aa.array_id = static_cast<int>(ai);
+        }
+      }
+      la.accesses.push_back(std::move(aa));
+    }
+
+    la.has_locality = std::any_of(la.accesses.begin(), la.accesses.end(),
+                                  [](const AccessAnalysis& a) { return a.has_locality; });
+    la.footprint_bytes = la.footprint_for_warps(out.occ.warps_per_sm, arch.line_bytes);
+    out.loops.push_back(std::move(la));
+  }
+
+  // Decide per top-level loop (Section 3.2: throttling is applied to
+  // individual loops); nested loops inherit the enclosing decision.
+  for (auto& la : out.loops) {
+    if (!la.top_level) continue;
+    if (!la.has_locality) continue;  // no reuse to protect: skip (Eq. 6 gate)
+    // Loops containing barriers cannot be warp-split (transform legality);
+    // only TB-level throttling is available for them.
+    AnalysisOptions loop_opts = opts;
+    for (const ir::Stmt* ls : loops) {
+      if (ls->loop_id == la.loop_id && ir::contains_sync(*ls)) {
+        loop_opts.warp_level_first = false;
+      }
+    }
+    la.decision = decide(la, out.occ, out.l1d_bytes, arch, launch, loop_opts);
+    if (la.decision.n_divisor > 1) {
+      out.plan.warp_throttles.push_back({la.loop_id, la.decision.n_divisor});
+    }
+    if (la.decision.m_tb_reduce > 0) {
+      const int target = out.occ.tbs_per_sm - la.decision.m_tb_reduce;
+      if (out.plan.tb_limit == 0 || target < out.plan.tb_limit) out.plan.tb_limit = target;
+    }
+  }
+
+  return out;
+}
+
+}  // namespace catt::analysis

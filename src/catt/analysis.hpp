@@ -1,0 +1,172 @@
+// CATT static analysis (Section 4.2): per-loop L1D footprint estimation and
+// thread-throttling factor computation.
+//
+// For every loop in a kernel, the analyzer:
+//   1. extracts each off-chip memory access's index expression and puts it
+//      in the Eq. 5 linear form  C_tid * tid + C_i * i  (expr/affine);
+//   2. decides cache locality with Eq. 6 (C_i * elem <= line size);
+//   3. computes the per-warp request count REQ_warp with Eq. 7 — via exact
+//      per-lane address enumeration, which reduces to Eq. 7 for 1-D blocks
+//      and implements the paper's multi-dimensional fallback otherwise;
+//   4. estimates the loop's footprint SIZE_req with Eq. 8;
+//   5. if SIZE_req exceeds the L1D capacity, searches Eq. 9 for the
+//      throttling factor: halve the active warps per TB (N in powers of
+//      two) first, then reduce resident TBs by M. Irregular (data-
+//      dependent) indexes conservatively use C_tid = 1 so irregular apps
+//      are never over-throttled.
+//
+// The result is a ThrottlePlan the transform module applies to the source.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/gpu_arch.hpp"
+#include "arch/launch.hpp"
+#include "expr/affine.hpp"
+#include "ir/ir.hpp"
+#include "occupancy/occupancy.hpp"
+
+namespace catt::analysis {
+
+struct AnalysisOptions {
+  /// Paper default: set C_tid := 1 for data-dependent indexes so that
+  /// mis-estimation cannot reduce TLP (Section 4.2). Disabling this is the
+  /// "aggressive irregular" ablation: irregular accesses then count as
+  /// fully divergent (32 lines per warp).
+  bool conservative_irregular = true;
+  /// Warp-level throttling is considered before TB-level (Section 4.3).
+  /// Disabling skips straight to TB-level — an ablation mode.
+  bool warp_level_first = true;
+  /// Allow TB-level throttling at all.
+  bool enable_tb_level = true;
+  /// EXTENSION (off by default = the paper's Eq. 8): deduplicate cache
+  /// lines shared between warps/TBs when estimating footprints. Eq. 8
+  /// multiplies every access's per-warp request count by the total warp
+  /// count, which double-counts broadcast operands (x[j]) and the lines
+  /// 2-D thread blocks share across their warps (SYR2K's B[j*M+k] is read
+  /// by all eight warps of a TB). With dedupe on, the footprint is the
+  /// number of *distinct* lines the active thread groups touch, computed
+  /// by per-thread address enumeration.
+  bool dedupe_tb_footprint = false;
+  /// Minimum active warps per SM a throttled configuration must keep
+  /// (dedupe mode only). The deduped footprint can fit at one active warp,
+  /// but a single warp cannot hide memory latency and a "fitting" deep
+  /// throttle becomes a slowdown (seen on CORR); configurations below this
+  /// floor count as unresolvable instead.
+  int min_active_warps = 2;
+};
+
+/// One off-chip memory access inside a loop, in the paper's vocabulary.
+struct AccessAnalysis {
+  std::string array;
+  std::string index_text;  // pretty-printed index expression
+  bool is_store = false;
+  bool irregular = false;  // data-dependent or non-affine index
+  /// Eq. 5's C_tid: inter-thread distance in elements (post-conservatism).
+  std::int64_t c_tid = 0;
+  /// Eq. 5's C_i w.r.t. the innermost enclosing loop variable.
+  std::int64_t c_iter = 0;
+  /// Eq. 6: does the access reuse its line across iterations (of any
+  /// enclosing loop)?
+  bool has_locality = false;
+  /// Eq. 7: cache lines requested by one warp executing this instruction.
+  int req_warp = 0;
+  /// Lines this access contributes to the enclosing decision loop's
+  /// working set per iteration: req_warp multiplied by the sweep of any
+  /// loops nested between the decision loop and the access (trip-count
+  /// aware). For a single-level loop this equals req_warp, i.e. Eq. 8
+  /// exactly; for reuse carried across an outer loop (the paper's CORR
+  /// case) it grows with the inner trip count, which is what makes CORR
+  /// unresolvable at any TLP.
+  std::int64_t sweep_lines = 1;
+  /// sweep_lines / req_warp: the inner-loop span multiplier alone.
+  std::int64_t sweep_mult = 1;
+  /// The index's linear form (valid only when !irregular); used by the
+  /// dedupe-footprint extension's per-thread enumeration.
+  expr::LinearForm lf;
+  /// Stable id of the accessed array within the kernel (for dedupe keys).
+  int array_id = 0;
+  /// Element size in bytes.
+  std::size_t elem_bytes = 4;
+};
+
+/// Throttling decision for one loop (Eq. 9's N and M).
+struct LoopDecision {
+  /// Active-warp divisor N (1 = unthrottled). Power of two,
+  /// <= warps per TB.
+  int n_divisor = 1;
+  /// Resident-TB reduction M (0 = unthrottled).
+  int m_tb_reduce = 0;
+  /// The footprint exceeded the L1D and throttling was attempted.
+  bool contended = false;
+  /// Even the minimum TLP cannot fit the footprint (the paper's CORR
+  /// case); the loop is left untouched.
+  bool unresolvable = false;
+};
+
+struct LoopAnalysis {
+  int loop_id = -1;
+  std::string loop_var;
+  /// True when this loop is not nested inside another loop; decisions are
+  /// made (and transforms applied) at this level.
+  bool top_level = false;
+  std::vector<AccessAnalysis> accesses;
+  /// Any access with cross-iteration locality (Eq. 6)?
+  bool has_locality = false;
+  /// Eq. 8 at baseline occupancy, in bytes.
+  std::size_t footprint_bytes = 0;
+  LoopDecision decision;
+
+  /// Eq. 8/9 footprint for an arbitrary active-warp count.
+  std::size_t footprint_for_warps(int active_warps, int line_bytes) const;
+
+  /// The resulting TLP in the paper's "(#warps_TB, #TBs)" notation.
+  int throttled_warps_per_tb(int warps_per_tb) const {
+    return warps_per_tb / decision.n_divisor;
+  }
+};
+
+/// Warp-level split factors per loop plus a kernel-wide TB limit; the input
+/// to transform::apply_throttling.
+struct ThrottlePlan {
+  struct LoopThrottle {
+    int loop_id = -1;
+    int n_divisor = 1;
+  };
+  std::vector<LoopThrottle> warp_throttles;  // only entries with n_divisor > 1
+  /// Target resident TBs per SM (0 = leave unchanged).
+  int tb_limit = 0;
+
+  bool any() const { return !warp_throttles.empty() || tb_limit > 0; }
+  int n_for_loop(int loop_id) const;
+};
+
+struct KernelAnalysis {
+  std::string kernel_name;
+  occupancy::Occupancy occ;
+  std::size_t l1d_bytes = 0;
+  std::vector<LoopAnalysis> loops;
+  ThrottlePlan plan;
+};
+
+/// Runs the full analysis for one kernel launch. `params` binds the scalar
+/// kernel parameters (NX, ...) to their launch-time values.
+KernelAnalysis analyze(const arch::GpuArch& arch, const ir::Kernel& kernel,
+                       const arch::LaunchConfig& launch, const expr::ParamEnv& params,
+                       const AnalysisOptions& opts = {});
+
+/// Exact Eq. 7 request count: enumerates the 32 lanes of a representative
+/// warp and counts distinct cache lines. `elem_bytes` is the array element
+/// size. Exposed for tests (it must agree with min(C_tid, 32) on 1-D
+/// regular indexes).
+int enumerate_req_warp(const expr::LinearForm& lf, const arch::LaunchConfig& launch,
+                       int warp_size, int line_bytes, std::size_t elem_bytes);
+
+/// Compile-time trip count of a canonical counted loop (`v = c0; v < c1;
+/// v += c2` with affine-constant bounds under `env`); nullopt when the
+/// bounds are data-dependent. Exposed for tests.
+std::optional<std::int64_t> const_trip_count(const ir::Stmt& loop, const expr::AffineEnv& env);
+
+}  // namespace catt::analysis

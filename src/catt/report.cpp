@@ -1,0 +1,68 @@
+#include "catt/report.hpp"
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace catt::analysis {
+
+std::string report(const KernelAnalysis& ka, const arch::GpuArch& arch) {
+  std::ostringstream os;
+  os << "kernel " << ka.kernel_name << "\n";
+  os << "  occupancy: " << ka.occ.tlp_string() << " = " << ka.occ.warps_per_sm
+     << " warps/SM (limited by " << occupancy::to_string(ka.occ.limiter) << ")\n";
+  os << "  shared carve-out: " << ka.occ.shm_carveout / 1024 << " KB, L1D: "
+     << ka.l1d_bytes / 1024 << " KB\n";
+
+  for (const auto& loop : ka.loops) {
+    os << "  loop #" << loop.loop_id << " (var " << loop.loop_var << ", "
+       << (loop.top_level ? "top-level" : "nested") << ")\n";
+    for (const auto& a : loop.accesses) {
+      os << "    " << (a.is_store ? "store " : "load  ") << a.array << "[" << a.index_text
+         << "]";
+      if (a.irregular) {
+        os << "  irregular (conservative C_tid=" << a.c_tid << ")";
+      } else {
+        os << "  C_tid=" << a.c_tid << " C_i=" << a.c_iter;
+      }
+      os << "  locality=" << (a.has_locality ? "yes" : "no") << "  REQ_warp=" << a.req_warp
+         << "\n";
+    }
+    os << "    footprint @ baseline TLP: " << loop.footprint_bytes / 1024 << " KB vs L1D "
+       << ka.l1d_bytes / 1024 << " KB";
+    if (!loop.top_level) {
+      os << " (decision at enclosing loop)\n";
+      continue;
+    }
+    if (!loop.has_locality) {
+      os << " -- no cross-iteration locality, not throttled\n";
+      continue;
+    }
+    const auto& d = loop.decision;
+    if (!d.contended) {
+      os << " -- fits, not throttled\n";
+    } else if (d.unresolvable) {
+      os << " -- contended but unresolvable at minimum TLP (left untouched)\n";
+    } else {
+      os << " -- throttled with N=" << d.n_divisor << " M=" << d.m_tb_reduce << " -> ("
+         << ka.occ.warps_per_tb / d.n_divisor << "," << ka.occ.tbs_per_sm - d.m_tb_reduce
+         << ")\n";
+    }
+  }
+  (void)arch;
+  return os.str();
+}
+
+std::string summary(const KernelAnalysis& ka) {
+  std::ostringstream os;
+  os << ka.kernel_name << ":";
+  for (const auto& loop : ka.loops) {
+    if (!loop.top_level) continue;
+    os << " loop" << loop.loop_id << " " << ka.occ.tlp_string() << "->("
+       << loop.throttled_warps_per_tb(ka.occ.warps_per_tb) << ","
+       << ka.occ.tbs_per_sm - loop.decision.m_tb_reduce << ")";
+  }
+  return os.str();
+}
+
+}  // namespace catt::analysis

@@ -1,0 +1,18 @@
+// Human-readable rendering of a KernelAnalysis (used by the quickstart
+// example and the analysis-overhead bench).
+#pragma once
+
+#include <string>
+
+#include "catt/analysis.hpp"
+
+namespace catt::analysis {
+
+/// Multi-line report: occupancy, per-loop accesses with C_tid / C_i /
+/// REQ_warp, footprints vs. the L1D capacity, and the chosen (N, M).
+std::string report(const KernelAnalysis& ka, const arch::GpuArch& arch);
+
+/// Compact one-line summary, e.g. "atax_kernel1: loop0 (8,4)->(1,4)".
+std::string summary(const KernelAnalysis& ka);
+
+}  // namespace catt::analysis

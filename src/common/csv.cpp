@@ -1,0 +1,50 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace catt {
+
+namespace {
+std::string escape(const std::string& cell) {
+  const bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void emit(std::ostream& os, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) os << ',';
+    os << escape(row[i]);
+  }
+  os << '\n';
+}
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void CsvWriter::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+std::string CsvWriter::str() const {
+  std::ostringstream os;
+  emit(os, header_);
+  for (const auto& r : rows_) emit(os, r);
+  return os.str();
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw Error("cannot open for writing: " + path);
+  f << str();
+  if (!f) throw Error("write failed: " + path);
+}
+
+}  // namespace catt

@@ -1,0 +1,28 @@
+// CSV emission for bench results, so figures can be re-plotted offline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace catt {
+
+/// Accumulates rows and writes RFC-4180-style CSV (quotes cells containing
+/// commas, quotes, or newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Full document including the header line.
+  std::string str() const;
+
+  /// Writes to `path`; throws catt::Error on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace catt

@@ -1,0 +1,44 @@
+// Exception types used across the CATT library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace catt {
+
+/// Base class for all library-defined failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised by the mini-CUDA frontend on malformed source.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& msg, int line, int col)
+      : Error("parse error at " + std::to_string(line) + ":" + std::to_string(col) + ": " + msg),
+        line_(line),
+        col_(col) {}
+
+  int line() const { return line_; }
+  int col() const { return col_; }
+
+ private:
+  int line_;
+  int col_;
+};
+
+/// Raised when a kernel IR is structurally invalid (unknown array, bad loop nesting, ...).
+class IrError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised when the simulator detects an impossible configuration
+/// (occupancy of zero, out-of-bounds access with checking enabled, ...).
+class SimError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace catt

@@ -1,0 +1,33 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace catt::log {
+
+namespace {
+std::atomic<Level> g_level{Level::kWarn};
+
+const char* prefix(Level level) {
+  switch (level) {
+    case Level::kDebug: return "[debug] ";
+    case Level::kInfo: return "[info ] ";
+    case Level::kWarn: return "[warn ] ";
+    case Level::kError: return "[error] ";
+    case Level::kOff: return "";
+  }
+  return "";
+}
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+bool is_enabled(Level l) { return static_cast<int>(l) >= static_cast<int>(level()); }
+
+void write(Level l, const std::string& msg) {
+  std::fprintf(stderr, "%s%s\n", prefix(l), msg.c_str());
+}
+
+}  // namespace catt::log

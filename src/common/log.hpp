@@ -1,0 +1,48 @@
+// Minimal leveled logger. Intentionally tiny: experiments and tests set the
+// level once; hot paths guard with is_enabled() before formatting.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace catt::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_level(Level level);
+Level level();
+
+bool is_enabled(Level level);
+
+/// Writes one line to stderr with a level prefix. Thread-compatible:
+/// concurrent calls interleave at line granularity.
+void write(Level level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void debug(Args&&... args) {
+  if (is_enabled(Level::kDebug)) write(Level::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void info(Args&&... args) {
+  if (is_enabled(Level::kInfo)) write(Level::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void warn(Args&&... args) {
+  if (is_enabled(Level::kWarn)) write(Level::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void error(Args&&... args) {
+  if (is_enabled(Level::kError)) write(Level::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace catt::log

@@ -1,0 +1,38 @@
+// Deterministic PRNG for workload input generation. Workload inputs must be
+// reproducible across runs and platforms, so we avoid std::mt19937's
+// distribution non-portability and use SplitMix64 with explicit mapping.
+#pragma once
+
+#include <cstdint>
+
+namespace catt {
+
+/// SplitMix64: tiny, fast, well-distributed; ideal for seeding and for
+/// generating deterministic synthetic inputs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) { return next_u64() % bound; }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform float in [lo, hi).
+  float next_float(float lo, float hi) {
+    return lo + static_cast<float>(next_double()) * (hi - lo);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace catt

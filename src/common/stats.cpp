@@ -1,0 +1,57 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace catt::stats {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += std::log(x);
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  if (v.size() % 2 == 1) return v[mid];
+  return 0.5 * (v[mid - 1] + v[mid]);
+}
+
+double min(std::span<const double> xs) {
+  double m = std::numeric_limits<double>::infinity();
+  for (double x : xs) m = std::min(m, x);
+  return m;
+}
+
+double max(std::span<const double> xs) {
+  double m = -std::numeric_limits<double>::infinity();
+  for (double x : xs) m = std::max(m, x);
+  return m;
+}
+
+void Accumulator::add(double x) {
+  ++n_;
+  sum_ += x;
+}
+
+}  // namespace catt::stats

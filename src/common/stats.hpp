@@ -1,0 +1,39 @@
+// Small statistics helpers used by the experiment harness (the paper reports
+// geometric-mean speedups; benches also report mean/median/stddev).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace catt::stats {
+
+/// Arithmetic mean; 0.0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Geometric mean; 0.0 for an empty span. All inputs must be > 0.
+double geomean(std::span<const double> xs);
+
+/// Sample standard deviation (N-1 denominator); 0.0 for fewer than 2 samples.
+double stddev(std::span<const double> xs);
+
+/// Median (averages the middle pair for even N); 0.0 for an empty span.
+double median(std::span<const double> xs);
+
+double min(std::span<const double> xs);
+double max(std::span<const double> xs);
+
+/// Streaming accumulator for means without storing samples.
+class Accumulator {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace catt::stats

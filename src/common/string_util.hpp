@@ -1,0 +1,22 @@
+// Small string helpers used by the frontend and harness.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace catt {
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace catt

@@ -1,0 +1,43 @@
+// Plain-text table rendering for bench output. Every figure/table bench in
+// bench/ prints its rows through this so the output is uniform and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace catt {
+
+/// Column-aligned ASCII table. Cells are strings; numeric helpers format
+/// with fixed precision so bench output is stable across runs.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add_* calls append cells to it.
+  TextTable& row();
+  TextTable& cell(std::string value);
+  TextTable& cell(const char* value);
+  /// Fixed-precision float cell (default 3 digits).
+  TextTable& cell(double value, int precision = 3);
+  TextTable& cell(long long value);
+  TextTable& cell(unsigned long long value);
+  TextTable& cell(int value);
+  TextTable& cell(std::size_t value);
+
+  /// Renders the table with a header underline and 2-space column gaps.
+  std::string str() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats e.g. 1.4296 -> "1.43x".
+std::string format_speedup(double x);
+
+/// Formats a fraction as a percentage, e.g. 0.4296 -> "42.96%".
+std::string format_percent(double fraction, int precision = 2);
+
+}  // namespace catt

@@ -1,0 +1,28 @@
+// Size and unit helpers shared across the CATT code base.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace catt {
+
+inline constexpr std::size_t KiB = 1024;
+inline constexpr std::size_t MiB = 1024 * KiB;
+
+/// User-defined literal so capacities read like the paper: 32_KiB, 128_KiB.
+constexpr std::size_t operator""_KiB(unsigned long long v) { return static_cast<std::size_t>(v) * KiB; }
+constexpr std::size_t operator""_MiB(unsigned long long v) { return static_cast<std::size_t>(v) * MiB; }
+
+/// Integer ceiling division for non-negative operands.
+template <typename T>
+constexpr T ceil_div(T a, T b) {
+  return (a + b - 1) / b;
+}
+
+/// Round `a` up to the next multiple of `b` (b > 0).
+template <typename T>
+constexpr T round_up(T a, T b) {
+  return ceil_div(a, b) * b;
+}
+
+}  // namespace catt

@@ -1,0 +1,213 @@
+#include "expr/affine.hpp"
+
+#include <cstdlib>
+
+namespace catt::expr {
+
+namespace {
+
+LinearForm invalid_form(bool from_load = false) {
+  LinearForm lf;
+  lf.valid = false;
+  lf.has_load = from_load;
+  return lf;
+}
+
+LinearForm constant_form(std::int64_t v) {
+  LinearForm lf;
+  lf.c0 = v;
+  return lf;
+}
+
+void add_scaled(LinearForm& dst, const LinearForm& src, std::int64_t scale) {
+  dst.c0 += scale * src.c0;
+  for (const auto& [k, c] : src.coeffs) {
+    auto& slot = dst.coeffs[k];
+    slot += scale * c;
+    if (slot == 0) dst.coeffs.erase(k);
+  }
+  dst.has_load = dst.has_load || src.has_load;
+  dst.valid = dst.valid && src.valid;
+}
+
+/// Launch-time value of a dimension builtin, if the env pins it.
+std::optional<std::int64_t> launch_constant(Builtin b, const AffineEnv& env) {
+  if (env.launch == nullptr) return std::nullopt;
+  const auto& g = env.launch->grid;
+  const auto& bl = env.launch->block;
+  switch (b) {
+    case Builtin::kBlockDimX: return bl.x;
+    case Builtin::kBlockDimY: return bl.y;
+    case Builtin::kBlockDimZ: return bl.z;
+    case Builtin::kGridDimX: return g.x;
+    case Builtin::kGridDimY: return g.y;
+    case Builtin::kGridDimZ: return g.z;
+    default: return std::nullopt;
+  }
+}
+
+struct Analyzer {
+  const AffineEnv& env;
+  int depth = 0;
+
+  LinearForm run(const Expr& e) {
+    // Local-definition chains are short; the guard only protects against
+    // pathological self-referential inputs.
+    if (depth > 64) return invalid_form();
+
+    switch (e.kind) {
+      case ExprKind::kConst:
+        if (e.type != ScalarType::kInt) return invalid_form();
+        return constant_form(e.ival);
+
+      case ExprKind::kBuiltin: {
+        if (auto v = launch_constant(e.builtin, env)) return constant_form(*v);
+        LinearForm lf;
+        lf.coeffs[TermKey::of(e.builtin)] = 1;
+        return lf;
+      }
+
+      case ExprKind::kVar: {
+        if (env.loop_vars != nullptr && env.loop_vars->contains(e.name)) {
+          LinearForm lf;
+          lf.coeffs[TermKey::of_loop(e.name)] = 1;
+          return lf;
+        }
+        if (env.params != nullptr) {
+          auto it = env.params->find(e.name);
+          if (it != env.params->end()) return constant_form(it->second);
+        }
+        if (env.local_defs != nullptr) {
+          auto it = env.local_defs->find(e.name);
+          if (it != env.local_defs->end() && it->second != nullptr) {
+            ++depth;
+            LinearForm lf = run(*it->second);
+            --depth;
+            return lf;
+          }
+        }
+        return invalid_form();
+      }
+
+      case ExprKind::kUnary: {
+        if (e.un != UnOp::kNeg) return invalid_form();
+        LinearForm inner = run(*e.args[0]);
+        if (!inner.valid) return inner;
+        LinearForm lf;
+        add_scaled(lf, inner, -1);
+        return lf;
+      }
+
+      case ExprKind::kBinary: {
+        if (is_relational(e.bin)) return invalid_form();
+        LinearForm a = run(*e.args[0]);
+        LinearForm b = run(*e.args[1]);
+        if (!a.valid || !b.valid) {
+          LinearForm lf = invalid_form(a.has_load || b.has_load);
+          return lf;
+        }
+        switch (e.bin) {
+          case BinOp::kAdd: {
+            LinearForm lf = a;
+            add_scaled(lf, b, 1);
+            return lf;
+          }
+          case BinOp::kSub: {
+            LinearForm lf = a;
+            add_scaled(lf, b, -1);
+            return lf;
+          }
+          case BinOp::kMul: {
+            if (a.is_constant()) {
+              LinearForm lf;
+              add_scaled(lf, b, a.c0);
+              return lf;
+            }
+            if (b.is_constant()) {
+              LinearForm lf;
+              add_scaled(lf, a, b.c0);
+              return lf;
+            }
+            return invalid_form();
+          }
+          case BinOp::kDiv:
+            if (a.is_constant() && b.is_constant() && b.c0 != 0) {
+              return constant_form(a.c0 / b.c0);
+            }
+            return invalid_form();
+          case BinOp::kMod:
+            if (a.is_constant() && b.is_constant() && b.c0 != 0) {
+              return constant_form(a.c0 % b.c0);
+            }
+            return invalid_form();
+          case BinOp::kMin:
+            if (a.is_constant() && b.is_constant()) {
+              return constant_form(a.c0 < b.c0 ? a.c0 : b.c0);
+            }
+            return invalid_form();
+          case BinOp::kMax:
+            if (a.is_constant() && b.is_constant()) {
+              return constant_form(a.c0 > b.c0 ? a.c0 : b.c0);
+            }
+            return invalid_form();
+          default:
+            return invalid_form();
+        }
+      }
+
+      case ExprKind::kLoad:
+        return invalid_form(/*from_load=*/true);
+
+      case ExprKind::kCast:
+        if (e.type != ScalarType::kInt || e.args[0]->type != ScalarType::kInt) {
+          return invalid_form();
+        }
+        return run(*e.args[0]);
+
+      case ExprKind::kCall:
+        return invalid_form();
+    }
+    return invalid_form();
+  }
+};
+
+}  // namespace
+
+LinearForm analyze_affine(const Expr& e, const AffineEnv& env) {
+  Analyzer a{env};
+  return a.run(e);
+}
+
+IndexProfile profile_index(const LinearForm& lf, const arch::Dim3& block) {
+  IndexProfile p;
+  if (!lf.valid) {
+    p.irregular = true;
+    return p;
+  }
+  p.c0 = lf.c0;
+
+  const std::int64_t cx = lf.coeff(TermKey::of(Builtin::kThreadIdxX));
+  const std::int64_t cy = lf.coeff(TermKey::of(Builtin::kThreadIdxY));
+  const std::int64_t cz = lf.coeff(TermKey::of(Builtin::kThreadIdxZ));
+
+  // Within a warp, lanes advance through threadIdx.x first. When the block's
+  // x extent covers a whole warp, adjacent lanes differ by exactly cx. For
+  // narrower blocks a warp folds into y/z; we report the x-stride here and
+  // leave the exact per-warp request count to address enumeration (the
+  // paper's multi-dimensional fallback). The dominant stride is still cx
+  // unless x is degenerate.
+  if (block.x > 1 || (cy == 0 && cz == 0)) {
+    p.c_tid = cx;
+  } else if (block.y > 1) {
+    p.c_tid = cy;
+  } else {
+    p.c_tid = cz;
+  }
+
+  for (const auto& [k, c] : lf.coeffs) {
+    if (!k.is_builtin) p.c_loop[k.loop_var] = c;
+  }
+  return p;
+}
+
+}  // namespace catt::expr

@@ -1,0 +1,108 @@
+// Affine (integer-linear) analysis of array index expressions.
+//
+// This implements the analysis behind the paper's Eq. 5: an index expression
+// is rewritten into the linear form
+//
+//     sum_k C_k * sym_k + C0
+//
+// where each sym_k is a SIMT builtin (threadIdx.x, blockIdx.y, ...) or an
+// enclosing loop variable. From that form the per-access quantities the
+// paper uses fall out directly:
+//   * C_tid  — coefficient of the linearized thread id within a warp
+//              (adjacent lanes differ by 1 in threadIdx.x), i.e. the
+//              inter-thread distance in elements;
+//   * C_i    — coefficient of a loop's iterator, i.e. the intra-thread
+//              reuse distance across iterations (Eq. 6 compares it to the
+//              cache line size).
+//
+// Local variables (e.g. `int i = blockIdx.x * blockDim.x + threadIdx.x;`)
+// are resolved through their defining expressions; scalar kernel parameters
+// are resolved through a parameter environment (their launch-time values);
+// blockDim/gridDim become constants of the launch. Anything data-dependent
+// (an index containing a load) or non-linear marks the form irregular —
+// Section 4.2 then conservatively sets C_tid := 1.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "arch/launch.hpp"
+#include "expr/expr.hpp"
+
+namespace catt::expr {
+
+/// Symbol a linear form can carry a coefficient for.
+struct TermKey {
+  bool is_builtin = false;
+  Builtin builtin = Builtin::kThreadIdxX;
+  std::string loop_var;  // used when !is_builtin
+
+  static TermKey of(Builtin b) { return TermKey{true, b, {}}; }
+  static TermKey of_loop(std::string v) { return TermKey{false, Builtin::kThreadIdxX, std::move(v)}; }
+
+  friend bool operator<(const TermKey& a, const TermKey& b) {
+    if (a.is_builtin != b.is_builtin) return a.is_builtin < b.is_builtin;
+    if (a.is_builtin) return a.builtin < b.builtin;
+    return a.loop_var < b.loop_var;
+  }
+  friend bool operator==(const TermKey&, const TermKey&) = default;
+};
+
+/// Linear form of an integer expression.
+struct LinearForm {
+  /// False when the expression is not representable (non-linear term,
+  /// division by a symbol, data-dependent load, unknown variable).
+  bool valid = true;
+  /// True when invalidity came from a memory load (irregular access).
+  bool has_load = false;
+  std::int64_t c0 = 0;
+  std::map<TermKey, std::int64_t> coeffs;
+
+  std::int64_t coeff(const TermKey& k) const {
+    auto it = coeffs.find(k);
+    return it == coeffs.end() ? 0 : it->second;
+  }
+  bool is_constant() const { return valid && coeffs.empty(); }
+};
+
+/// Name -> value bindings for scalar kernel parameters (NX, ...).
+using ParamEnv = std::map<std::string, std::int64_t>;
+
+/// Name -> defining expression for integer locals, in declaration order.
+using LocalDefs = std::map<std::string, const Expr*>;
+
+/// Everything the affine analysis needs to resolve symbols.
+struct AffineEnv {
+  const ParamEnv* params = nullptr;
+  const LocalDefs* local_defs = nullptr;
+  const std::set<std::string>* loop_vars = nullptr;
+  const arch::LaunchConfig* launch = nullptr;
+};
+
+/// Computes the linear form of `e` under `env`. Never throws; invalid
+/// expressions yield `valid == false` (with `has_load` set when a load was
+/// the cause), which the analyzer maps to the paper's conservative path.
+LinearForm analyze_affine(const Expr& e, const AffineEnv& env);
+
+/// Per-access profile in the paper's vocabulary, derived from a LinearForm.
+struct IndexProfile {
+  bool irregular = false;  // non-affine or data-dependent
+  /// Inter-thread distance in elements between adjacent lanes of a warp
+  /// (Eq. 5's C_tid). Meaningful only when !irregular.
+  std::int64_t c_tid = 0;
+  /// Intra-thread distance in elements per iteration of each enclosing
+  /// loop variable (Eq. 5's C_i).
+  std::map<std::string, std::int64_t> c_loop;
+  std::int64_t c0 = 0;
+};
+
+/// Derives the paper-facing profile. `block` is the launch's thread-block
+/// shape: with a multi-dimensional block, lanes of one warp advance through
+/// threadIdx.x first and wrap into threadIdx.y, so the within-warp stride is
+/// computed from the x/y/z coefficients and the block extents.
+IndexProfile profile_index(const LinearForm& lf, const arch::Dim3& block);
+
+}  // namespace catt::expr

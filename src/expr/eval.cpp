@@ -1,0 +1,137 @@
+#include "expr/eval.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace catt::expr {
+
+namespace {
+
+Value eval_binary(const Expr& e, EvalContext& ctx) {
+  const Value a = eval(*e.args[0], ctx);
+  // Short-circuit logical ops before evaluating the right side.
+  if (e.bin == BinOp::kAnd) {
+    if (!a.truthy()) return Value::of_int(0);
+    return Value::of_int(eval(*e.args[1], ctx).truthy() ? 1 : 0);
+  }
+  if (e.bin == BinOp::kOr) {
+    if (a.truthy()) return Value::of_int(1);
+    return Value::of_int(eval(*e.args[1], ctx).truthy() ? 1 : 0);
+  }
+  const Value b = eval(*e.args[1], ctx);
+
+  if (is_relational(e.bin)) {
+    const bool float_cmp = a.type == ScalarType::kFloat || b.type == ScalarType::kFloat;
+    const double x = a.as_float();
+    const double y = b.as_float();
+    const std::int64_t xi = a.as_int();
+    const std::int64_t yi = b.as_int();
+    bool r = false;
+    switch (e.bin) {
+      case BinOp::kLt: r = float_cmp ? x < y : xi < yi; break;
+      case BinOp::kLe: r = float_cmp ? x <= y : xi <= yi; break;
+      case BinOp::kGt: r = float_cmp ? x > y : xi > yi; break;
+      case BinOp::kGe: r = float_cmp ? x >= y : xi >= yi; break;
+      case BinOp::kEq: r = float_cmp ? x == y : xi == yi; break;
+      case BinOp::kNe: r = float_cmp ? x != y : xi != yi; break;
+      default: break;
+    }
+    return Value::of_int(r ? 1 : 0);
+  }
+
+  if (e.type == ScalarType::kFloat) {
+    const double x = a.as_float();
+    const double y = b.as_float();
+    switch (e.bin) {
+      case BinOp::kAdd: return Value::of_float(x + y);
+      case BinOp::kSub: return Value::of_float(x - y);
+      case BinOp::kMul: return Value::of_float(x * y);
+      case BinOp::kDiv: return Value::of_float(x / y);
+      case BinOp::kMin: return Value::of_float(std::fmin(x, y));
+      case BinOp::kMax: return Value::of_float(std::fmax(x, y));
+      default: throw IrError("invalid float binary op");
+    }
+  }
+
+  const std::int64_t x = a.as_int();
+  const std::int64_t y = b.as_int();
+  switch (e.bin) {
+    case BinOp::kAdd: return Value::of_int(x + y);
+    case BinOp::kSub: return Value::of_int(x - y);
+    case BinOp::kMul: return Value::of_int(x * y);
+    case BinOp::kDiv:
+      if (y == 0) throw IrError("integer division by zero in: " + e.str());
+      return Value::of_int(x / y);
+    case BinOp::kMod:
+      if (y == 0) throw IrError("integer modulo by zero in: " + e.str());
+      return Value::of_int(x % y);
+    case BinOp::kMin: return Value::of_int(x < y ? x : y);
+    case BinOp::kMax: return Value::of_int(x > y ? x : y);
+    default: throw IrError("invalid int binary op");
+  }
+}
+
+Value eval_call(const Expr& e, EvalContext& ctx) {
+  auto arg = [&](std::size_t i) { return eval(*e.args[i], ctx).as_float(); };
+  if (e.name == "sqrtf") return Value::of_float(std::sqrt(arg(0)));
+  if (e.name == "fabsf") return Value::of_float(std::fabs(arg(0)));
+  if (e.name == "expf") return Value::of_float(std::exp(arg(0)));
+  if (e.name == "logf") return Value::of_float(std::log(arg(0)));
+  if (e.name == "powf") return Value::of_float(std::pow(arg(0), arg(1)));
+  if (e.name == "floorf") return Value::of_float(std::floor(arg(0)));
+  if (e.name == "fminf") return Value::of_float(std::fmin(arg(0), arg(1)));
+  if (e.name == "fmaxf") return Value::of_float(std::fmax(arg(0), arg(1)));
+  throw IrError("unknown intrinsic: " + e.name);
+}
+
+}  // namespace
+
+Value eval(const Expr& e, EvalContext& ctx) {
+  switch (e.kind) {
+    case ExprKind::kConst:
+      return e.type == ScalarType::kInt ? Value::of_int(e.ival) : Value::of_float(e.fval);
+    case ExprKind::kVar:
+      return ctx.var_value(e.name);
+    case ExprKind::kBuiltin:
+      return Value::of_int(ctx.builtin_value(e.builtin));
+    case ExprKind::kUnary: {
+      const Value v = eval(*e.args[0], ctx);
+      if (e.un == UnOp::kNot) return Value::of_int(v.truthy() ? 0 : 1);
+      return v.type == ScalarType::kFloat ? Value::of_float(-v.as_float())
+                                          : Value::of_int(-v.as_int());
+    }
+    case ExprKind::kBinary:
+      return eval_binary(e, ctx);
+    case ExprKind::kLoad: {
+      const std::int64_t idx = eval(*e.args[0], ctx).as_int();
+      return ctx.load_value(e.name, idx);
+    }
+    case ExprKind::kCast: {
+      const Value v = eval(*e.args[0], ctx);
+      return e.type == ScalarType::kFloat ? Value::of_float(v.as_float())
+                                          : Value::of_int(v.as_int());
+    }
+    case ExprKind::kCall:
+      return eval_call(e, ctx);
+  }
+  throw IrError("unreachable expression kind");
+}
+
+bool contains_load(const Expr& e) {
+  if (e.kind == ExprKind::kLoad) return true;
+  for (const auto& a : e.args) {
+    if (contains_load(*a)) return true;
+  }
+  return false;
+}
+
+bool references_var(const Expr& e, const std::string& name) {
+  if (e.kind == ExprKind::kVar && e.name == name) return true;
+  for (const auto& a : e.args) {
+    if (references_var(*a, name)) return true;
+  }
+  return false;
+}
+
+}  // namespace catt::expr

@@ -1,0 +1,55 @@
+// Expression evaluation. The simulator's functional interpreter, the
+// analyzer's per-lane address enumeration (multi-dimensional TBs), and the
+// transform legality checks all evaluate expressions through this interface.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "expr/expr.hpp"
+
+namespace catt::expr {
+
+/// Runtime value: an int64 or a float (stored as double for headroom).
+struct Value {
+  ScalarType type = ScalarType::kInt;
+  std::int64_t i = 0;
+  double f = 0.0;
+
+  static Value of_int(std::int64_t v) { return Value{ScalarType::kInt, v, 0.0}; }
+  static Value of_float(double v) { return Value{ScalarType::kFloat, 0, v}; }
+
+  std::int64_t as_int() const { return type == ScalarType::kInt ? i : static_cast<std::int64_t>(f); }
+  double as_float() const { return type == ScalarType::kFloat ? f : static_cast<double>(i); }
+  bool truthy() const { return type == ScalarType::kInt ? i != 0 : f != 0.0; }
+};
+
+/// Environment an expression is evaluated against. Implementations supply
+/// the SIMT builtins for one lane, variable bindings, and array loads.
+class EvalContext {
+ public:
+  virtual ~EvalContext() = default;
+
+  /// Value of a SIMT builtin (threadIdx.x, blockDim.y, ...) for this lane.
+  virtual std::int64_t builtin_value(Builtin b) const = 0;
+
+  /// Value of a named variable (local, loop var, or scalar parameter).
+  /// Throws catt::IrError for unknown names.
+  virtual Value var_value(const std::string& name) const = 0;
+
+  /// Loads array[index]. Implementations may record the access (the
+  /// simulator does) or forbid it (the static enumerator does).
+  virtual Value load_value(const std::string& array, std::int64_t index) = 0;
+};
+
+/// Evaluates `e` in `ctx`. Integer division/modulo by zero throws IrError.
+Value eval(const Expr& e, EvalContext& ctx);
+
+/// True if the expression tree contains a kLoad node (data-dependent /
+/// irregular index in the paper's terms).
+bool contains_load(const Expr& e);
+
+/// True if the expression references the named variable.
+bool references_var(const Expr& e, const std::string& name);
+
+}  // namespace catt::expr

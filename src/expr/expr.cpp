@@ -1,0 +1,327 @@
+#include "expr/expr.hpp"
+
+#include <utility>
+
+namespace catt::expr {
+
+bool is_relational(BinOp op) {
+  switch (op) {
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe:
+    case BinOp::kEq:
+    case BinOp::kNe:
+    case BinOp::kAnd:
+    case BinOp::kOr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* to_string(Builtin b) {
+  switch (b) {
+    case Builtin::kThreadIdxX: return "threadIdx.x";
+    case Builtin::kThreadIdxY: return "threadIdx.y";
+    case Builtin::kThreadIdxZ: return "threadIdx.z";
+    case Builtin::kBlockIdxX: return "blockIdx.x";
+    case Builtin::kBlockIdxY: return "blockIdx.y";
+    case Builtin::kBlockIdxZ: return "blockIdx.z";
+    case Builtin::kBlockDimX: return "blockDim.x";
+    case Builtin::kBlockDimY: return "blockDim.y";
+    case Builtin::kBlockDimZ: return "blockDim.z";
+    case Builtin::kGridDimX: return "gridDim.x";
+    case Builtin::kGridDimY: return "gridDim.y";
+    case Builtin::kGridDimZ: return "gridDim.z";
+  }
+  return "?";
+}
+
+const char* to_string(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kAnd: return "&&";
+    case BinOp::kOr: return "||";
+    case BinOp::kMin: return "min";
+    case BinOp::kMax: return "max";
+  }
+  return "?";
+}
+
+ExprPtr Expr::clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->type = type;
+  e->ival = ival;
+  e->fval = fval;
+  e->name = name;
+  e->un = un;
+  e->bin = bin;
+  e->builtin = builtin;
+  e->args.reserve(args.size());
+  for (const auto& a : args) e->args.push_back(a->clone());
+  return e;
+}
+
+namespace {
+
+// Precedence levels for printing, loosely following C.
+int precedence(const Expr& e) {
+  if (e.kind != ExprKind::kBinary) return 100;
+  switch (e.bin) {
+    case BinOp::kMul:
+    case BinOp::kDiv:
+    case BinOp::kMod:
+      return 50;
+    case BinOp::kAdd:
+    case BinOp::kSub:
+      return 40;
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe:
+      return 30;
+    case BinOp::kEq:
+    case BinOp::kNe:
+      return 25;
+    case BinOp::kAnd:
+      return 20;
+    case BinOp::kOr:
+      return 15;
+    case BinOp::kMin:
+    case BinOp::kMax:
+      return 100;  // printed as calls
+  }
+  return 100;
+}
+
+void print(const Expr& e, std::string& out, int parent_prec);
+
+void print_child(const Expr& e, std::string& out, int my_prec) {
+  print(e, out, my_prec);
+}
+
+void print(const Expr& e, std::string& out, int parent_prec) {
+  switch (e.kind) {
+    case ExprKind::kConst:
+      if (e.type == ScalarType::kInt) {
+        out += std::to_string(e.ival);
+      } else {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%gf", e.fval);
+        out += buf;
+      }
+      return;
+    case ExprKind::kVar:
+      out += e.name;
+      return;
+    case ExprKind::kBuiltin:
+      out += to_string(e.builtin);
+      return;
+    case ExprKind::kUnary:
+      out += (e.un == UnOp::kNeg) ? "-" : "!";
+      out += "(";
+      print(*e.args[0], out, 0);
+      out += ")";
+      return;
+    case ExprKind::kBinary: {
+      if (e.bin == BinOp::kMin || e.bin == BinOp::kMax) {
+        out += (e.bin == BinOp::kMin) ? "min(" : "max(";
+        print(*e.args[0], out, 0);
+        out += ", ";
+        print(*e.args[1], out, 0);
+        out += ")";
+        return;
+      }
+      const int prec = precedence(e);
+      const bool paren = prec < parent_prec;
+      if (paren) out += "(";
+      print_child(*e.args[0], out, prec);
+      out += " ";
+      out += to_string(e.bin);
+      out += " ";
+      // +1 keeps left-associativity unambiguous for - / %.
+      print_child(*e.args[1], out, prec + 1);
+      if (paren) out += ")";
+      return;
+    }
+    case ExprKind::kLoad:
+      out += e.name;
+      out += "[";
+      print(*e.args[0], out, 0);
+      out += "]";
+      return;
+    case ExprKind::kCast:
+      out += (e.type == ScalarType::kFloat) ? "(float)(" : "(int)(";
+      print(*e.args[0], out, 0);
+      out += ")";
+      return;
+    case ExprKind::kCall: {
+      out += e.name;
+      out += "(";
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        print(*e.args[i], out, 0);
+      }
+      out += ")";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Expr::str() const {
+  std::string out;
+  print(*this, out, 0);
+  return out;
+}
+
+ExprPtr iconst(std::int64_t v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kConst;
+  e->type = ScalarType::kInt;
+  e->ival = v;
+  return e;
+}
+
+ExprPtr fconst(double v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kConst;
+  e->type = ScalarType::kFloat;
+  e->fval = v;
+  return e;
+}
+
+ExprPtr var(std::string name, ScalarType type) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kVar;
+  e->type = type;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr fvar(std::string name) { return var(std::move(name), ScalarType::kFloat); }
+
+ExprPtr builtin(Builtin b) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBuiltin;
+  e->type = ScalarType::kInt;
+  e->builtin = b;
+  return e;
+}
+
+ExprPtr tid_x() { return builtin(Builtin::kThreadIdxX); }
+ExprPtr tid_y() { return builtin(Builtin::kThreadIdxY); }
+ExprPtr ctaid_x() { return builtin(Builtin::kBlockIdxX); }
+ExprPtr ctaid_y() { return builtin(Builtin::kBlockIdxY); }
+ExprPtr ntid_x() { return builtin(Builtin::kBlockDimX); }
+ExprPtr ntid_y() { return builtin(Builtin::kBlockDimY); }
+ExprPtr nctaid_x() { return builtin(Builtin::kGridDimX); }
+
+ExprPtr unary(UnOp op, ExprPtr e) {
+  auto u = std::make_unique<Expr>();
+  u->kind = ExprKind::kUnary;
+  u->type = e->type;
+  u->un = op;
+  u->args.push_back(std::move(e));
+  return u;
+}
+
+ExprPtr binary(BinOp op, ExprPtr a, ExprPtr b) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->type = is_relational(op)
+                ? ScalarType::kInt
+                : (a->type == ScalarType::kFloat || b->type == ScalarType::kFloat
+                       ? ScalarType::kFloat
+                       : ScalarType::kInt);
+  e->bin = op;
+  e->args.push_back(std::move(a));
+  e->args.push_back(std::move(b));
+  return e;
+}
+
+ExprPtr add(ExprPtr a, ExprPtr b) { return binary(BinOp::kAdd, std::move(a), std::move(b)); }
+ExprPtr sub(ExprPtr a, ExprPtr b) { return binary(BinOp::kSub, std::move(a), std::move(b)); }
+ExprPtr mul(ExprPtr a, ExprPtr b) { return binary(BinOp::kMul, std::move(a), std::move(b)); }
+ExprPtr div(ExprPtr a, ExprPtr b) { return binary(BinOp::kDiv, std::move(a), std::move(b)); }
+ExprPtr mod(ExprPtr a, ExprPtr b) { return binary(BinOp::kMod, std::move(a), std::move(b)); }
+ExprPtr lt(ExprPtr a, ExprPtr b) { return binary(BinOp::kLt, std::move(a), std::move(b)); }
+ExprPtr le(ExprPtr a, ExprPtr b) { return binary(BinOp::kLe, std::move(a), std::move(b)); }
+ExprPtr gt(ExprPtr a, ExprPtr b) { return binary(BinOp::kGt, std::move(a), std::move(b)); }
+ExprPtr ge(ExprPtr a, ExprPtr b) { return binary(BinOp::kGe, std::move(a), std::move(b)); }
+ExprPtr eq(ExprPtr a, ExprPtr b) { return binary(BinOp::kEq, std::move(a), std::move(b)); }
+ExprPtr ne(ExprPtr a, ExprPtr b) { return binary(BinOp::kNe, std::move(a), std::move(b)); }
+ExprPtr land(ExprPtr a, ExprPtr b) { return binary(BinOp::kAnd, std::move(a), std::move(b)); }
+ExprPtr lor(ExprPtr a, ExprPtr b) { return binary(BinOp::kOr, std::move(a), std::move(b)); }
+
+ExprPtr load(std::string array, ExprPtr index, ScalarType elem_type) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLoad;
+  e->type = elem_type;
+  e->name = std::move(array);
+  e->args.push_back(std::move(index));
+  return e;
+}
+
+ExprPtr cast(ScalarType to, ExprPtr e) {
+  auto c = std::make_unique<Expr>();
+  c->kind = ExprKind::kCast;
+  c->type = to;
+  c->args.push_back(std::move(e));
+  return c;
+}
+
+ExprPtr call(std::string fn, std::vector<ExprPtr> args, ScalarType type) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCall;
+  e->type = type;
+  e->name = std::move(fn);
+  e->args = std::move(args);
+  return e;
+}
+
+bool equal(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind || a.type != b.type) return false;
+  switch (a.kind) {
+    case ExprKind::kConst:
+      return a.type == ScalarType::kInt ? a.ival == b.ival : a.fval == b.fval;
+    case ExprKind::kVar:
+      return a.name == b.name;
+    case ExprKind::kBuiltin:
+      return a.builtin == b.builtin;
+    case ExprKind::kUnary:
+      if (a.un != b.un) return false;
+      break;
+    case ExprKind::kBinary:
+      if (a.bin != b.bin) return false;
+      break;
+    case ExprKind::kLoad:
+    case ExprKind::kCall:
+      if (a.name != b.name) return false;
+      break;
+    case ExprKind::kCast:
+      break;
+  }
+  if (a.args.size() != b.args.size()) return false;
+  for (std::size_t i = 0; i < a.args.size(); ++i) {
+    if (!equal(*a.args[i], *b.args[i])) return false;
+  }
+  return true;
+}
+
+ExprPtr linear_tid_x() { return add(mul(ctaid_x(), ntid_x()), tid_x()); }
+
+}  // namespace catt::expr

@@ -1,0 +1,117 @@
+// Typed expression AST for the mini-CUDA kernel IR.
+//
+// Array index expressions are the objects CATT's static analysis studies:
+// the paper's Eq. 5 models them as C_tid * tid + C_i * i. This AST is
+// general enough to also carry the float compute of each kernel so the
+// simulator can execute kernels functionally.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace catt::expr {
+
+enum class ScalarType : std::uint8_t { kInt, kFloat };
+
+enum class ExprKind : std::uint8_t {
+  kConst,    // integer or float literal
+  kVar,      // named local variable, scalar kernel parameter, or loop var
+  kBuiltin,  // threadIdx.x, blockIdx.y, blockDim.x, gridDim.x, ...
+  kUnary,
+  kBinary,
+  kLoad,  // array[index]; array may be a global or __shared__ array
+  kCast,  // int <-> float conversion
+  kCall,  // math intrinsic: sqrtf, fabsf, expf, logf, minf, maxf
+};
+
+enum class UnOp : std::uint8_t { kNeg, kNot };
+
+enum class BinOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kAnd, kOr,
+  kMin, kMax,
+};
+
+/// True for comparison/logical operators (their result type is int).
+bool is_relational(BinOp op);
+
+enum class Builtin : std::uint8_t {
+  kThreadIdxX, kThreadIdxY, kThreadIdxZ,
+  kBlockIdxX, kBlockIdxY, kBlockIdxZ,
+  kBlockDimX, kBlockDimY, kBlockDimZ,
+  kGridDimX, kGridDimY, kGridDimZ,
+};
+
+const char* to_string(Builtin b);
+const char* to_string(BinOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One AST node. Children live in `args`; payload fields are used per-kind.
+/// Nodes are immutable after construction by convention (the transform
+/// passes clone rather than mutate).
+struct Expr {
+  ExprKind kind;
+  ScalarType type = ScalarType::kInt;
+
+  std::int64_t ival = 0;             // kConst (int)
+  double fval = 0.0;                 // kConst (float)
+  std::string name;                  // kVar / kLoad array / kCall callee
+  UnOp un = UnOp::kNeg;              // kUnary
+  BinOp bin = BinOp::kAdd;           // kBinary
+  Builtin builtin = Builtin::kThreadIdxX;  // kBuiltin
+
+  std::vector<ExprPtr> args;
+
+  ExprPtr clone() const;
+
+  /// C-like rendering with minimal parentheses, e.g. "i * NX + j".
+  std::string str() const;
+};
+
+// ---- Factory helpers (the IR builder API uses these heavily). ----
+
+ExprPtr iconst(std::int64_t v);
+ExprPtr fconst(double v);
+ExprPtr var(std::string name, ScalarType type = ScalarType::kInt);
+ExprPtr fvar(std::string name);
+ExprPtr builtin(Builtin b);
+ExprPtr tid_x();
+ExprPtr tid_y();
+ExprPtr ctaid_x();
+ExprPtr ctaid_y();
+ExprPtr ntid_x();
+ExprPtr ntid_y();
+ExprPtr nctaid_x();
+ExprPtr unary(UnOp op, ExprPtr e);
+ExprPtr binary(BinOp op, ExprPtr a, ExprPtr b);
+ExprPtr add(ExprPtr a, ExprPtr b);
+ExprPtr sub(ExprPtr a, ExprPtr b);
+ExprPtr mul(ExprPtr a, ExprPtr b);
+ExprPtr div(ExprPtr a, ExprPtr b);
+ExprPtr mod(ExprPtr a, ExprPtr b);
+ExprPtr lt(ExprPtr a, ExprPtr b);
+ExprPtr le(ExprPtr a, ExprPtr b);
+ExprPtr gt(ExprPtr a, ExprPtr b);
+ExprPtr ge(ExprPtr a, ExprPtr b);
+ExprPtr eq(ExprPtr a, ExprPtr b);
+ExprPtr ne(ExprPtr a, ExprPtr b);
+ExprPtr land(ExprPtr a, ExprPtr b);
+ExprPtr lor(ExprPtr a, ExprPtr b);
+/// array[index]; `elem_type` is the array's element type.
+ExprPtr load(std::string array, ExprPtr index, ScalarType elem_type = ScalarType::kFloat);
+ExprPtr cast(ScalarType to, ExprPtr e);
+ExprPtr call(std::string fn, std::vector<ExprPtr> args, ScalarType type = ScalarType::kFloat);
+
+/// Structural equality (used by tests and the transformer's legality checks).
+bool equal(const Expr& a, const Expr& b);
+
+/// The canonical linearized thread id expression:
+/// blockIdx.x * blockDim.x + threadIdx.x.
+ExprPtr linear_tid_x();
+
+}  // namespace catt::expr

@@ -1,0 +1,41 @@
+// Lexer for the mini-CUDA dialect the CATT frontend accepts.
+//
+// The dialect covers what the evaluated kernels need: `__global__`
+// functions over `float*`/`int*` arrays and `int` scalars, `__shared__`
+// arrays, int/float locals, for/if statements, compound assignment,
+// `__syncthreads()`, SIMT builtins, and a few math intrinsics.
+//
+// Comments of the form `//@key=value` are surfaced as directive tokens;
+// the parser uses `//@regs=N` to attach the per-thread register count that
+// `nvcc -v` would report on real hardware.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace catt::frontend {
+
+enum class TokKind : std::uint8_t {
+  kIdent,
+  kIntLit,
+  kFloatLit,
+  kPunct,      // operators and punctuation, text in `text`
+  kDirective,  // //@key=value comment, "key=value" in `text`
+  kEof,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;
+  std::int64_t ival = 0;
+  double fval = 0.0;
+  int line = 0;
+  int col = 0;
+};
+
+/// Tokenizes `source`; throws catt::ParseError on malformed input
+/// (unterminated comment, bad numeric literal, stray character).
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace catt::frontend

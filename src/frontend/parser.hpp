@@ -1,0 +1,20 @@
+// Recursive-descent parser: mini-CUDA source -> kernel IR.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace catt::frontend {
+
+/// Parses a translation unit containing one or more `__global__` kernels.
+/// Throws catt::ParseError on syntax errors and catt::IrError when the
+/// resulting kernel fails validation.
+std::vector<ir::Kernel> parse_program(const std::string& source);
+
+/// Convenience for the common single-kernel case; throws if the source
+/// does not contain exactly one kernel.
+ir::Kernel parse_kernel(const std::string& source);
+
+}  // namespace catt::frontend

@@ -1,0 +1,110 @@
+#include "gpusim/cache.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace catt::sim {
+
+CacheStats& CacheStats::operator+=(const CacheStats& o) {
+  accesses += o.accesses;
+  hits += o.hits;
+  misses += o.misses;
+  store_accesses += o.store_accesses;
+  return *this;
+}
+
+Cache::Cache(std::size_t bytes, int line_bytes, int assoc, Replacement repl)
+    : capacity_(bytes), line_bytes_(line_bytes), assoc_(assoc), repl_(repl) {
+  if (line_bytes <= 0 || assoc <= 0) throw SimError("bad cache geometry");
+  const std::size_t lines = bytes / static_cast<std::size_t>(line_bytes);
+  num_sets_ = static_cast<int>(lines / static_cast<std::size_t>(assoc));
+  if (num_sets_ == 0 && bytes > 0) {
+    // Tiny capacities degrade to one direct-mapped-ish set.
+    num_sets_ = 1;
+    assoc_ = static_cast<int>(std::max<std::size_t>(1, lines));
+  }
+  lines_.assign(static_cast<std::size_t>(num_sets_) * static_cast<std::size_t>(assoc_), Line{});
+}
+
+namespace {
+/// Set-index hash (GPU L1s XOR-hash the index to break power-of-two
+/// strides; without this, an 8 KB row stride maps a whole warp into four
+/// sets and the cache thrashes regardless of capacity).
+std::uint64_t mix_line(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+Cache::Line* Cache::find(std::uint64_t line_addr) {
+  if (num_sets_ == 0) return nullptr;
+  const std::uint64_t set = mix_line(line_addr) % static_cast<std::uint64_t>(num_sets_);
+  Line* base = &lines_[set * static_cast<std::uint64_t>(assoc_)];
+  for (int w = 0; w < assoc_; ++w) {
+    if (base[w].valid && base[w].tag == line_addr) return &base[w];
+  }
+  return nullptr;
+}
+
+std::optional<std::int64_t> Cache::probe_load(std::uint64_t line_addr, std::int64_t now) {
+  ++stats_.accesses;
+  Line* l = find(line_addr);
+  if (l == nullptr) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  l->lru = ++lru_clock_;
+  return std::max(now, l->ready_at);
+}
+
+void Cache::insert(std::uint64_t line_addr, std::int64_t ready_at) {
+  if (num_sets_ == 0) return;
+  if (Line* existing = find(line_addr)) {
+    existing->ready_at = std::min(existing->ready_at, ready_at);
+    existing->lru = ++lru_clock_;
+    return;
+  }
+  const std::uint64_t set = mix_line(line_addr) % static_cast<std::uint64_t>(num_sets_);
+  Line* base = &lines_[set * static_cast<std::uint64_t>(assoc_)];
+  Line* victim = nullptr;
+  for (int w = 0; w < assoc_; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+  }
+  if (victim == nullptr) {
+    if (repl_ == Replacement::kRandom) {
+      victim_rng_ ^= victim_rng_ << 13;
+      victim_rng_ ^= victim_rng_ >> 7;
+      victim_rng_ ^= victim_rng_ << 17;
+      victim = &base[victim_rng_ % static_cast<std::uint64_t>(assoc_)];
+    } else {
+      victim = &base[0];
+      for (int w = 1; w < assoc_; ++w) {
+        if (base[w].lru < victim->lru) victim = &base[w];
+      }
+    }
+  }
+  victim->valid = true;
+  victim->tag = line_addr;
+  victim->ready_at = ready_at;
+  victim->lru = ++lru_clock_;
+}
+
+bool Cache::note_store(std::uint64_t line_addr) {
+  ++stats_.store_accesses;
+  Line* l = find(line_addr);
+  if (l != nullptr) l->lru = ++lru_clock_;
+  return l != nullptr;
+}
+
+void Cache::invalidate() {
+  for (auto& l : lines_) l.valid = false;
+}
+
+}  // namespace catt::sim

@@ -1,0 +1,86 @@
+// Set-associative cache model with LRU replacement and in-flight fill
+// tracking (a line inserted by a miss carries the cycle its data arrives;
+// a subsequent access before that cycle models an MSHR merge: it "hits"
+// but completes no earlier than the fill).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace catt::sim {
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t store_accesses = 0;
+
+  double hit_rate() const {
+    return accesses == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(accesses);
+  }
+  CacheStats& operator+=(const CacheStats& o);
+};
+
+enum class Replacement {
+  kLru,
+  /// Pseudo-random victim (deterministic). GPU L1s do not implement strict
+  /// LRU; random replacement also avoids LRU's pathological round-robin
+  /// thrash when the working set sits at ~100% of capacity, degrading
+  /// gracefully instead — which is what the paper's capacity-based
+  /// footprint model assumes.
+  kRandom,
+};
+
+class Cache {
+ public:
+  /// `bytes` may be 0 (a disabled cache: every access misses, nothing is
+  /// retained) — used when a carve-out leaves no L1D.
+  Cache(std::size_t bytes, int line_bytes, int assoc,
+        Replacement repl = Replacement::kLru);
+
+  /// Load probe at cycle `now`. Hit: returns the cycle the data is
+  /// available (>= now; later than now only for an in-flight fill).
+  /// Miss: returns nullopt; the caller determines the fill time from the
+  /// next level and calls insert().
+  std::optional<std::int64_t> probe_load(std::uint64_t line_addr, std::int64_t now);
+
+  /// Installs a line whose fill completes at `ready_at` (LRU victim is
+  /// evicted). No-op for a disabled cache.
+  void insert(std::uint64_t line_addr, std::int64_t ready_at);
+
+  /// Write-through, no-allocate store: updates stats and refreshes LRU if
+  /// the line is present. Returns true if the line was present.
+  bool note_store(std::uint64_t line_addr);
+
+  /// Drops all lines (kernel boundary), keeping stats.
+  void invalidate();
+
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+  int num_sets() const { return num_sets_; }
+  std::size_t capacity_bytes() const { return capacity_; }
+
+ private:
+  struct Line {
+    bool valid = false;
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;
+    std::int64_t ready_at = 0;
+  };
+
+  Line* find(std::uint64_t line_addr);
+
+  std::size_t capacity_;
+  int line_bytes_;
+  int assoc_;
+  Replacement repl_;
+  int num_sets_;
+  std::vector<Line> lines_;  // num_sets_ * assoc_, set-major
+  std::uint64_t lru_clock_ = 0;
+  std::uint64_t victim_rng_ = 0x9E3779B97F4A7C15ULL;
+  CacheStats stats_;
+};
+
+}  // namespace catt::sim

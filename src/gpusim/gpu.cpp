@@ -1,0 +1,93 @@
+#include "gpusim/gpu.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "gpusim/interp.hpp"
+#include "gpusim/sm.hpp"
+
+namespace catt::sim {
+
+Gpu::Gpu(const arch::GpuArch& arch, DeviceMemory& mem)
+    : arch_(arch), mem_(mem), memsys_(arch) {}
+
+KernelStats Gpu::run(const LaunchSpec& spec, const SimOptions& opts) {
+  if (spec.kernel == nullptr) throw SimError("LaunchSpec without kernel");
+
+  occupancy::Occupancy occ =
+      opts.tb_cap > 0
+          ? occupancy::compute_with_tb_cap(arch_, *spec.kernel, spec.launch, opts.tb_cap)
+          : occupancy::compute(arch_, *spec.kernel, spec.launch);
+
+  KernelInterp interp(*spec.kernel, spec.launch, spec.params, mem_, arch_.line_bytes);
+
+  memsys_.reset_stats();
+  SeriesAccum series;
+
+  std::vector<Sm> sms;
+  sms.reserve(static_cast<std::size_t>(arch_.num_sms));
+  for (int i = 0; i < arch_.num_sms; ++i) {
+    sms.emplace_back(arch_, memsys_, occ.l1d_bytes, occ.tbs_per_sm, occ.warps_per_tb,
+                     (opts.collect_request_trace && i == 0) ? &series : nullptr);
+  }
+
+  // Dispatch: fill SMs round-robin; refill whichever SM frees a slot.
+  const std::uint64_t num_blocks = spec.launch.num_blocks();
+  std::uint64_t next_block = 0;
+  auto admit_where_possible = [&](std::int64_t now) {
+    bool progress = true;
+    while (progress && next_block < num_blocks) {
+      progress = false;
+      for (auto& sm : sms) {
+        if (next_block >= num_blocks) break;
+        if (sm.has_free_slot()) {
+          sm.admit_tb(interp.run_block(next_block), now);
+          ++next_block;
+          progress = true;
+        }
+      }
+    }
+  };
+
+  std::int64_t now = 0;
+  admit_where_possible(now);
+
+  while (true) {
+    int issued = 0;
+    for (auto& sm : sms) issued += sm.step(now);
+    admit_where_possible(now);
+
+    bool busy = next_block < num_blocks;
+    for (const auto& sm : sms) busy = busy || sm.busy();
+    if (!busy) break;
+
+    if (issued > 0) {
+      ++now;
+      continue;
+    }
+    // Nothing issuable this cycle: jump to the earliest wake-up.
+    std::int64_t next = Sm::kNever;
+    for (const auto& sm : sms) next = std::min(next, sm.next_ready_time());
+    if (next == Sm::kNever) {
+      throw SimError("simulation deadlock in kernel '" + spec.kernel->name + "'");
+    }
+    now = std::max(now + 1, next);
+  }
+
+  KernelStats stats;
+  stats.kernel_name = spec.kernel->name;
+  stats.cycles = now;
+  stats.occ = occ;
+  for (const auto& sm : sms) {
+    stats.l1 += sm.l1_stats();
+    stats.warp_insts += sm.stats().warp_insts;
+    stats.mem_insts += sm.stats().mem_insts;
+    stats.mem_requests += sm.stats().mem_requests;
+  }
+  stats.l2 = memsys_.l2_stats();
+  stats.dram_lines = memsys_.dram_lines();
+  if (opts.collect_request_trace) stats.request_trace = series.points();
+  return stats;
+}
+
+}  // namespace catt::sim

@@ -1,0 +1,79 @@
+// Whole-GPU simulation: thread-block dispatch across SMs, a shared
+// L2/DRAM, and per-launch statistics. This is the evaluation substrate
+// standing in for the paper's Titan V + nvprof (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/gpu_arch.hpp"
+#include "arch/launch.hpp"
+#include "expr/affine.hpp"
+#include "gpusim/cache.hpp"
+#include "gpusim/memory.hpp"
+#include "gpusim/series.hpp"
+#include "gpusim/sm.hpp"
+#include "ir/ir.hpp"
+#include "occupancy/occupancy.hpp"
+
+namespace catt::sim {
+
+/// One kernel launch: kernel + geometry + scalar argument bindings.
+struct LaunchSpec {
+  const ir::Kernel* kernel = nullptr;
+  arch::LaunchConfig launch;
+  expr::ParamEnv params;
+};
+
+struct SimOptions {
+  /// Collect the Figure 2 requests-per-instruction series (SM 0 only).
+  bool collect_request_trace = false;
+  /// Cap resident TBs per SM below the occupancy result (0 = no cap);
+  /// used by throttling policies that limit TBs without code changes.
+  int tb_cap = 0;
+};
+
+/// Per-launch results (the nvprof stand-in).
+struct KernelStats {
+  std::string kernel_name;
+  std::int64_t cycles = 0;
+  CacheStats l1;  // aggregated over SMs
+  CacheStats l2;
+  std::uint64_t dram_lines = 0;
+  std::uint64_t warp_insts = 0;
+  std::uint64_t mem_insts = 0;
+  std::uint64_t mem_requests = 0;
+  occupancy::Occupancy occ;
+  /// Figure 2 series: mean coalesced requests per load instruction, over
+  /// dynamic instruction sequence (bucketed).
+  std::vector<SeriesAccum::Point> request_trace;
+
+  double l1_hit_rate() const { return l1.hit_rate(); }
+  /// Mean transactions per memory instruction (divergence measure).
+  double requests_per_mem_inst() const {
+    return mem_insts == 0 ? 0.0
+                          : static_cast<double>(mem_requests) / static_cast<double>(mem_insts);
+  }
+};
+
+/// Simulates kernel launches against one device memory image. The L2
+/// retains contents across launches of an application run; the L1Ds are
+/// rebuilt per launch (their capacity depends on the kernel's carve-out).
+class Gpu {
+ public:
+  Gpu(const arch::GpuArch& arch, DeviceMemory& mem);
+
+  /// Runs one kernel launch to completion and returns its statistics.
+  /// Functional effects are applied to the bound DeviceMemory.
+  KernelStats run(const LaunchSpec& spec, const SimOptions& opts = {});
+
+  const arch::GpuArch& gpu_arch() const { return arch_; }
+
+ private:
+  arch::GpuArch arch_;
+  DeviceMemory& mem_;
+  MemorySystem memsys_;
+};
+
+}  // namespace catt::sim

@@ -1,0 +1,70 @@
+// Functional SIMT interpreter: executes a kernel IR thread block with full
+// memory effects and produces per-warp traces for the timing model.
+//
+// Execution is warp-vectorized: expressions evaluate once per warp over
+// 32-lane value vectors under an active-lane mask, with structured SIMT
+// control flow (if: both paths under complementary masks; for: iterate
+// while any lane's condition holds). This mirrors reconvergence at the
+// immediate post-dominator, which is exact for structured code.
+//
+// Modeling notes (documented limitations):
+//  * Warps of a block execute sequentially at trace-generation time, so
+//    cross-warp shared-memory communication resolves in warp order rather
+//    than barrier order. None of the evaluated workloads' metrics depend
+//    on cross-warp shared data (see DESIGN.md).
+//  * Blocks execute functionally in dispatch order; the evaluated kernels
+//    have no inter-block data dependences within a launch.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/launch.hpp"
+#include "expr/affine.hpp"
+#include "gpusim/memory.hpp"
+#include "gpusim/trace.hpp"
+#include "ir/ir.hpp"
+
+namespace catt::sim {
+
+class KernelInterp {
+ public:
+  /// Binds a kernel to memory and launch parameters. `params` supplies the
+  /// scalar arguments; every array parameter must already be allocated in
+  /// `mem`. Throws catt::SimError on missing arrays.
+  KernelInterp(const ir::Kernel& kernel, const arch::LaunchConfig& launch,
+               const expr::ParamEnv& params, DeviceMemory& mem, int line_bytes);
+
+  /// Executes block `block_linear` (row-major over the grid) functionally
+  /// and returns one trace per warp of the block.
+  std::vector<WarpTrace> run_block(std::uint64_t block_linear);
+
+  const std::vector<MemSite>& sites() const { return sites_; }
+  const arch::LaunchConfig& launch() const { return launch_; }
+  int warps_per_block() const;
+
+ private:
+  struct Impl;
+  friend struct Impl;
+
+  std::uint16_t site_id(const void* key, const std::string& array, const std::string& index_text,
+                        bool is_store);
+
+  const ir::Kernel& kernel_;
+  arch::LaunchConfig launch_;
+  expr::ParamEnv params_;
+  DeviceMemory& mem_;
+  int line_bytes_;
+
+  std::map<const void*, std::uint16_t> site_ids_;
+  std::vector<MemSite> sites_;
+  /// Static per-statement compute cost, keyed by Stmt pointer.
+  std::map<const void*, std::uint32_t> stmt_cost_;
+  /// Per-iteration overhead (condition + increment) for loops.
+  std::map<const void*, std::uint32_t> loop_iter_cost_;
+};
+
+}  // namespace catt::sim

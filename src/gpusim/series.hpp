@@ -1,0 +1,70 @@
+// Streaming bucketed series: records a value per dynamic event and keeps a
+// bounded number of buckets by doubling the bucket width when full. Used
+// for Figure 2's requests-per-instruction-over-time traces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace catt::sim {
+
+class SeriesAccum {
+ public:
+  explicit SeriesAccum(std::size_t max_buckets = 256) : max_buckets_(max_buckets) {}
+
+  void add(double value) {
+    if (buckets_.empty() || buckets_.back().count == width_) {
+      if (buckets_.size() == max_buckets_) merge_pairs();
+      buckets_.push_back({0.0, 0});
+    }
+    buckets_.back().sum += value;
+    ++buckets_.back().count;
+    ++total_;
+  }
+
+  struct Point {
+    std::uint64_t index;  // dynamic event index at bucket start
+    double mean;
+  };
+
+  /// Bucket means in event order.
+  std::vector<Point> points() const {
+    std::vector<Point> out;
+    std::uint64_t idx = 0;
+    for (const auto& b : buckets_) {
+      if (b.count > 0) out.push_back({idx, b.sum / static_cast<double>(b.count)});
+      idx += b.count;
+    }
+    return out;
+  }
+
+  std::uint64_t total() const { return total_; }
+
+ private:
+  struct Bucket {
+    double sum = 0.0;
+    std::uint64_t count = 0;
+  };
+
+  void merge_pairs() {
+    std::vector<Bucket> merged;
+    merged.reserve(buckets_.size() / 2 + 1);
+    for (std::size_t i = 0; i < buckets_.size(); i += 2) {
+      Bucket b = buckets_[i];
+      if (i + 1 < buckets_.size()) {
+        b.sum += buckets_[i + 1].sum;
+        b.count += buckets_[i + 1].count;
+      }
+      merged.push_back(b);
+    }
+    buckets_ = std::move(merged);
+    width_ *= 2;
+  }
+
+  std::size_t max_buckets_;
+  std::uint64_t width_ = 1;
+  std::uint64_t total_ = 0;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace catt::sim

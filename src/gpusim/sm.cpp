@@ -1,0 +1,222 @@
+#include "gpusim/sm.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace catt::sim {
+
+// ---------------------------------------------------------------------------
+// MemorySystem
+// ---------------------------------------------------------------------------
+
+MemorySystem::MemorySystem(const arch::GpuArch& arch)
+    : timing_(arch.timing), l2_(arch.l2_bytes, arch.line_bytes, arch.l2_assoc) {}
+
+std::int64_t MemorySystem::load(std::uint64_t line, std::int64_t t, int sectors) {
+  // L2 bandwidth: every request reaching the L2 occupies a service slot.
+  t = std::max(t, l2_next_free_);
+  l2_next_free_ = t + timing_.l2_service_interval;
+
+  if (auto hit_ready = l2_.probe_load(line, t)) {
+    return *hit_ready + timing_.l2_hit_latency;
+  }
+  // Miss: DRAM fills only the touched sectors (Volta's sectored L1/L2),
+  // serialized by the bandwidth cursor.
+  const std::int64_t fill_start = std::max(t + timing_.l2_hit_latency, dram_next_free_);
+  dram_next_free_ = fill_start + static_cast<std::int64_t>(timing_.dram_sector_interval) * sectors;
+  ++dram_lines_;
+  const std::int64_t ready = fill_start + timing_.dram_latency;
+  l2_.insert(line, ready);
+  return ready;
+}
+
+void MemorySystem::store(std::uint64_t line, std::int64_t t, int sectors) {
+  if (!l2_.note_store(line)) {
+    // Write miss flows through to DRAM; consumes fill bandwidth.
+    dram_next_free_ = std::max(dram_next_free_, t) +
+                      static_cast<std::int64_t>(timing_.dram_sector_interval) * sectors;
+    ++dram_lines_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sm
+// ---------------------------------------------------------------------------
+
+Sm::Sm(const arch::GpuArch& arch, MemorySystem& memsys, std::size_t l1_bytes,
+       int max_resident_tbs, int warps_per_tb, SeriesAccum* request_series)
+    : arch_(arch),
+      memsys_(memsys),
+      l1_(l1_bytes, arch.line_bytes, arch.l1_assoc, Replacement::kRandom),
+      request_series_(request_series),
+      free_slots_(max_resident_tbs),
+      warps_per_tb_(warps_per_tb) {
+  mshr_ring_.assign(static_cast<std::size_t>(std::max(1, arch.l1_mshrs)), 0);
+}
+
+void Sm::admit_tb(std::vector<WarpTrace> traces, std::int64_t now) {
+  if (free_slots_ <= 0) throw SimError("admit_tb with no free slot");
+  if (static_cast<int>(traces.size()) != warps_per_tb_) {
+    throw SimError("trace count does not match warps per TB");
+  }
+  --free_slots_;
+  TbCtx tb;
+  tb.active = true;
+  tb.live_warps = warps_per_tb_;
+  const int tb_id = static_cast<int>(tbs_.size());
+  for (auto& t : traces) {
+    WarpCtx w;
+    w.trace = std::move(t);
+    w.state = WarpState::kBlocked;
+    w.ready_at = now + 1;  // launch latency
+    w.tb = tb_id;
+    tb.warps.push_back(static_cast<int>(warps_.size()));
+    live_.push_back(static_cast<int>(warps_.size()));
+    warps_.push_back(std::move(w));
+    ++active_warps_;
+  }
+  tbs_.push_back(std::move(tb));
+}
+
+std::int64_t Sm::next_ready_time() const {
+  std::int64_t best = kNever;
+  for (int wi : live_) {
+    const WarpCtx& w = warps_[static_cast<std::size_t>(wi)];
+    if (w.state == WarpState::kBlocked || w.state == WarpState::kReady) {
+      best = std::min(best, w.ready_at);
+    }
+  }
+  return best;
+}
+
+int Sm::step(std::int64_t now) {
+  int issued = 0;
+  for (int slot = 0; slot < arch_.schedulers_per_sm; ++slot) {
+    // Greedy-then-oldest: keep the last issued warp as long as it is
+    // ready; otherwise the oldest ready warp (admission order).
+    int pick = -1;
+    if (greedy_warp_ >= 0) {
+      WarpCtx& g = warps_[static_cast<std::size_t>(greedy_warp_)];
+      if ((g.state == WarpState::kReady || g.state == WarpState::kBlocked) && g.ready_at <= now) {
+        pick = greedy_warp_;
+      }
+    }
+    if (pick < 0) {
+      for (int wi : live_) {
+        WarpCtx& w = warps_[static_cast<std::size_t>(wi)];
+        if ((w.state == WarpState::kReady || w.state == WarpState::kBlocked) &&
+            w.ready_at <= now) {
+          pick = wi;
+          break;
+        }
+      }
+    }
+    if (pick < 0) break;
+    greedy_warp_ = pick;
+    issue(warps_[static_cast<std::size_t>(pick)], now);
+    ++issued;
+  }
+  return issued;
+}
+
+void Sm::issue(WarpCtx& w, std::int64_t now) {
+  const TraceEvent& e = w.trace.events[w.pc];
+  ++w.pc;
+  ++stats_.warp_insts;
+
+  switch (e.kind) {
+    case EventKind::kCompute: {
+      w.state = WarpState::kBlocked;
+      w.ready_at = now + std::max<std::uint32_t>(1, e.cycles);
+      return;
+    }
+    case EventKind::kMem: {
+      ++stats_.mem_insts;
+      stats_.mem_requests += e.txns.size();
+      if (request_series_ != nullptr && !e.is_store) {
+        request_series_->add(static_cast<double>(e.txns.size()));
+      }
+      std::int64_t done = now + 1;
+      for (const Txn& txn : e.txns) {
+        // LSU pipeline: one transaction per issue interval. Divergent
+        // instructions (many lines) serialize here.
+        const std::int64_t t_issue = std::max(now, lsu_next_free_);
+        lsu_next_free_ = t_issue + arch_.timing.lsu_issue_interval;
+
+        if (e.is_store) {
+          l1_.note_store(txn.line);
+          memsys_.store(txn.line, t_issue, txn.sectors);
+          done = std::max(done, t_issue + 1);
+          continue;
+        }
+        std::int64_t line_done;
+        if (auto hit_ready = l1_.probe_load(txn.line, t_issue)) {
+          line_done = *hit_ready + arch_.timing.l1_hit_latency;
+        } else {
+          // Allocate an MSHR; when all are in flight the miss stalls until
+          // the oldest retires.
+          const std::int64_t t_mshr =
+              std::max(t_issue, mshr_ring_[mshr_next_]);
+          line_done =
+              memsys_.load(txn.line, t_mshr + arch_.timing.l1_hit_latency, txn.sectors);
+          mshr_ring_[mshr_next_] = line_done;
+          mshr_next_ = (mshr_next_ + 1) % mshr_ring_.size();
+          l1_.insert(txn.line, line_done);
+        }
+        done = std::max(done, line_done);
+      }
+      w.state = WarpState::kBlocked;
+      // Stores are fire-and-forget: the warp proceeds once transactions
+      // are handed to the LSU.
+      w.ready_at = e.is_store ? std::max(now + 1, lsu_next_free_) : done;
+      return;
+    }
+    case EventKind::kBarrier: {
+      ++stats_.barriers;
+      w.state = WarpState::kAtBarrier;
+      maybe_release_barrier(w.tb, now);
+      return;
+    }
+    case EventKind::kEnd: {
+      w.state = WarpState::kDone;
+      --active_warps_;
+      const int self = static_cast<int>(&w - warps_.data());
+      live_.erase(std::remove(live_.begin(), live_.end(), self), live_.end());
+      // Release the trace storage; finished warps are never replayed.
+      w.trace.events.clear();
+      w.trace.events.shrink_to_fit();
+      TbCtx& tb = tbs_[static_cast<std::size_t>(w.tb)];
+      --tb.live_warps;
+      if (tb.live_warps == 0) {
+        tb.active = false;
+        ++free_slots_;
+        ++completed_tbs_;
+      } else {
+        // A warp ending may complete a barrier the rest are waiting on.
+        maybe_release_barrier(w.tb, now);
+      }
+      return;
+    }
+  }
+}
+
+void Sm::maybe_release_barrier(int tb_id, std::int64_t now) {
+  TbCtx& tb = tbs_[static_cast<std::size_t>(tb_id)];
+  for (int wi : tb.warps) {
+    const WarpState s = warps_[static_cast<std::size_t>(wi)].state;
+    if (s != WarpState::kAtBarrier && s != WarpState::kDone) return;
+  }
+  bool any = false;
+  for (int wi : tb.warps) {
+    WarpCtx& w = warps_[static_cast<std::size_t>(wi)];
+    if (w.state == WarpState::kAtBarrier) {
+      w.state = WarpState::kBlocked;
+      w.ready_at = now + 2;
+      any = true;
+    }
+  }
+  if (!any) return;
+}
+
+}  // namespace catt::sim

@@ -1,0 +1,123 @@
+// Streaming-multiprocessor timing model: replays warp traces under a
+// greedy-then-oldest scheduler with an LSU pipeline, a private L1D, and
+// `__syncthreads()` barriers; misses go to the shared MemorySystem.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "arch/gpu_arch.hpp"
+#include "gpusim/cache.hpp"
+#include "gpusim/series.hpp"
+#include "gpusim/trace.hpp"
+
+namespace catt::sim {
+
+/// Shared L2 + DRAM with bandwidth cursors. One instance serves all SMs,
+/// so heavy miss traffic from any SM delays everyone (the queueing that
+/// makes cache thrashing expensive).
+class MemorySystem {
+ public:
+  explicit MemorySystem(const arch::GpuArch& arch);
+
+  /// Load of `line` observed at the L2 at cycle `t`, needing `sectors`
+  /// 32 B sectors on a DRAM fill; returns data-ready time.
+  std::int64_t load(std::uint64_t line, std::int64_t t, int sectors = 4);
+
+  /// Write-through store traffic (bandwidth accounting only).
+  void store(std::uint64_t line, std::int64_t t, int sectors = 4);
+
+  const CacheStats& l2_stats() const { return l2_.stats(); }
+  void reset_stats() { l2_.reset_stats(); dram_lines_ = 0; }
+  void invalidate() { l2_.invalidate(); }
+  std::uint64_t dram_lines() const { return dram_lines_; }
+
+ private:
+  const arch::MemoryTiming timing_;
+  Cache l2_;
+  std::int64_t l2_next_free_ = 0;
+  std::int64_t dram_next_free_ = 0;
+  std::uint64_t dram_lines_ = 0;
+};
+
+struct SmStats {
+  std::uint64_t warp_insts = 0;
+  std::uint64_t mem_insts = 0;
+  std::uint64_t mem_requests = 0;  // coalesced line transactions
+  std::uint64_t barriers = 0;
+};
+
+class Sm {
+ public:
+  static constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
+
+  Sm(const arch::GpuArch& arch, MemorySystem& memsys, std::size_t l1_bytes, int max_resident_tbs,
+     int warps_per_tb, SeriesAccum* request_series = nullptr);
+
+  bool has_free_slot() const { return free_slots_ > 0; }
+
+  /// Makes a thread block resident; one trace per warp.
+  void admit_tb(std::vector<WarpTrace> traces, std::int64_t now);
+
+  /// Issues up to schedulers_per_sm ready warps at cycle `now`.
+  /// Returns the number of warp instructions issued.
+  int step(std::int64_t now);
+
+  /// Any resident warp not yet done?
+  bool busy() const { return active_warps_ > 0; }
+
+  /// Earliest cycle at which some warp becomes issuable (kNever if none).
+  std::int64_t next_ready_time() const;
+
+  int completed_tbs() const { return completed_tbs_; }
+  const CacheStats& l1_stats() const { return l1_.stats(); }
+  const SmStats& stats() const { return stats_; }
+
+ private:
+  enum class WarpState : std::uint8_t { kReady, kBlocked, kAtBarrier, kDone };
+
+  struct WarpCtx {
+    WarpTrace trace;
+    std::size_t pc = 0;
+    WarpState state = WarpState::kReady;
+    std::int64_t ready_at = 0;
+    int tb = -1;
+  };
+
+  struct TbCtx {
+    std::vector<int> warps;
+    int live_warps = 0;
+    bool active = false;
+  };
+
+  void issue(WarpCtx& w, std::int64_t now);
+  void maybe_release_barrier(int tb, std::int64_t now);
+
+  const arch::GpuArch& arch_;
+  MemorySystem& memsys_;
+  Cache l1_;
+  SeriesAccum* request_series_;
+
+  std::vector<WarpCtx> warps_;
+  /// Indices of not-yet-done warps in admission order ("oldest" order);
+  /// keeps scheduling O(live) instead of O(all warps ever admitted).
+  std::vector<int> live_;
+  std::vector<TbCtx> tbs_;
+  int free_slots_;
+  int warps_per_tb_;
+  int active_warps_ = 0;
+  int completed_tbs_ = 0;
+  int greedy_warp_ = -1;
+  std::int64_t lsu_next_free_ = 0;
+  /// Ring of in-flight miss completion times: a new miss must wait for the
+  /// oldest MSHR to retire when all are busy. This caps the SM's miss
+  /// throughput at mshrs/latency — the mechanism that makes thrashing
+  /// expensive relative to the LSU-bound hit path.
+  std::vector<std::int64_t> mshr_ring_;
+  std::size_t mshr_next_ = 0;
+  SmStats stats_;
+};
+
+}  // namespace catt::sim

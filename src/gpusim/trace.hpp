@@ -1,0 +1,51 @@
+// Per-warp execution traces. The functional interpreter (interp.hpp) turns
+// a kernel + thread block into one trace per warp: the timed events the SM
+// model replays. Traces are generated lazily per resident thread block, so
+// memory stays bounded by occupancy rather than grid size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace catt::sim {
+
+enum class EventKind : std::uint8_t {
+  kCompute,  // ALU/SFU work: warp busy for `cycles`
+  kMem,      // one global-memory instruction, post-coalescing
+  kBarrier,  // __syncthreads()
+  kEnd,      // warp finished the kernel
+};
+
+/// One coalesced memory transaction: a cache line plus how many of its
+/// 32 B sectors the warp actually touches (1..4). Misses are charged DRAM
+/// bandwidth per sector (Volta's sectored fills), so divergent accesses
+/// cost less bandwidth per line than coalesced ones.
+struct Txn {
+  std::uint64_t line = 0;
+  std::uint8_t sectors = 1;
+};
+
+/// One warp-level event. For kMem, `txns` holds the distinct cache-line
+/// transactions the coalescer produced for the instruction — the paper's
+/// "off-chip memory requests (after coalescing)" (Figure 2's Y value).
+struct TraceEvent {
+  EventKind kind = EventKind::kCompute;
+  std::uint32_t cycles = 0;   // kCompute
+  std::uint16_t site = 0;     // kMem: static memory-instruction id
+  bool is_store = false;      // kMem
+  std::vector<Txn> txns;      // kMem: coalesced transactions
+};
+
+struct WarpTrace {
+  std::vector<TraceEvent> events;
+};
+
+/// Static memory-instruction site (for reports and Figure 2 labels).
+struct MemSite {
+  std::string array;
+  std::string index_text;
+  bool is_store = false;
+};
+
+}  // namespace catt::sim

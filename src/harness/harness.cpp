@@ -1,0 +1,70 @@
+#include "harness/harness.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "common/log.hpp"
+
+namespace catt::bench {
+
+arch::GpuArch max_l1d_arch() { return arch::GpuArch::titan_v(kNumSms); }
+
+arch::GpuArch small_l1d_arch() { return arch::GpuArch::titan_v_32k_l1d(kNumSms); }
+
+std::string kernel_label(const wl::Workload& w, std::size_t schedule_index) {
+  std::map<std::string, int> first_seen;
+  int next = 0;
+  int my_number = 0;
+  for (std::size_t i = 0; i < w.schedule.size(); ++i) {
+    const std::string& k = w.schedule[i].kernel;
+    auto it = first_seen.find(k);
+    int num;
+    if (it == first_seen.end()) {
+      num = ++next;
+      first_seen[k] = num;
+    } else {
+      num = it->second;
+    }
+    if (i == schedule_index) my_number = num;
+  }
+  std::string upper = w.name;
+  for (auto& c : upper) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return upper + "#" + std::to_string(my_number);
+}
+
+double speedup(std::int64_t baseline_cycles, std::int64_t cycles) {
+  return cycles == 0 ? 0.0
+                     : static_cast<double>(baseline_cycles) / static_cast<double>(cycles);
+}
+
+double Comparison::bftt_speedup() const {
+  return speedup(baseline.total_cycles, bftt.best.total_cycles);
+}
+
+double Comparison::catt_speedup() const {
+  return speedup(baseline.total_cycles, catt.total_cycles);
+}
+
+Comparison compare(throttle::Runner& runner, const wl::Workload& w) {
+  Comparison c;
+  c.baseline = runner.run_baseline(w);
+  c.bftt = runner.run_bftt(w);
+  c.catt = runner.run_catt(w);
+  return c;
+}
+
+void write_result_file(const std::string& name, const std::string& content) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories("results", ec);
+  const std::string path = "results/" + name;
+  std::ofstream f(path);
+  if (!f) {
+    log::warn("could not write ", path);
+    return;
+  }
+  f << content;
+}
+
+}  // namespace catt::bench

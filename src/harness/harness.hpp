@@ -1,0 +1,50 @@
+// Experiment harness shared by the bench binaries: standard machine
+// configurations, the baseline/BFTT/CATT comparison each figure needs,
+// and uniform labeling/formatting of results.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/gpu_arch.hpp"
+#include "common/table.hpp"
+#include "throttle/runner.hpp"
+#include "workloads/workload.hpp"
+
+namespace catt::bench {
+
+/// Number of simulated SMs used by all experiments (per-SM contention is
+/// what matters; see DESIGN.md "Simulator scaling").
+inline constexpr int kNumSms = 2;
+
+/// Paper Section 5 machine: Volta with the L1D/shared split maximized.
+arch::GpuArch max_l1d_arch();
+
+/// Figure 10 machine: the L1D capped at 32 KB.
+arch::GpuArch small_l1d_arch();
+
+/// Label like "ATAX#1" for the i-th schedule entry of a workload (kernels
+/// are numbered by first appearance in the schedule, as in the paper).
+std::string kernel_label(const wl::Workload& w, std::size_t schedule_index);
+
+/// Baseline + BFTT + CATT on one workload under one machine.
+struct Comparison {
+  throttle::AppResult baseline;
+  throttle::Runner::BfttOutcome bftt;
+  throttle::AppResult catt;
+
+  double bftt_speedup() const;
+  double catt_speedup() const;
+};
+
+Comparison compare(throttle::Runner& runner, const wl::Workload& w);
+
+/// Speedup of `cycles` relative to `baseline_cycles` (>1 = faster).
+double speedup(std::int64_t baseline_cycles, std::int64_t cycles);
+
+/// Writes `content` to results/<name> under the current directory,
+/// creating the directory if needed; logs a warning on failure instead of
+/// throwing (benches should not die on a read-only filesystem).
+void write_result_file(const std::string& name, const std::string& content);
+
+}  // namespace catt::bench

@@ -1,0 +1,89 @@
+#include "ir/codegen.hpp"
+
+#include <sstream>
+
+namespace catt::ir {
+
+namespace {
+
+void emit_body(std::ostream& os, const std::vector<StmtPtr>& body, int indent, int width);
+
+void emit_stmt(std::ostream& os, const Stmt& s, int indent, int width) {
+  const std::string pad(static_cast<std::size_t>(indent) * width, ' ');
+  switch (s.kind) {
+    case StmtKind::kDeclInt:
+      os << pad << "int " << s.name << " = " << s.value->str() << ";\n";
+      break;
+    case StmtKind::kDeclFloat:
+      os << pad << "float " << s.name << " = " << s.value->str() << ";\n";
+      break;
+    case StmtKind::kAssign:
+      os << pad << s.name << " = " << s.value->str() << ";\n";
+      break;
+    case StmtKind::kStore:
+      os << pad << s.name << "[" << s.index->str() << "] = " << s.value->str() << ";\n";
+      break;
+    case StmtKind::kFor:
+      os << pad << "for (int " << s.name << " = " << s.value->str() << "; " << s.cond->str()
+         << "; " << s.name << " += " << s.step->str() << ") {\n";
+      emit_body(os, s.body, indent + 1, width);
+      os << pad << "}\n";
+      break;
+    case StmtKind::kIf:
+      os << pad << "if (" << s.cond->str() << ") {\n";
+      emit_body(os, s.body, indent + 1, width);
+      os << pad << "}";
+      if (!s.else_body.empty()) {
+        os << " else {\n";
+        emit_body(os, s.else_body, indent + 1, width);
+        os << pad << "}";
+      }
+      os << "\n";
+      break;
+    case StmtKind::kSync:
+      os << pad << "__syncthreads();\n";
+      break;
+  }
+}
+
+void emit_body(std::ostream& os, const std::vector<StmtPtr>& body, int indent, int width) {
+  for (const auto& s : body) emit_stmt(os, *s, indent, width);
+}
+
+}  // namespace
+
+std::string to_cuda(const Kernel& k, const CodegenOptions& opts) {
+  std::ostringstream os;
+  if (opts.launch != nullptr) {
+    os << "// " << k.name << arch::to_string(*opts.launch) << "\n";
+  }
+  os << "__global__ void " << k.name << "(";
+  bool first = true;
+  for (const auto& a : k.arrays) {
+    if (!first) os << ", ";
+    os << to_string(a.type) << " *" << a.name;
+    first = false;
+  }
+  for (const auto& s : k.scalars) {
+    if (!first) os << ", ";
+    os << "int " << s.name;
+    first = false;
+  }
+  os << ") {\n";
+  const std::string pad(static_cast<std::size_t>(opts.indent_width), ' ');
+  for (const auto& sh : k.shared) {
+    os << pad << "__shared__ " << to_string(sh.type) << " " << sh.name << "[" << sh.count
+       << "];\n";
+  }
+  emit_body(os, k.body, 1, opts.indent_width);
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_cuda(const std::vector<StmtPtr>& body, int indent, int indent_width) {
+  std::ostringstream os;
+  emit_body(os, body, indent, indent_width);
+  return os.str();
+}
+
+}  // namespace catt::ir

@@ -1,0 +1,25 @@
+// Prints kernel IR back to CUDA source. This is the "source-to-source"
+// output half of CATT: the throttled kernel a user would compile with nvcc.
+#pragma once
+
+#include <string>
+
+#include "arch/launch.hpp"
+#include "ir/ir.hpp"
+
+namespace catt::ir {
+
+struct CodegenOptions {
+  /// Emit a `// kernel<<<grid, block>>>` launch comment like the paper's
+  /// listings (Figures 1, 4, 5).
+  const arch::LaunchConfig* launch = nullptr;
+  int indent_width = 4;
+};
+
+/// Renders a whole kernel as CUDA source text.
+std::string to_cuda(const Kernel& k, const CodegenOptions& opts = {});
+
+/// Renders a statement list (used by tests and for diff-style reporting).
+std::string to_cuda(const std::vector<StmtPtr>& body, int indent = 0, int indent_width = 4);
+
+}  // namespace catt::ir

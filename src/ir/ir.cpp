@@ -1,0 +1,308 @@
+#include "ir/ir.hpp"
+
+#include <functional>
+#include <set>
+
+#include "common/error.hpp"
+#include "expr/eval.hpp"
+
+namespace catt::ir {
+
+std::size_t elem_size(ElemType t) { return t == ElemType::kF32 ? 4 : 4; }
+
+const char* to_string(ElemType t) { return t == ElemType::kF32 ? "float" : "int"; }
+
+expr::ScalarType scalar_type(ElemType t) {
+  return t == ElemType::kF32 ? expr::ScalarType::kFloat : expr::ScalarType::kInt;
+}
+
+namespace {
+expr::ExprPtr clone_or_null(const expr::ExprPtr& e) { return e ? e->clone() : nullptr; }
+
+std::vector<StmtPtr> clone_body(const std::vector<StmtPtr>& body) {
+  std::vector<StmtPtr> out;
+  out.reserve(body.size());
+  for (const auto& s : body) out.push_back(s->clone());
+  return out;
+}
+}  // namespace
+
+StmtPtr Stmt::clone() const {
+  auto s = std::make_unique<Stmt>();
+  s->kind = kind;
+  s->name = name;
+  s->value = clone_or_null(value);
+  s->index = clone_or_null(index);
+  s->cond = clone_or_null(cond);
+  s->step = clone_or_null(step);
+  s->body = clone_body(body);
+  s->else_body = clone_body(else_body);
+  s->loop_id = loop_id;
+  return s;
+}
+
+StmtPtr decl_int(std::string name, expr::ExprPtr value) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kDeclInt;
+  s->name = std::move(name);
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr decl_float(std::string name, expr::ExprPtr value) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kDeclFloat;
+  s->name = std::move(name);
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr assign(std::string name, expr::ExprPtr value) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kAssign;
+  s->name = std::move(name);
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr store(std::string array, expr::ExprPtr index, expr::ExprPtr value) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kStore;
+  s->name = std::move(array);
+  s->index = std::move(index);
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr make_for(std::string var, expr::ExprPtr init, expr::ExprPtr cond, expr::ExprPtr step,
+                 std::vector<StmtPtr> body) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kFor;
+  s->name = std::move(var);
+  s->value = std::move(init);
+  s->cond = std::move(cond);
+  s->step = std::move(step);
+  s->body = std::move(body);
+  return s;
+}
+
+StmtPtr make_if(expr::ExprPtr cond, std::vector<StmtPtr> then_body,
+                std::vector<StmtPtr> else_body) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kIf;
+  s->cond = std::move(cond);
+  s->body = std::move(then_body);
+  s->else_body = std::move(else_body);
+  return s;
+}
+
+StmtPtr sync() {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kSync;
+  return s;
+}
+
+Kernel Kernel::clone() const {
+  Kernel k;
+  k.name = name;
+  k.arrays = arrays;
+  k.scalars = scalars;
+  k.shared = shared;
+  k.regs_per_thread = regs_per_thread;
+  k.body = clone_body(body);
+  return k;
+}
+
+std::size_t Kernel::static_shared_bytes() const {
+  std::size_t total = 0;
+  for (const auto& s : shared) total += s.bytes();
+  return total;
+}
+
+const ArrayParam* Kernel::find_array(const std::string& n) const {
+  for (const auto& a : arrays) {
+    if (a.name == n) return &a;
+  }
+  return nullptr;
+}
+
+const SharedArray* Kernel::find_shared(const std::string& n) const {
+  for (const auto& s : shared) {
+    if (s.name == n) return &s;
+  }
+  return nullptr;
+}
+
+bool Kernel::has_scalar(const std::string& n) const {
+  for (const auto& s : scalars) {
+    if (s.name == n) return true;
+  }
+  return false;
+}
+
+ElemType Kernel::array_elem_type(const std::string& n) const {
+  if (const ArrayParam* a = find_array(n)) return a->type;
+  if (const SharedArray* s = find_shared(n)) return s->type;
+  throw IrError("unknown array: " + n);
+}
+
+namespace {
+template <typename Fn>
+void walk_impl(std::vector<StmtPtr>& body, Fn&& fn) {
+  for (auto& s : body) {
+    fn(*s);
+    walk_impl(s->body, fn);
+    walk_impl(s->else_body, fn);
+  }
+}
+
+template <typename Fn>
+void walk_impl_const(const std::vector<StmtPtr>& body, Fn&& fn) {
+  for (const auto& s : body) {
+    fn(*s);
+    walk_impl_const(s->body, fn);
+    walk_impl_const(s->else_body, fn);
+  }
+}
+}  // namespace
+
+int number_loops(Kernel& k) {
+  int next = 0;
+  walk_impl(k.body, [&](Stmt& s) {
+    if (s.kind == StmtKind::kFor) s.loop_id = next++;
+  });
+  return next;
+}
+
+std::vector<const Stmt*> collect_loops(const Kernel& k) {
+  std::vector<const Stmt*> out;
+  walk_impl_const(k.body, [&](const Stmt& s) {
+    if (s.kind == StmtKind::kFor) out.push_back(&s);
+  });
+  return out;
+}
+
+std::vector<Stmt*> collect_loops(Kernel& k) {
+  std::vector<Stmt*> out;
+  walk_impl(k.body, [&](Stmt& s) {
+    if (s.kind == StmtKind::kFor) out.push_back(&s);
+  });
+  return out;
+}
+
+namespace {
+
+void check_expr(const Kernel& k, const expr::Expr& e, const std::set<std::string>& in_scope) {
+  if (e.kind == expr::ExprKind::kVar) {
+    if (!in_scope.contains(e.name) && !k.has_scalar(e.name)) {
+      throw IrError("kernel '" + k.name + "': reference to undeclared variable '" + e.name + "'");
+    }
+  }
+  if (e.kind == expr::ExprKind::kLoad) {
+    if (k.find_array(e.name) == nullptr && k.find_shared(e.name) == nullptr) {
+      throw IrError("kernel '" + k.name + "': load from undeclared array '" + e.name + "'");
+    }
+  }
+  for (const auto& a : e.args) check_expr(k, *a, in_scope);
+}
+
+void check_body(const Kernel& k, const std::vector<StmtPtr>& body, std::set<std::string> in_scope) {
+  for (const auto& s : body) {
+    switch (s->kind) {
+      case StmtKind::kDeclInt:
+      case StmtKind::kDeclFloat:
+        check_expr(k, *s->value, in_scope);
+        in_scope.insert(s->name);
+        break;
+      case StmtKind::kAssign:
+        if (!in_scope.contains(s->name)) {
+          throw IrError("kernel '" + k.name + "': assignment to undeclared '" + s->name + "'");
+        }
+        check_expr(k, *s->value, in_scope);
+        break;
+      case StmtKind::kStore:
+        if (k.find_array(s->name) == nullptr && k.find_shared(s->name) == nullptr) {
+          throw IrError("kernel '" + k.name + "': store to undeclared array '" + s->name + "'");
+        }
+        check_expr(k, *s->index, in_scope);
+        check_expr(k, *s->value, in_scope);
+        break;
+      case StmtKind::kFor: {
+        if (in_scope.contains(s->name)) {
+          throw IrError("kernel '" + k.name + "': loop variable '" + s->name + "' shadows a live name");
+        }
+        check_expr(k, *s->value, in_scope);
+        auto inner = in_scope;
+        inner.insert(s->name);
+        check_expr(k, *s->cond, inner);
+        check_expr(k, *s->step, inner);
+        check_body(k, s->body, inner);
+        break;
+      }
+      case StmtKind::kIf: {
+        check_expr(k, *s->cond, in_scope);
+        check_body(k, s->body, in_scope);
+        check_body(k, s->else_body, in_scope);
+        break;
+      }
+      case StmtKind::kSync:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+void validate(const Kernel& k) {
+  std::set<std::string> names;
+  for (const auto& a : k.arrays) {
+    if (!names.insert(a.name).second) throw IrError("duplicate parameter: " + a.name);
+  }
+  for (const auto& s : k.scalars) {
+    if (!names.insert(s.name).second) throw IrError("duplicate parameter: " + s.name);
+  }
+  for (const auto& s : k.shared) {
+    if (!names.insert(s.name).second) throw IrError("duplicate shared array: " + s.name);
+    if (s.count <= 0) throw IrError("shared array '" + s.name + "' has non-positive size");
+  }
+  check_body(k, k.body, {});
+}
+
+expr::LocalDefs single_assignment_int_defs(const Kernel& k) {
+  expr::LocalDefs defs;
+  std::set<std::string> reassigned;
+  walk_impl_const(k.body, [&](const Stmt& s) {
+    if (s.kind == StmtKind::kDeclInt) {
+      if (defs.contains(s.name)) {
+        reassigned.insert(s.name);  // re-declared along sibling paths
+      } else {
+        defs[s.name] = s.value.get();
+      }
+    } else if (s.kind == StmtKind::kAssign || s.kind == StmtKind::kFor) {
+      reassigned.insert(s.name);
+    }
+  });
+  for (const auto& n : reassigned) defs.erase(n);
+  return defs;
+}
+
+bool contains_sync(const Stmt& s) {
+  if (s.kind == StmtKind::kSync) return true;
+  for (const auto& c : s.body) {
+    if (contains_sync(*c)) return true;
+  }
+  for (const auto& c : s.else_body) {
+    if (contains_sync(*c)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> loop_var_names(const Kernel& k) {
+  std::vector<std::string> out;
+  walk_impl_const(k.body, [&](const Stmt& s) {
+    if (s.kind == StmtKind::kFor) out.push_back(s.name);
+  });
+  return out;
+}
+
+}  // namespace catt::ir

@@ -1,0 +1,135 @@
+// Kernel IR: a structured (no goto/break) representation of a mini-CUDA
+// kernel. The frontend parses source into this IR; the CATT analyzer reads
+// it; the throttling transforms rewrite it; codegen prints it back to CUDA
+// source; and the simulator executes it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/affine.hpp"
+#include "expr/expr.hpp"
+
+namespace catt::ir {
+
+enum class ElemType : std::uint8_t { kF32, kI32 };
+
+std::size_t elem_size(ElemType t);
+const char* to_string(ElemType t);
+expr::ScalarType scalar_type(ElemType t);
+
+enum class StmtKind : std::uint8_t {
+  kDeclInt,    // int name = value;
+  kDeclFloat,  // float name = value;
+  kAssign,     // name = value;            (re-assignment of a local)
+  kStore,      // name[index] = value;     (global or shared array)
+  kFor,        // for (int name = value; cond; name += step) body
+  kIf,         // if (cond) body else else_body
+  kSync,       // __syncthreads();
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// One IR statement. Field use by kind is documented on StmtKind.
+struct Stmt {
+  StmtKind kind;
+
+  std::string name;       // decl/assign target, store array, or loop variable
+  expr::ExprPtr value;    // init value / assigned value / stored value / loop init
+  expr::ExprPtr index;    // kStore subscript
+  expr::ExprPtr cond;     // kFor / kIf condition
+  expr::ExprPtr step;     // kFor per-iteration increment (added to the loop var)
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> else_body;
+
+  /// Stable preorder id assigned by number_loops(); -1 elsewhere. The
+  /// analyzer's per-loop decisions and the transforms key on this.
+  int loop_id = -1;
+
+  StmtPtr clone() const;
+};
+
+StmtPtr decl_int(std::string name, expr::ExprPtr value);
+StmtPtr decl_float(std::string name, expr::ExprPtr value);
+StmtPtr assign(std::string name, expr::ExprPtr value);
+StmtPtr store(std::string array, expr::ExprPtr index, expr::ExprPtr value);
+StmtPtr make_for(std::string var, expr::ExprPtr init, expr::ExprPtr cond, expr::ExprPtr step,
+                 std::vector<StmtPtr> body);
+StmtPtr make_if(expr::ExprPtr cond, std::vector<StmtPtr> then_body,
+                std::vector<StmtPtr> else_body = {});
+StmtPtr sync();
+
+/// Pointer-to-global-array kernel parameter (e.g. `float *A`).
+struct ArrayParam {
+  std::string name;
+  ElemType type = ElemType::kF32;
+};
+
+/// Integer scalar kernel parameter (e.g. `int NX`).
+struct ScalarParam {
+  std::string name;
+};
+
+/// `__shared__ float buf[N];` — N must be a compile-time constant.
+struct SharedArray {
+  std::string name;
+  ElemType type = ElemType::kF32;
+  std::int64_t count = 0;
+  std::size_t bytes() const { return static_cast<std::size_t>(count) * elem_size(type); }
+};
+
+/// A complete kernel: signature, resource usage, and body.
+struct Kernel {
+  std::string name;
+  std::vector<ArrayParam> arrays;
+  std::vector<ScalarParam> scalars;
+  std::vector<SharedArray> shared;
+  /// Registers per thread, as `nvcc -v` would report; consumed by Eq. 2.
+  int regs_per_thread = 32;
+  std::vector<StmtPtr> body;
+
+  Kernel() = default;
+  Kernel(Kernel&&) = default;
+  Kernel& operator=(Kernel&&) = default;
+
+  Kernel clone() const;
+
+  std::size_t static_shared_bytes() const;
+
+  const ArrayParam* find_array(const std::string& n) const;
+  const SharedArray* find_shared(const std::string& n) const;
+  bool has_scalar(const std::string& n) const;
+
+  /// Element type of a global or shared array; throws IrError if unknown.
+  ElemType array_elem_type(const std::string& n) const;
+};
+
+/// Assigns preorder ids to every kFor in the kernel; returns the loop count.
+int number_loops(Kernel& k);
+
+/// Collects every loop statement in preorder (ids must be assigned).
+std::vector<const Stmt*> collect_loops(const Kernel& k);
+std::vector<Stmt*> collect_loops(Kernel& k);
+
+/// Structural sanity check: every referenced array/scalar is declared,
+/// loop variables are unique along any path, stores target known arrays.
+/// Throws IrError on violation.
+void validate(const Kernel& k);
+
+/// Integer locals with exactly one static definition (a kDeclInt never
+/// re-assigned). These are the symbols the affine analysis may resolve
+/// through; re-assigned locals are excluded (their value is flow-dependent).
+expr::LocalDefs single_assignment_int_defs(const Kernel& k);
+
+/// All loop variable names appearing in the kernel.
+std::vector<std::string> loop_var_names(const Kernel& k);
+
+/// True if the statement's subtree contains a __syncthreads() — such loops
+/// must not be warp-split (the guarded copies would execute the barrier
+/// with only part of the block).
+bool contains_sync(const Stmt& s);
+
+}  // namespace catt::ir

@@ -1,0 +1,71 @@
+// Occupancy calculation and L1D/shared-memory configuration (Section 4.1).
+//
+// Implements the paper's Eq. 1-4:
+//   Eq. 1  #TB_shm = SIZE_shm_SM / USE_shm_TB
+//   Eq. 2  #TB_reg = SIZE_reg_SM / USE_reg_TB
+//   Eq. 3  #TB_SM  = min(#TB_shm, #TB_reg, #TB_HW)
+//   Eq. 4  USE_shm_SM = USE_shm_TB * #TB_SM
+// plus the carve-out choice: the smallest legal shared-memory configuration
+// >= USE_shm_SM, maximizing the L1D under the given occupancy.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "arch/gpu_arch.hpp"
+#include "arch/launch.hpp"
+#include "ir/ir.hpp"
+
+namespace catt::occupancy {
+
+/// Which resource capped #TB_SM (useful in reports and tests).
+enum class Limiter { kSharedMem, kRegisters, kWarpSlots, kTbSlots, kGridSize };
+
+const char* to_string(Limiter l);
+
+struct Occupancy {
+  /// Concurrent thread blocks per SM (Eq. 3, also capped by the grid).
+  int tbs_per_sm = 0;
+  /// Warps per thread block (ceil(block threads / warp size)).
+  int warps_per_tb = 0;
+  /// Concurrent warps per SM = warps_per_tb * tbs_per_sm.
+  int warps_per_sm = 0;
+  Limiter limiter = Limiter::kWarpSlots;
+
+  /// Shared memory actually needed by the concurrent TBs (Eq. 4).
+  std::size_t shm_use_per_sm = 0;
+  /// Chosen carve-out (smallest legal >= shm_use_per_sm).
+  std::size_t shm_carveout = 0;
+  /// Resulting L1D capacity.
+  std::size_t l1d_bytes = 0;
+
+  /// The paper's TLP notation "(#warps_TB, #TBs)".
+  std::string tlp_string() const;
+};
+
+/// Per-TB resource usage, as the compiler would report it.
+struct TbResources {
+  std::size_t shared_bytes_per_tb = 0;
+  int regs_per_thread = 0;
+};
+
+TbResources tb_resources(const ir::Kernel& kernel, const arch::LaunchConfig& launch);
+
+/// Computes the baseline occupancy and the L1D-maximizing configuration for
+/// `kernel` under `launch` on `arch`. Throws catt::SimError when the kernel
+/// cannot run at all (e.g. one TB exceeds the register file).
+Occupancy compute(const arch::GpuArch& arch, const ir::Kernel& kernel,
+                  const arch::LaunchConfig& launch);
+
+/// Same, but with the TB count additionally capped at `max_tbs` (> 0); used
+/// when evaluating throttled configurations.
+Occupancy compute_with_tb_cap(const arch::GpuArch& arch, const ir::Kernel& kernel,
+                              const arch::LaunchConfig& launch, int max_tbs);
+
+/// Dummy shared-memory bytes a TB must allocate so that at most
+/// `target_tbs` TBs fit on one SM (the TB-level throttling transform's
+/// sizing rule, Figure 5). Returns 0 when no padding is needed.
+std::size_t dummy_shared_bytes_for_tb_limit(const arch::GpuArch& arch, const ir::Kernel& kernel,
+                                            const arch::LaunchConfig& launch, int target_tbs);
+
+}  // namespace catt::occupancy

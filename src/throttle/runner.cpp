@@ -1,0 +1,292 @@
+#include "throttle/runner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "transform/transform.hpp"
+
+namespace catt::throttle {
+
+double AppResult::l1_hit_rate() const {
+  std::uint64_t hits = 0;
+  std::uint64_t accesses = 0;
+  for (const auto& k : launches) {
+    hits += k.l1.hits;
+    accesses += k.l1.accesses;
+  }
+  return accesses == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(accesses);
+}
+
+std::string FixedFactor::str() const {
+  return "N=" + std::to_string(n_divisor) +
+         (tb_limit > 0 ? ",TB<=" + std::to_string(tb_limit) : "");
+}
+
+Runner::Runner(arch::GpuArch gpu_arch) : arch_(std::move(gpu_arch)) {}
+
+namespace {
+
+/// Largest divisor of `warps` that is <= n (so a requested factor stays
+/// legal for kernels with fewer warps per TB).
+int clamp_divisor(int warps, int n) {
+  n = std::min(n, warps);
+  while (n > 1 && warps % n != 0) --n;
+  return std::max(1, n);
+}
+
+}  // namespace
+
+template <typename TransformFn>
+AppResult Runner::run_with(const wl::Workload& w, const std::string& policy, TransformFn&& fn) {
+  AppResult res;
+  res.workload = w.name;
+  res.policy = policy;
+
+  sim::DeviceMemory mem;
+  w.setup(mem);
+  sim::Gpu gpu(arch_, mem);
+
+  for (const auto& entry : w.schedule) {
+    const ir::Kernel& original = w.kernel(entry.kernel);
+    KernelChoice choice;
+    choice.kernel = entry.kernel;
+    choice.baseline_occ = occupancy::compute(arch_, original, entry.launch);
+
+    // fn returns the (possibly transformed) kernel and fills `choice`.
+    ir::Kernel to_run = fn(original, entry, choice);
+
+    sim::KernelStats agg;
+    for (int r = 0; r < entry.repeats; ++r) {
+      sim::LaunchSpec spec;
+      spec.kernel = &to_run;
+      spec.launch = entry.launch;
+      spec.params = entry.params;
+      sim::KernelStats s = gpu.run(spec, sim_options);
+      if (r == 0) {
+        agg = std::move(s);
+      } else {
+        agg.cycles += s.cycles;
+        agg.l1 += s.l1;
+        agg.l2 += s.l2;
+        agg.dram_lines += s.dram_lines;
+        agg.warp_insts += s.warp_insts;
+        agg.mem_insts += s.mem_insts;
+        agg.mem_requests += s.mem_requests;
+      }
+    }
+    agg.kernel_name = entry.kernel;
+    res.total_cycles += agg.cycles;
+    res.launches.push_back(std::move(agg));
+    res.choices.push_back(std::move(choice));
+  }
+  return res;
+}
+
+AppResult Runner::run_baseline(const wl::Workload& w) {
+  return run_with(w, "baseline",
+                  [&](const ir::Kernel& k, const wl::KernelRun& entry, KernelChoice& choice) {
+                    (void)entry;
+                    for (const ir::Stmt* loop : ir::collect_loops(k)) {
+                      choice.loops.push_back({loop->loop_id, choice.baseline_occ.warps_per_tb,
+                                              choice.baseline_occ.tbs_per_sm, false});
+                    }
+                    return k.clone();
+                  });
+}
+
+std::vector<KernelChoice> Runner::catt_choices(const wl::Workload& w,
+                                               const analysis::AnalysisOptions& opts) {
+  std::vector<KernelChoice> out;
+  for (const auto& entry : w.schedule) {
+    const ir::Kernel& k = w.kernel(entry.kernel);
+    const analysis::KernelAnalysis ka = analysis::analyze(arch_, k, entry.launch, entry.params, opts);
+    KernelChoice choice;
+    choice.kernel = entry.kernel;
+    choice.baseline_occ = ka.occ;
+    const int tbs = ka.plan.tb_limit > 0 ? ka.plan.tb_limit : ka.occ.tbs_per_sm;
+    for (const auto& loop : ka.loops) {
+      if (!loop.top_level) continue;
+      choice.loops.push_back({loop.loop_id,
+                              ka.occ.warps_per_tb / loop.decision.n_divisor,
+                              loop.decision.unresolvable ? ka.occ.tbs_per_sm : tbs,
+                              loop.decision.unresolvable});
+    }
+    out.push_back(std::move(choice));
+  }
+  return out;
+}
+
+AppResult Runner::run_catt(const wl::Workload& w, const analysis::AnalysisOptions& opts) {
+  return run_with(
+      w, "catt", [&](const ir::Kernel& k, const wl::KernelRun& entry, KernelChoice& choice) {
+        const analysis::KernelAnalysis ka =
+            analysis::analyze(arch_, k, entry.launch, entry.params, opts);
+        const int tbs = ka.plan.tb_limit > 0 ? ka.plan.tb_limit : ka.occ.tbs_per_sm;
+        for (const auto& loop : ka.loops) {
+          if (!loop.top_level) continue;
+          choice.loops.push_back({loop.loop_id,
+                                  ka.occ.warps_per_tb / loop.decision.n_divisor,
+                                  loop.decision.unresolvable ? ka.occ.tbs_per_sm : tbs,
+                                  loop.decision.unresolvable});
+        }
+        xform::TransformResult tr = xform::apply_plan(arch_, k, entry.launch, ka.plan);
+        return std::move(tr.kernel);
+      });
+}
+
+AppResult Runner::run_fixed(const wl::Workload& w, const FixedFactor& f) {
+  return run_with(
+      w, "fixed[" + f.str() + "]",
+      [&](const ir::Kernel& k, const wl::KernelRun& entry, KernelChoice& choice) {
+        const int warps = choice.baseline_occ.warps_per_tb;
+        const int n = clamp_divisor(warps, f.n_divisor);
+        ir::Kernel out = k.clone();
+        if (n > 1) {
+          // Split every top-level loop; descending ids keep earlier ids valid.
+          std::vector<int> ids;
+          {
+            analysis::AnalysisOptions aopts;
+            const analysis::KernelAnalysis ka =
+                analysis::analyze(arch_, k, entry.launch, entry.params, aopts);
+            const auto loops = ir::collect_loops(k);
+            for (const auto& loop : ka.loops) {
+              if (!loop.top_level) continue;
+              // Warp-splitting a loop that contains a barrier is illegal.
+              if (ir::contains_sync(*loops[static_cast<std::size_t>(loop.loop_id)])) continue;
+              ids.push_back(loop.loop_id);
+            }
+          }
+          std::sort(ids.rbegin(), ids.rend());
+          for (int id : ids) {
+            out = xform::apply_warp_throttle(out, entry.launch, id, n, arch_.warp_size);
+          }
+        }
+        int tbs = choice.baseline_occ.tbs_per_sm;
+        if (f.tb_limit > 0 && f.tb_limit < tbs) {
+          out = xform::apply_tb_throttle(arch_, out, entry.launch, f.tb_limit);
+          tbs = f.tb_limit;
+        }
+        for (const ir::Stmt* loop : ir::collect_loops(k)) {
+          choice.loops.push_back({loop->loop_id, warps / n, tbs, false});
+        }
+        return out;
+      });
+}
+
+std::vector<FixedFactor> Runner::candidate_factors(const wl::Workload& w) {
+  // Union of legal warp divisors and TB counts across the app's kernels.
+  std::set<int> divisors;
+  int max_tbs = 1;
+  for (const auto& entry : w.schedule) {
+    const occupancy::Occupancy occ =
+        occupancy::compute(arch_, w.kernel(entry.kernel), entry.launch);
+    for (int n = 1; n <= occ.warps_per_tb; ++n) {
+      if (occ.warps_per_tb % n == 0) divisors.insert(n);
+    }
+    max_tbs = std::max(max_tbs, occ.tbs_per_sm);
+  }
+
+  // TB caps: geometric ladder plus TBs-1 (covers every Table 3 BFTT pick
+  // while keeping the search affordable).
+  std::set<int> tb_caps;
+  if (max_tbs > 1) tb_caps.insert(max_tbs - 1);
+  for (int tb = max_tbs / 2; tb >= 1; tb /= 2) tb_caps.insert(tb);
+
+  std::vector<FixedFactor> out;
+  for (int n : divisors) {
+    out.push_back({n, 0});  // TB count unchanged
+    for (auto it = tb_caps.rbegin(); it != tb_caps.rend(); ++it) out.push_back({n, *it});
+  }
+  return out;
+}
+
+AppResult Runner::run_dyncta(const wl::Workload& w, double low_hit, double high_hit) {
+  AppResult res;
+  res.workload = w.name;
+  res.policy = "dyncta";
+
+  sim::DeviceMemory mem;
+  w.setup(mem);
+  sim::Gpu gpu(arch_, mem);
+
+  int tb_cap = 0;  // 0 = uncapped (start at full TLP, like DYNCTA's "all CTAs")
+  // Hill-climbing memory per kernel: if the last adjustment made the same
+  // kernel slower, revert it instead of following the hit-rate rule again.
+  struct KernelState {
+    int cap = 0;
+    std::int64_t cycles = 0;
+  };
+  std::map<std::string, KernelState> history;
+  for (const auto& entry : w.schedule) {
+    const ir::Kernel& kernel = w.kernel(entry.kernel);
+    KernelChoice choice;
+    choice.kernel = entry.kernel;
+    choice.baseline_occ = occupancy::compute(arch_, kernel, entry.launch);
+
+    sim::KernelStats agg;
+    for (int r = 0; r < entry.repeats; ++r) {
+      sim::SimOptions opts = sim_options;
+      opts.tb_cap = std::min(tb_cap > 0 ? tb_cap : choice.baseline_occ.tbs_per_sm,
+                             choice.baseline_occ.tbs_per_sm);
+      sim::LaunchSpec spec{&kernel, entry.launch, entry.params};
+      sim::KernelStats s = gpu.run(spec, opts);
+
+      // Reactive adjustment for the *next* launch (one phase late).
+      const double hit = s.l1_hit_rate();
+      const int current = s.occ.tbs_per_sm;
+      KernelState& st = history[entry.kernel];
+      if (st.cycles > 0 && current != st.cap && s.cycles > st.cycles) {
+        // The last change regressed this kernel: undo it.
+        tb_cap = st.cap;
+      } else if (hit < low_hit && current > 1) {
+        tb_cap = std::max(1, current / 2);
+      } else if (hit > high_hit) {
+        tb_cap = std::min(choice.baseline_occ.tbs_per_sm, current * 2);
+      } else {
+        tb_cap = current;
+      }
+      st = {current, s.cycles};
+
+      choice.loops.push_back({r, s.occ.warps_per_tb, s.occ.tbs_per_sm, false});
+      if (r == 0) {
+        agg = std::move(s);
+      } else {
+        agg.cycles += s.cycles;
+        agg.l1 += s.l1;
+        agg.l2 += s.l2;
+        agg.dram_lines += s.dram_lines;
+        agg.warp_insts += s.warp_insts;
+        agg.mem_insts += s.mem_insts;
+        agg.mem_requests += s.mem_requests;
+      }
+    }
+    agg.kernel_name = entry.kernel;
+    res.total_cycles += agg.cycles;
+    res.launches.push_back(std::move(agg));
+    res.choices.push_back(std::move(choice));
+  }
+  return res;
+}
+
+Runner::BfttOutcome Runner::run_bftt(const wl::Workload& w) {
+  BfttOutcome outcome;
+  std::int64_t best_cycles = std::numeric_limits<std::int64_t>::max();
+  for (const FixedFactor& f : candidate_factors(w)) {
+    AppResult r = run_fixed(w, f);
+    outcome.sweep.emplace_back(f, r.total_cycles);
+    log::debug("bftt ", w.name, " ", f.str(), " -> ", r.total_cycles, " cycles");
+    if (r.total_cycles < best_cycles) {
+      best_cycles = r.total_cycles;
+      outcome.factor = f;
+      outcome.best = std::move(r);
+    }
+  }
+  outcome.best.policy = "bftt[" + outcome.factor.str() + "]";
+  return outcome;
+}
+
+}  // namespace catt::throttle

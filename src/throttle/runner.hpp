@@ -1,0 +1,105 @@
+// Throttling policies and the application runner used by every experiment:
+//
+//   * Baseline — the unmodified kernels at maximum occupancy.
+//   * CATT     — the paper's contribution: static analysis picks per-loop
+//                (N, M); the source transform applies them.
+//   * Fixed    — one (N, tb-limit) applied to every loop of every kernel,
+//                via the same source transforms.
+//   * BFTT     — best-fixed thread throttling (the paper's Best-SWL-style
+//                baseline): exhaustively simulates every fixed factor and
+//                keeps the fastest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/gpu_arch.hpp"
+#include "catt/analysis.hpp"
+#include "gpusim/gpu.hpp"
+#include "workloads/workload.hpp"
+
+namespace catt::throttle {
+
+/// The TLP chosen for one loop of one kernel, in the paper's
+/// "(#warps_TB, #TBs)" notation (Table 3 cells).
+struct LoopTlp {
+  int loop_id = -1;
+  int warps = 0;  // active warps per TB inside the loop
+  int tbs = 0;    // resident TBs per SM
+  bool unresolvable = false;
+};
+
+struct KernelChoice {
+  std::string kernel;
+  occupancy::Occupancy baseline_occ;
+  std::vector<LoopTlp> loops;
+};
+
+struct AppResult {
+  std::string workload;
+  std::string policy;
+  /// One entry per schedule item (repeats accumulated into it).
+  std::vector<sim::KernelStats> launches;
+  std::vector<KernelChoice> choices;
+  std::int64_t total_cycles = 0;
+
+  /// Access-weighted L1D hit rate over the whole application.
+  double l1_hit_rate() const;
+};
+
+/// A fixed throttling factor: divide each TB's active warps by n_divisor
+/// (clamped per kernel to a legal divisor) and cap resident TBs at
+/// tb_limit (0 = uncapped).
+struct FixedFactor {
+  int n_divisor = 1;
+  int tb_limit = 0;
+
+  std::string str() const;
+};
+
+class Runner {
+ public:
+  explicit Runner(arch::GpuArch gpu_arch);
+
+  AppResult run_baseline(const wl::Workload& w);
+  AppResult run_catt(const wl::Workload& w, const analysis::AnalysisOptions& opts = {});
+  AppResult run_fixed(const wl::Workload& w, const FixedFactor& f);
+
+  /// Static analysis only (no simulation): the choices CATT would make.
+  std::vector<KernelChoice> catt_choices(const wl::Workload& w,
+                                         const analysis::AnalysisOptions& opts = {});
+
+  /// Candidate fixed factors for a workload: every legal warp divisor
+  /// crossed with every TB cap up to the baseline occupancy.
+  std::vector<FixedFactor> candidate_factors(const wl::Workload& w);
+
+  struct BfttOutcome {
+    AppResult best;
+    FixedFactor factor;
+    /// (factor, total cycles) for every candidate — Figure 9's sweep.
+    std::vector<std::pair<FixedFactor, std::int64_t>> sweep;
+  };
+  BfttOutcome run_bftt(const wl::Workload& w);
+
+  /// DYNCTA-style *dynamic* thread throttling (Kayiran et al., the class
+  /// of scheme Section 2.2 argues against): no code changes; the resident
+  /// TB cap is adjusted reactively between launches based on the L1D hit
+  /// rate observed in the previous launch. It needs warm-up launches to
+  /// converge and reacts one phase late on multi-phase apps — exactly the
+  /// weakness CATT's compile-time per-loop decisions avoid.
+  AppResult run_dyncta(const wl::Workload& w, double low_hit = 0.60, double high_hit = 0.90);
+
+  const arch::GpuArch& gpu_arch() const { return arch_; }
+
+  /// Forwarded to every simulation (e.g. request-trace collection).
+  sim::SimOptions sim_options;
+
+ private:
+  template <typename TransformFn>
+  AppResult run_with(const wl::Workload& w, const std::string& policy, TransformFn&& fn);
+
+  arch::GpuArch arch_;
+};
+
+}  // namespace catt::throttle

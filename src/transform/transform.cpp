@@ -1,0 +1,143 @@
+#include "transform/transform.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/error.hpp"
+#include "occupancy/occupancy.hpp"
+
+namespace catt::xform {
+
+namespace {
+
+using ir::Stmt;
+using ir::StmtKind;
+using ir::StmtPtr;
+
+/// Replaces the statement with loop_id == `target` wherever it appears in
+/// `body` with the statements produced by `make_replacement(original)`.
+/// Returns true once replaced.
+bool replace_loop(std::vector<StmtPtr>& body, int target,
+                  const std::function<std::vector<StmtPtr>(const Stmt&)>& make_replacement) {
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    Stmt& s = *body[i];
+    if (s.kind == StmtKind::kFor && s.loop_id == target) {
+      std::vector<StmtPtr> repl = make_replacement(s);
+      body.erase(body.begin() + static_cast<std::ptrdiff_t>(i));
+      body.insert(body.begin() + static_cast<std::ptrdiff_t>(i),
+                  std::make_move_iterator(repl.begin()), std::make_move_iterator(repl.end()));
+      return true;
+    }
+    if (replace_loop(s.body, target, make_replacement)) return true;
+    if (replace_loop(s.else_body, target, make_replacement)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+expr::ExprPtr warp_id_expr(const arch::Dim3& block, int warp_size) {
+  using namespace expr;
+  ExprPtr linear = tid_x();
+  if (block.y > 1 || block.z > 1) {
+    linear = add(std::move(linear), mul(tid_y(), ntid_x()));
+  }
+  if (block.z > 1) {
+    linear = add(std::move(linear),
+                 mul(builtin(Builtin::kThreadIdxZ), mul(ntid_x(), ntid_y())));
+  }
+  return div(std::move(linear), iconst(warp_size));
+}
+
+ir::Kernel apply_warp_throttle(const ir::Kernel& kernel, const arch::LaunchConfig& launch,
+                               int loop_id, int n, int warp_size) {
+  const int warps_per_tb = launch.warps_per_block(warp_size);
+  if (n <= 1 || warps_per_tb % n != 0) {
+    throw IrError("warp throttle factor " + std::to_string(n) + " must divide warps/TB (" +
+                  std::to_string(warps_per_tb) + ") and exceed 1");
+  }
+  const int group_warps = warps_per_tb / n;
+
+  ir::Kernel out = kernel.clone();
+  bool barrier_in_loop = false;
+  const bool replaced = replace_loop(
+      out.body, loop_id, [&](const Stmt& loop) {
+        if (ir::contains_sync(loop)) barrier_in_loop = true;
+        std::vector<StmtPtr> repl;
+        for (int g = 0; g < n; ++g) {
+          using namespace expr;
+          // if (warp_id >= g*group && warp_id < (g+1)*group) { <loop> }
+          ExprPtr guard = land(
+              ge(warp_id_expr(launch.block, warp_size), iconst(static_cast<std::int64_t>(g) * group_warps)),
+              lt(warp_id_expr(launch.block, warp_size),
+                 iconst(static_cast<std::int64_t>(g + 1) * group_warps)));
+          std::vector<StmtPtr> then_body;
+          then_body.push_back(loop.clone());
+          repl.push_back(ir::make_if(std::move(guard), std::move(then_body)));
+          // Barrier between groups so they execute in order (Figure 4).
+          repl.push_back(ir::sync());
+        }
+        return repl;
+      });
+  if (!replaced) {
+    throw IrError("kernel '" + kernel.name + "' has no loop with id " + std::to_string(loop_id));
+  }
+  if (barrier_in_loop) {
+    throw IrError("kernel '" + kernel.name + "': cannot warp-split loop " +
+                  std::to_string(loop_id) + " — it contains __syncthreads()");
+  }
+  ir::number_loops(out);
+  ir::validate(out);
+  return out;
+}
+
+ir::Kernel apply_tb_throttle(const arch::GpuArch& arch, const ir::Kernel& kernel,
+                             const arch::LaunchConfig& launch, int target_tbs) {
+  const std::size_t dummy_bytes =
+      occupancy::dummy_shared_bytes_for_tb_limit(arch, kernel, launch, target_tbs);
+  if (dummy_bytes == 0) return kernel.clone();
+
+  ir::Kernel out = kernel.clone();
+  const std::int64_t count =
+      static_cast<std::int64_t>(dummy_bytes / ir::elem_size(ir::ElemType::kF32));
+  out.shared.push_back({kDummySharedName, ir::ElemType::kF32, count});
+  // A write keeps the allocation from being optimized away (Figure 5).
+  out.body.insert(out.body.begin(),
+                  ir::store(kDummySharedName, expr::mod(expr::tid_x(), expr::iconst(count)),
+                            expr::fconst(0.0)));
+  ir::number_loops(out);
+  ir::validate(out);
+  return out;
+}
+
+TransformResult apply_plan(const arch::GpuArch& arch, const ir::Kernel& kernel,
+                           const arch::LaunchConfig& launch,
+                           const analysis::ThrottlePlan& plan) {
+  TransformResult res;
+  res.kernel = kernel.clone();
+
+  // Warp-level splits first. Loop ids refer to the *original* numbering;
+  // the splits clone loops (which renumbers), so apply in descending
+  // loop_id order and renumber once at the end — splitting loop A never
+  // changes the pre-split id of a different loop B when B is processed
+  // first in descending order.
+  auto throttles = plan.warp_throttles;
+  std::sort(throttles.begin(), throttles.end(),
+            [](const auto& a, const auto& b) { return a.loop_id > b.loop_id; });
+  for (const auto& t : throttles) {
+    res.kernel = apply_warp_throttle(res.kernel, launch, t.loop_id, t.n_divisor,
+                                     /*warp_size=*/32);
+    ++res.warp_split_loops;
+  }
+
+  if (plan.tb_limit > 0) {
+    const std::size_t dummy =
+        occupancy::dummy_shared_bytes_for_tb_limit(arch, res.kernel, launch, plan.tb_limit);
+    res.kernel = apply_tb_throttle(arch, res.kernel, launch, plan.tb_limit);
+    res.tb_applied = dummy > 0;
+    res.dummy_shared_bytes = dummy;
+  }
+  return res;
+}
+
+}  // namespace catt::xform

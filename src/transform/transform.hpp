@@ -1,0 +1,56 @@
+// Source-to-source thread-throttling transforms (Section 4.3).
+//
+// Warp-level throttling (Figure 4): a contended loop is cloned into N
+// guarded copies; copy g runs only for the warps whose id falls in the
+// g-th group, with a `__syncthreads()` barrier after each copy so the
+// groups execute in order. At any instant only warps_per_tb/N warps of a
+// TB are inside the loop, shrinking the loop's live L1D footprint by N
+// with no control divergence (guards are warp-uniform).
+//
+// TB-level throttling (Figure 5): a dummy `__shared__` array inflates the
+// kernel's per-TB shared-memory usage so the occupancy calculation admits
+// only the target number of TBs per SM. A store to the array keeps the
+// allocation alive. This throttles the whole kernel, which is why the
+// analyzer prefers warp-level first.
+#pragma once
+
+#include <cstddef>
+
+#include "arch/gpu_arch.hpp"
+#include "arch/launch.hpp"
+#include "catt/analysis.hpp"
+#include "ir/ir.hpp"
+
+namespace catt::xform {
+
+/// Name of the dummy array inserted by TB-level throttling.
+inline constexpr const char* kDummySharedName = "catt_dummy_shared";
+
+struct TransformResult {
+  ir::Kernel kernel;
+  int warp_split_loops = 0;       // loops split by warp-level throttling
+  bool tb_applied = false;
+  std::size_t dummy_shared_bytes = 0;
+};
+
+/// Splits the loop with `loop_id` into `n` warp groups. `n` must divide the
+/// launch's warps-per-TB. Throws IrError if the loop is absent or `n` is
+/// invalid. Loop ids are renumbered afterwards.
+ir::Kernel apply_warp_throttle(const ir::Kernel& kernel, const arch::LaunchConfig& launch,
+                               int loop_id, int n, int warp_size);
+
+/// Caps resident TBs per SM at `target_tbs` by inserting a dummy shared
+/// array (no-op if occupancy is already at or below the target).
+ir::Kernel apply_tb_throttle(const arch::GpuArch& arch, const ir::Kernel& kernel,
+                             const arch::LaunchConfig& launch, int target_tbs);
+
+/// Applies a full analysis plan: every warp-level split plus the kernel-
+/// wide TB limit.
+TransformResult apply_plan(const arch::GpuArch& arch, const ir::Kernel& kernel,
+                           const arch::LaunchConfig& launch, const analysis::ThrottlePlan& plan);
+
+/// Builds the warp-id expression `linear_tid / warp_size` for the launch's
+/// block shape (exposed for tests).
+expr::ExprPtr warp_id_expr(const arch::Dim3& block, int warp_size);
+
+}  // namespace catt::xform

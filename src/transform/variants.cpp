@@ -1,0 +1,106 @@
+#include "transform/variants.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "transform/transform.hpp"
+
+namespace catt::xform {
+
+namespace {
+
+/// Plans are equal iff they request the same warp splits and TB limit.
+bool same_plan(const analysis::ThrottlePlan& a, const analysis::ThrottlePlan& b) {
+  if (a.tb_limit != b.tb_limit) return false;
+  if (a.warp_throttles.size() != b.warp_throttles.size()) return false;
+  for (std::size_t i = 0; i < a.warp_throttles.size(); ++i) {
+    if (a.warp_throttles[i].loop_id != b.warp_throttles[i].loop_id ||
+        a.warp_throttles[i].n_divisor != b.warp_throttles[i].n_divisor) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+VariantSet make_launch_variants(const arch::GpuArch& arch, const ir::Kernel& kernel,
+                                const std::vector<LaunchCase>& cases,
+                                const analysis::AnalysisOptions& opts) {
+  if (cases.empty()) throw IrError("make_launch_variants: no launch cases");
+
+  VariantSet out;
+  out.original_name = kernel.name;
+  out.case_to_variant.assign(cases.size(), -1);
+
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    const analysis::KernelAnalysis ka =
+        analysis::analyze(arch, kernel, cases[c].launch, cases[c].params, opts);
+    if (!ka.plan.any()) continue;  // this launch runs the original
+
+    // Reuse an existing variant with the identical plan if the transform
+    // is also identical (warp splits depend on warps-per-TB, so the block
+    // shape must match too).
+    int found = -1;
+    for (std::size_t v = 0; v < out.variants.size(); ++v) {
+      if (same_plan(out.variants[v].plan, ka.plan) &&
+          cases[out.variants[v].cases.front()].launch.block.count() ==
+              cases[c].launch.block.count()) {
+        found = static_cast<int>(v);
+        break;
+      }
+    }
+    if (found >= 0) {
+      out.variants[static_cast<std::size_t>(found)].cases.push_back(c);
+      out.case_to_variant[c] = found;
+      continue;
+    }
+
+    Variant v;
+    v.suffix = "__catt_v" + std::to_string(out.variants.size() + 1);
+    v.plan = ka.plan;
+    TransformResult tr = apply_plan(arch, kernel, cases[c].launch, ka.plan);
+    v.kernel = std::move(tr.kernel);
+    v.kernel.name = kernel.name + v.suffix;
+    v.cases.push_back(c);
+    out.case_to_variant[c] = static_cast<int>(out.variants.size());
+    out.variants.push_back(std::move(v));
+  }
+  return out;
+}
+
+const ir::Kernel* VariantSet::select(const arch::LaunchConfig& launch,
+                                     const std::vector<LaunchCase>& cases) const {
+  for (std::size_t c = 0; c < cases.size() && c < case_to_variant.size(); ++c) {
+    if (cases[c].launch.grid == launch.grid && cases[c].launch.block == launch.block) {
+      const int v = case_to_variant[c];
+      return v < 0 ? nullptr : &variants[static_cast<std::size_t>(v)].kernel;
+    }
+  }
+  return nullptr;  // unforeseen launch: original kernel
+}
+
+std::string VariantSet::dispatch_source(const std::vector<LaunchCase>& cases) const {
+  std::ostringstream os;
+  os << "// Auto-generated CATT dispatch for " << original_name << ".\n";
+  os << "// Selects the throttled variant matching the runtime launch\n";
+  os << "// dimensions; unforeseen launches fall back to the original.\n";
+  os << "#define CATT_LAUNCH_" << original_name << "(grid, block, ...) \\\n";
+  bool first = true;
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    const int v = case_to_variant[c];
+    if (v < 0) continue;
+    const auto& l = cases[c].launch;
+    os << "    " << (first ? "" : ": ") << "((grid).x == " << l.grid.x
+       << " && (block).x == " << l.block.x;
+    if (l.block.y > 1) os << " && (block).y == " << l.block.y;
+    os << ") ? " << original_name << variants[static_cast<std::size_t>(v)].suffix
+       << "<<<(grid), (block)>>>(__VA_ARGS__) \\\n";
+    first = false;
+  }
+  os << "    " << (first ? "" : ": ") << original_name
+     << "<<<(grid), (block)>>>(__VA_ARGS__)\n";
+  return os.str();
+}
+
+}  // namespace catt::xform

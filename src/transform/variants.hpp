@@ -1,0 +1,64 @@
+// Kernel-variant dispatch (Section 4.3, last paragraph): "For applications
+// whose kernel function parameters (i.e., grid size, thread block size,
+// shared memory size) are unknown at compile time, the modified kernel
+// function is duplicated with different thread throttling factors. The
+// kernel function is then selectively invoked according to the dynamically
+// determined values."
+//
+// Given the launch configurations a kernel may be invoked with, this pass
+// analyzes each, transforms a variant per *distinct* throttling plan, and
+// emits (a) the variant kernels and (b) a host-side dispatch function that
+// picks the right variant from the runtime grid/block dimensions, falling
+// back to the original kernel for unforeseen launches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/gpu_arch.hpp"
+#include "arch/launch.hpp"
+#include "catt/analysis.hpp"
+#include "ir/ir.hpp"
+
+namespace catt::xform {
+
+/// One anticipated launch: geometry plus the scalar arguments it implies.
+struct LaunchCase {
+  arch::LaunchConfig launch;
+  expr::ParamEnv params;
+};
+
+struct Variant {
+  /// Suffix appended to the kernel name, e.g. "__catt_v1".
+  std::string suffix;
+  ir::Kernel kernel;
+  analysis::ThrottlePlan plan;
+  /// The launch cases this variant serves (indices into the input list).
+  std::vector<std::size_t> cases;
+};
+
+struct VariantSet {
+  std::string original_name;
+  /// Throttled variants; launches whose plan is empty use the original.
+  std::vector<Variant> variants;
+  /// Case index -> variant index, or -1 for "use the original kernel".
+  std::vector<int> case_to_variant;
+
+  /// The kernel to invoke for `launch` (nullptr = original): exact match
+  /// on grid/block dims against the anticipated cases.
+  const ir::Kernel* select(const arch::LaunchConfig& launch,
+                           const std::vector<LaunchCase>& cases) const;
+
+  /// Host-side dispatch function source (CUDA-style), e.g. Figure-4-era
+  /// code a build system would paste next to the generated kernels.
+  std::string dispatch_source(const std::vector<LaunchCase>& cases) const;
+};
+
+/// Analyzes `kernel` under every anticipated launch case and builds the
+/// deduplicated variant set. Cases whose analysis finds no contention map
+/// to the original kernel.
+VariantSet make_launch_variants(const arch::GpuArch& arch, const ir::Kernel& kernel,
+                                const std::vector<LaunchCase>& cases,
+                                const analysis::AnalysisOptions& opts = {});
+
+}  // namespace catt::xform

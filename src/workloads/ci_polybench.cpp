@@ -1,0 +1,182 @@
+// Cache-insensitive PolyBench-GPU workloads: GRAM, SYRK, GEMM, 2MM, 3MM.
+// All accesses are coalesced (or have no cross-iteration reuse), so the
+// correct CATT decision is "do nothing" — these workloads guard against
+// over-throttling (Figure 8).
+#include "common/rng.hpp"
+#include "frontend/parser.hpp"
+#include "workloads/workload.hpp"
+
+namespace catt::wl {
+
+namespace {
+
+using arch::Dim3;
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.next_float(0.0f, 1.0f);
+  return v;
+}
+
+/// Shared GEMM-shaped kernel body: 32x8 blocks; one warp spans a C row
+/// segment, so A[i*K+k] is warp-uniform and B[k*N+j] is unit-stride.
+std::string gemm_kernel_src(const std::string& name, const std::string& a, const std::string& b,
+                            const std::string& c) {
+  return "//@regs=32\n__global__ void " + name + "(float *" + a + ", float *" + b + ", float *" +
+         c + ", int N, int K, int ROWS) {\n" + R"(
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    int i = blockIdx.y * blockDim.y + threadIdx.y;
+    if (i < ROWS && j < N) {
+        float acc = 0.0f;
+        for (int k = 0; k < K; k++) {
+)" + "            acc += " +
+         a + "[i * K + k] * " + b + "[k * N + j];\n" + R"(
+        }
+)" + "        " +
+         c + "[i * N + j] = acc;\n    }\n}\n";
+}
+
+Workload gemm_like(const std::string& name, const std::string& desc, int num_sms, int chains) {
+  const int n = 256;
+  const int k = 256;
+  const int rows = 8 * 8 * num_sms;  // 8 TB rows per SM
+  Workload w;
+  w.name = name;
+  w.description = desc;
+  w.group = Group::kCI;
+
+  std::string src;
+  std::vector<std::string> mats = {"A", "B", "C", "D", "E", "F", "G"};
+  for (int s = 0; s < chains; ++s) {
+    const std::string in1 = s == 0 ? "A" : mats[static_cast<std::size_t>(s) + 1];
+    const std::string in2 = "B";
+    const std::string out = mats[static_cast<std::size_t>(s) + 2];
+    src += gemm_kernel_src(name + "_mm" + std::to_string(s + 1), in1, in2, out);
+  }
+  w.kernels = frontend::parse_program(src);
+
+  const Dim3 block{32, 8};
+  const Dim3 grid{static_cast<std::uint32_t>(n / 32), static_cast<std::uint32_t>(rows / 8)};
+  const expr::ParamEnv params{{"N", n}, {"K", k}, {"ROWS", rows}};
+  for (int s = 0; s < chains; ++s) {
+    w.schedule.push_back({name + "_mm" + std::to_string(s + 1), {grid, block}, params});
+  }
+  w.setup = [n, k, rows, chains, mats](sim::DeviceMemory& mem) {
+    mem.alloc_f32("A", random_vec(static_cast<std::size_t>(rows) * k, 0x6E01));
+    mem.alloc_f32("B", random_vec(static_cast<std::size_t>(k) * n, 0x6E02));
+    for (int s = 0; s < chains; ++s) {
+      // Chain outputs feed the next multiply; size for both roles.
+      const std::size_t count = static_cast<std::size_t>(std::max(rows, k)) *
+                                static_cast<std::size_t>(std::max(n, k));
+      mem.alloc_f32(mats[static_cast<std::size_t>(s) + 2], count, 0.0f);
+    }
+  };
+  return w;
+}
+
+}  // namespace
+
+Workload make_gemm(int num_sms) {
+  return gemm_like("gemm", "Dense matrix multiply (PolyBench)", num_sms, 1);
+}
+
+Workload make_2mm(int num_sms) {
+  return gemm_like("mm2", "Two chained matrix multiplies (PolyBench 2MM)", num_sms, 2);
+}
+
+Workload make_3mm(int num_sms) {
+  return gemm_like("mm3", "Three chained matrix multiplies (PolyBench 3MM)", num_sms, 3);
+}
+
+// ---------------------------------------------------------------------------
+// GRAM: Gram-Schmidt column norms + normalization. Column-major walks have
+// no cross-iteration line reuse (stride = row length), so Eq. 6 reports no
+// locality and CATT must leave the kernel alone.
+// ---------------------------------------------------------------------------
+Workload make_gram(int num_sms) {
+  const int m = 512 * num_sms;  // columns
+  const int n = 512;            // rows
+  static const char* kSrc = R"(
+//@regs=32
+__global__ void gram_norm(float *A, float *rdiag, int M, int N) {
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j < M) {
+        float acc = 0.0f;
+        for (int i = 0; i < N; i++) {
+            float v = A[i * M + j];
+            acc += v * v;
+        }
+        rdiag[j] = sqrtf(acc);
+    }
+}
+//@regs=32
+__global__ void gram_scale(float *A, float *Q, float *rdiag, int M, int N) {
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j < M) {
+        for (int i = 0; i < N; i++) {
+            Q[i * M + j] = A[i * M + j] / (rdiag[j] + 0.000001f);
+        }
+    }
+}
+)";
+  Workload w;
+  w.name = "gram";
+  w.description = "Gram-Schmidt process (PolyBench)";
+  w.group = Group::kCI;
+  w.kernels = frontend::parse_program(kSrc);
+  const Dim3 block{256};
+  const Dim3 grid{static_cast<std::uint32_t>(m / 256)};
+  const expr::ParamEnv params{{"M", m}, {"N", n}};
+  w.schedule = {
+      {"gram_norm", {grid, block}, params},
+      {"gram_scale", {grid, block}, params},
+  };
+  w.setup = [m, n](sim::DeviceMemory& mem) {
+    mem.alloc_f32("A", random_vec(static_cast<std::size_t>(m) * n, 0x6201));
+    mem.alloc_f32("Q", static_cast<std::size_t>(m) * n, 0.0f);
+    mem.alloc_f32("rdiag", static_cast<std::size_t>(m), 0.0f);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// SYRK: symmetric rank-k update, coalesced variant (both factors read
+// column-major) — contrast to the CS-group SYR2K.
+// ---------------------------------------------------------------------------
+Workload make_syrk(int num_sms) {
+  const int n = 256;
+  const int m = 256;
+  const int rows = 8 * 8 * num_sms;
+  static const char* kSrc = R"(
+//@regs=32
+__global__ void syrk_kernel(float *A, float *C, int N, int M, int ROWS) {
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    int i = blockIdx.y * blockDim.y + threadIdx.y;
+    if (i < ROWS && j < N) {
+        float acc = 0.0f;
+        for (int k = 0; k < M; k++) {
+            acc += A[i * M + k] * A[k * N + j];
+        }
+        C[i * N + j] += acc;
+    }
+}
+)";
+  Workload w;
+  w.name = "syrk";
+  w.description = "Symmetric rank-k operations (PolyBench)";
+  w.group = Group::kCI;
+  w.kernels = frontend::parse_program(kSrc);
+  const Dim3 block{32, 8};
+  const Dim3 grid{static_cast<std::uint32_t>(n / 32), static_cast<std::uint32_t>(rows / 8)};
+  w.schedule = {{"syrk_kernel", {grid, block}, {{"N", n}, {"M", m}, {"ROWS", rows}}}};
+  w.setup = [n, m, rows](sim::DeviceMemory& mem) {
+    const std::size_t big = static_cast<std::size_t>(std::max(rows, m)) *
+                            static_cast<std::size_t>(std::max(n, m));
+    mem.alloc_f32("A", random_vec(big, 0x5931));
+    mem.alloc_f32("C", static_cast<std::size_t>(rows) * n, 0.0f);
+  };
+  return w;
+}
+
+}  // namespace catt::wl

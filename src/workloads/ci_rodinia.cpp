@@ -1,0 +1,425 @@
+// Cache-insensitive Rodinia workloads: BT, HP, LVMD, BP, HM, LUD, HW, MC,
+// NW. These either have no cross-iteration reuse (streaming/stencil), do
+// their reuse in shared memory, or are data-dependent with small working
+// sets. CATT must keep every one of them at baseline TLP (Figure 8).
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "frontend/parser.hpp"
+#include "workloads/workload.hpp"
+
+namespace catt::wl {
+
+namespace {
+
+using arch::Dim3;
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.next_float(0.0f, 1.0f);
+  return v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BT: B+ tree lookups. Each thread walks the tree; the child index is
+// data-dependent at every level, and no line is revisited.
+// ---------------------------------------------------------------------------
+Workload make_bt(int num_sms) {
+  const int nq = 1024 * num_sms;  // queries
+  const int nodes = 4096;
+  const int fan = 8;
+  static const char* kSrc = R"(
+//@regs=24
+__global__ void bt_search(int *tree, int *keys, int *result, int NQ, int NODES, int FAN, int LEVELS) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NQ) {
+        int node = 0;
+        int key = keys[i];
+        for (int l = 1; l <= LEVELS; l++) {
+            int slot = (key / l) % FAN;
+            node = tree[node * FAN + slot] % NODES;
+        }
+        result[i] = node;
+    }
+}
+)";
+  Workload w;
+  w.name = "bt";
+  w.description = "B+ tree query traversal (Rodinia)";
+  w.group = Group::kCI;
+  w.kernels = frontend::parse_program(kSrc);
+  const Dim3 block{256};
+  const Dim3 grid{static_cast<std::uint32_t>(nq / 256)};
+  w.schedule = {{"bt_search",
+                 {grid, block},
+                 {{"NQ", nq}, {"NODES", nodes}, {"FAN", fan}, {"LEVELS", 8}}}};
+  w.setup = [nq, nodes, fan](sim::DeviceMemory& mem) {
+    Rng rng(0xB7E31);
+    std::vector<std::int32_t> tree(static_cast<std::size_t>(nodes) * fan);
+    for (auto& t : tree) t = static_cast<std::int32_t>(rng.next_below(nodes));
+    std::vector<std::int32_t> keys(static_cast<std::size_t>(nq));
+    for (auto& k : keys) k = 1 + static_cast<std::int32_t>(rng.next_below(1 << 20));
+    mem.alloc_i32("tree", std::move(tree));
+    mem.alloc_i32("keys", std::move(keys));
+    mem.alloc_i32("result", static_cast<std::size_t>(nq), 0);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// HP: Hotspot3D stencil. Coalesced neighbor loads, and the z sweep never
+// revisits a plane — streaming, no reuse to protect.
+// ---------------------------------------------------------------------------
+Workload make_hp(int num_sms) {
+  const int nxy = 2048 * num_sms;
+  const int nz = 8;
+  static const char* kSrc = R"(
+//@regs=32
+__global__ void hp_stencil(float *tin, float *tout, float *power, int NXY, int NZ) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= 1 && i < NXY - 1) {
+        for (int z = 0; z < NZ; z++) {
+            float c = tin[z * NXY + i];
+            float w2 = tin[z * NXY + i - 1];
+            float e = tin[z * NXY + i + 1];
+            tout[z * NXY + i] = 0.25f * (c + w2 + e + power[i]);
+        }
+    }
+}
+)";
+  Workload w;
+  w.name = "hp";
+  w.description = "Hotspot3D thermal stencil (Rodinia)";
+  w.group = Group::kCI;
+  w.kernels = frontend::parse_program(kSrc);
+  const Dim3 block{256};
+  const Dim3 grid{static_cast<std::uint32_t>(nxy / 256)};
+  w.schedule = {{"hp_stencil", {grid, block}, {{"NXY", nxy}, {"NZ", nz}}, /*repeats=*/2}};
+  w.setup = [nxy, nz](sim::DeviceMemory& mem) {
+    mem.alloc_f32("tin", random_vec(static_cast<std::size_t>(nxy) * nz, 0x4B01));
+    mem.alloc_f32("tout", static_cast<std::size_t>(nxy) * nz, 0.0f);
+    mem.alloc_f32("power", random_vec(static_cast<std::size_t>(nxy), 0x4B02));
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// LVMD: LavaMD particle interactions. Home-box particles are staged into
+// shared memory; neighbor boxes arrive through a connectivity list
+// (data-dependent), so the global traffic has no analyzable reuse.
+// ---------------------------------------------------------------------------
+Workload make_lvmd(int num_sms) {
+  const int boxes = 8 * num_sms;
+  const int ppb = 128;  // particles per box
+  static const char* kSrc = R"(
+//@regs=48
+__global__ void lvmd_kernel(float *pos, int *nbr, float *force, int PPB, int NNBR, int NBOXES) {
+    __shared__ float home[1800];
+    int b = blockIdx.x;
+    int t = threadIdx.x;
+    home[t] = pos[b * PPB + t];
+    __syncthreads();
+    float acc = 0.0f;
+    for (int k = 0; k < NNBR; k++) {
+        int nb = nbr[b * NNBR + k] % NBOXES;
+        for (int p = 0; p < PPB; p++) {
+            float d = pos[nb * PPB + p] - home[t];
+            acc += d * d;
+        }
+    }
+    force[b * PPB + t] = acc;
+}
+)";
+  Workload w;
+  w.name = "lvmd";
+  w.description = "LavaMD N-body box interactions (Rodinia)";
+  w.group = Group::kCI;
+  w.kernels = frontend::parse_program(kSrc);
+  const Dim3 block{128};
+  const Dim3 grid{static_cast<std::uint32_t>(boxes)};
+  w.schedule = {{"lvmd_kernel", {grid, block}, {{"PPB", ppb}, {"NNBR", 8}, {"NBOXES", boxes}}}};
+  w.setup = [boxes, ppb](sim::DeviceMemory& mem) {
+    Rng rng(0x1A7A);
+    mem.alloc_f32("pos", random_vec(static_cast<std::size_t>(boxes) * ppb, 0x1A7B));
+    std::vector<std::int32_t> nbr(static_cast<std::size_t>(boxes) * 8);
+    for (auto& x : nbr) x = static_cast<std::int32_t>(rng.next_below(boxes));
+    mem.alloc_i32("nbr", std::move(nbr));
+    mem.alloc_f32("force", static_cast<std::size_t>(boxes) * ppb, 0.0f);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// BP: neural-net back propagation layer. Input activations are staged in
+// shared memory; the weight matrix is streamed coalesced with no reuse.
+// ---------------------------------------------------------------------------
+Workload make_bp(int num_sms) {
+  const int hidden = 512 * num_sms;
+  const int in_n = 128;
+  static const char* kSrc = R"(
+//@regs=24
+__global__ void bp_layerforward(float *w, float *input, float *hidden_out, int H, int IN) {
+    __shared__ float node[272];
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (threadIdx.x < IN) {
+        node[threadIdx.x] = input[threadIdx.x];
+    }
+    __syncthreads();
+    if (j < H) {
+        float acc = 0.0f;
+        for (int i = 0; i < IN; i++) {
+            acc += w[i * H + j] * node[i];
+        }
+        hidden_out[j] = 1.0f / (1.0f + expf(0.0f - acc));
+    }
+}
+//@regs=24
+__global__ void bp_adjust(float *w, float *delta, float *input2, int H, int IN) {
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j < H) {
+        for (int i = 0; i < IN; i++) {
+            w[i * H + j] = w[i * H + j] + 0.3f * delta[j] * input2[i];
+        }
+    }
+}
+)";
+  Workload w;
+  w.name = "bp";
+  w.description = "Back propagation layer (Rodinia)";
+  w.group = Group::kCI;
+  w.kernels = frontend::parse_program(kSrc);
+  const Dim3 block{256};
+  const Dim3 grid{static_cast<std::uint32_t>(hidden / 256)};
+  const expr::ParamEnv params{{"H", hidden}, {"IN", in_n}};
+  w.schedule = {
+      {"bp_layerforward", {grid, block}, params},
+      {"bp_adjust", {grid, block}, params},
+  };
+  w.setup = [hidden, in_n](sim::DeviceMemory& mem) {
+    mem.alloc_f32("w", random_vec(static_cast<std::size_t>(in_n) * hidden, 0xB901));
+    mem.alloc_f32("input", random_vec(static_cast<std::size_t>(in_n), 0xB902));
+    mem.alloc_f32("input2", random_vec(static_cast<std::size_t>(in_n), 0xB903));
+    mem.alloc_f32("delta", random_vec(static_cast<std::size_t>(hidden), 0xB904));
+    mem.alloc_f32("hidden_out", static_cast<std::size_t>(hidden), 0.0f);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// HM: Huffman-style table-driven encoding: data-dependent codebook lookups
+// with a shared-memory staging buffer; tiny working set.
+// ---------------------------------------------------------------------------
+Workload make_hm(int num_sms) {
+  const int n = 2048 * num_sms;
+  const int nsym = 256;
+  static const char* kSrc = R"(
+//@regs=24
+__global__ void hm_encode(int *symbols, float *codebook, float *out, int N, int NSYM) {
+    __shared__ float local_cb[1570];
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (threadIdx.x < NSYM) {
+        local_cb[threadIdx.x] = codebook[threadIdx.x];
+    }
+    __syncthreads();
+    if (i < N) {
+        float acc = 0.0f;
+        for (int r = 0; r < 16; r++) {
+            int s = symbols[i] % NSYM;
+            acc += local_cb[s] * (float)(r + 1);
+        }
+        out[i] = acc;
+    }
+}
+)";
+  Workload w;
+  w.name = "hm";
+  w.description = "Huffman-style codebook encoding (Rodinia huffman)";
+  w.group = Group::kCI;
+  w.kernels = frontend::parse_program(kSrc);
+  const Dim3 block{256};
+  const Dim3 grid{static_cast<std::uint32_t>(n / 256)};
+  w.schedule = {{"hm_encode", {grid, block}, {{"N", n}, {"NSYM", nsym}}}};
+  w.setup = [n, nsym](sim::DeviceMemory& mem) {
+    Rng rng(0x4A11);
+    std::vector<std::int32_t> sym(static_cast<std::size_t>(n));
+    for (auto& s : sym) s = static_cast<std::int32_t>(rng.next_below(nsym));
+    mem.alloc_i32("symbols", std::move(sym));
+    mem.alloc_f32("codebook", random_vec(static_cast<std::size_t>(nsym), 0x4A12));
+    mem.alloc_f32("out", static_cast<std::size_t>(n), 0.0f);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// LUD: blocked LU decomposition step; the tile lives in shared memory and
+// global traffic is one coalesced read + write per element.
+// ---------------------------------------------------------------------------
+Workload make_lud(int num_sms) {
+  const int tiles = 8 * num_sms;
+  const int tile = 16;  // 16x16 tile per TB
+  static const char* kSrc = R"(
+//@regs=32
+__global__ void lud_diagonal(float *m, int TILE, int STRIDE) {
+    __shared__ float tilebuf[1536];
+    int tx = threadIdx.x;
+    int ty = threadIdx.y;
+    int base = blockIdx.x * TILE * STRIDE + blockIdx.x * TILE;
+    tilebuf[ty * TILE + tx] = m[base + ty * STRIDE + tx];
+    __syncthreads();
+    for (int k = 0; k < TILE - 1; k++) {
+        if (tx > k && ty > k) {
+            tilebuf[ty * TILE + tx] = tilebuf[ty * TILE + tx] - tilebuf[ty * TILE + k] * tilebuf[k * TILE + tx] / (tilebuf[k * TILE + k] + 1.0f);
+        }
+        __syncthreads();
+    }
+    m[base + ty * STRIDE + tx] = tilebuf[ty * TILE + tx];
+}
+)";
+  Workload w;
+  w.name = "lud";
+  w.description = "Blocked LU decomposition diagonal step (Rodinia)";
+  w.group = Group::kCI;
+  w.kernels = frontend::parse_program(kSrc);
+  const int stride = tiles * tile;
+  const Dim3 block{static_cast<std::uint32_t>(tile), static_cast<std::uint32_t>(tile)};
+  const Dim3 grid{static_cast<std::uint32_t>(tiles)};
+  w.schedule = {{"lud_diagonal", {grid, block}, {{"TILE", tile}, {"STRIDE", stride}}}};
+  w.setup = [stride](sim::DeviceMemory& mem) {
+    mem.alloc_f32("m", random_vec(static_cast<std::size_t>(stride) * stride, 0x1DD1));
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// HW: heart wall tracking: per-block image window staged through a large
+// shared buffer (11.6 KB), coalesced global reads.
+// ---------------------------------------------------------------------------
+Workload make_hw(int num_sms) {
+  const int windows = 8 * num_sms;
+  const int wsize = 512;
+  static const char* kSrc = R"(
+//@regs=40
+__global__ void hw_track(float *frame, float *tpl, float *score, int WSIZE) {
+    __shared__ float win[2967];
+    int b = blockIdx.x;
+    int t = threadIdx.x;
+    win[t] = frame[b * WSIZE + t];
+    win[t + 256] = frame[b * WSIZE + t + 256];
+    __syncthreads();
+    float acc = 0.0f;
+    for (int k = 0; k < 8; k++) {
+        acc += win[(t + k) % 512] * tpl[t % 64 + k];
+    }
+    score[b * 256 + t] = acc;
+}
+)";
+  Workload w;
+  w.name = "hw";
+  w.description = "Heart wall template tracking (Rodinia)";
+  w.group = Group::kCI;
+  w.kernels = frontend::parse_program(kSrc);
+  const Dim3 block{256};
+  const Dim3 grid{static_cast<std::uint32_t>(windows)};
+  w.schedule = {{"hw_track", {grid, block}, {{"WSIZE", wsize}}}};
+  w.setup = [windows, wsize](sim::DeviceMemory& mem) {
+    mem.alloc_f32("frame", random_vec(static_cast<std::size_t>(windows) * wsize, 0x4771));
+    mem.alloc_f32("tpl", random_vec(128, 0x4772));
+    mem.alloc_f32("score", static_cast<std::size_t>(windows) * 256, 0.0f);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// MC: myocyte ODE integration — compute-bound (exp/log-heavy), with a
+// small per-thread state vector; the L1D barely matters.
+// ---------------------------------------------------------------------------
+Workload make_mc(int num_sms) {
+  const int cells = 256 * num_sms;
+  const int neq = 4;
+  static const char* kSrc = R"(
+//@regs=56
+__global__ void mc_solve(float *y, float *params, float *out, int NC, int NEQ, int STEPS) {
+    __shared__ float scratch[3604];
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NC) {
+        float a = y[i * NEQ];
+        float b = y[i * NEQ + 1];
+        float c = y[i * NEQ + 2];
+        float d = y[i * NEQ + 3];
+        float p = params[i % 64];
+        for (int s = 0; s < STEPS; s++) {
+            float da = expf(0.0f - fabsf(b) * 0.01f) - a * p;
+            float db = logf(fabsf(a) + 1.5f) - b * 0.02f;
+            float dc = a * b * 0.001f - c * 0.01f;
+            float dd = c - d * 0.05f;
+            a = a + 0.01f * da;
+            b = b + 0.01f * db;
+            c = c + 0.01f * dc;
+            d = d + 0.01f * dd;
+        }
+        scratch[threadIdx.x] = a + b;
+        out[i * NEQ] = a;
+        out[i * NEQ + 1] = b;
+        out[i * NEQ + 2] = c;
+        out[i * NEQ + 3] = d + scratch[threadIdx.x] * 0.0f;
+    }
+}
+)";
+  Workload w;
+  w.name = "mc";
+  w.description = "Myocyte cardiac cell ODE integration (Rodinia)";
+  w.group = Group::kCI;
+  w.kernels = frontend::parse_program(kSrc);
+  const Dim3 block{128};
+  const Dim3 grid{static_cast<std::uint32_t>(cells / 128)};
+  w.schedule = {{"mc_solve", {grid, block}, {{"NC", cells}, {"NEQ", neq}, {"STEPS", 64}}}};
+  w.setup = [cells, neq](sim::DeviceMemory& mem) {
+    mem.alloc_f32("y", random_vec(static_cast<std::size_t>(cells) * neq, 0x3C01));
+    mem.alloc_f32("params", random_vec(64, 0x3C02));
+    mem.alloc_f32("out", static_cast<std::size_t>(cells) * neq, 0.0f);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// NW: Needleman-Wunsch diagonal band processing with a shared tile.
+// ---------------------------------------------------------------------------
+Workload make_nw(int num_sms) {
+  const int bands = 8 * num_sms;
+  const int bw = 256;  // band width
+  static const char* kSrc = R"(
+//@regs=32
+__global__ void nw_band(float *items, float *reference, float *outv, int BW) {
+    __shared__ float tilebuf[2145];
+    int b = blockIdx.x;
+    int t = threadIdx.x;
+    tilebuf[t] = items[b * BW + t];
+    __syncthreads();
+    float best = 0.0f;
+    for (int k = 0; k < 16; k++) {
+        float cand = tilebuf[(t + k) % BW] + reference[(b * BW + t) % 1024];
+        best = fmaxf(best, cand);
+    }
+    outv[b * BW + t] = best;
+}
+)";
+  Workload w;
+  w.name = "nw";
+  w.description = "Needleman-Wunsch banded alignment (Rodinia)";
+  w.group = Group::kCI;
+  w.kernels = frontend::parse_program(kSrc);
+  const Dim3 block{static_cast<std::uint32_t>(bw)};
+  const Dim3 grid{static_cast<std::uint32_t>(bands)};
+  w.schedule = {{"nw_band", {grid, block}, {{"BW", bw}}}};
+  w.setup = [bands, bw](sim::DeviceMemory& mem) {
+    mem.alloc_f32("items", random_vec(static_cast<std::size_t>(bands) * bw, 0x4E57));
+    mem.alloc_f32("reference", random_vec(1024, 0x4E58));
+    mem.alloc_f32("outv", static_cast<std::size_t>(bands) * bw, 0.0f);
+  };
+  return w;
+}
+
+}  // namespace catt::wl

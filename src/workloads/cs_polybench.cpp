@@ -1,0 +1,320 @@
+// Cache-sensitive PolyBench-GPU workloads: GSMV, SYR2K, ATAX, BICG, MVT,
+// CORR (Table 2, CS group). Matrix extents are simulation-scale; the
+// divergent/coalesced structure of every access matches the original
+// kernels (see file-level comment in workload.hpp).
+#include "common/rng.hpp"
+#include "frontend/parser.hpp"
+#include "workloads/workload.hpp"
+
+namespace catt::wl {
+
+namespace {
+
+using arch::Dim3;
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.next_float(0.0f, 1.0f);
+  return v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ATAX: y = A^T (A x). Kernel 1 walks rows (uncoalesced across threads,
+// the paper's Figure 1 example); kernel 2 walks columns (coalesced).
+// ---------------------------------------------------------------------------
+Workload make_atax(int num_sms) {
+  const int nx = 1024 * num_sms;  // 8 blocks of 256 on 2 SMs -> (8,4)
+  static const char* kSrc = R"(
+//@regs=32
+__global__ void atax_kernel1(float *A, float *x, float *tmp, int NX) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NX) {
+        for (int j = 0; j < NX; j++) {
+            tmp[i] += A[i * NX + j] * x[j];
+        }
+    }
+}
+//@regs=32
+__global__ void atax_kernel2(float *A, float *y, float *tmp, int NX) {
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j < NX) {
+        for (int i = 0; i < NX; i++) {
+            y[j] += A[i * NX + j] * tmp[i];
+        }
+    }
+}
+)";
+  Workload w;
+  w.name = "atax";
+  w.description = "Matrix transpose and vector multiplication (PolyBench)";
+  w.group = Group::kCS;
+  w.kernels = frontend::parse_program(kSrc);
+  const Dim3 block{256};
+  const Dim3 grid{static_cast<std::uint32_t>(nx / 256)};
+  w.schedule = {
+      {"atax_kernel1", {grid, block}, {{"NX", nx}}},
+      {"atax_kernel2", {grid, block}, {{"NX", nx}}},
+  };
+  w.setup = [nx](sim::DeviceMemory& mem) {
+    mem.alloc_f32("A", random_vec(static_cast<std::size_t>(nx) * nx, 0xA7A7));
+    mem.alloc_f32("x", random_vec(static_cast<std::size_t>(nx), 0xA7A8));
+    mem.alloc_f32("tmp", static_cast<std::size_t>(nx), 0.0f);
+    mem.alloc_f32("y", static_cast<std::size_t>(nx), 0.0f);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// BICG: s = A^T r (coalesced), q = A p (uncoalesced) — ATAX's phases in the
+// opposite order.
+// ---------------------------------------------------------------------------
+Workload make_bicg(int num_sms) {
+  const int nx = 1024 * num_sms;
+  static const char* kSrc = R"(
+//@regs=32
+__global__ void bicg_kernel1(float *A, float *r, float *s, int NX) {
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j < NX) {
+        for (int i = 0; i < NX; i++) {
+            s[j] += r[i] * A[i * NX + j];
+        }
+    }
+}
+//@regs=32
+__global__ void bicg_kernel2(float *A, float *p, float *q, int NX) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NX) {
+        for (int j = 0; j < NX; j++) {
+            q[i] += A[i * NX + j] * p[j];
+        }
+    }
+}
+)";
+  Workload w;
+  w.name = "bicg";
+  w.description = "BiCGStab kernel pair (PolyBench)";
+  w.group = Group::kCS;
+  w.kernels = frontend::parse_program(kSrc);
+  const Dim3 block{256};
+  const Dim3 grid{static_cast<std::uint32_t>(nx / 256)};
+  w.schedule = {
+      {"bicg_kernel1", {grid, block}, {{"NX", nx}}},
+      {"bicg_kernel2", {grid, block}, {{"NX", nx}}},
+  };
+  w.setup = [nx](sim::DeviceMemory& mem) {
+    mem.alloc_f32("A", random_vec(static_cast<std::size_t>(nx) * nx, 0xB1C6));
+    mem.alloc_f32("r", random_vec(static_cast<std::size_t>(nx), 0xB1C7));
+    mem.alloc_f32("p", random_vec(static_cast<std::size_t>(nx), 0xB1C8));
+    mem.alloc_f32("s", static_cast<std::size_t>(nx), 0.0f);
+    mem.alloc_f32("q", static_cast<std::size_t>(nx), 0.0f);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// MVT: x1 += A y1 (uncoalesced), x2 += A^T y2 (coalesced).
+// ---------------------------------------------------------------------------
+Workload make_mvt(int num_sms) {
+  const int n = 1024 * num_sms;
+  static const char* kSrc = R"(
+//@regs=32
+__global__ void mvt_kernel1(float *A, float *x1, float *y1, int N) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < N) {
+        for (int j = 0; j < N; j++) {
+            x1[i] += A[i * N + j] * y1[j];
+        }
+    }
+}
+//@regs=32
+__global__ void mvt_kernel2(float *A, float *x2, float *y2, int N) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < N) {
+        for (int j = 0; j < N; j++) {
+            x2[i] += A[j * N + i] * y2[j];
+        }
+    }
+}
+)";
+  Workload w;
+  w.name = "mvt";
+  w.description = "Matrix-vector product and transpose (PolyBench)";
+  w.group = Group::kCS;
+  w.kernels = frontend::parse_program(kSrc);
+  const Dim3 block{256};
+  const Dim3 grid{static_cast<std::uint32_t>(n / 256)};
+  w.schedule = {
+      {"mvt_kernel1", {grid, block}, {{"N", n}}},
+      {"mvt_kernel2", {grid, block}, {{"N", n}}},
+  };
+  w.setup = [n](sim::DeviceMemory& mem) {
+    mem.alloc_f32("A", random_vec(static_cast<std::size_t>(n) * n, 0x3717));
+    mem.alloc_f32("y1", random_vec(static_cast<std::size_t>(n), 0x3718));
+    mem.alloc_f32("y2", random_vec(static_cast<std::size_t>(n), 0x3719));
+    mem.alloc_f32("x1", static_cast<std::size_t>(n), 0.0f);
+    mem.alloc_f32("x2", static_cast<std::size_t>(n), 0.0f);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// GSMV: scalar & vector matrix multiplication, two row-major (uncoalesced)
+// streams per iteration — contended even at the paper's maximum L1D.
+// ---------------------------------------------------------------------------
+Workload make_gsmv(int num_sms) {
+  const int nx = 512 * num_sms;  // 2 TBs/SM -> baseline (8,2)
+  static const char* kSrc = R"(
+//@regs=32
+__global__ void gsmv_kernel(float *A, float *B, float *x, float *y, int NX) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NX) {
+        float acc = 0.0f;
+        for (int j = 0; j < NX; j++) {
+            acc += A[i * NX + j] * x[j] + B[i * NX + j];
+        }
+        y[i] = acc;
+    }
+}
+)";
+  Workload w;
+  w.name = "gsmv";
+  w.description = "Scalar, vector matrix multiplication (PolyBench)";
+  w.group = Group::kCS;
+  w.kernels = frontend::parse_program(kSrc);
+  const Dim3 block{256};
+  const Dim3 grid{static_cast<std::uint32_t>(nx / 256)};
+  w.schedule = {{"gsmv_kernel", {grid, block}, {{"NX", nx}}}};
+  w.setup = [nx](sim::DeviceMemory& mem) {
+    mem.alloc_f32("A", random_vec(static_cast<std::size_t>(nx) * nx, 0x65D1));
+    mem.alloc_f32("B", random_vec(static_cast<std::size_t>(nx) * nx, 0x65D2));
+    mem.alloc_f32("x", random_vec(static_cast<std::size_t>(nx), 0x65D3));
+    mem.alloc_f32("y", static_cast<std::size_t>(nx), 0.0f);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// SYR2K: C += A B^T + B A^T with 2-D thread blocks — exercises the
+// analyzer's multi-dimensional per-lane address enumeration.
+// ---------------------------------------------------------------------------
+Workload make_syr2k(int num_sms) {
+  const int m = 1024;                // reduction depth (A+B exceed the L2 slice)
+  const int n = 64;                  // C is n x n per grid column strip
+  const int grid_y = 4 * num_sms;   // 8 TBs/SM on 2 SMs -> (8,8)
+  static const char* kSrc = R"(
+//@regs=32
+__global__ void syr2k_kernel(float *A, float *B, float *C, int N, int M, int ROWS) {
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    int i = blockIdx.y * blockDim.y + threadIdx.y;
+    if (i < ROWS && j < N) {
+        float acc = 0.0f;
+        for (int k = 0; k < M; k++) {
+            acc += A[i * M + k] * B[j * M + k] + A[j * M + k] * B[i * M + k];
+        }
+        C[i * N + j] += acc;
+    }
+}
+)";
+  Workload w;
+  w.name = "syr2k";
+  w.description = "Symmetric rank-2k update (PolyBench), 2-D thread blocks";
+  w.group = Group::kCS;
+  w.kernels = frontend::parse_program(kSrc);
+  const Dim3 block{16, 16};
+  const Dim3 grid{static_cast<std::uint32_t>(n / 16), static_cast<std::uint32_t>(grid_y)};
+  const int rows = 16 * grid_y;
+  w.schedule = {{"syr2k_kernel", {grid, block}, {{"N", n}, {"M", m}, {"ROWS", rows}}}};
+  w.setup = [m, n, rows](sim::DeviceMemory& mem) {
+    const std::size_t depth = static_cast<std::size_t>(std::max(rows, n)) * m;
+    mem.alloc_f32("A", random_vec(depth, 0x5261));
+    mem.alloc_f32("B", random_vec(depth, 0x5262));
+    mem.alloc_f32("C", static_cast<std::size_t>(rows) * n, 0.0f);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// CORR: correlation matrix. Each thread owns column j1 and sweeps columns
+// j2 > j1; the reuse of both column streams is carried by the *outer* j2
+// loop across a full inner sweep of N rows, so the working set per warp
+// exceeds the L1D at any TLP — the paper's unresolvable case.
+// ---------------------------------------------------------------------------
+Workload make_corr(int num_sms) {
+  const int m = 256 * num_sms;  // one 256-thread TB per SM -> baseline (8,1)
+  const int n = 384;            // rows per column sweep
+  const int kspan = 128;        // correlation window per thread
+  static const char* kSrc = R"(
+//@regs=40
+__global__ void corr_mean(float *data, float *mean, int M, int N) {
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j < M) {
+        float acc = 0.0f;
+        for (int i = 0; i < N; i++) {
+            acc += data[i * M + j];
+        }
+        mean[j] = acc / (float)(N);
+    }
+}
+//@regs=40
+__global__ void corr_std(float *data, float *mean, float *stddev, int M, int N) {
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j < M) {
+        float acc = 0.0f;
+        for (int i = 0; i < N; i++) {
+            float d = data[i * M + j] - mean[j];
+            acc += d * d;
+        }
+        stddev[j] = sqrtf(acc / (float)(N)) + 0.000001f;
+    }
+}
+//@regs=40
+__global__ void corr_center(float *data, float *mean, float *stddev, int M, int N) {
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j < M) {
+        for (int i = 0; i < N; i++) {
+            data[i * M + j] = (data[i * M + j] - mean[j]) / stddev[j];
+        }
+    }
+}
+//@regs=40
+__global__ void corr_kernel(float *data, float *data2, float *symmat, int M, int N, int KSPAN) {
+    int j1 = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j1 < M) {
+        for (int j2 = j1; j2 < j1 + KSPAN && j2 < M; j2++) {
+            float acc = 0.0f;
+            for (int i = 0; i < N; i++) {
+                acc += data[i * M + j1] * data2[i * M + j2] + data2[i * M + j1] * data[i * M + j2];
+            }
+            symmat[j1 * M + j2] = acc;
+        }
+    }
+}
+)";
+  Workload w;
+  w.name = "corr";
+  w.description = "Correlation computation (PolyBench)";
+  w.group = Group::kCS;
+  w.kernels = frontend::parse_program(kSrc);
+  const Dim3 block{256};
+  const Dim3 grid{static_cast<std::uint32_t>(m / 256)};
+  const expr::ParamEnv params{{"M", m}, {"N", n}};
+  w.schedule = {
+      {"corr_mean", {grid, block}, params},
+      {"corr_std", {grid, block}, params},
+      {"corr_center", {grid, block}, params},
+      {"corr_kernel", {grid, block}, {{"M", m}, {"N", n}, {"KSPAN", kspan}}},
+  };
+  w.setup = [m, n](sim::DeviceMemory& mem) {
+    mem.alloc_f32("data", random_vec(static_cast<std::size_t>(m) * n, 0xC0221));
+    mem.alloc_f32("data2", random_vec(static_cast<std::size_t>(m) * n, 0xC0222));
+    mem.alloc_f32("mean", static_cast<std::size_t>(m), 0.0f);
+    mem.alloc_f32("stddev", static_cast<std::size_t>(m), 0.0f);
+    mem.alloc_f32("symmat", static_cast<std::size_t>(m) * m, 0.0f);
+  };
+  return w;
+}
+
+}  // namespace catt::wl

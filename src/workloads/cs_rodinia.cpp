@@ -1,0 +1,364 @@
+// Cache-sensitive Rodinia workloads: KM (kmeans), PF (particle filter),
+// BFS, CFD. KM and PF are regular-divergent (CATT throttles them); BFS and
+// CFD are irregular (data-dependent indexes), where CATT's conservatism
+// must preserve the baseline TLP.
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "frontend/parser.hpp"
+#include "workloads/workload.hpp"
+
+namespace catt::wl {
+
+namespace {
+
+using arch::Dim3;
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.next_float(0.0f, 1.0f);
+  return v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// KM: kmeans. Points are stored feature-interleaved (point-major), so the
+// feature loop is uncoalesced across threads — the classic kmeans L1D
+// thrasher. Kernel 1 assigns memberships; kernel 2 accumulates the error
+// against each point's assigned centroid (data-dependent centroid index).
+// ---------------------------------------------------------------------------
+Workload make_km(int num_sms) {
+  const int np = 2048 * num_sms;  // 16 TBs on 2 SMs -> (8,8)
+  const int nf = 32;
+  const int k = 5;  // Rodinia kmeans default cluster count
+  static const char* kSrc = R"(
+//@regs=32
+__global__ void km_kernel1(float *features, float *clusters, int *membership, int NP, int NF, int K) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NP) {
+        float best = 1000000000.0f;
+        for (int c = 0; c < K; c++) {
+            float dist = 0.0f;
+            for (int f = 0; f < NF; f++) {
+                float d = features[i * NF + f] - clusters[c * NF + f];
+                dist += d * d;
+            }
+            if (dist < best) {
+                best = dist;
+                membership[i] = c;
+            }
+        }
+    }
+}
+//@regs=32
+__global__ void km_kernel2(float *features, float *clusters, int *membership, float *err, int NP, int NF) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NP) {
+        float acc = 0.0f;
+        int c = membership[i];
+        for (int f = 0; f < NF; f++) {
+            float d = features[i * NF + f] - clusters[c * NF + f];
+            acc += d * d;
+        }
+        err[i] = acc;
+    }
+}
+)";
+  Workload w;
+  w.name = "km";
+  w.description = "Kmeans clustering (Rodinia)";
+  w.group = Group::kCS;
+  w.kernels = frontend::parse_program(kSrc);
+  const Dim3 block{256};
+  const Dim3 grid{static_cast<std::uint32_t>(np / 256)};
+  w.schedule = {
+      {"km_kernel1", {grid, block}, {{"NP", np}, {"NF", nf}, {"K", k}}, /*repeats=*/2},
+      {"km_kernel2", {grid, block}, {{"NP", np}, {"NF", nf}}, /*repeats=*/2},
+  };
+  w.setup = [np, nf, k](sim::DeviceMemory& mem) {
+    mem.alloc_f32("features", random_vec(static_cast<std::size_t>(np) * nf, 0x6B31));
+    mem.alloc_f32("clusters", random_vec(static_cast<std::size_t>(k) * nf, 0x6B32));
+    mem.alloc_i32("membership", static_cast<std::size_t>(np), 0);
+    mem.alloc_f32("err", static_cast<std::size_t>(np), 0.0f);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// PF: particle filter. Kernel 1 (likelihood) has three loops: two
+// uncoalesced pattern-matching sweeps (high contention) and one broadcast
+// weight reduction (none) — the paper's showcase for per-loop decisions.
+// Kernels 2-4 are coalesced bookkeeping passes.
+// ---------------------------------------------------------------------------
+Workload make_pf(int num_sms) {
+  const int np1 = 512 * 3 * num_sms;  // 3 TBs/SM for kernel 1 -> (16,3)
+  const int np = 512 * 4 * num_sms;   // 4 TBs/SM for kernels 2-4 -> (16,4)
+  const int t1 = 256;                 // per-particle pattern length
+  const int numw = 256;
+  static const char* kSrc = R"(
+//@regs=32
+__global__ void pf_likelihood(float *I, float *pattern, float *I2, float *weights, float *likelihood, int NP, int T1, int NUMW) {
+    __shared__ float buf[1024];
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NP) {
+        float acc = 0.0f;
+        for (int j = 0; j < T1; j++) {
+            acc += I[i * T1 + j] * pattern[i * T1 + j];
+        }
+        float acc2 = 0.0f;
+        for (int j2 = 0; j2 < T1; j2++) {
+            acc2 += I2[i * T1 + j2] - 0.5f;
+        }
+        buf[threadIdx.x] = acc + acc2;
+        float s = 0.0f;
+        for (int q = 0; q < NUMW; q++) {
+            s += weights[q];
+        }
+        likelihood[i] = buf[threadIdx.x] / (s + 1.0f);
+    }
+}
+//@regs=24
+__global__ void pf_normalize(float *weights2, float *field2, int NP, int ROUNDS) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NP) {
+        float s = 0.0f;
+        for (int j = 0; j < ROUNDS; j++) {
+            s += field2[j * NP + i];
+        }
+        weights2[i] = s * 0.0078125f;
+    }
+}
+//@regs=24
+__global__ void pf_cdf(float *weights2, float *field2, float *cdf, int NP, int ROUNDS) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NP) {
+        float acc = 0.0f;
+        for (int j = 0; j < ROUNDS; j++) {
+            acc += field2[j * NP + i] * weights2[i];
+        }
+        cdf[i] = acc;
+    }
+}
+//@regs=24
+__global__ void pf_resample(float *cdf, float *field2, float *xj, int NP, int ROUNDS) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NP) {
+        float acc = 0.0f;
+        for (int j = 0; j < ROUNDS; j++) {
+            acc += field2[j * NP + i] + cdf[i];
+        }
+        xj[i] = acc;
+    }
+}
+)";
+  Workload w;
+  w.name = "pf";
+  w.description = "Particle filter (Rodinia)";
+  w.group = Group::kCS;
+  w.kernels = frontend::parse_program(kSrc);
+  const Dim3 block{512};
+  const Dim3 grid1{static_cast<std::uint32_t>(np1 / 512)};
+  const Dim3 grid{static_cast<std::uint32_t>(np / 512)};
+  // Kernels 2-4 stream a large per-round field coalesced (no reuse): they
+  // are latency-bound, so a globally applied throttling factor (BFTT)
+  // slows them while CATT leaves them at full TLP.
+  const int rounds = 96;
+  w.schedule = {
+      {"pf_likelihood", {grid1, block}, {{"NP", np1}, {"T1", t1}, {"NUMW", numw}}},
+      {"pf_normalize", {grid, block}, {{"NP", np}, {"ROUNDS", rounds}}},
+      {"pf_cdf", {grid, block}, {{"NP", np}, {"ROUNDS", rounds}}},
+      {"pf_resample", {grid, block}, {{"NP", np}, {"ROUNDS", rounds}}},
+  };
+  w.setup = [np1, np, t1, numw, rounds](sim::DeviceMemory& mem) {
+    const std::size_t field = static_cast<std::size_t>(np1) * t1;
+    mem.alloc_f32("I", random_vec(field, 0x9F01));
+    mem.alloc_f32("pattern", random_vec(field, 0x9F02));
+    mem.alloc_f32("I2", random_vec(field, 0x9F03));
+    mem.alloc_f32("weights", random_vec(static_cast<std::size_t>(numw), 0x9F05));
+    mem.alloc_f32("likelihood", static_cast<std::size_t>(np1), 0.0f);
+    mem.alloc_f32("field2", random_vec(static_cast<std::size_t>(np) * rounds, 0x9F06));
+    mem.alloc_f32("weights2", static_cast<std::size_t>(np), 0.0f);
+    mem.alloc_f32("cdf", static_cast<std::size_t>(np), 0.0f);
+    mem.alloc_f32("xj", static_cast<std::size_t>(np), 0.0f);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// BFS: level-synchronous breadth-first search over a CSR graph. Neighbor
+// indexes are data-dependent — CATT's conservative path (C_tid := 1) must
+// keep the baseline (16,4).
+// ---------------------------------------------------------------------------
+Workload make_bfs(int num_sms) {
+  const int nn = 512 * 4 * 4 * num_sms;  // nodes; 4 waves of TBs per SM
+  static const char* kSrc = R"(
+//@regs=24
+__global__ void bfs_kernel1(int *row_start, int *col, int *frontier, int *visited, float *cost, int *next_frontier, int NN) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NN) {
+        if (frontier[i] > 0) {
+            for (int j = row_start[i]; j < row_start[i + 1]; j++) {
+                int nb = col[j];
+                if (visited[nb] == 0) {
+                    cost[nb] = cost[i] + 1.0f;
+                    next_frontier[nb] = 1;
+                }
+            }
+        }
+    }
+}
+//@regs=16
+__global__ void bfs_kernel2(int *frontier, int *next_frontier, int *visited, int NN) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NN) {
+        frontier[i] = next_frontier[i];
+        if (next_frontier[i] > 0) {
+            visited[i] = 1;
+        }
+        next_frontier[i] = 0;
+    }
+}
+)";
+  Workload w;
+  w.name = "bfs";
+  w.description = "Breadth-first search over a CSR graph (Rodinia)";
+  w.group = Group::kCS;
+  w.kernels = frontend::parse_program(kSrc);
+  const Dim3 block{512};
+  const Dim3 grid{static_cast<std::uint32_t>(nn / 512)};
+  const expr::ParamEnv params{{"NN", nn}};
+  w.schedule = {
+      {"bfs_kernel1", {grid, block}, params},
+      {"bfs_kernel2", {grid, block}, params},
+      {"bfs_kernel1", {grid, block}, params},
+      {"bfs_kernel2", {grid, block}, params},
+      {"bfs_kernel1", {grid, block}, params},
+      {"bfs_kernel2", {grid, block}, params},
+  };
+  w.setup = [nn](sim::DeviceMemory& mem) {
+    // Random graph, degree 2..10, plus a local ring edge for connectivity.
+    Rng rng(0xBF5001);
+    std::vector<std::int32_t> row_start(static_cast<std::size_t>(nn) + 1);
+    std::vector<std::int32_t> col;
+    col.reserve(static_cast<std::size_t>(nn) * 7);
+    for (int i = 0; i < nn; ++i) {
+      row_start[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(col.size());
+      col.push_back((i + 1) % nn);
+      const int deg = 2 + static_cast<int>(rng.next_below(9));
+      for (int d = 0; d < deg; ++d) {
+        col.push_back(static_cast<std::int32_t>(rng.next_below(static_cast<std::uint64_t>(nn))));
+      }
+    }
+    row_start[static_cast<std::size_t>(nn)] = static_cast<std::int32_t>(col.size());
+    mem.alloc_i32("row_start", std::move(row_start));
+    mem.alloc_i32("col", std::move(col));
+
+    std::vector<std::int32_t> frontier(static_cast<std::size_t>(nn), 0);
+    std::vector<std::int32_t> visited(static_cast<std::size_t>(nn), 0);
+    frontier[0] = 1;
+    visited[0] = 1;
+    mem.alloc_i32("frontier", std::move(frontier));
+    mem.alloc_i32("visited", std::move(visited));
+    mem.alloc_i32("next_frontier", static_cast<std::size_t>(nn), 0);
+    mem.alloc_f32("cost", static_cast<std::size_t>(nn), 0.0f);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// CFD: unstructured-mesh Euler solver. Flux computation reads the four
+// neighbors of each element through a connectivity table (irregular);
+// the other kernels are coalesced field updates.
+// ---------------------------------------------------------------------------
+Workload make_cfd(int num_sms) {
+  const int nel = 192 * 10 * num_sms;  // 10 TBs/SM with 192-thread TBs -> (6,10)
+  const int nvar = 5;
+  static const char* kSrc = R"(
+//@regs=32
+__global__ void cfd_step_factor(float *variables, float *areas, float *step_factors, int NEL, int NVAR) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NEL) {
+        float density = variables[i * NVAR];
+        float acc = 0.0f;
+        for (int v = 1; v < NVAR; v++) {
+            float m = variables[i * NVAR + v];
+            acc += m * m;
+        }
+        step_factors[i] = 0.5f / (sqrtf(areas[i] * acc) + density + 1.0f);
+    }
+}
+//@regs=24
+__global__ void cfd_copy(float *old_variables, float *variables, int NTOT) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NTOT) {
+        old_variables[i] = variables[i];
+    }
+}
+//@regs=32
+__global__ void cfd_compute_flux(int *neighbors, float *normals, float *variables, float *fluxes, int NEL, int NVAR) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NEL) {
+        float flux = 0.0f;
+        for (int j = 0; j < 4; j++) {
+            int nb = neighbors[i * 4 + j];
+            if (nb >= 0) {
+                float contribution = 0.0f;
+                for (int v = 0; v < NVAR; v++) {
+                    contribution += variables[nb * NVAR + v] * normals[i * 4 + j];
+                }
+                flux += contribution;
+            }
+        }
+        fluxes[i] = flux;
+    }
+}
+//@regs=32
+__global__ void cfd_time_step(float *variables, float *old_variables, float *step_factors, float *fluxes, int NEL, int NVAR) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NEL) {
+        float sf = step_factors[i];
+        for (int v = 0; v < NVAR; v++) {
+            variables[i * NVAR + v] = old_variables[i * NVAR + v] + sf * fluxes[i];
+        }
+    }
+}
+)";
+  Workload w;
+  w.name = "cfd";
+  w.description = "Unstructured-mesh CFD solver (Rodinia euler3d)";
+  w.group = Group::kCS;
+  w.kernels = frontend::parse_program(kSrc);
+  const Dim3 block{192};
+  const Dim3 grid{static_cast<std::uint32_t>(nel / 192)};
+  const expr::ParamEnv params{{"NEL", nel}, {"NVAR", nvar}};
+  const expr::ParamEnv copy_params{{"NTOT", nel * nvar}};
+  const Dim3 copy_grid{static_cast<std::uint32_t>(nel * nvar / 192)};
+  w.schedule = {
+      {"cfd_step_factor", {grid, block}, params},
+      {"cfd_copy", {copy_grid, block}, copy_params},
+      {"cfd_compute_flux", {grid, block}, params, /*repeats=*/2},
+      {"cfd_time_step", {grid, block}, params},
+  };
+  w.setup = [nel, nvar](sim::DeviceMemory& mem) {
+    Rng rng(0xCFD001);
+    mem.alloc_f32("variables", random_vec(static_cast<std::size_t>(nel) * nvar, 0xCFD1));
+    mem.alloc_f32("old_variables", static_cast<std::size_t>(nel) * nvar, 0.0f);
+    mem.alloc_f32("areas", random_vec(static_cast<std::size_t>(nel), 0xCFD2));
+    mem.alloc_f32("step_factors", static_cast<std::size_t>(nel), 0.0f);
+    mem.alloc_f32("fluxes", static_cast<std::size_t>(nel), 0.0f);
+    mem.alloc_f32("normals", random_vec(static_cast<std::size_t>(nel) * 4, 0xCFD3));
+    std::vector<std::int32_t> neighbors(static_cast<std::size_t>(nel) * 4);
+    for (auto& nb : neighbors) {
+      // ~10% boundary faces (-1), otherwise a random element.
+      nb = rng.next_below(10) == 0
+               ? -1
+               : static_cast<std::int32_t>(rng.next_below(static_cast<std::uint64_t>(nel)));
+    }
+    mem.alloc_i32("neighbors", std::move(neighbors));
+  };
+  return w;
+}
+
+}  // namespace catt::wl

@@ -1,0 +1,82 @@
+#include "workloads/workload.hpp"
+
+#include <map>
+
+#include "common/error.hpp"
+
+namespace catt::wl {
+
+const char* to_string(Group g) {
+  switch (g) {
+    case Group::kCS: return "CS";
+    case Group::kCI: return "CI";
+    case Group::kMicro: return "micro";
+  }
+  return "?";
+}
+
+const ir::Kernel& Workload::kernel(const std::string& kname) const {
+  for (const auto& k : kernels) {
+    if (k.name == kname) return k;
+  }
+  throw Error("workload '" + name + "' has no kernel '" + kname + "'");
+}
+
+const std::vector<Workload>& all_workloads(int num_sms) {
+  static std::map<int, std::vector<Workload>> cache;
+  auto it = cache.find(num_sms);
+  if (it != cache.end()) return it->second;
+
+  std::vector<Workload> w;
+  // CS group (Table 2 top half).
+  w.push_back(make_gsmv(num_sms));
+  w.push_back(make_syr2k(num_sms));
+  w.push_back(make_atax(num_sms));
+  w.push_back(make_bicg(num_sms));
+  w.push_back(make_mvt(num_sms));
+  w.push_back(make_corr(num_sms));
+  w.push_back(make_bfs(num_sms));
+  w.push_back(make_cfd(num_sms));
+  w.push_back(make_km(num_sms));
+  w.push_back(make_pf(num_sms));
+  // CI group (Table 2 bottom half).
+  w.push_back(make_gram(num_sms));
+  w.push_back(make_syrk(num_sms));
+  w.push_back(make_bt(num_sms));
+  w.push_back(make_hp(num_sms));
+  w.push_back(make_lvmd(num_sms));
+  w.push_back(make_2mm(num_sms));
+  w.push_back(make_gemm(num_sms));
+  w.push_back(make_3mm(num_sms));
+  w.push_back(make_bp(num_sms));
+  w.push_back(make_hm(num_sms));
+  w.push_back(make_lud(num_sms));
+  w.push_back(make_hw(num_sms));
+  w.push_back(make_mc(num_sms));
+  w.push_back(make_nw(num_sms));
+  // Microbenchmarks (Figure 3).
+  w.push_back(make_l1d_full_micro(num_sms, 4));
+  w.push_back(make_l1d_full_micro(num_sms, 8));
+  w.push_back(make_l1d_full_micro(num_sms, 16));
+
+  auto [ins, ok] = cache.emplace(num_sms, std::move(w));
+  (void)ok;
+  return ins->second;
+}
+
+const Workload& find_workload(const std::string& name, int num_sms) {
+  for (const auto& w : all_workloads(num_sms)) {
+    if (w.name == name) return w;
+  }
+  throw Error("no such workload: " + name);
+}
+
+std::vector<const Workload*> workloads_in_group(Group g, int num_sms) {
+  std::vector<const Workload*> out;
+  for (const auto& w : all_workloads(num_sms)) {
+    if (w.group == g) out.push_back(&w);
+  }
+  return out;
+}
+
+}  // namespace catt::wl

@@ -1,0 +1,83 @@
+// Benchmark workload definitions (Table 2 of the paper, at simulation
+// scale). Each workload re-implements the corresponding Rodinia /
+// PolyBench-GPU application's kernel *access-pattern structure* in the
+// mini-CUDA dialect: the same affine coefficients (coalesced vs. divergent
+// arrays), phase structure (multiple kernels/loops with different
+// contention), irregularity (data-dependent indexes), and shared-memory
+// usage — with inputs scaled so the baseline footprint/L1D ratios sit in
+// the paper's regime (see DESIGN.md, "Substitutions").
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "arch/launch.hpp"
+#include "expr/affine.hpp"
+#include "gpusim/memory.hpp"
+#include "ir/ir.hpp"
+
+namespace catt::wl {
+
+enum class Group { kCS, kCI, kMicro };
+
+const char* to_string(Group g);
+
+/// One kernel launch in an application's schedule.
+struct KernelRun {
+  std::string kernel;  // name within Workload::kernels
+  arch::LaunchConfig launch;
+  expr::ParamEnv params;
+  int repeats = 1;
+};
+
+struct Workload {
+  std::string name;
+  std::string description;
+  Group group = Group::kCS;
+  std::vector<ir::Kernel> kernels;
+  std::vector<KernelRun> schedule;
+  /// Allocates and initializes device arrays (fresh per application run).
+  std::function<void(sim::DeviceMemory&)> setup;
+
+  const ir::Kernel& kernel(const std::string& kname) const;
+};
+
+/// All registered workloads, built for a machine with `num_sms` SMs (grid
+/// sizes scale with the SM count so baseline occupancies match Table 3).
+/// The returned reference is a per-`num_sms` singleton.
+const std::vector<Workload>& all_workloads(int num_sms = 2);
+
+const Workload& find_workload(const std::string& name, int num_sms = 2);
+
+std::vector<const Workload*> workloads_in_group(Group g, int num_sms = 2);
+
+// --- factories (one per application; defined across the cs_/ci_/micro_
+// translation units; exposed for focused tests) ---
+Workload make_atax(int num_sms);
+Workload make_bicg(int num_sms);
+Workload make_mvt(int num_sms);
+Workload make_gsmv(int num_sms);
+Workload make_syr2k(int num_sms);
+Workload make_corr(int num_sms);
+Workload make_km(int num_sms);
+Workload make_pf(int num_sms);
+Workload make_bfs(int num_sms);
+Workload make_cfd(int num_sms);
+Workload make_gram(int num_sms);
+Workload make_syrk(int num_sms);
+Workload make_2mm(int num_sms);
+Workload make_gemm(int num_sms);
+Workload make_3mm(int num_sms);
+Workload make_bt(int num_sms);
+Workload make_hp(int num_sms);
+Workload make_lvmd(int num_sms);
+Workload make_bp(int num_sms);
+Workload make_hm(int num_sms);
+Workload make_lud(int num_sms);
+Workload make_hw(int num_sms);
+Workload make_mc(int num_sms);
+Workload make_nw(int num_sms);
+Workload make_l1d_full_micro(int num_sms, int fill_warps);
+
+}  // namespace catt::wl

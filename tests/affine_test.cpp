@@ -1,0 +1,228 @@
+// Tests for the affine (Eq. 5) index analysis, including a property sweep
+// checking the linear form against brute-force evaluation.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "expr/affine.hpp"
+#include "expr/eval.hpp"
+
+namespace catt::expr {
+namespace {
+
+struct Env {
+  ParamEnv params;
+  LocalDefs defs;
+  std::set<std::string> loop_vars;
+  arch::LaunchConfig launch{{8}, {256}};
+
+  AffineEnv view() const { return AffineEnv{&params, &defs, &loop_vars, &launch}; }
+};
+
+TEST(Affine, AtaxRowIndex) {
+  // i = blockIdx.x * blockDim.x + threadIdx.x;  A[i * NX + j]
+  Env env;
+  env.params["NX"] = 2048;
+  env.loop_vars.insert("j");
+  auto def_i = linear_tid_x();
+  env.defs["i"] = def_i.get();
+
+  auto idx = add(mul(var("i"), var("NX")), var("j"));
+  const LinearForm lf = analyze_affine(*idx, env.view());
+  ASSERT_TRUE(lf.valid);
+  EXPECT_EQ(lf.coeff(TermKey::of(Builtin::kThreadIdxX)), 2048);
+  // blockDim.x resolves to 256 from the launch, so blockIdx carries 256*NX.
+  EXPECT_EQ(lf.coeff(TermKey::of(Builtin::kBlockIdxX)), 2048 * 256);
+  EXPECT_EQ(lf.coeff(TermKey::of_loop("j")), 1);
+  EXPECT_EQ(lf.c0, 0);
+
+  const IndexProfile p = profile_index(lf, env.launch.block);
+  EXPECT_FALSE(p.irregular);
+  EXPECT_EQ(p.c_tid, 2048);
+  EXPECT_EQ(p.c_loop.at("j"), 1);
+}
+
+TEST(Affine, BroadcastIndex) {
+  Env env;
+  env.loop_vars.insert("j");
+  auto idx = var("j");
+  const LinearForm lf = analyze_affine(*idx, env.view());
+  ASSERT_TRUE(lf.valid);
+  const IndexProfile p = profile_index(lf, env.launch.block);
+  EXPECT_EQ(p.c_tid, 0);
+  EXPECT_EQ(p.c_loop.at("j"), 1);
+}
+
+TEST(Affine, LoadMakesIrregular) {
+  Env env;
+  auto idx = load("col", var("j", ScalarType::kInt), ScalarType::kInt);
+  env.loop_vars.insert("j");
+  const LinearForm lf = analyze_affine(*idx, env.view());
+  EXPECT_FALSE(lf.valid);
+  EXPECT_TRUE(lf.has_load);
+  EXPECT_TRUE(profile_index(lf, env.launch.block).irregular);
+}
+
+TEST(Affine, NonLinearInvalid) {
+  Env env;
+  env.loop_vars.insert("i");
+  env.loop_vars.insert("j");
+  // i * j is not affine.
+  const LinearForm lf = analyze_affine(*mul(var("i"), var("j")), env.view());
+  EXPECT_FALSE(lf.valid);
+  EXPECT_FALSE(lf.has_load);
+}
+
+TEST(Affine, DivisionBySymbolInvalid) {
+  Env env;
+  const LinearForm lf = analyze_affine(*div(tid_x(), iconst(32)), env.view());
+  EXPECT_FALSE(lf.valid);  // tid/32 is not affine in tid
+}
+
+TEST(Affine, ConstantFolding) {
+  Env env;
+  env.params["NX"] = 100;
+  const LinearForm lf =
+      analyze_affine(*add(div(var("NX"), iconst(3)), mod(var("NX"), iconst(7))), env.view());
+  ASSERT_TRUE(lf.valid);
+  EXPECT_TRUE(lf.is_constant());
+  EXPECT_EQ(lf.c0, 33 + 2);
+}
+
+TEST(Affine, UnknownVariableInvalid) {
+  Env env;
+  const LinearForm lf = analyze_affine(*var("mystery"), env.view());
+  EXPECT_FALSE(lf.valid);
+}
+
+TEST(Affine, SubtractionAndNegation) {
+  Env env;
+  env.loop_vars.insert("j");
+  const LinearForm lf =
+      analyze_affine(*sub(iconst(10), mul(iconst(3), var("j"))), env.view());
+  ASSERT_TRUE(lf.valid);
+  EXPECT_EQ(lf.c0, 10);
+  EXPECT_EQ(lf.coeff(TermKey::of_loop("j")), -3);
+
+  const LinearForm neg = analyze_affine(*unary(UnOp::kNeg, var("j")), env.view());
+  EXPECT_EQ(neg.coeff(TermKey::of_loop("j")), -1);
+}
+
+TEST(Affine, CancellingTermsDropOut) {
+  Env env;
+  env.loop_vars.insert("j");
+  const LinearForm lf = analyze_affine(*sub(var("j"), var("j")), env.view());
+  ASSERT_TRUE(lf.valid);
+  EXPECT_TRUE(lf.is_constant());
+  EXPECT_EQ(lf.c0, 0);
+}
+
+TEST(Affine, LocalDefChainResolution) {
+  // int a = threadIdx.x * 2; int b = a + 5; index = b * 3
+  Env env;
+  auto def_a = mul(tid_x(), iconst(2));
+  auto def_b = add(var("a"), iconst(5));
+  env.defs["a"] = def_a.get();
+  env.defs["b"] = def_b.get();
+  const LinearForm lf = analyze_affine(*mul(var("b"), iconst(3)), env.view());
+  ASSERT_TRUE(lf.valid);
+  EXPECT_EQ(lf.coeff(TermKey::of(Builtin::kThreadIdxX)), 6);
+  EXPECT_EQ(lf.c0, 15);
+}
+
+TEST(Affine, MultiDimProfile) {
+  // 2-D block: index = i * M + k where i = blockIdx.y*blockDim.y+threadIdx.y.
+  Env env;
+  env.launch.block = {16, 16};
+  env.params["M"] = 512;
+  env.loop_vars.insert("k");
+  auto def_i = add(mul(ctaid_y(), ntid_y()), tid_y());
+  env.defs["i"] = def_i.get();
+  const LinearForm lf =
+      analyze_affine(*add(mul(var("i"), var("M")), var("k")), env.view());
+  ASSERT_TRUE(lf.valid);
+  EXPECT_EQ(lf.coeff(TermKey::of(Builtin::kThreadIdxY)), 512);
+  EXPECT_EQ(lf.coeff(TermKey::of(Builtin::kThreadIdxX)), 0);
+  const IndexProfile p = profile_index(lf, env.launch.block);
+  EXPECT_EQ(p.c_tid, 0);  // x-stride is zero; enumeration handles the rest
+}
+
+// ---------------------------------------------------------------------------
+// Property: for randomly generated affine expressions, the linear form
+// evaluated at sample points must equal direct evaluation.
+// ---------------------------------------------------------------------------
+
+class EnvCtx : public EvalContext {
+ public:
+  std::int64_t tid = 0;
+  std::int64_t j = 0;
+  const Env* env;
+
+  std::int64_t builtin_value(Builtin b) const override {
+    switch (b) {
+      case Builtin::kThreadIdxX: return tid;
+      case Builtin::kBlockDimX: return env->launch.block.x;
+      case Builtin::kGridDimX: return env->launch.grid.x;
+      default: return 0;
+    }
+  }
+  Value var_value(const std::string& name) const override {
+    if (name == "j") return Value::of_int(j);
+    auto it = env->params.find(name);
+    if (it != env->params.end()) return Value::of_int(it->second);
+    throw catt::IrError("unknown " + name);
+  }
+  Value load_value(const std::string&, std::int64_t) override {
+    throw catt::IrError("no loads in affine property test");
+  }
+};
+
+ExprPtr random_affine(Rng& rng, int depth) {
+  if (depth == 0) {
+    switch (rng.next_below(4)) {
+      case 0: return tid_x();
+      case 1: return var("j");
+      case 2: return var("P");
+      default: return iconst(static_cast<std::int64_t>(rng.next_below(20)) - 10);
+    }
+  }
+  switch (rng.next_below(4)) {
+    case 0: return add(random_affine(rng, depth - 1), random_affine(rng, depth - 1));
+    case 1: return sub(random_affine(rng, depth - 1), random_affine(rng, depth - 1));
+    case 2:
+      return mul(iconst(static_cast<std::int64_t>(rng.next_below(9)) - 4),
+                 random_affine(rng, depth - 1));
+    default: return unary(UnOp::kNeg, random_affine(rng, depth - 1));
+  }
+}
+
+class AffineProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AffineProperty, LinearFormMatchesEvaluation) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 17);
+  Env env;
+  env.params["P"] = 13;
+  env.loop_vars.insert("j");
+  auto e = random_affine(rng, 3);
+  const LinearForm lf = analyze_affine(*e, env.view());
+  ASSERT_TRUE(lf.valid) << e->str();
+
+  EnvCtx ctx;
+  ctx.env = &env;
+  for (std::int64_t tid : {0, 1, 5, 31}) {
+    for (std::int64_t j : {0, 1, 7}) {
+      ctx.tid = tid;
+      ctx.j = j;
+      const std::int64_t direct = eval(*e, ctx).as_int();
+      const std::int64_t via_form = lf.c0 +
+                                    lf.coeff(TermKey::of(Builtin::kThreadIdxX)) * tid +
+                                    lf.coeff(TermKey::of_loop("j")) * j;
+      EXPECT_EQ(direct, via_form) << e->str() << " at tid=" << tid << " j=" << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTrees, AffineProperty, ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace catt::expr

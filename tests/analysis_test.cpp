@@ -1,0 +1,375 @@
+// Tests for the CATT static analysis: Eq. 5-9 on the paper's examples,
+// irregular-access conservatism, the multi-dimensional enumeration, the
+// trip-count-aware footprint (CORR), and a property check that per-lane
+// enumeration agrees with Eq. 7's min(C_tid, 32) on 1-D regular indexes.
+#include <gtest/gtest.h>
+
+#include "catt/analysis.hpp"
+#include "catt/report.hpp"
+#include "common/units.hpp"
+#include "frontend/parser.hpp"
+
+namespace catt::analysis {
+namespace {
+
+constexpr const char* kAtax1 = R"(
+//@regs=32
+__global__ void atax_kernel1(float *A, float *x, float *tmp, int NX) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NX) {
+        for (int j = 0; j < NX; j++) {
+            tmp[i] += A[i * NX + j] * x[j];
+        }
+    }
+}
+)";
+
+const arch::GpuArch kArch = arch::GpuArch::titan_v(2);
+const arch::LaunchConfig kLaunch{{8}, {256}};
+const expr::ParamEnv kParams{{"NX", 2048}};
+
+TEST(Analysis, AtaxAccessProfile) {
+  const ir::Kernel k = frontend::parse_kernel(kAtax1);
+  const KernelAnalysis ka = analyze(kArch, k, kLaunch, kParams);
+  ASSERT_EQ(ka.loops.size(), 1u);
+  const LoopAnalysis& loop = ka.loops[0];
+  EXPECT_TRUE(loop.top_level);
+  EXPECT_TRUE(loop.has_locality);
+  // tmp load, A load, x load, tmp store.
+  ASSERT_EQ(loop.accesses.size(), 4u);
+
+  const AccessAnalysis* a_acc = nullptr;
+  const AccessAnalysis* x_acc = nullptr;
+  const AccessAnalysis* tmp_load = nullptr;
+  for (const auto& a : loop.accesses) {
+    if (a.array == "A") a_acc = &a;
+    if (a.array == "x") x_acc = &a;
+    if (a.array == "tmp" && !a.is_store) tmp_load = &a;
+  }
+  ASSERT_NE(a_acc, nullptr);
+  EXPECT_EQ(a_acc->c_tid, 2048);        // inter-thread distance NX
+  EXPECT_EQ(a_acc->c_iter, 1);          // intra-thread distance 1
+  EXPECT_EQ(a_acc->req_warp, 32);       // Eq. 7: min(NX, 32)
+  EXPECT_TRUE(a_acc->has_locality);     // Eq. 6: 1 * 4 <= 128
+  ASSERT_NE(x_acc, nullptr);
+  EXPECT_EQ(x_acc->c_tid, 0);
+  EXPECT_EQ(x_acc->req_warp, 1);        // Eq. 7: C_tid = 0 -> 1
+  ASSERT_NE(tmp_load, nullptr);
+  EXPECT_EQ(tmp_load->c_tid, 1);
+  EXPECT_EQ(tmp_load->c_iter, 0);
+  EXPECT_EQ(tmp_load->req_warp, 1);
+}
+
+TEST(Analysis, AtaxDecisionMaxL1d) {
+  const ir::Kernel k = frontend::parse_kernel(kAtax1);
+  const KernelAnalysis ka = analyze(kArch, k, kLaunch, kParams);
+  // Baseline (8,4): 35 lines/warp * 32 warps * 128 B = 140 KB > 128 KB.
+  EXPECT_EQ(ka.occ.tlp_string(), "(8,4)");
+  const LoopDecision& d = ka.loops[0].decision;
+  EXPECT_TRUE(d.contended);
+  EXPECT_FALSE(d.unresolvable);
+  EXPECT_EQ(d.n_divisor, 2);  // Table 3: CATT picks (4,4) at max L1D
+  EXPECT_EQ(d.m_tb_reduce, 0);
+  ASSERT_EQ(ka.plan.warp_throttles.size(), 1u);
+  EXPECT_EQ(ka.plan.n_for_loop(0), 2);
+  EXPECT_EQ(ka.plan.tb_limit, 0);
+}
+
+TEST(Analysis, AtaxDecision32kL1d) {
+  const ir::Kernel k = frontend::parse_kernel(kAtax1);
+  const KernelAnalysis ka = analyze(arch::GpuArch::titan_v_32k_l1d(2), k, kLaunch, kParams);
+  // Table 3: CATT picks (1,4) on the 32 KB configuration.
+  EXPECT_EQ(ka.loops[0].decision.n_divisor, 8);
+  EXPECT_EQ(ka.loops[0].decision.m_tb_reduce, 0);
+}
+
+TEST(Analysis, CoalescedKernelNotThrottled) {
+  const ir::Kernel k = frontend::parse_kernel(R"(
+//@regs=32
+__global__ void atax_kernel2(float *A, float *y, float *tmp, int NX) {
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j < NX) {
+        for (int i = 0; i < NX; i++) {
+            y[j] += A[i * NX + j] * tmp[i];
+        }
+    }
+}
+)");
+  const KernelAnalysis ka = analyze(kArch, k, kLaunch, kParams);
+  EXPECT_FALSE(ka.loops[0].decision.contended);
+  EXPECT_FALSE(ka.plan.any());
+}
+
+TEST(Analysis, IrregularConservative) {
+  const ir::Kernel k = frontend::parse_kernel(R"(
+//@regs=32
+__global__ void irr(int *idx, float *data, float *out, int N) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < N) {
+        float acc = 0.0f;
+        for (int j = 0; j < 64; j++) {
+            acc += data[idx[i * 64 + j]];
+        }
+        out[i] = acc;
+    }
+}
+)");
+  const KernelAnalysis ka = analyze(kArch, k, kLaunch, {{"N", 2048}});
+  const LoopAnalysis& loop = ka.loops[0];
+  const AccessAnalysis* data_acc = nullptr;
+  for (const auto& a : loop.accesses) {
+    if (a.array == "data") data_acc = &a;
+  }
+  ASSERT_NE(data_acc, nullptr);
+  EXPECT_TRUE(data_acc->irregular);
+  EXPECT_EQ(data_acc->c_tid, 1);   // Section 4.2 conservatism
+  EXPECT_EQ(data_acc->req_warp, 1);
+  // idx[i*64+j] is regular with C_tid=64 -> 32 lines; total 33+1 lines per
+  // warp -> contended, but the irregular stream did not inflate it.
+  AnalysisOptions aggressive;
+  aggressive.conservative_irregular = false;
+  const KernelAnalysis ka2 = analyze(kArch, k, kLaunch, {{"N", 2048}}, aggressive);
+  std::size_t fp_cons = ka.loops[0].footprint_bytes;
+  std::size_t fp_aggr = ka2.loops[0].footprint_bytes;
+  EXPECT_GT(fp_aggr, fp_cons);
+}
+
+TEST(Analysis, CorrUnresolvable) {
+  const ir::Kernel k = frontend::parse_kernel(R"(
+//@regs=40
+__global__ void corr_kernel(float *data, float *symmat, int M, int N) {
+    int j1 = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j1 < M) {
+        for (int j2 = j1; j2 < M; j2++) {
+            float acc = 0.0f;
+            for (int i = 0; i < N; i++) {
+                acc += data[i * M + j1] * data[i * M + j2];
+            }
+            symmat[j1 * M + j2] = acc;
+        }
+    }
+}
+)");
+  const arch::LaunchConfig launch{{2}, {256}};
+  const KernelAnalysis ka = analyze(kArch, k, launch, {{"M", 512}, {"N", 512}});
+  const LoopAnalysis* outer = nullptr;
+  for (const auto& l : ka.loops) {
+    if (l.top_level) outer = &l;
+  }
+  ASSERT_NE(outer, nullptr);
+  EXPECT_TRUE(outer->decision.contended);
+  EXPECT_TRUE(outer->decision.unresolvable);
+  EXPECT_FALSE(ka.plan.any());  // left untouched, like the paper
+  // The inner sweep makes the per-warp working set larger than the L1D.
+  EXPECT_GT(outer->footprint_bytes / static_cast<std::size_t>(ka.occ.warps_per_sm),
+            ka.l1d_bytes);
+}
+
+TEST(Analysis, TbLevelKicksInWhenWarpLevelInsufficient) {
+  // Footprint so large that even 1 active warp group * all TBs misses;
+  // needs M > 0 but stays resolvable.
+  const ir::Kernel k = frontend::parse_kernel(R"(
+//@regs=32
+__global__ void big(float *A, float *B, float *C, float *D, float *out, int N) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < N) {
+        float acc = 0.0f;
+        for (int j = 0; j < N; j++) {
+            acc += A[i * N + j] + B[i * N + j] + C[i * N + j] + D[i * N + j];
+        }
+        out[i] = acc;
+    }
+}
+)");
+  // 4 divergent arrays = 128 lines/warp = 16 KB/warp. On 32 KB L1D with
+  // (8,4): N=8 leaves 4 warps = 64 KB > 32 KB -> M must shrink TBs to 2.
+  const KernelAnalysis ka =
+      analyze(arch::GpuArch::titan_v_32k_l1d(2), k, kLaunch, {{"N", 2048}});
+  const LoopDecision& d = ka.loops[0].decision;
+  EXPECT_TRUE(d.contended);
+  EXPECT_FALSE(d.unresolvable);
+  EXPECT_EQ(d.n_divisor, 8);
+  EXPECT_GT(d.m_tb_reduce, 0);
+  EXPECT_GT(ka.plan.tb_limit, 0);
+}
+
+TEST(Analysis, NoLocalityLoopSkipped) {
+  // Column-major walk: stride N between iterations -> Eq. 6 fails.
+  const ir::Kernel k = frontend::parse_kernel(R"(
+//@regs=32
+__global__ void gram(float *A, float *out, int M, int N) {
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j < M) {
+        float acc = 0.0f;
+        for (int i = 0; i < N; i++) {
+            acc += A[i * M + j] * A[i * M + j];
+        }
+        out[j] = acc;
+    }
+}
+)");
+  const KernelAnalysis ka = analyze(kArch, k, kLaunch, {{"M", 2048}, {"N", 2048}});
+  EXPECT_FALSE(ka.loops[0].has_locality);
+  EXPECT_FALSE(ka.plan.any());
+}
+
+TEST(Analysis, TripCounts) {
+  const ir::Kernel k = frontend::parse_kernel(R"(
+__global__ void t(float *A, int N) {
+    for (int a = 0; a < 100; a++) { A[a] = 0.0f; }
+    for (int b = 10; b <= 20; b += 5) { A[b] = 0.0f; }
+    for (int c = 0; c < N; c++) { A[c] = 0.0f; }
+    for (int d = 100; d > 0; d -= 9) { A[d] = 0.0f; }
+}
+)");
+  expr::ParamEnv params{{"N", 64}};
+  expr::AffineEnv env;
+  env.params = &params;
+  const auto loops = ir::collect_loops(k);
+  EXPECT_EQ(const_trip_count(*loops[0], env).value(), 100);
+  EXPECT_EQ(const_trip_count(*loops[1], env).value(), 3);
+  EXPECT_EQ(const_trip_count(*loops[2], env).value(), 64);
+  EXPECT_EQ(const_trip_count(*loops[3], env).value(), 12);
+}
+
+TEST(Analysis, TripCountUnknownForDataDependentBounds) {
+  const ir::Kernel k = frontend::parse_kernel(R"(
+__global__ void t(int *row, float *A, int N) {
+    int i = threadIdx.x;
+    for (int j = row[i]; j < row[i + 1]; j++) { A[j] = 0.0f; }
+}
+)");
+  expr::ParamEnv params{{"N", 64}};
+  expr::AffineEnv env;
+  env.params = &params;
+  EXPECT_FALSE(const_trip_count(*ir::collect_loops(k)[0], env).has_value());
+}
+
+TEST(Analysis, ReportMentionsDecision) {
+  const ir::Kernel k = frontend::parse_kernel(kAtax1);
+  const KernelAnalysis ka = analyze(kArch, k, kLaunch, kParams);
+  const std::string rep = report(ka, kArch);
+  EXPECT_NE(rep.find("atax_kernel1"), std::string::npos);
+  EXPECT_NE(rep.find("REQ_warp=32"), std::string::npos);
+  EXPECT_NE(rep.find("N=2"), std::string::npos);
+  EXPECT_NE(summary(ka).find("atax_kernel1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Property: per-lane enumeration equals Eq. 7's closed form for 1-D blocks
+// and 4-byte elements: REQ = 1 if C_tid == 0 else min(C_tid, 32).
+// ---------------------------------------------------------------------------
+class Eq7Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Eq7Property, EnumerationMatchesClosedForm) {
+  const std::int64_t c_tid = GetParam();
+  const arch::LaunchConfig launch{{8}, {256}};
+  expr::LinearForm lf;
+  lf.coeffs[expr::TermKey::of(expr::Builtin::kThreadIdxX)] = c_tid;
+  const int req = enumerate_req_warp(lf, launch, 32, 128, 4);
+  // Eq. 7 counts "cache lines requested"; for 4 B elements and stride
+  // c_tid elements, 32 lanes span ceil(32*c_tid*4 / 128) = min(c_tid, 32)
+  // lines when c_tid >= 1 (paper's closed form).
+  const int expected = c_tid == 0 ? 1 : static_cast<int>(std::min<std::int64_t>(c_tid, 32));
+  EXPECT_EQ(req, expected) << "C_tid=" << c_tid;
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, Eq7Property,
+                         ::testing::Values(0, 1, 2, 4, 8, 16, 31, 32, 33, 64, 2048));
+
+TEST(Eq7MultiDim, SixteenBySixteenBlock) {
+  // 16x16 block: one warp = two rows of threadIdx.y; index i*M+k with
+  // i = blockIdx.y*16 + threadIdx.y touches exactly 2 lines per warp.
+  const arch::LaunchConfig launch{{4, 4}, {16, 16}};
+  expr::LinearForm lf;
+  lf.coeffs[expr::TermKey::of(expr::Builtin::kThreadIdxY)] = 512;
+  EXPECT_EQ(enumerate_req_warp(lf, launch, 32, 128, 4), 2);
+  // j*M+k with j = blockIdx.x*16 + threadIdx.x: 16 lines.
+  expr::LinearForm lf2;
+  lf2.coeffs[expr::TermKey::of(expr::Builtin::kThreadIdxX)] = 512;
+  EXPECT_EQ(enumerate_req_warp(lf2, launch, 32, 128, 4), 16);
+}
+
+}  // namespace
+}  // namespace catt::analysis
+// NOTE: appended tests for the dedupe-footprint extension (kept in this
+// file so they share the fixtures above).
+namespace catt::analysis {
+namespace {
+
+TEST(DedupeExtension, AtaxDecisionsUnchanged) {
+  // 1-D divergent apps have per-thread-private lines: dedupe == Eq. 8.
+  const ir::Kernel k = frontend::parse_kernel(kAtax1);
+  AnalysisOptions dedupe;
+  dedupe.dedupe_tb_footprint = true;
+  const KernelAnalysis ka = analyze(kArch, k, kLaunch, kParams, dedupe);
+  EXPECT_EQ(ka.loops[0].decision.n_divisor, 2);
+  EXPECT_EQ(ka.loops[0].decision.m_tb_reduce, 0);
+}
+
+TEST(DedupeExtension, SharedLinesNotDoubleCounted) {
+  // A broadcast operand plus a 2-D-TB-shared stream: Eq. 8 throttles,
+  // dedupe recognizes that the true working set fits.
+  const ir::Kernel k = frontend::parse_kernel(R"(
+//@regs=32
+__global__ void shared2d(float *A, float *B, float *C, int N, int M, int ROWS) {
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    int i = blockIdx.y * blockDim.y + threadIdx.y;
+    if (i < ROWS && j < N) {
+        float acc = 0.0f;
+        for (int k2 = 0; k2 < M; k2++) {
+            acc += A[i * M + k2] * B[j * M + k2] + A[j * M + k2] * B[i * M + k2];
+        }
+        C[i * N + j] += acc;
+    }
+}
+)");
+  const arch::LaunchConfig launch{{4, 8}, {16, 16}};
+  const expr::ParamEnv params{{"N", 64}, {"M", 1024}, {"ROWS", 128}};
+
+  const KernelAnalysis eq8 = analyze(kArch, k, launch, params);
+  EXPECT_TRUE(eq8.plan.any());  // the paper's additive model throttles
+
+  AnalysisOptions opts;
+  opts.dedupe_tb_footprint = true;
+  const KernelAnalysis dd = analyze(kArch, k, launch, params, opts);
+  EXPECT_FALSE(dd.plan.any());  // distinct lines fit the 128 KB L1D
+}
+
+TEST(DedupeExtension, StillThrottlesPrivateLinesOnSmallL1d) {
+  // Per-thread-private lines (ATAX) cannot be deduped: the extension must
+  // make the same aggressive pick as Eq. 8 on the 32 KB configuration.
+  const ir::Kernel k = frontend::parse_kernel(kAtax1);
+  AnalysisOptions opts;
+  opts.dedupe_tb_footprint = true;
+  const KernelAnalysis dd = analyze(arch::GpuArch::titan_v_32k_l1d(2), k, kLaunch, kParams, opts);
+  EXPECT_TRUE(dd.plan.any());
+  EXPECT_EQ(dd.loops[0].decision.n_divisor, 8);  // (1,4), like Eq. 8
+}
+
+TEST(DedupeExtension, IrregularStaysConservative) {
+  const ir::Kernel k = frontend::parse_kernel(R"(
+//@regs=24
+__global__ void irr(int *col, float *data, float *out, int N) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < N) {
+        float acc = 0.0f;
+        for (int j = 0; j < 64; j++) {
+            acc += data[col[i * 64 + j]];
+        }
+        out[i] = acc;
+    }
+}
+)");
+  AnalysisOptions opts;
+  opts.dedupe_tb_footprint = true;
+  const KernelAnalysis ka = analyze(kArch, k, kLaunch, {{"N", 2048}}, opts);
+  // The irregular stream contributes only its conservative count; the
+  // regular col[] stream is still the dominant footprint.
+  for (const auto& a : ka.loops[0].accesses) {
+    if (a.array == "data") EXPECT_TRUE(a.irregular);
+  }
+}
+
+}  // namespace
+}  // namespace catt::analysis

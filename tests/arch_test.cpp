@@ -1,0 +1,91 @@
+// Tests for GPU architecture descriptions and launch geometry.
+#include <gtest/gtest.h>
+
+#include "arch/gpu_arch.hpp"
+#include "arch/launch.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace catt::arch {
+namespace {
+
+TEST(GpuArch, TitanVDefaults) {
+  const GpuArch a = GpuArch::titan_v(2);
+  EXPECT_EQ(a.num_sms, 2);
+  EXPECT_EQ(a.warp_size, 32);
+  EXPECT_EQ(a.max_warps_per_sm, 64);
+  EXPECT_EQ(a.unified_cache_bytes, 128_KiB);
+  EXPECT_EQ(a.register_file_bytes, 256_KiB);
+  EXPECT_TRUE(a.unified_l1_shared);
+}
+
+TEST(GpuArch, CarveoutArithmetic) {
+  const GpuArch a = GpuArch::titan_v();
+  EXPECT_EQ(a.l1d_bytes_for_carveout(0), 128_KiB);
+  EXPECT_EQ(a.l1d_bytes_for_carveout(96_KiB), 32_KiB);
+  EXPECT_EQ(a.max_l1d_bytes(), 128_KiB);
+  EXPECT_THROW(a.l1d_bytes_for_carveout(256_KiB), SimError);
+}
+
+TEST(GpuArch, SmallestCarveout) {
+  const GpuArch a = GpuArch::titan_v();
+  EXPECT_EQ(a.smallest_carveout_for(0), 0u);
+  EXPECT_EQ(a.smallest_carveout_for(1), 8_KiB);
+  EXPECT_EQ(a.smallest_carveout_for(8_KiB), 8_KiB);
+  EXPECT_EQ(a.smallest_carveout_for(9_KiB), 16_KiB);
+  EXPECT_EQ(a.smallest_carveout_for(65_KiB), 96_KiB);
+  EXPECT_THROW(a.smallest_carveout_for(97_KiB), SimError);
+}
+
+TEST(GpuArch, CappedL1d) {
+  const GpuArch a = GpuArch::titan_v_32k_l1d();
+  EXPECT_EQ(a.l1d_bytes_for_carveout(0), 32_KiB);
+  EXPECT_EQ(a.l1d_bytes_for_carveout(96_KiB), 32_KiB);
+  EXPECT_EQ(a.l1d_bytes_for_carveout(112_KiB), 16_KiB);
+}
+
+TEST(GpuArch, PascalLikeSplit) {
+  const GpuArch a = GpuArch::pascal_like();
+  EXPECT_FALSE(a.unified_l1_shared);
+  EXPECT_EQ(a.l1d_bytes_for_carveout(0), a.fixed_l1d_bytes);
+  EXPECT_EQ(a.l1d_bytes_for_carveout(50_KiB), a.fixed_l1d_bytes);
+  EXPECT_EQ(a.smallest_carveout_for(10_KiB), a.fixed_shared_bytes);
+}
+
+TEST(Dim3, Count) {
+  EXPECT_EQ((Dim3{256}).count(), 256u);
+  EXPECT_EQ((Dim3{16, 16}).count(), 256u);
+  EXPECT_EQ((Dim3{4, 4, 4}).count(), 64u);
+}
+
+TEST(Dim3, LinearizeRoundTrip) {
+  const Dim3 extent{5, 7, 3};
+  for (std::uint64_t linear = 0; linear < extent.count(); ++linear) {
+    const Dim3 idx = delinearize(linear, extent);
+    EXPECT_LT(idx.x, extent.x);
+    EXPECT_LT(idx.y, extent.y);
+    EXPECT_LT(idx.z, extent.z);
+    EXPECT_EQ(linearize(idx, extent), linear);
+  }
+}
+
+TEST(LaunchConfig, WarpsPerBlock) {
+  LaunchConfig c{{8}, {256}};
+  EXPECT_EQ(c.warps_per_block(32), 8);
+  c.block = {100};
+  EXPECT_EQ(c.warps_per_block(32), 4);  // ragged tail rounds up
+  c.block = {16, 16};
+  EXPECT_EQ(c.warps_per_block(32), 8);
+  EXPECT_EQ(c.total_threads(), 8u * 256u);
+}
+
+TEST(LaunchConfig, ToString) {
+  const LaunchConfig c{{8}, {256}, 1024};
+  const std::string s = to_string(c);
+  EXPECT_NE(s.find("(8,1,1)"), std::string::npos);
+  EXPECT_NE(s.find("(256,1,1)"), std::string::npos);
+  EXPECT_NE(s.find("1024"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace catt::arch

@@ -1,0 +1,144 @@
+// Unit tests for the common utilities.
+#include <gtest/gtest.h>
+
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace catt {
+namespace {
+
+TEST(Units, Literals) {
+  EXPECT_EQ(32_KiB, 32u * 1024u);
+  EXPECT_EQ(1_MiB, 1024u * 1024u);
+}
+
+TEST(Units, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(1, 3), 1);
+  EXPECT_EQ(ceil_div(0, 3), 0);
+}
+
+TEST(Units, RoundUp) {
+  EXPECT_EQ(round_up(10, 4), 12);
+  EXPECT_EQ(round_up(12, 4), 12);
+  EXPECT_EQ(round_up(1, 128), 128);
+}
+
+TEST(Stats, MeanAndGeomean) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(stats::mean(xs), 7.0 / 3.0);
+  EXPECT_NEAR(stats::geomean(xs), 2.0, 1e-12);
+}
+
+TEST(Stats, EmptyIsZero) {
+  const std::vector<double> empty;
+  EXPECT_EQ(stats::mean(empty), 0.0);
+  EXPECT_EQ(stats::geomean(empty), 0.0);
+  EXPECT_EQ(stats::median(empty), 0.0);
+  EXPECT_EQ(stats::stddev(empty), 0.0);
+}
+
+TEST(Stats, Median) {
+  EXPECT_DOUBLE_EQ(stats::median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(stats::median(std::vector<double>{4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Stats, Stddev) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stats::stddev(xs), 2.138089935299395, 1e-12);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs = {3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(stats::min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(stats::max(xs), 7.0);
+}
+
+TEST(Stats, Accumulator) {
+  stats::Accumulator acc;
+  EXPECT_EQ(acc.mean(), 0.0);
+  acc.add(2.0);
+  acc.add(6.0);
+  EXPECT_EQ(acc.count(), 2u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 4.0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, Bounds) {
+  Rng rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    const float f = rng.next_float(-2.0f, 3.0f);
+    EXPECT_GE(f, -2.0f);
+    EXPECT_LT(f, 3.0f);
+  }
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.row().cell("a").cell(1.5, 1);
+  t.row().cell("longer").cell(42);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(format_speedup(1.4296), "1.43x");
+  EXPECT_EQ(format_percent(0.4296), "42.96%");
+  EXPECT_EQ(format_percent(0.5, 0), "50%");
+}
+
+TEST(Csv, EscapesSpecialCells) {
+  CsvWriter w({"a", "b"});
+  w.add_row({"x,y", "plain"});
+  w.add_row({"has \"quote\"", "line\nbreak"});
+  const std::string s = w.str();
+  EXPECT_NE(s.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(s.find("\"has \"\"quote\"\"\""), std::string::npos);
+}
+
+TEST(StringUtil, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim("ab"), "ab");
+}
+
+TEST(StringUtil, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("hello", "he"));
+  EXPECT_FALSE(starts_with("h", "he"));
+  EXPECT_TRUE(ends_with("hello", "lo"));
+  EXPECT_FALSE(ends_with("o", "lo"));
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace catt

@@ -1,0 +1,175 @@
+// Tests for the expression AST: construction, printing, equality, cloning,
+// and evaluation.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.hpp"
+#include "expr/eval.hpp"
+#include "expr/expr.hpp"
+
+namespace catt::expr {
+namespace {
+
+std::vector<ExprPtr> vec(ExprPtr a) {
+  std::vector<ExprPtr> v;
+  v.push_back(std::move(a));
+  return v;
+}
+std::vector<ExprPtr> vec(ExprPtr a, ExprPtr b) {
+  std::vector<ExprPtr> v;
+  v.push_back(std::move(a));
+  v.push_back(std::move(b));
+  return v;
+}
+
+/// Simple test environment: fixed builtins, named ints, and a fake array
+/// where load(a, i) == 1000 + i.
+class TestCtx : public EvalContext {
+ public:
+  std::map<std::string, Value> vars;
+  std::map<Builtin, std::int64_t> builtins;
+  int loads = 0;
+
+  std::int64_t builtin_value(Builtin b) const override {
+    auto it = builtins.find(b);
+    return it == builtins.end() ? 0 : it->second;
+  }
+  Value var_value(const std::string& name) const override {
+    auto it = vars.find(name);
+    if (it == vars.end()) throw IrError("unknown var " + name);
+    return it->second;
+  }
+  Value load_value(const std::string& array, std::int64_t index) override {
+    ++loads;
+    (void)array;
+    return Value::of_float(1000.0 + static_cast<double>(index));
+  }
+};
+
+TEST(Expr, PrintAtaxIndex) {
+  // i * NX + j
+  auto e = add(mul(var("i"), var("NX")), var("j"));
+  EXPECT_EQ(e->str(), "i * NX + j");
+}
+
+TEST(Expr, PrintRespectsPrecedence) {
+  auto e = mul(add(var("a"), var("b")), var("c"));
+  EXPECT_EQ(e->str(), "(a + b) * c");
+  auto f = sub(var("a"), sub(var("b"), var("c")));
+  EXPECT_EQ(f->str(), "a - (b - c)");
+}
+
+TEST(Expr, PrintLoadAndBuiltin) {
+  auto e = load("A", add(tid_x(), iconst(1)));
+  EXPECT_EQ(e->str(), "A[threadIdx.x + 1]");
+  EXPECT_EQ(linear_tid_x()->str(), "blockIdx.x * blockDim.x + threadIdx.x");
+}
+
+TEST(Expr, TypePropagation) {
+  auto ii = add(iconst(1), iconst(2));
+  EXPECT_EQ(ii->type, ScalarType::kInt);
+  auto fi = add(fconst(1.0), iconst(2));
+  EXPECT_EQ(fi->type, ScalarType::kFloat);
+  auto rel = lt(fconst(1.0), fconst(2.0));
+  EXPECT_EQ(rel->type, ScalarType::kInt);
+}
+
+TEST(Expr, CloneIsDeepAndEqual) {
+  auto e = add(mul(var("i"), iconst(7)), load("A", tid_x()));
+  auto c = e->clone();
+  EXPECT_TRUE(equal(*e, *c));
+  // Mutating the clone must not affect the original.
+  c->args[0]->ival = 99;
+  c->args[0]->kind = ExprKind::kConst;
+  EXPECT_FALSE(equal(*e, *c));
+}
+
+TEST(Expr, EqualDistinguishesStructure) {
+  EXPECT_TRUE(equal(*iconst(3), *iconst(3)));
+  EXPECT_FALSE(equal(*iconst(3), *iconst(4)));
+  EXPECT_FALSE(equal(*var("x"), *var("y")));
+  EXPECT_FALSE(equal(*add(var("x"), var("y")), *sub(var("x"), var("y"))));
+  EXPECT_FALSE(equal(*iconst(1), *fconst(1.0)));
+}
+
+TEST(Eval, Arithmetic) {
+  TestCtx ctx;
+  ctx.vars["x"] = Value::of_int(10);
+  EXPECT_EQ(eval(*add(var("x"), iconst(5)), ctx).as_int(), 15);
+  EXPECT_EQ(eval(*mod(var("x"), iconst(3)), ctx).as_int(), 1);
+  EXPECT_EQ(eval(*div(var("x"), iconst(3)), ctx).as_int(), 3);
+  EXPECT_EQ(eval(*unary(UnOp::kNeg, var("x")), ctx).as_int(), -10);
+  EXPECT_DOUBLE_EQ(eval(*mul(fconst(1.5), iconst(4)), ctx).as_float(), 6.0);
+}
+
+TEST(Eval, Comparisons) {
+  TestCtx ctx;
+  EXPECT_EQ(eval(*lt(iconst(1), iconst(2)), ctx).as_int(), 1);
+  EXPECT_EQ(eval(*ge(iconst(1), iconst(2)), ctx).as_int(), 0);
+  EXPECT_EQ(eval(*eq(fconst(1.0), iconst(1)), ctx).as_int(), 1);
+  EXPECT_EQ(eval(*ne(iconst(3), iconst(3)), ctx).as_int(), 0);
+}
+
+TEST(Eval, ShortCircuitSkipsRhs) {
+  TestCtx ctx;
+  // RHS would load; short-circuited And must not.
+  auto e = land(iconst(0), gt(load("A", iconst(0)), fconst(0.0)));
+  EXPECT_EQ(eval(*e, ctx).as_int(), 0);
+  EXPECT_EQ(ctx.loads, 0);
+  auto f = lor(iconst(1), gt(load("A", iconst(0)), fconst(0.0)));
+  EXPECT_EQ(eval(*f, ctx).as_int(), 1);
+  EXPECT_EQ(ctx.loads, 0);
+}
+
+TEST(Eval, DivisionByZeroThrows) {
+  TestCtx ctx;
+  EXPECT_THROW(eval(*div(iconst(1), iconst(0)), ctx), IrError);
+  EXPECT_THROW(eval(*mod(iconst(1), iconst(0)), ctx), IrError);
+}
+
+TEST(Eval, LoadsAndCasts) {
+  TestCtx ctx;
+  EXPECT_DOUBLE_EQ(eval(*load("A", iconst(7)), ctx).as_float(), 1007.0);
+  EXPECT_EQ(eval(*cast(ScalarType::kInt, fconst(3.9)), ctx).as_int(), 3);
+  EXPECT_DOUBLE_EQ(eval(*cast(ScalarType::kFloat, iconst(3)), ctx).as_float(), 3.0);
+}
+
+TEST(Eval, Intrinsics) {
+  TestCtx ctx;
+  EXPECT_DOUBLE_EQ(eval(*call("sqrtf", vec(fconst(9.0))), ctx).as_float(), 3.0);
+  EXPECT_DOUBLE_EQ(eval(*call("fabsf", vec(fconst(-2.0))), ctx).as_float(), 2.0);
+  EXPECT_DOUBLE_EQ(eval(*call("fmaxf", vec(fconst(1.0), fconst(2.0))), ctx).as_float(), 2.0);
+  EXPECT_THROW(eval(*call("nosuch", vec(fconst(1.0))), ctx), IrError);
+}
+
+TEST(Eval, Builtins) {
+  TestCtx ctx;
+  ctx.builtins[Builtin::kThreadIdxX] = 5;
+  ctx.builtins[Builtin::kBlockDimX] = 256;
+  ctx.builtins[Builtin::kBlockIdxX] = 3;
+  EXPECT_EQ(eval(*linear_tid_x(), ctx).as_int(), 3 * 256 + 5);
+}
+
+TEST(Eval, MinMax) {
+  TestCtx ctx;
+  EXPECT_EQ(eval(*binary(BinOp::kMin, iconst(3), iconst(5)), ctx).as_int(), 3);
+  EXPECT_EQ(eval(*binary(BinOp::kMax, iconst(3), iconst(5)), ctx).as_int(), 5);
+}
+
+TEST(ExprHelpers, ContainsLoad) {
+  EXPECT_TRUE(contains_load(*add(iconst(1), load("A", iconst(0)))));
+  EXPECT_FALSE(contains_load(*add(iconst(1), var("x"))));
+  // Load nested inside an index expression.
+  EXPECT_TRUE(contains_load(*load("A", load("B", iconst(0), ScalarType::kInt))));
+}
+
+TEST(ExprHelpers, ReferencesVar) {
+  auto e = add(mul(var("i"), var("NX")), var("j"));
+  EXPECT_TRUE(references_var(*e, "i"));
+  EXPECT_TRUE(references_var(*e, "NX"));
+  EXPECT_FALSE(references_var(*e, "k"));
+}
+
+}  // namespace
+}  // namespace catt::expr

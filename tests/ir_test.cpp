@@ -1,0 +1,167 @@
+// Tests for kernel IR construction, validation, loop numbering, and the
+// single-assignment local-definition collection.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ir/codegen.hpp"
+#include "ir/ir.hpp"
+
+namespace catt::ir {
+namespace {
+
+using expr::iconst;
+using expr::var;
+
+Kernel simple_kernel() {
+  Kernel k;
+  k.name = "k";
+  k.arrays.push_back({"A", ElemType::kF32});
+  k.scalars.push_back({"N"});
+  k.body.push_back(decl_int("i", expr::linear_tid_x()));
+  std::vector<StmtPtr> loop_body;
+  loop_body.push_back(store("A", var("i"), expr::fconst(1.0)));
+  k.body.push_back(make_for("j", iconst(0), expr::lt(var("j"), var("N")), iconst(1),
+                            std::move(loop_body)));
+  return k;
+}
+
+TEST(Ir, ValidateAcceptsWellFormed) {
+  Kernel k = simple_kernel();
+  EXPECT_NO_THROW(validate(k));
+}
+
+TEST(Ir, ValidateRejectsUnknownVariable) {
+  Kernel k = simple_kernel();
+  k.body.push_back(assign("nope", iconst(0)));
+  EXPECT_THROW(validate(k), IrError);
+}
+
+TEST(Ir, ValidateRejectsUnknownArray) {
+  Kernel k = simple_kernel();
+  k.body.push_back(store("B", iconst(0), expr::fconst(0.0)));
+  EXPECT_THROW(validate(k), IrError);
+}
+
+TEST(Ir, ValidateRejectsUnknownLoadArray) {
+  Kernel k = simple_kernel();
+  k.body.push_back(decl_float("x", expr::load("missing", iconst(0))));
+  EXPECT_THROW(validate(k), IrError);
+}
+
+TEST(Ir, ValidateRejectsDuplicateParams) {
+  Kernel k = simple_kernel();
+  k.scalars.push_back({"A"});  // clashes with the array A
+  EXPECT_THROW(validate(k), IrError);
+}
+
+TEST(Ir, ValidateRejectsNonPositiveShared) {
+  Kernel k = simple_kernel();
+  k.shared.push_back({"buf", ElemType::kF32, 0});
+  EXPECT_THROW(validate(k), IrError);
+}
+
+TEST(Ir, ValidateRejectsLoopVarShadowing) {
+  Kernel k = simple_kernel();
+  std::vector<StmtPtr> body;
+  body.push_back(store("A", var("i"), expr::fconst(0.0)));
+  // "i" is already a live local.
+  k.body.push_back(make_for("i", iconst(0), expr::lt(var("i"), iconst(4)), iconst(1),
+                            std::move(body)));
+  EXPECT_THROW(validate(k), IrError);
+}
+
+TEST(Ir, NumberLoopsPreorder) {
+  Kernel k;
+  k.name = "nested";
+  k.arrays.push_back({"A", ElemType::kF32});
+  std::vector<StmtPtr> inner;
+  inner.push_back(store("A", var("b"), expr::fconst(0.0)));
+  std::vector<StmtPtr> outer;
+  outer.push_back(make_for("b", iconst(0), expr::lt(var("b"), iconst(2)), iconst(1),
+                           std::move(inner)));
+  k.body.push_back(make_for("a", iconst(0), expr::lt(var("a"), iconst(2)), iconst(1),
+                            std::move(outer)));
+  std::vector<StmtPtr> second;
+  second.push_back(store("A", var("c"), expr::fconst(0.0)));
+  k.body.push_back(make_for("c", iconst(0), expr::lt(var("c"), iconst(2)), iconst(1),
+                            std::move(second)));
+
+  EXPECT_EQ(number_loops(k), 3);
+  const auto loops = collect_loops(static_cast<const Kernel&>(k));
+  ASSERT_EQ(loops.size(), 3u);
+  EXPECT_EQ(loops[0]->name, "a");
+  EXPECT_EQ(loops[0]->loop_id, 0);
+  EXPECT_EQ(loops[1]->name, "b");
+  EXPECT_EQ(loops[1]->loop_id, 1);
+  EXPECT_EQ(loops[2]->name, "c");
+  EXPECT_EQ(loops[2]->loop_id, 2);
+}
+
+TEST(Ir, CloneIsDeep) {
+  Kernel k = simple_kernel();
+  number_loops(k);
+  Kernel c = k.clone();
+  // Mutate the clone's loop bound; original must be unchanged.
+  collect_loops(c)[0]->cond = expr::lt(var("j"), iconst(1));
+  EXPECT_NE(to_cuda(k), to_cuda(c));
+  EXPECT_EQ(collect_loops(static_cast<const Kernel&>(k))[0]->cond->str(), "j < N");
+}
+
+TEST(Ir, SingleAssignmentDefs) {
+  Kernel k = simple_kernel();
+  k.body.push_back(decl_int("twice", expr::mul(var("i"), iconst(2))));
+  k.body.push_back(decl_int("mut", iconst(0)));
+  k.body.push_back(assign("mut", iconst(1)));
+  const expr::LocalDefs defs = single_assignment_int_defs(k);
+  EXPECT_TRUE(defs.contains("i"));
+  EXPECT_TRUE(defs.contains("twice"));
+  EXPECT_FALSE(defs.contains("mut"));   // re-assigned
+  EXPECT_FALSE(defs.contains("j"));     // loop var
+}
+
+TEST(Ir, ArrayLookups) {
+  Kernel k = simple_kernel();
+  k.shared.push_back({"buf", ElemType::kI32, 16});
+  EXPECT_NE(k.find_array("A"), nullptr);
+  EXPECT_EQ(k.find_array("buf"), nullptr);
+  EXPECT_NE(k.find_shared("buf"), nullptr);
+  EXPECT_TRUE(k.has_scalar("N"));
+  EXPECT_EQ(k.array_elem_type("A"), ElemType::kF32);
+  EXPECT_EQ(k.array_elem_type("buf"), ElemType::kI32);
+  EXPECT_THROW(k.array_elem_type("zzz"), IrError);
+}
+
+TEST(Ir, SharedBytes) {
+  Kernel k;
+  k.shared.push_back({"a", ElemType::kF32, 1024});
+  k.shared.push_back({"b", ElemType::kI32, 256});
+  EXPECT_EQ(k.static_shared_bytes(), 1024u * 4 + 256u * 4);
+}
+
+TEST(Codegen, EmitsLaunchComment) {
+  Kernel k = simple_kernel();
+  const arch::LaunchConfig launch{{8}, {256}};
+  const std::string src = to_cuda(k, {.launch = &launch});
+  EXPECT_NE(src.find("// k<<<(8,1,1), (256,1,1)>>>"), std::string::npos);
+  EXPECT_NE(src.find("__global__ void k(float *A, int N)"), std::string::npos);
+  EXPECT_NE(src.find("for (int j = 0; j < N; j += 1)"), std::string::npos);
+}
+
+TEST(Codegen, EmitsSharedAndSync) {
+  Kernel k = simple_kernel();
+  k.shared.push_back({"buf", ElemType::kF32, 64});
+  k.body.push_back(sync());
+  const std::string src = to_cuda(k);
+  EXPECT_NE(src.find("__shared__ float buf[64];"), std::string::npos);
+  EXPECT_NE(src.find("__syncthreads();"), std::string::npos);
+}
+
+TEST(Codegen, LoopVarNames) {
+  Kernel k = simple_kernel();
+  const auto names = loop_var_names(k);
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "j");
+}
+
+}  // namespace
+}  // namespace catt::ir

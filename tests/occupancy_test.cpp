@@ -1,0 +1,144 @@
+// Tests for the Eq. 1-4 occupancy calculator and the carve-out /
+// dummy-shared sizing used by TB-level throttling.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "frontend/parser.hpp"
+#include "occupancy/occupancy.hpp"
+
+namespace catt::occupancy {
+namespace {
+
+ir::Kernel kernel_with(int regs, std::size_t shared_floats) {
+  std::string src = "//@regs=" + std::to_string(regs) +
+                    "\n__global__ void k(float *A, int N) {\n";
+  if (shared_floats > 0) {
+    src += "    __shared__ float buf[" + std::to_string(shared_floats) + "];\n";
+    src += "    buf[threadIdx.x] = 0.0f;\n";
+  }
+  src += "    A[threadIdx.x] = 1.0f;\n}\n";
+  return frontend::parse_kernel(src);
+}
+
+TEST(Occupancy, WarpSlotLimited) {
+  const auto arch = arch::GpuArch::titan_v(2);
+  const ir::Kernel k = kernel_with(16, 0);
+  const arch::LaunchConfig launch{{64}, {256}};  // plenty of blocks
+  const Occupancy occ = compute(arch, k, launch);
+  EXPECT_EQ(occ.warps_per_tb, 8);
+  EXPECT_EQ(occ.tbs_per_sm, 8);  // 64 warp slots / 8 warps
+  EXPECT_EQ(occ.warps_per_sm, 64);
+  EXPECT_EQ(occ.limiter, Limiter::kWarpSlots);
+  EXPECT_EQ(occ.shm_carveout, 0u);
+  EXPECT_EQ(occ.l1d_bytes, 128_KiB);
+}
+
+TEST(Occupancy, RegisterLimited) {
+  const auto arch = arch::GpuArch::titan_v(2);
+  const ir::Kernel k = kernel_with(64, 0);  // 64 regs * 4 B * 256 thr = 64 KB/TB
+  const arch::LaunchConfig launch{{64}, {256}};
+  const Occupancy occ = compute(arch, k, launch);
+  EXPECT_EQ(occ.tbs_per_sm, 4);  // 256 KB / 64 KB
+  EXPECT_EQ(occ.limiter, Limiter::kRegisters);
+}
+
+TEST(Occupancy, SharedMemoryLimited) {
+  const auto arch = arch::GpuArch::titan_v(2);
+  const ir::Kernel k = kernel_with(16, 8192);  // 32 KB shared per TB
+  const arch::LaunchConfig launch{{64}, {256}};
+  const Occupancy occ = compute(arch, k, launch);
+  EXPECT_EQ(occ.tbs_per_sm, 3);  // 96 KB / 32 KB (Eq. 1)
+  EXPECT_EQ(occ.limiter, Limiter::kSharedMem);
+  // Eq. 4: 3 * 32 KB = 96 KB -> carve-out 96 KB -> L1D 32 KB.
+  EXPECT_EQ(occ.shm_use_per_sm, 96_KiB);
+  EXPECT_EQ(occ.shm_carveout, 96_KiB);
+  EXPECT_EQ(occ.l1d_bytes, 32_KiB);
+}
+
+TEST(Occupancy, GridLimited) {
+  const auto arch = arch::GpuArch::titan_v(2);
+  const ir::Kernel k = kernel_with(16, 0);
+  const arch::LaunchConfig launch{{4}, {256}};  // 4 blocks over 2 SMs
+  const Occupancy occ = compute(arch, k, launch);
+  EXPECT_EQ(occ.tbs_per_sm, 2);
+  EXPECT_EQ(occ.limiter, Limiter::kGridSize);
+}
+
+TEST(Occupancy, CarveoutPicksSmallestFit) {
+  const auto arch = arch::GpuArch::titan_v(2);
+  const ir::Kernel k = kernel_with(32, 1024);  // 4 KB shared per TB
+  const arch::LaunchConfig launch{{6}, {512}};  // PF-like: 3 TBs/SM
+  const Occupancy occ = compute(arch, k, launch);
+  EXPECT_EQ(occ.tbs_per_sm, 3);
+  EXPECT_EQ(occ.shm_use_per_sm, 12_KiB);
+  EXPECT_EQ(occ.shm_carveout, 16_KiB);  // smallest legal >= 12 KB
+  EXPECT_EQ(occ.l1d_bytes, 112_KiB);
+}
+
+TEST(Occupancy, DynSharedCounts) {
+  const auto arch = arch::GpuArch::titan_v(2);
+  const ir::Kernel k = kernel_with(16, 0);
+  arch::LaunchConfig launch{{64}, {256}};
+  launch.dyn_shared_bytes = 48_KiB;
+  const Occupancy occ = compute(arch, k, launch);
+  EXPECT_EQ(occ.tbs_per_sm, 2);  // 96 / 48
+  EXPECT_EQ(occ.limiter, Limiter::kSharedMem);
+}
+
+TEST(Occupancy, TlpString) {
+  Occupancy occ;
+  occ.warps_per_tb = 8;
+  occ.tbs_per_sm = 4;
+  EXPECT_EQ(occ.tlp_string(), "(8,4)");
+}
+
+TEST(Occupancy, ErrorsOnImpossibleKernels) {
+  const auto arch = arch::GpuArch::titan_v(2);
+  const ir::Kernel huge_regs = kernel_with(512, 0);
+  // 512 regs * 4 B * 1024 threads = 2 MB > 256 KB register file.
+  EXPECT_THROW(compute(arch, huge_regs, {{1}, {1024}}), SimError);
+  const ir::Kernel huge_shared = kernel_with(16, 32768);  // 128 KB shared
+  EXPECT_THROW(compute(arch, huge_shared, {{1}, {256}}), SimError);
+  const ir::Kernel ok = kernel_with(16, 0);
+  EXPECT_THROW(compute(arch, ok, {{1}, {2048}}), SimError);  // > 1024 threads/TB
+}
+
+TEST(Occupancy, TbCap) {
+  const auto arch = arch::GpuArch::titan_v(2);
+  const ir::Kernel k = kernel_with(16, 0);
+  const arch::LaunchConfig launch{{64}, {256}};
+  const Occupancy occ = compute_with_tb_cap(arch, k, launch, 3);
+  EXPECT_EQ(occ.tbs_per_sm, 3);
+  EXPECT_THROW(compute_with_tb_cap(arch, k, launch, 0), SimError);
+}
+
+// Property: for every achievable target, the dummy-shared padding reduces
+// occupancy to exactly the target (the Figure 5 sizing rule).
+class DummySharedSizing : public ::testing::TestWithParam<int> {};
+
+TEST_P(DummySharedSizing, HitsTarget) {
+  const int target = GetParam();
+  const auto arch = arch::GpuArch::titan_v(2);
+  const ir::Kernel k = kernel_with(16, 0);
+  const arch::LaunchConfig launch{{64}, {256}};  // baseline 8 TBs
+  const std::size_t dummy = dummy_shared_bytes_for_tb_limit(arch, k, launch, target);
+  ASSERT_GT(dummy, 0u);
+
+  ir::Kernel padded = k.clone();
+  padded.shared.push_back({"dummy", ir::ElemType::kF32, static_cast<std::int64_t>(dummy / 4)});
+  const Occupancy occ = compute(arch, padded, launch);
+  EXPECT_EQ(occ.tbs_per_sm, target);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, DummySharedSizing, ::testing::Range(1, 8));
+
+TEST(DummySharedNoop, NoopWhenAlreadyBelow) {
+  const auto arch = arch::GpuArch::titan_v(2);
+  const ir::Kernel k = kernel_with(16, 0);
+  const arch::LaunchConfig launch{{4}, {256}};  // 2 TBs/SM by grid
+  EXPECT_EQ(dummy_shared_bytes_for_tb_limit(arch, k, launch, 4), 0u);
+}
+
+}  // namespace
+}  // namespace catt::occupancy

@@ -1,0 +1,171 @@
+// End-to-end policy tests: CATT must beat the baseline on contended
+// regular workloads, match it on CI workloads, and BFTT must return the
+// best candidate of its own sweep.
+#include <gtest/gtest.h>
+
+#include "harness/harness.hpp"
+#include "throttle/runner.hpp"
+#include "workloads/workload.hpp"
+
+namespace catt::throttle {
+namespace {
+
+TEST(Runner, BaselineRecordsOneLaunchPerScheduleEntry) {
+  Runner r(bench::max_l1d_arch());
+  const wl::Workload& w = wl::find_workload("atax", 2);
+  const AppResult res = r.run_baseline(w);
+  EXPECT_EQ(res.launches.size(), w.schedule.size());
+  EXPECT_EQ(res.choices.size(), w.schedule.size());
+  EXPECT_GT(res.total_cycles, 0);
+  EXPECT_GT(res.l1_hit_rate(), 0.0);
+  EXPECT_EQ(res.policy, "baseline");
+}
+
+TEST(Runner, CattSpeedsUpAtax) {
+  Runner r(bench::max_l1d_arch());
+  const wl::Workload& w = wl::find_workload("atax", 2);
+  const AppResult base = r.run_baseline(w);
+  const AppResult catt = r.run_catt(w);
+  EXPECT_LT(catt.total_cycles, base.total_cycles);
+  EXPECT_GT(catt.l1_hit_rate(), base.l1_hit_rate());
+  // Kernel 2 must be untouched: same choice as baseline occupancy.
+  ASSERT_EQ(catt.choices.size(), 2u);
+  const auto& k2 = catt.choices[1];
+  ASSERT_FALSE(k2.loops.empty());
+  EXPECT_EQ(k2.loops[0].warps, k2.baseline_occ.warps_per_tb);
+}
+
+TEST(Runner, CattChoicesMatchTable3ForAtax) {
+  Runner r(bench::max_l1d_arch());
+  const auto choices = r.catt_choices(wl::find_workload("atax", 2));
+  ASSERT_EQ(choices.size(), 2u);
+  // Max L1D: kernel 1 throttled to (4,4), kernel 2 kept at (8,4).
+  EXPECT_EQ(choices[0].loops[0].warps, 4);
+  EXPECT_EQ(choices[0].loops[0].tbs, 4);
+  EXPECT_EQ(choices[1].loops[0].warps, 8);
+  EXPECT_EQ(choices[1].loops[0].tbs, 4);
+
+  Runner r32(bench::small_l1d_arch());
+  const auto c32 = r32.catt_choices(wl::find_workload("atax", 2));
+  EXPECT_EQ(c32[0].loops[0].warps, 1);  // Table 3: (1,4) at 32 KB
+  EXPECT_EQ(c32[1].loops[0].warps, 8);
+}
+
+TEST(Runner, FixedFactorClampsPerKernel) {
+  Runner r(bench::max_l1d_arch());
+  const wl::Workload& w = wl::find_workload("cfd", 2);  // 6 warps/TB
+  // 4 does not divide 6: clamps to 3.
+  const AppResult res = r.run_fixed(w, {4, 0});
+  ASSERT_FALSE(res.choices.empty());
+  EXPECT_EQ(res.choices[0].loops.empty() ? 2 : res.choices[0].loops[0].warps, 2);
+}
+
+TEST(Runner, FixedIdentityEqualsBaseline) {
+  Runner r(bench::max_l1d_arch());
+  const wl::Workload& w = wl::find_workload("gsmv", 2);
+  const AppResult base = r.run_baseline(w);
+  const AppResult fixed1 = r.run_fixed(w, {1, 0});
+  EXPECT_EQ(base.total_cycles, fixed1.total_cycles);
+}
+
+TEST(Runner, CandidateFactorsCoverDivisorsAndTbs) {
+  Runner r(bench::max_l1d_arch());
+  const auto cands = r.candidate_factors(wl::find_workload("atax", 2));
+  // divisors {1,2,4,8} x tb caps {none,3,2,1} = 16 candidates.
+  EXPECT_EQ(cands.size(), 16u);
+  const auto km = r.candidate_factors(wl::find_workload("km", 2));
+  // divisors {1,2,4,8} x tb caps {none,7,4,2,1} = 20 (geometric ladder).
+  EXPECT_EQ(km.size(), 20u);
+}
+
+TEST(Runner, BfttPicksBestOfSweep) {
+  Runner r(bench::max_l1d_arch());
+  const wl::Workload& w = wl::find_workload("gsmv", 2);
+  const Runner::BfttOutcome out = r.run_bftt(w);
+  ASSERT_FALSE(out.sweep.empty());
+  std::int64_t best = out.sweep.front().second;
+  for (const auto& [f, cycles] : out.sweep) best = std::min(best, cycles);
+  EXPECT_EQ(out.best.total_cycles, best);
+  // GSMV is contended: the best factor must actually throttle.
+  EXPECT_TRUE(out.factor.n_divisor > 1 || out.factor.tb_limit > 0);
+}
+
+TEST(Runner, CattBeatsOrMatchesBfttOnMultiPhaseApp) {
+  // ATAX's two kernels want different TLPs; a single fixed factor cannot
+  // serve both (the paper's core argument, Section 5.1).
+  Runner r(bench::max_l1d_arch());
+  const wl::Workload& w = wl::find_workload("atax", 2);
+  const AppResult catt = r.run_catt(w);
+  const Runner::BfttOutcome bftt = r.run_bftt(w);
+  EXPECT_LE(catt.total_cycles,
+            static_cast<std::int64_t>(static_cast<double>(bftt.best.total_cycles) * 1.05));
+}
+
+TEST(Runner, CiWorkloadUnaffectedByCatt) {
+  Runner r(bench::max_l1d_arch());
+  const wl::Workload& w = wl::find_workload("gemm", 2);
+  const AppResult base = r.run_baseline(w);
+  const AppResult catt = r.run_catt(w);
+  // No transform applied: cycle counts identical.
+  EXPECT_EQ(base.total_cycles, catt.total_cycles);
+}
+
+TEST(Harness, KernelLabels) {
+  const wl::Workload& atax = wl::find_workload("atax", 2);
+  EXPECT_EQ(bench::kernel_label(atax, 0), "ATAX#1");
+  EXPECT_EQ(bench::kernel_label(atax, 1), "ATAX#2");
+  const wl::Workload& bfs = wl::find_workload("bfs", 2);
+  EXPECT_EQ(bench::kernel_label(bfs, 2), "BFS#1");  // repeat of kernel 1
+}
+
+TEST(Harness, SpeedupMath) {
+  EXPECT_DOUBLE_EQ(bench::speedup(200, 100), 2.0);
+  EXPECT_DOUBLE_EQ(bench::speedup(100, 200), 0.5);
+  EXPECT_EQ(bench::speedup(100, 0), 0.0);
+}
+
+TEST(Harness, SmallL1dArchCaps) {
+  EXPECT_EQ(bench::small_l1d_arch().l1d_bytes_for_carveout(0), 32u * 1024u);
+}
+
+}  // namespace
+}  // namespace catt::throttle
+// Appended: DYNCTA-style dynamic policy tests.
+namespace catt::throttle {
+namespace {
+
+TEST(Dyncta, LearnsOnRepeatedLaunches) {
+  // KM repeats its contended kernels, so the reactive scheme has warm-up
+  // material: it must end up strictly faster than the baseline.
+  Runner r(bench::max_l1d_arch());
+  const wl::Workload& w = wl::find_workload("km", 2);
+  const AppResult base = r.run_baseline(w);
+  const AppResult dyn = r.run_dyncta(w);
+  EXPECT_LT(dyn.total_cycles, base.total_cycles);
+}
+
+TEST(Dyncta, LosesToCattOnSinglePhaseApps) {
+  // GSMV is one contended launch: the dynamic scheme has nothing to learn
+  // from and runs it at full TLP, while CATT throttles it up front.
+  Runner r(bench::max_l1d_arch());
+  const wl::Workload& w = wl::find_workload("gsmv", 2);
+  const AppResult dyn = r.run_dyncta(w);
+  const AppResult catt = r.run_catt(w);
+  EXPECT_LE(catt.total_cycles, dyn.total_cycles);
+}
+
+TEST(Dyncta, RecordsPerLaunchTbChoices) {
+  Runner r(bench::max_l1d_arch());
+  const wl::Workload& w = wl::find_workload("km", 2);
+  const AppResult dyn = r.run_dyncta(w);
+  ASSERT_EQ(dyn.choices.size(), w.schedule.size());
+  for (const auto& c : dyn.choices) {
+    for (const auto& l : c.loops) {
+      EXPECT_GE(l.tbs, 1);
+      EXPECT_LE(l.tbs, c.baseline_occ.tbs_per_sm);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace catt::throttle

@@ -1,0 +1,101 @@
+// Tests for the kernel-variant dispatch feature (Section 4.3's answer to
+// launch-time-unknown parameters).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "frontend/parser.hpp"
+#include "ir/codegen.hpp"
+#include "transform/variants.hpp"
+
+namespace catt::xform {
+namespace {
+
+constexpr const char* kAtax1 = R"(
+//@regs=32
+__global__ void atax_kernel1(float *A, float *x, float *tmp, int NX) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NX) {
+        for (int j = 0; j < NX; j++) {
+            tmp[i] += A[i * NX + j] * x[j];
+        }
+    }
+}
+)";
+
+const arch::GpuArch kArch = arch::GpuArch::titan_v(2);
+
+std::vector<LaunchCase> three_cases() {
+  return {
+      // Contended: the Table 3 configuration.
+      {{{8}, {256}}, {{"NX", 2048}}},
+      // Tiny: 2 TBs over 2 SMs -> footprint fits, no throttling.
+      {{{2}, {256}}, {{"NX", 512}}},
+      // Same plan as case 0 (identical block shape and factors).
+      {{{8}, {256}}, {{"NX", 4096}}},
+  };
+}
+
+TEST(Variants, DedupesIdenticalPlans) {
+  const ir::Kernel k = frontend::parse_kernel(kAtax1);
+  const auto cases = three_cases();
+  const VariantSet vs = make_launch_variants(kArch, k, cases);
+  ASSERT_EQ(vs.variants.size(), 1u);  // cases 0 and 2 share one variant
+  EXPECT_EQ(vs.case_to_variant[0], 0);
+  EXPECT_EQ(vs.case_to_variant[1], -1);  // uncontended -> original
+  EXPECT_EQ(vs.case_to_variant[2], 0);
+  EXPECT_EQ(vs.variants[0].kernel.name, "atax_kernel1__catt_v1");
+  EXPECT_EQ(vs.variants[0].cases.size(), 2u);
+}
+
+TEST(Variants, SelectByLaunch) {
+  const ir::Kernel k = frontend::parse_kernel(kAtax1);
+  const auto cases = three_cases();
+  const VariantSet vs = make_launch_variants(kArch, k, cases);
+
+  const ir::Kernel* v0 = vs.select({{8}, {256}}, cases);
+  ASSERT_NE(v0, nullptr);
+  EXPECT_EQ(v0->name, "atax_kernel1__catt_v1");
+  EXPECT_EQ(vs.select({{2}, {256}}, cases), nullptr);   // original
+  EXPECT_EQ(vs.select({{64}, {128}}, cases), nullptr);  // unforeseen -> original
+}
+
+TEST(Variants, VariantKernelIsTransformed) {
+  const ir::Kernel k = frontend::parse_kernel(kAtax1);
+  const auto cases = three_cases();
+  const VariantSet vs = make_launch_variants(kArch, k, cases);
+  const std::string src = ir::to_cuda(vs.variants[0].kernel);
+  // The (4,4) plan from Table 3: two warp groups with barriers.
+  EXPECT_NE(src.find("threadIdx.x / 32"), std::string::npos);
+  EXPECT_NE(src.find("__syncthreads();"), std::string::npos);
+  EXPECT_EQ(ir::collect_loops(vs.variants[0].kernel).size(), 2u);
+}
+
+TEST(Variants, DispatchSourceMentionsEveryVariant) {
+  const ir::Kernel k = frontend::parse_kernel(kAtax1);
+  const auto cases = three_cases();
+  const VariantSet vs = make_launch_variants(kArch, k, cases);
+  const std::string src = vs.dispatch_source(cases);
+  EXPECT_NE(src.find("CATT_LAUNCH_atax_kernel1"), std::string::npos);
+  EXPECT_NE(src.find("atax_kernel1__catt_v1<<<"), std::string::npos);
+  EXPECT_NE(src.find("(block).x == 256"), std::string::npos);
+  // Fallback to the original is always present.
+  EXPECT_NE(src.find(": atax_kernel1<<<"), std::string::npos);
+}
+
+TEST(Variants, DifferentBlockShapesGetDifferentVariants) {
+  const ir::Kernel k = frontend::parse_kernel(kAtax1);
+  const std::vector<LaunchCase> cases = {
+      {{{8}, {256}}, {{"NX", 2048}}},   // 8 warps/TB
+      {{{4}, {512}}, {{"NX", 2048}}},   // 16 warps/TB: different split
+  };
+  const VariantSet vs = make_launch_variants(kArch, k, cases);
+  EXPECT_EQ(vs.variants.size(), 2u);
+}
+
+TEST(Variants, EmptyCasesThrow) {
+  const ir::Kernel k = frontend::parse_kernel(kAtax1);
+  EXPECT_THROW(make_launch_variants(kArch, k, {}), IrError);
+}
+
+}  // namespace
+}  // namespace catt::xform

@@ -1,0 +1,224 @@
+// Tests over the full workload suite: every workload parses, validates,
+// sets up, and analyzes; CS-regular apps get throttled, irregular and CI
+// apps keep their baseline TLP (the paper's central classification).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "catt/analysis.hpp"
+#include "common/error.hpp"
+#include "gpusim/gpu.hpp"
+#include "occupancy/occupancy.hpp"
+#include "workloads/workload.hpp"
+
+namespace catt::wl {
+namespace {
+
+const arch::GpuArch kArch = arch::GpuArch::titan_v(2);
+
+TEST(Workloads, RegistryComplete) {
+  const auto& all = all_workloads(2);
+  EXPECT_EQ(workloads_in_group(Group::kCS, 2).size(), 10u);   // Table 2 CS group
+  EXPECT_EQ(workloads_in_group(Group::kCI, 2).size(), 14u);   // Table 2 CI group
+  EXPECT_EQ(workloads_in_group(Group::kMicro, 2).size(), 3u); // Figure 3
+  std::set<std::string> names;
+  for (const auto& w : all) EXPECT_TRUE(names.insert(w.name).second) << w.name;
+  EXPECT_NO_THROW(find_workload("atax", 2));
+  EXPECT_THROW(find_workload("nope", 2), catt::Error);
+}
+
+class EveryWorkload : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EveryWorkload, SetsUpAndAnalyzes) {
+  const Workload& w = find_workload(GetParam(), 2);
+  ASSERT_FALSE(w.kernels.empty());
+  ASSERT_FALSE(w.schedule.empty());
+
+  // Setup allocates every array any kernel references.
+  sim::DeviceMemory mem;
+  w.setup(mem);
+  for (const auto& k : w.kernels) {
+    ir::validate(k);
+    for (const auto& a : k.arrays) {
+      EXPECT_TRUE(mem.has(a.name)) << w.name << "/" << k.name << " array " << a.name;
+    }
+  }
+
+  // Every schedule entry must have a computable occupancy and analysis.
+  for (const auto& entry : w.schedule) {
+    const ir::Kernel& k = w.kernel(entry.kernel);
+    const auto occ = occupancy::compute(kArch, k, entry.launch);
+    EXPECT_GT(occ.warps_per_sm, 0);
+    EXPECT_NO_THROW(analysis::analyze(kArch, k, entry.launch, entry.params));
+  }
+}
+
+std::vector<std::string> all_names() {
+  std::vector<std::string> names;
+  for (const auto& w : all_workloads(2)) names.push_back(w.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, EveryWorkload, ::testing::ValuesIn(all_names()),
+                         [](const auto& info) { return info.param; });
+
+// --- the paper's classification, as properties -----------------------------
+
+class CiWorkload : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CiWorkload, CattLeavesCiAppsAlone) {
+  const Workload& w = find_workload(GetParam(), 2);
+  for (const auto& entry : w.schedule) {
+    const analysis::KernelAnalysis ka =
+        analysis::analyze(kArch, w.kernel(entry.kernel), entry.launch, entry.params);
+    EXPECT_FALSE(ka.plan.any()) << w.name << "/" << entry.kernel
+                                << " should not be throttled (CI group)";
+  }
+}
+
+std::vector<std::string> ci_names() {
+  std::vector<std::string> names;
+  for (const auto* w : workloads_in_group(Group::kCI, 2)) names.push_back(w->name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, CiWorkload, ::testing::ValuesIn(ci_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(Classification, IrregularCsAppsKeepBaseline) {
+  for (const char* name : {"bfs", "cfd"}) {
+    const Workload& w = find_workload(name, 2);
+    for (const auto& entry : w.schedule) {
+      const analysis::KernelAnalysis ka =
+          analysis::analyze(kArch, w.kernel(entry.kernel), entry.launch, entry.params);
+      EXPECT_FALSE(ka.plan.any()) << name << "/" << entry.kernel;
+    }
+  }
+}
+
+TEST(Classification, BfsKeepsBaselineEvenAt32k) {
+  // Table 3: BFS stays (16,4) on the 32 KB configuration too — the
+  // conservative irregular path must not accumulate footprint there.
+  const Workload& w = find_workload("bfs", 2);
+  const auto arch32 = arch::GpuArch::titan_v_32k_l1d(2);
+  const analysis::KernelAnalysis ka =
+      analysis::analyze(arch32, w.kernel("bfs_kernel1"), w.schedule[0].launch,
+                        w.schedule[0].params);
+  EXPECT_FALSE(ka.plan.any());
+}
+
+TEST(Classification, RegularCsAppsGetThrottled) {
+  for (const char* name : {"atax", "bicg", "mvt", "gsmv", "syr2k", "km", "pf"}) {
+    const Workload& w = find_workload(name, 2);
+    bool any = false;
+    for (const auto& entry : w.schedule) {
+      const analysis::KernelAnalysis ka =
+          analysis::analyze(kArch, w.kernel(entry.kernel), entry.launch, entry.params);
+      any = any || ka.plan.any();
+    }
+    EXPECT_TRUE(any) << name << " should have at least one throttled loop";
+  }
+}
+
+TEST(Classification, CorrContendedButUnresolvable) {
+  const Workload& w = find_workload("corr", 2);
+  const auto& entry = w.schedule.back();  // corr_kernel
+  const analysis::KernelAnalysis ka =
+      analysis::analyze(kArch, w.kernel(entry.kernel), entry.launch, entry.params);
+  bool unresolvable = false;
+  for (const auto& loop : ka.loops) {
+    if (loop.top_level && loop.decision.unresolvable) unresolvable = true;
+  }
+  EXPECT_TRUE(unresolvable);
+  EXPECT_FALSE(ka.plan.any());
+}
+
+TEST(Baselines, Table3Occupancies) {
+  // Spot-check the baseline TLP "(#warps_TB, #TBs)" against Table 3.
+  const std::map<std::string, std::string> expected = {
+      {"atax", "(8,4)"}, {"bicg", "(8,4)"}, {"mvt", "(8,4)"}, {"gsmv", "(8,2)"},
+      {"syr2k", "(8,8)"}, {"km", "(8,8)"},  {"corr", "(8,1)"}, {"bfs", "(16,4)"},
+      {"cfd", "(6,10)"},
+  };
+  for (const auto& [name, tlp] : expected) {
+    const Workload& w = find_workload(name, 2);
+    const auto& entry = w.schedule.front();
+    const auto occ = occupancy::compute(kArch, w.kernel(entry.kernel), entry.launch);
+    EXPECT_EQ(occ.tlp_string(), tlp) << name;
+  }
+  // PF kernel 1 runs at (16,3), kernels 2-4 at (16,4).
+  const Workload& pf = find_workload("pf", 2);
+  EXPECT_EQ(occupancy::compute(kArch, pf.kernel("pf_likelihood"), pf.schedule[0].launch)
+                .tlp_string(),
+            "(16,3)");
+  EXPECT_EQ(occupancy::compute(kArch, pf.kernel("pf_normalize"), pf.schedule[1].launch)
+                .tlp_string(),
+            "(16,4)");
+}
+
+TEST(Micro, FillWarpFootprints) {
+  // l1dfullNw has 1024/(N*32) streams of 28 lines per warp (87.5% fill at
+  // the target warp count).
+  for (int n : {4, 8, 16}) {
+    const Workload& w = find_workload("l1dfull" + std::to_string(n) + "w", 2);
+    const ir::Kernel& k = w.kernels[0];
+    const auto& entry = w.schedule[0];
+    const analysis::KernelAnalysis ka =
+        analysis::analyze(kArch, k, entry.launch, entry.params);
+    ASSERT_EQ(ka.loops.size(), 1u);
+    const std::size_t lines_per_warp = ka.loops[0].footprint_bytes /
+                                       static_cast<std::size_t>(ka.occ.warps_per_sm) / 128;
+    EXPECT_EQ(lines_per_warp, 896u / static_cast<std::size_t>(n))
+        << "micro " << n << "w";
+  }
+}
+
+}  // namespace
+}  // namespace catt::wl
+// Appended: round-trip and determinism properties over the whole suite.
+#include "ir/codegen.hpp"
+#include "frontend/parser.hpp"
+
+namespace catt::wl {
+namespace {
+
+class RoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RoundTrip, CodegenReparsesToIdenticalSource) {
+  // Every workload kernel must survive print -> parse -> print unchanged:
+  // the source-to-source output is loss-free for the supported dialect.
+  const Workload& w = find_workload(GetParam(), 2);
+  for (const auto& k : w.kernels) {
+    const std::string once = ir::to_cuda(k);
+    ir::Kernel reparsed = frontend::parse_kernel("//@regs=" +
+                                                 std::to_string(k.regs_per_thread) + "\n" + once);
+    EXPECT_EQ(ir::to_cuda(reparsed), once) << w.name << "/" << k.name;
+    EXPECT_EQ(reparsed.regs_per_thread, k.regs_per_thread);
+    EXPECT_EQ(reparsed.static_shared_bytes(), k.static_shared_bytes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, RoundTrip, ::testing::ValuesIn(all_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(Determinism, RepeatedRunsAreBitIdentical) {
+  // The whole pipeline is deterministic: two fresh runs of the same
+  // workload produce identical cycle counts and cache stats.
+  auto run_once = [] {
+    sim::DeviceMemory mem;
+    const Workload& w = find_workload("gsmv", 2);
+    w.setup(mem);
+    sim::Gpu gpu(kArch, mem);
+    const auto& e = w.schedule[0];
+    return gpu.run({&w.kernel(e.kernel), e.launch, e.params});
+  };
+  const sim::KernelStats a = run_once();
+  const sim::KernelStats b = run_once();
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.l1.hits, b.l1.hits);
+  EXPECT_EQ(a.dram_lines, b.dram_lines);
+}
+
+}  // namespace
+}  // namespace catt::wl
