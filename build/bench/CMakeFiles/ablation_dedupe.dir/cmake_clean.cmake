@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dedupe.dir/ablation_dedupe.cpp.o"
+  "CMakeFiles/ablation_dedupe.dir/ablation_dedupe.cpp.o.d"
+  "ablation_dedupe"
+  "ablation_dedupe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dedupe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

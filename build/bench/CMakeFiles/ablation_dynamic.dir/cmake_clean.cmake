@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dynamic.dir/ablation_dynamic.cpp.o"
+  "CMakeFiles/ablation_dynamic.dir/ablation_dynamic.cpp.o.d"
+  "ablation_dynamic"
+  "ablation_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

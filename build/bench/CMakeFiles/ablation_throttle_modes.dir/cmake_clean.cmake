@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_throttle_modes.dir/ablation_throttle_modes.cpp.o"
+  "CMakeFiles/ablation_throttle_modes.dir/ablation_throttle_modes.cpp.o.d"
+  "ablation_throttle_modes"
+  "ablation_throttle_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_throttle_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_overhead.dir/analysis_overhead.cpp.o"
+  "CMakeFiles/analysis_overhead.dir/analysis_overhead.cpp.o.d"
+  "analysis_overhead"
+  "analysis_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_small_l1d.dir/fig10_small_l1d.cpp.o"
+  "CMakeFiles/fig10_small_l1d.dir/fig10_small_l1d.cpp.o.d"
+  "fig10_small_l1d"
+  "fig10_small_l1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_small_l1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

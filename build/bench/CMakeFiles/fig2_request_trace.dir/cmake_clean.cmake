@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_request_trace.dir/fig2_request_trace.cpp.o"
+  "CMakeFiles/fig2_request_trace.dir/fig2_request_trace.cpp.o.d"
+  "fig2_request_trace"
+  "fig2_request_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_request_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

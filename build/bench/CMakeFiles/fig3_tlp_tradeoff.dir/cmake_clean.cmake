@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_tlp_tradeoff.dir/fig3_tlp_tradeoff.cpp.o"
+  "CMakeFiles/fig3_tlp_tradeoff.dir/fig3_tlp_tradeoff.cpp.o.d"
+  "fig3_tlp_tradeoff"
+  "fig3_tlp_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_tlp_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_hit_rates.dir/fig6_hit_rates.cpp.o"
+  "CMakeFiles/fig6_hit_rates.dir/fig6_hit_rates.cpp.o.d"
+  "fig6_hit_rates"
+  "fig6_hit_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_hit_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_cs_speedup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_cs_speedup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_ci_speedup.dir/fig8_ci_speedup.cpp.o"
+  "CMakeFiles/fig8_ci_speedup.dir/fig8_ci_speedup.cpp.o.d"
+  "fig8_ci_speedup"
+  "fig8_ci_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_ci_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

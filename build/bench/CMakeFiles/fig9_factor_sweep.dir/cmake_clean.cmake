@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_factor_sweep.dir/fig9_factor_sweep.cpp.o"
+  "CMakeFiles/fig9_factor_sweep.dir/fig9_factor_sweep.cpp.o.d"
+  "fig9_factor_sweep"
+  "fig9_factor_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_factor_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_l1d_capacity.dir/sensitivity_l1d_capacity.cpp.o"
+  "CMakeFiles/sensitivity_l1d_capacity.dir/sensitivity_l1d_capacity.cpp.o.d"
+  "sensitivity_l1d_capacity"
+  "sensitivity_l1d_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_l1d_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

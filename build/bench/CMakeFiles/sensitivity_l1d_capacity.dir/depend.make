@@ -1,0 +1,2 @@
+# Empty dependencies file for sensitivity_l1d_capacity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_tlp_selection.dir/table3_tlp_selection.cpp.o"
+  "CMakeFiles/table3_tlp_selection.dir/table3_tlp_selection.cpp.o.d"
+  "table3_tlp_selection"
+  "table3_tlp_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_tlp_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_source.dir/analyze_source.cpp.o"
+  "CMakeFiles/analyze_source.dir/analyze_source.cpp.o.d"
+  "analyze_source"
+  "analyze_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

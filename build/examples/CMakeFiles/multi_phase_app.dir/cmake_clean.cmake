@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_phase_app.dir/multi_phase_app.cpp.o"
+  "CMakeFiles/multi_phase_app.dir/multi_phase_app.cpp.o.d"
+  "multi_phase_app"
+  "multi_phase_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_phase_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throttle_explorer.dir/throttle_explorer.cpp.o"
+  "CMakeFiles/throttle_explorer.dir/throttle_explorer.cpp.o.d"
+  "throttle_explorer"
+  "throttle_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throttle_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("arch")
+subdirs("expr")
+subdirs("ir")
+subdirs("frontend")
+subdirs("occupancy")
+subdirs("catt")
+subdirs("transform")
+subdirs("gpusim")
+subdirs("throttle")
+subdirs("workloads")
+subdirs("harness")

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/gpu_arch.cpp" "src/arch/CMakeFiles/catt_arch.dir/gpu_arch.cpp.o" "gcc" "src/arch/CMakeFiles/catt_arch.dir/gpu_arch.cpp.o.d"
+  "/root/repo/src/arch/launch.cpp" "src/arch/CMakeFiles/catt_arch.dir/launch.cpp.o" "gcc" "src/arch/CMakeFiles/catt_arch.dir/launch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/catt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catt_arch.dir/gpu_arch.cpp.o"
+  "CMakeFiles/catt_arch.dir/gpu_arch.cpp.o.d"
+  "CMakeFiles/catt_arch.dir/launch.cpp.o"
+  "CMakeFiles/catt_arch.dir/launch.cpp.o.d"
+  "libcatt_arch.a"
+  "libcatt_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catt_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catt_analysis.dir/analysis.cpp.o"
+  "CMakeFiles/catt_analysis.dir/analysis.cpp.o.d"
+  "CMakeFiles/catt_analysis.dir/report.cpp.o"
+  "CMakeFiles/catt_analysis.dir/report.cpp.o.d"
+  "libcatt_analysis.a"
+  "libcatt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

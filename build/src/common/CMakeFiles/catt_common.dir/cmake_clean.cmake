@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catt_common.dir/csv.cpp.o"
+  "CMakeFiles/catt_common.dir/csv.cpp.o.d"
+  "CMakeFiles/catt_common.dir/log.cpp.o"
+  "CMakeFiles/catt_common.dir/log.cpp.o.d"
+  "CMakeFiles/catt_common.dir/stats.cpp.o"
+  "CMakeFiles/catt_common.dir/stats.cpp.o.d"
+  "CMakeFiles/catt_common.dir/string_util.cpp.o"
+  "CMakeFiles/catt_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/catt_common.dir/table.cpp.o"
+  "CMakeFiles/catt_common.dir/table.cpp.o.d"
+  "libcatt_common.a"
+  "libcatt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

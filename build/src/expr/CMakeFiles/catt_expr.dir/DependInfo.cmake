@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/affine.cpp" "src/expr/CMakeFiles/catt_expr.dir/affine.cpp.o" "gcc" "src/expr/CMakeFiles/catt_expr.dir/affine.cpp.o.d"
+  "/root/repo/src/expr/eval.cpp" "src/expr/CMakeFiles/catt_expr.dir/eval.cpp.o" "gcc" "src/expr/CMakeFiles/catt_expr.dir/eval.cpp.o.d"
+  "/root/repo/src/expr/expr.cpp" "src/expr/CMakeFiles/catt_expr.dir/expr.cpp.o" "gcc" "src/expr/CMakeFiles/catt_expr.dir/expr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/catt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/catt_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

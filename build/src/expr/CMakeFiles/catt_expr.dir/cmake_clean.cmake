@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catt_expr.dir/affine.cpp.o"
+  "CMakeFiles/catt_expr.dir/affine.cpp.o.d"
+  "CMakeFiles/catt_expr.dir/eval.cpp.o"
+  "CMakeFiles/catt_expr.dir/eval.cpp.o.d"
+  "CMakeFiles/catt_expr.dir/expr.cpp.o"
+  "CMakeFiles/catt_expr.dir/expr.cpp.o.d"
+  "libcatt_expr.a"
+  "libcatt_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catt_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

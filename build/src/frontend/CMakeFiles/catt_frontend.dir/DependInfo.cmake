@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/lexer.cpp" "src/frontend/CMakeFiles/catt_frontend.dir/lexer.cpp.o" "gcc" "src/frontend/CMakeFiles/catt_frontend.dir/lexer.cpp.o.d"
+  "/root/repo/src/frontend/parser.cpp" "src/frontend/CMakeFiles/catt_frontend.dir/parser.cpp.o" "gcc" "src/frontend/CMakeFiles/catt_frontend.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/catt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/catt_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/catt_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/catt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

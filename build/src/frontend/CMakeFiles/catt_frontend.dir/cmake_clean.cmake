@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catt_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/catt_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/catt_frontend.dir/parser.cpp.o"
+  "CMakeFiles/catt_frontend.dir/parser.cpp.o.d"
+  "libcatt_frontend.a"
+  "libcatt_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catt_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

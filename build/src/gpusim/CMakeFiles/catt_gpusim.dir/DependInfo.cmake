@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/cache.cpp" "src/gpusim/CMakeFiles/catt_gpusim.dir/cache.cpp.o" "gcc" "src/gpusim/CMakeFiles/catt_gpusim.dir/cache.cpp.o.d"
+  "/root/repo/src/gpusim/gpu.cpp" "src/gpusim/CMakeFiles/catt_gpusim.dir/gpu.cpp.o" "gcc" "src/gpusim/CMakeFiles/catt_gpusim.dir/gpu.cpp.o.d"
+  "/root/repo/src/gpusim/interp.cpp" "src/gpusim/CMakeFiles/catt_gpusim.dir/interp.cpp.o" "gcc" "src/gpusim/CMakeFiles/catt_gpusim.dir/interp.cpp.o.d"
+  "/root/repo/src/gpusim/memory.cpp" "src/gpusim/CMakeFiles/catt_gpusim.dir/memory.cpp.o" "gcc" "src/gpusim/CMakeFiles/catt_gpusim.dir/memory.cpp.o.d"
+  "/root/repo/src/gpusim/sm.cpp" "src/gpusim/CMakeFiles/catt_gpusim.dir/sm.cpp.o" "gcc" "src/gpusim/CMakeFiles/catt_gpusim.dir/sm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/catt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/occupancy/CMakeFiles/catt_occupancy.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/catt_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/catt_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/catt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

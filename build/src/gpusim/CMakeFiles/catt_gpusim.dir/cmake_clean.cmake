@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catt_gpusim.dir/cache.cpp.o"
+  "CMakeFiles/catt_gpusim.dir/cache.cpp.o.d"
+  "CMakeFiles/catt_gpusim.dir/gpu.cpp.o"
+  "CMakeFiles/catt_gpusim.dir/gpu.cpp.o.d"
+  "CMakeFiles/catt_gpusim.dir/interp.cpp.o"
+  "CMakeFiles/catt_gpusim.dir/interp.cpp.o.d"
+  "CMakeFiles/catt_gpusim.dir/memory.cpp.o"
+  "CMakeFiles/catt_gpusim.dir/memory.cpp.o.d"
+  "CMakeFiles/catt_gpusim.dir/sm.cpp.o"
+  "CMakeFiles/catt_gpusim.dir/sm.cpp.o.d"
+  "libcatt_gpusim.a"
+  "libcatt_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catt_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catt_harness.dir/harness.cpp.o"
+  "CMakeFiles/catt_harness.dir/harness.cpp.o.d"
+  "libcatt_harness.a"
+  "libcatt_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catt_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catt_ir.dir/codegen.cpp.o"
+  "CMakeFiles/catt_ir.dir/codegen.cpp.o.d"
+  "CMakeFiles/catt_ir.dir/ir.cpp.o"
+  "CMakeFiles/catt_ir.dir/ir.cpp.o.d"
+  "libcatt_ir.a"
+  "libcatt_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catt_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

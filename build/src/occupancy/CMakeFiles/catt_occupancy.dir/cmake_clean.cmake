@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catt_occupancy.dir/occupancy.cpp.o"
+  "CMakeFiles/catt_occupancy.dir/occupancy.cpp.o.d"
+  "libcatt_occupancy.a"
+  "libcatt_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catt_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catt_throttle.dir/runner.cpp.o"
+  "CMakeFiles/catt_throttle.dir/runner.cpp.o.d"
+  "libcatt_throttle.a"
+  "libcatt_throttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catt_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catt_transform.dir/transform.cpp.o"
+  "CMakeFiles/catt_transform.dir/transform.cpp.o.d"
+  "CMakeFiles/catt_transform.dir/variants.cpp.o"
+  "CMakeFiles/catt_transform.dir/variants.cpp.o.d"
+  "libcatt_transform.a"
+  "libcatt_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catt_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

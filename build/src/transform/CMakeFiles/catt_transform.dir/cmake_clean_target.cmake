@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcatt_transform.a"
+)

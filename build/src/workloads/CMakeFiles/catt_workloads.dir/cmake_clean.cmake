@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catt_workloads.dir/ci_polybench.cpp.o"
+  "CMakeFiles/catt_workloads.dir/ci_polybench.cpp.o.d"
+  "CMakeFiles/catt_workloads.dir/ci_rodinia.cpp.o"
+  "CMakeFiles/catt_workloads.dir/ci_rodinia.cpp.o.d"
+  "CMakeFiles/catt_workloads.dir/cs_polybench.cpp.o"
+  "CMakeFiles/catt_workloads.dir/cs_polybench.cpp.o.d"
+  "CMakeFiles/catt_workloads.dir/cs_rodinia.cpp.o"
+  "CMakeFiles/catt_workloads.dir/cs_rodinia.cpp.o.d"
+  "CMakeFiles/catt_workloads.dir/micro.cpp.o"
+  "CMakeFiles/catt_workloads.dir/micro.cpp.o.d"
+  "CMakeFiles/catt_workloads.dir/workload.cpp.o"
+  "CMakeFiles/catt_workloads.dir/workload.cpp.o.d"
+  "libcatt_workloads.a"
+  "libcatt_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catt_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

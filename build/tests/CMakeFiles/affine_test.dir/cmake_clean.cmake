@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affine_test.dir/affine_test.cpp.o"
+  "CMakeFiles/affine_test.dir/affine_test.cpp.o.d"
+  "affine_test"
+  "affine_test.pdb"
+  "affine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

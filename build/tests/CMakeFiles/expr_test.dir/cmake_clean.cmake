@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expr_test.dir/expr_test.cpp.o"
+  "CMakeFiles/expr_test.dir/expr_test.cpp.o.d"
+  "expr_test"
+  "expr_test.pdb"
+  "expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_test.dir/gpu_test.cpp.o"
+  "CMakeFiles/gpu_test.dir/gpu_test.cpp.o.d"
+  "gpu_test"
+  "gpu_test.pdb"
+  "gpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variants_test.dir/variants_test.cpp.o"
+  "CMakeFiles/variants_test.dir/variants_test.cpp.o.d"
+  "variants_test"
+  "variants_test.pdb"
+  "variants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
