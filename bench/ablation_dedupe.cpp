@@ -46,9 +46,9 @@ int main() {
   std::vector<double> s_eq8, s_dedupe;
 
   for (const wl::Workload* w : wl::workloads_in_group(wl::Group::kCS, bench::kNumSms)) {
-    const throttle::AppResult base = runner.run_baseline(*w);
-    const throttle::AppResult r8 = runner.run_catt(*w, eq8);
-    const throttle::AppResult rd = runner.run_catt(*w, dedupe);
+    const throttle::AppResult base = runner.run(*w, throttle::Baseline{});
+    const throttle::AppResult r8 = runner.run(*w, throttle::Catt{eq8});
+    const throttle::AppResult rd = runner.run(*w, throttle::Catt{dedupe});
     const double sp8 = bench::speedup(base.total_cycles, r8.total_cycles);
     const double spd = bench::speedup(base.total_cycles, rd.total_cycles);
     s_eq8.push_back(sp8);

@@ -19,9 +19,9 @@ int main() {
   std::vector<double> s_dyn, s_catt;
 
   for (const wl::Workload* w : wl::workloads_in_group(wl::Group::kCS, bench::kNumSms)) {
-    const throttle::AppResult base = runner.run_baseline(*w);
-    const throttle::AppResult dyn = runner.run_dyncta(*w);
-    const throttle::AppResult catt = runner.run_catt(*w);
+    const throttle::AppResult base = runner.run(*w, throttle::Baseline{});
+    const throttle::AppResult dyn = runner.run(*w, throttle::Dyncta{});
+    const throttle::AppResult catt = runner.run(*w, throttle::Catt{});
     const double sd = bench::speedup(base.total_cycles, dyn.total_cycles);
     const double sc = bench::speedup(base.total_cycles, catt.total_cycles);
     s_dyn.push_back(sd);

@@ -27,9 +27,9 @@ int main() {
   std::vector<double> s_def, s_warp, s_tb, s_aggr;
 
   for (const wl::Workload* w : wl::workloads_in_group(wl::Group::kCS, bench::kNumSms)) {
-    const throttle::AppResult base = runner.run_baseline(*w);
+    const throttle::AppResult base = runner.run(*w, throttle::Baseline{});
     auto speedup_of = [&](const analysis::AnalysisOptions& o) {
-      const throttle::AppResult r = runner.run_catt(*w, o);
+      const throttle::AppResult r = runner.run(*w, throttle::Catt{o});
       return bench::speedup(base.total_cycles, r.total_cycles);
     };
     const double d = speedup_of(defaults);

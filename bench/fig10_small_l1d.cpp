@@ -48,6 +48,8 @@ int main() {
   std::printf("paper:   CATT +89.23%% geomean, BFTT +68.17%% geomean\n");
   std::printf("this run: CATT %+.2f%% geomean, BFTT %+.2f%% geomean\n",
               (catt_geo - 1.0) * 100.0, (bftt_geo - 1.0) * 100.0);
-  bench::write_result_file("fig10_small_l1d.csv", csv.str());
+  if (const auto st = bench::write_result_file("fig10_small_l1d.csv", csv.str()); !st) {
+    std::fprintf(stderr, "[bench] %s\n", st.message.c_str());
+  }
   return 0;
 }

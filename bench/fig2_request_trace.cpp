@@ -65,6 +65,8 @@ int main() {
       "paper shape: ATAX/BICG/MVT show one high-divergence phase (32 req/inst) and one\n"
       "coalesced phase (~1); PF alternates within kernel 1; BFS/CFD fluctuate; CI-style\n"
       "phases are flat.\n");
-  bench::write_result_file("fig2_request_trace.csv", csv.str());
+  if (const auto st = bench::write_result_file("fig2_request_trace.csv", csv.str()); !st) {
+    std::fprintf(stderr, "[bench] %s\n", st.message.c_str());
+  }
   return 0;
 }

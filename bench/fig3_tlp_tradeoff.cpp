@@ -26,13 +26,13 @@ int main() {
   for (int fill : {4, 8, 16}) {
     const wl::Workload& w =
         wl::find_workload("l1dfull" + std::to_string(fill) + "w", bench::kNumSms);
-    const throttle::AppResult base = runner.run_baseline(w);
+    const throttle::AppResult base = runner.run(w, throttle::Baseline{});
     const auto choices = runner.catt_choices(w);
     catt_pick[fill] = choices[0].loops.empty() ? 32 : choices[0].loops[0].warps;
 
     for (int n : divisors) {
       const throttle::AppResult r =
-          n == 1 ? runner.run_baseline(w) : runner.run_fixed(w, {n, 0});
+          n == 1 ? runner.run(w, throttle::Baseline{}) : runner.run(w, throttle::Fixed{{n, 0}});
       const double norm = static_cast<double>(r.total_cycles) /
                           static_cast<double>(base.total_cycles);
       normalized[fill][32 / n] = norm;
@@ -65,6 +65,8 @@ int main() {
   std::printf(
       "paper shape: each curve bottoms out at its filling warp count (4/8/16) — more\n"
       "warps thrash the L1D, fewer underutilize the SM. CATT should pick the knee.\n");
-  bench::write_result_file("fig3_tlp_tradeoff.csv", csv.str());
+  if (const auto st = bench::write_result_file("fig3_tlp_tradeoff.csv", csv.str()); !st) {
+    std::fprintf(stderr, "[bench] %s\n", st.message.c_str());
+  }
   return 0;
 }

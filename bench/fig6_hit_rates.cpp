@@ -41,6 +41,8 @@ int main() {
   std::printf(
       "paper shape: CATT raises the hit rate on contended kernels (ATAX#1, BICG#2, MVT#1,\n"
       "GSMV, SYR2K, KM, PF#1) and matches the baseline on irregular/untouched ones.\n");
-  bench::write_result_file("fig6_hit_rates.csv", csv.str());
+  if (const auto st = bench::write_result_file("fig6_hit_rates.csv", csv.str()); !st) {
+    std::fprintf(stderr, "[bench] %s\n", st.message.c_str());
+  }
   return 0;
 }

@@ -51,6 +51,8 @@ int main() {
   std::printf("paper:   CATT +42.96%% geomean, BFTT +31.19%% geomean\n");
   std::printf("this run: CATT %+.2f%% geomean, BFTT %+.2f%% geomean\n",
               (catt_geo - 1.0) * 100.0, (bftt_geo - 1.0) * 100.0);
-  bench::write_result_file("fig7_cs_speedup.csv", csv.str());
+  if (const auto st = bench::write_result_file("fig7_cs_speedup.csv", csv.str()); !st) {
+    std::fprintf(stderr, "[bench] %s\n", st.message.c_str());
+  }
   return 0;
 }

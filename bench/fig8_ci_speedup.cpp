@@ -55,6 +55,8 @@ int main() {
   std::printf("Figure 8 — CI-group performance, maximum L1D (normalized to baseline)\n\n%s\n",
               table.str().c_str());
   std::printf("paper: CATT and BFTT both keep the baseline TLP on every CI app (~1.00x)\n");
-  bench::write_result_file("fig8_ci_speedup.csv", csv.str());
+  if (const auto st = bench::write_result_file("fig8_ci_speedup.csv", csv.str()); !st) {
+    std::fprintf(stderr, "[bench] %s\n", st.message.c_str());
+  }
   return 0;
 }

@@ -16,8 +16,8 @@ int main() {
                  "is_best"});
 
   for (const wl::Workload* w : wl::workloads_in_group(wl::Group::kCS, bench::kNumSms)) {
-    const throttle::AppResult base = runner.run_baseline(*w);
-    const throttle::AppResult catt = runner.run_catt(*w);
+    const throttle::AppResult base = runner.run(*w, throttle::Baseline{});
+    const throttle::AppResult catt = runner.run(*w, throttle::Catt{});
     const double catt_norm =
         static_cast<double>(catt.total_cycles) / static_cast<double>(base.total_cycles);
 
@@ -42,7 +42,7 @@ int main() {
     for (const throttle::FixedFactor& f : runner.candidate_factors(*w)) {
       if (f.tb_limit != 0) continue;  // Figure 9 sweeps the warp axis
       const throttle::AppResult r =
-          f.n_divisor == 1 ? runner.run_baseline(*w) : runner.run_fixed(*w, f);
+          f.n_divisor == 1 ? runner.run(*w, throttle::Baseline{}) : runner.run(*w, throttle::Fixed{f});
       pts.push_back(
           {f, static_cast<double>(r.total_cycles) / static_cast<double>(base.total_cycles)});
     }
@@ -73,6 +73,8 @@ int main() {
       "paper shape: for regular apps the star sits at the sweep minimum; for irregular\n"
       "apps (PF#1, BFS#1, CFD#3) the optimum can deviate because contention fluctuates\n"
       "within the loop (Section 5.1.2).\n");
-  bench::write_result_file("fig9_factor_sweep.csv", csv.str());
+  if (const auto st = bench::write_result_file("fig9_factor_sweep.csv", csv.str()); !st) {
+    std::fprintf(stderr, "[bench] %s\n", st.message.c_str());
+  }
   return 0;
 }

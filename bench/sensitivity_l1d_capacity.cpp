@@ -28,8 +28,8 @@ int main() {
     auto& r = table.row().cell(label);
     for (const auto& name : apps) {
       const wl::Workload& w = wl::find_workload(name, bench::kNumSms);
-      const throttle::AppResult base = runner.run_baseline(w);
-      const throttle::AppResult catt = runner.run_catt(w);
+      const throttle::AppResult base = runner.run(w, throttle::Baseline{});
+      const throttle::AppResult catt = runner.run(w, throttle::Catt{});
       const double sp = bench::speedup(base.total_cycles, catt.total_cycles);
       speedups.push_back(sp);
       r.cell(format_speedup(sp));
@@ -51,6 +51,8 @@ int main() {
       "L1D capacity sensitivity — CATT speedup over baseline per capacity\n"
       "(Section 5.1.3: throttling should matter more as the L1D shrinks)\n\n%s\n",
       table.str().c_str());
-  bench::write_result_file("sensitivity_l1d_capacity.csv", csv.str());
+  if (const auto st = bench::write_result_file("sensitivity_l1d_capacity.csv", csv.str()); !st) {
+    std::fprintf(stderr, "[bench] %s\n", st.message.c_str());
+  }
   return 0;
 }

@@ -37,8 +37,8 @@ int main() {
   for (const wl::Workload* w : wl::workloads_in_group(wl::Group::kCS, bench::kNumSms)) {
     const auto catt32 = r32.catt_choices(*w);
     const auto cattmax = rmax.catt_choices(*w);
-    const auto bftt32 = r32.run_bftt(*w);
-    const auto bfttmax = rmax.run_bftt(*w);
+    const auto bftt32 = r32.bftt_sweep(*w);
+    const auto bfttmax = rmax.bftt_sweep(*w);
     std::fprintf(stderr, "[table3] %s: BFTT32=%s BFTTmax=%s\n", w->name.c_str(),
                  bftt32.factor.str().c_str(), bfttmax.factor.str().c_str());
 
@@ -89,6 +89,8 @@ int main() {
       "paper shape: BFTT picks one pair per app; CATT differs per loop — e.g. ATAX#1's\n"
       "divergent loop is throttled while ATAX#2 keeps the baseline; irregular apps (BFS,\n"
       "CFD) and CORR stay at baseline everywhere.\n");
-  bench::write_result_file("table3_tlp_selection.csv", csv.str());
+  if (const auto st = bench::write_result_file("table3_tlp_selection.csv", csv.str()); !st) {
+    std::fprintf(stderr, "[bench] %s\n", st.message.c_str());
+  }
   return 0;
 }

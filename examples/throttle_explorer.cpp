@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   std::printf("workload %s (%s): %s\n\n", w.name.c_str(), wl::to_string(w.group),
               w.description.c_str());
 
-  const throttle::AppResult base = runner.run_baseline(w);
+  const throttle::AppResult base = runner.run(w, throttle::Baseline{});
   TextTable table({"policy", "cycles", "speedup", "L1D hit", "DRAM lines"});
   auto add = [&](const throttle::AppResult& r) {
     std::uint64_t dram = 0;
@@ -58,11 +58,11 @@ int main(int argc, char** argv) {
   add(base);
   for (const throttle::FixedFactor& f : runner.candidate_factors(w)) {
     if (f.tb_limit != 0 || f.n_divisor == 1) continue;  // warp axis only here
-    add(runner.run_fixed(w, f));
+    add(runner.run(w, throttle::Fixed{f}));
   }
-  const auto bftt = runner.run_bftt(w);
+  const auto bftt = runner.bftt_sweep(w);
   add(bftt.best);
-  add(runner.run_catt(w));
+  add(runner.run(w, throttle::Catt{}));
   std::printf("%s\n", table.str().c_str());
 
   // Show CATT's reasoning per kernel.

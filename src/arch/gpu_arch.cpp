@@ -3,9 +3,42 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "common/units.hpp"
 
 namespace catt::arch {
+
+std::uint64_t GpuArch::fingerprint() const {
+  hash::Fnv1a h;
+  h.str(name)
+      .i32(num_sms)
+      .i32(warp_size)
+      .i32(max_warps_per_sm)
+      .i32(max_tbs_per_sm)
+      .i32(max_threads_per_tb)
+      .size(register_file_bytes)
+      .size(unified_cache_bytes)
+      .b(unified_l1_shared)
+      .size(fixed_l1d_bytes)
+      .size(fixed_shared_bytes)
+      .i32(line_bytes)
+      .i32(sector_bytes)
+      .i32(l1_assoc)
+      .i32(l1_mshrs)
+      .size(l2_bytes)
+      .i32(l2_assoc)
+      .i32(schedulers_per_sm)
+      .size(l1d_cap_bytes)
+      .i32(timing.l1_hit_latency)
+      .i32(timing.l2_hit_latency)
+      .i32(timing.dram_latency)
+      .i32(timing.lsu_issue_interval)
+      .i32(timing.l2_service_interval)
+      .i32(timing.dram_sector_interval);
+  h.size(shared_carveouts.size());
+  for (std::size_t c : shared_carveouts) h.size(c);
+  return h.value();
+}
 
 std::size_t GpuArch::l1d_bytes_for_carveout(std::size_t shared_bytes) const {
   std::size_t l1d = 0;

@@ -98,6 +98,11 @@ struct GpuArch {
   /// Optional cap on the L1D carve-out result (0 = uncapped); used to model
   /// the 32 KB-L1D configuration of Figure 10.
   std::size_t l1d_cap_bytes = 0;
+
+  /// Stable content hash over every simulation-relevant field (including
+  /// timing and carve-outs). Part of the exec::SimCache key: two GpuArch
+  /// values with equal fingerprints produce identical simulations.
+  std::uint64_t fingerprint() const;
 };
 
 }  // namespace catt::arch

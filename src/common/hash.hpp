@@ -1,0 +1,57 @@
+// Stable content hashing for cache keys. FNV-1a over an explicit field
+// stream: every fingerprint below hashes *values* (never pointers or
+// padding), so keys are reproducible across runs, builds, and platforms
+// of equal endianness-independent field values.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace catt::hash {
+
+/// Streaming 64-bit FNV-1a. Usage:
+///   Fnv1a h;
+///   h.u64(arch.num_sms).str(kernel_src);
+///   std::uint64_t key = h.value();
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffset = 14695981039346656037ULL;
+  static constexpr std::uint64_t kPrime = 1099511628211ULL;
+
+  Fnv1a& byte(std::uint8_t b) {
+    h_ = (h_ ^ b) * kPrime;
+    return *this;
+  }
+
+  /// Hashes the value little-endian byte by byte (not via memcpy of the
+  /// in-memory representation), so the result is platform-stable.
+  Fnv1a& u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+    return *this;
+  }
+
+  Fnv1a& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+  Fnv1a& u32(std::uint32_t v) { return u64(v); }
+  Fnv1a& i32(std::int32_t v) { return i64(v); }
+  Fnv1a& b(bool v) { return byte(v ? 1 : 0); }
+  Fnv1a& size(std::size_t v) { return u64(static_cast<std::uint64_t>(v)); }
+
+  /// Length-prefixed so adjacent strings cannot alias ("ab","c" != "a","bc").
+  Fnv1a& str(std::string_view s) {
+    u64(s.size());
+    for (char c : s) byte(static_cast<std::uint8_t>(c));
+    return *this;
+  }
+
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = kOffset;
+};
+
+/// Order-sensitive combination of two digests (chained cache keys).
+inline std::uint64_t combine(std::uint64_t a, std::uint64_t b) {
+  return Fnv1a{}.u64(a).u64(b).value();
+}
+
+}  // namespace catt::hash

@@ -1,0 +1,42 @@
+#include "exec/fingerprint.hpp"
+
+#include "common/hash.hpp"
+#include "ir/codegen.hpp"
+
+namespace catt::exec {
+
+std::uint64_t fingerprint(const ir::Kernel& k) {
+  hash::Fnv1a h;
+  h.str(k.name).i32(k.regs_per_thread);
+  h.size(k.arrays.size());
+  for (const auto& a : k.arrays) h.str(a.name).byte(static_cast<std::uint8_t>(a.type));
+  h.size(k.scalars.size());
+  for (const auto& s : k.scalars) h.str(s.name);
+  h.size(k.shared.size());
+  for (const auto& s : k.shared) {
+    h.str(s.name).byte(static_cast<std::uint8_t>(s.type)).i64(s.count);
+  }
+  h.str(ir::to_cuda(k.body));
+  return h.value();
+}
+
+std::uint64_t fingerprint(const arch::LaunchConfig& launch) {
+  return hash::Fnv1a{}
+      .u32(launch.grid.x)
+      .u32(launch.grid.y)
+      .u32(launch.grid.z)
+      .u32(launch.block.x)
+      .u32(launch.block.y)
+      .u32(launch.block.z)
+      .size(launch.dyn_shared_bytes)
+      .value();
+}
+
+std::uint64_t fingerprint(const expr::ParamEnv& params) {
+  hash::Fnv1a h;
+  h.size(params.size());
+  for (const auto& [name, value] : params) h.str(name).i64(value);
+  return h.value();
+}
+
+}  // namespace catt::exec

@@ -1,0 +1,21 @@
+// Cache-key fingerprints for the pieces of a simulation a SimCache entry
+// depends on. The kernel fingerprint hashes the *canonical source text*
+// (ir::to_cuda is a deterministic pretty-printer) plus the signature and
+// resource fields codegen does not print into the body, so two transform
+// pipelines that arrive at the same kernel — e.g. two fixed factors that
+// clamp to the same per-kernel divisor — produce the same key.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/launch.hpp"
+#include "expr/affine.hpp"
+#include "ir/ir.hpp"
+
+namespace catt::exec {
+
+std::uint64_t fingerprint(const ir::Kernel& k);
+std::uint64_t fingerprint(const arch::LaunchConfig& launch);
+std::uint64_t fingerprint(const expr::ParamEnv& params);
+
+}  // namespace catt::exec

@@ -1,0 +1,53 @@
+#include "exec/sim_cache.hpp"
+
+namespace catt::exec {
+
+std::optional<sim::KernelStats> SimCache::lookup(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+bool SimCache::contains(std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.contains(key);
+}
+
+void SimCache::count_miss() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++misses_;
+}
+
+void SimCache::insert(std::uint64_t key, sim::KernelStats stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.insert_or_assign(key, std::move(stats));
+}
+
+std::uint64_t SimCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t SimCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::size_t SimCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+void SimCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace catt::exec

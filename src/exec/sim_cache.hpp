@@ -1,0 +1,58 @@
+// Content-addressed cache of per-launch simulation results.
+//
+// Keys are *chained*: entry i of an application run is keyed by
+//
+//   key_i = combine(key_{i-1},
+//                   fingerprint(transformed kernel IR),
+//                   fingerprint(launch), fingerprint(params), repeats)
+//
+// seeded with key_{-1} = combine(GpuArch::fingerprint(),
+// SimOptions::fingerprint(), workload identity). The chain makes reuse
+// sound despite cross-launch state (device memory writes and the L2, which
+// persists across launches of a run): a cached entry is only ever returned
+// for a run whose *entire prefix* — architecture, options, initial memory
+// image, and every preceding transformed launch — is identical, and the
+// simulator is deterministic, so the stats are bit-identical to
+// re-simulating. See DESIGN.md, "Execution engine".
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "gpusim/gpu.hpp"
+
+namespace catt::exec {
+
+/// Thread-safe (internally locked) map from chained launch key to the
+/// launch's aggregated stats. Counters: a *hit* is a launch assembled from
+/// the cache instead of simulated; a *miss* is a launch that was simulated
+/// (and inserted). hits() + misses() = launches requested through the cache.
+class SimCache {
+ public:
+  std::optional<sim::KernelStats> lookup(std::uint64_t key);
+
+  /// True if `key` is present. Does not touch the hit/miss counters (used
+  /// to probe whether a whole run can be assembled before committing).
+  bool contains(std::uint64_t key) const;
+
+  void insert(std::uint64_t key, sim::KernelStats stats);
+
+  /// Records that one launch was simulated rather than served (bumps the
+  /// miss counter; insert() itself does not count).
+  void count_miss();
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, sim::KernelStats> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace catt::exec

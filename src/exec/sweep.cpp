@@ -1,0 +1,38 @@
+#include "exec/sweep.hpp"
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+namespace catt::exec {
+
+void SweepEngine::for_each(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t remaining = n;
+  std::vector<std::exception_ptr> errors(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    pool_.submit([&, i] {
+      std::exception_ptr err;
+      try {
+        fn(i);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      errors[i] = err;
+      if (--remaining == 0) done_cv.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(mu);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+  for (std::size_t i = 0; i < n; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+}
+
+}  // namespace catt::exec

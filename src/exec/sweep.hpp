@@ -1,0 +1,38 @@
+// Fan-out of candidate configurations across a Pool with deterministic,
+// order-independent collection: every result is keyed by its candidate
+// index, so the output of a parallel sweep is bit-identical to running the
+// candidates serially — scheduling order can never reorder or drop results.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "exec/pool.hpp"
+
+namespace catt::exec {
+
+class SweepEngine {
+ public:
+  explicit SweepEngine(Pool& pool) : pool_(pool) {}
+
+  /// Runs fn(0) .. fn(n-1) across the pool and blocks until all complete.
+  /// If any invocation throws, the exception of the *lowest* index is
+  /// rethrown after every job has finished (deterministic error reporting
+  /// regardless of thread interleaving).
+  void for_each(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// for_each that collects fn's return values into a vector indexed by
+  /// candidate. T must be default-constructible.
+  template <typename T>
+  std::vector<T> map(std::size_t n, const std::function<T(std::size_t)>& fn) {
+    std::vector<T> out(n);
+    for_each(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  Pool& pool_;
+};
+
+}  // namespace catt::exec

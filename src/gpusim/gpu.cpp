@@ -3,10 +3,15 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "gpusim/interp.hpp"
 #include "gpusim/sm.hpp"
 
 namespace catt::sim {
+
+std::uint64_t SimOptions::fingerprint() const {
+  return hash::Fnv1a{}.b(collect_request_trace).i32(tb_cap).value();
+}
 
 Gpu::Gpu(const arch::GpuArch& arch, DeviceMemory& mem)
     : arch_(arch), mem_(mem), memsys_(arch) {}

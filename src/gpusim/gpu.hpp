@@ -32,6 +32,10 @@ struct SimOptions {
   /// Cap resident TBs per SM below the occupancy result (0 = no cap);
   /// used by throttling policies that limit TBs without code changes.
   int tb_cap = 0;
+
+  /// Stable content hash; part of the exec::SimCache key (options that
+  /// change simulated behaviour or collected outputs must be included).
+  std::uint64_t fingerprint() const;
 };
 
 /// Per-launch results (the nvprof stand-in).

@@ -1,10 +1,9 @@
 #include "harness/harness.hpp"
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
-
-#include "common/log.hpp"
 
 namespace catt::bench {
 
@@ -48,23 +47,42 @@ double Comparison::catt_speedup() const {
 
 Comparison compare(throttle::Runner& runner, const wl::Workload& w) {
   Comparison c;
-  c.baseline = runner.run_baseline(w);
-  c.bftt = runner.run_bftt(w);
-  c.catt = runner.run_catt(w);
+  // The baseline goes first so its per-launch simulations are cached
+  // before the BFTT sweep probes its identity candidate and CATT probes
+  // any kernels it leaves untransformed.
+  c.baseline = runner.run(w, throttle::Baseline{});
+  c.bftt = runner.bftt_sweep(w);
+  c.catt = runner.run(w, throttle::Catt{});
   return c;
 }
 
-void write_result_file(const std::string& name, const std::string& content) {
+WriteStatus write_result_file(const std::string& name, const std::string& content) {
   namespace fs = std::filesystem;
+  std::string dir = "results";
+  if (const char* env = std::getenv("CATT_RESULTS_DIR"); env != nullptr && *env != '\0') {
+    dir = env;
+  }
+  WriteStatus st;
+  st.path = dir + "/" + name;
   std::error_code ec;
-  fs::create_directories("results", ec);
-  const std::string path = "results/" + name;
-  std::ofstream f(path);
+  fs::create_directories(dir, ec);
+  if (ec) {
+    st.message = "could not create " + dir + ": " + ec.message();
+    return st;
+  }
+  std::ofstream f(st.path);
   if (!f) {
-    log::warn("could not write ", path);
-    return;
+    st.message = "could not open " + st.path + " for writing";
+    return st;
   }
   f << content;
+  f.flush();
+  if (!f) {
+    st.message = "short write to " + st.path;
+    return st;
+  }
+  st.ok = true;
+  return st;
 }
 
 }  // namespace catt::bench

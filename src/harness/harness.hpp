@@ -37,14 +37,33 @@ struct Comparison {
   double catt_speedup() const;
 };
 
+/// Baseline + BFTT + CATT under one Runner. The baseline's launch
+/// simulations are shared through the Runner's SimCache: BFTT's identity
+/// candidate (N=1, uncapped) and CATT on untransformed workloads reuse
+/// them instead of re-simulating.
 Comparison compare(throttle::Runner& runner, const wl::Workload& w);
 
 /// Speedup of `cycles` relative to `baseline_cycles` (>1 = faster).
 double speedup(std::int64_t baseline_cycles, std::int64_t cycles);
 
-/// Writes `content` to results/<name> under the current directory,
-/// creating the directory if needed; logs a warning on failure instead of
-/// throwing (benches should not die on a read-only filesystem).
-void write_result_file(const std::string& name, const std::string& content);
+/// Result of write_result_file: `ok` plus the resolved path, and a
+/// diagnostic message when the write failed. Truthy on success, so callers
+/// can `if (auto st = write_result_file(...); !st) ...` (an expected-style
+/// status instead of warn-and-swallow).
+struct WriteStatus {
+  bool ok = false;
+  std::string path;
+  std::string message;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Writes `content` to <dir>/<name>, creating the directory if needed.
+/// `dir` is the CATT_RESULTS_DIR environment variable when set and
+/// non-empty, else "results" under the current directory. Never throws;
+/// failures are reported in the returned status (benches should not die on
+/// a read-only filesystem, but CI must be able to see — and redirect —
+/// where results go).
+WriteStatus write_result_file(const std::string& name, const std::string& content);
 
 }  // namespace catt::bench

@@ -4,9 +4,14 @@
 #include <limits>
 #include <map>
 #include <set>
+#include <unordered_map>
+#include <utility>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "common/log.hpp"
+#include "exec/fingerprint.hpp"
+#include "exec/sweep.hpp"
 #include "transform/transform.hpp"
 
 namespace catt::throttle {
@@ -26,7 +31,19 @@ std::string FixedFactor::str() const {
          (tb_limit > 0 ? ",TB<=" + std::to_string(tb_limit) : "");
 }
 
-Runner::Runner(arch::GpuArch gpu_arch) : arch_(std::move(gpu_arch)) {}
+std::string Policy::label() const {
+  struct Visitor {
+    std::string operator()(const Baseline&) const { return "baseline"; }
+    std::string operator()(const Catt&) const { return "catt"; }
+    std::string operator()(const Fixed& p) const { return "fixed[" + p.factor.str() + "]"; }
+    std::string operator()(const Dyncta&) const { return "dyncta"; }
+    std::string operator()(const Bftt&) const { return "bftt"; }
+  };
+  return std::visit(Visitor{}, v_);
+}
+
+Runner::Runner(arch::GpuArch gpu_arch, exec::Pool* pool)
+    : arch_(std::move(gpu_arch)), pool_(pool != nullptr ? pool : &exec::Pool::shared()) {}
 
 namespace {
 
@@ -38,68 +55,216 @@ int clamp_divisor(int warps, int n) {
   return std::max(1, n);
 }
 
-}  // namespace
+/// One schedule entry of a fully-resolved execution plan: the transformed
+/// kernel, the recorded TLP choice, and the entry's chained cache key.
+struct PlanEntry {
+  ir::Kernel kernel;
+  const wl::KernelRun* run = nullptr;
+  KernelChoice choice;
+  std::uint64_t key = 0;
+};
 
+/// What a policy resolves a workload to before any simulation happens.
+/// `chain` (the last entry's key) identifies the whole plan: two plans with
+/// equal chains simulate identically (see exec/sim_cache.hpp).
+struct RunPlan {
+  std::vector<PlanEntry> entries;
+  std::uint64_t chain = 0;
+};
+
+/// Stats of one executed plan; launches are in schedule order.
+struct RunOutput {
+  std::vector<sim::KernelStats> launches;
+  std::int64_t total_cycles = 0;
+};
+
+/// Builds the plan for `w` by applying `fn` to every schedule entry.
+/// fn(original, entry, choice) returns the (possibly transformed) kernel
+/// and fills `choice`, exactly like the old Runner::run_with callback.
 template <typename TransformFn>
-AppResult Runner::run_with(const wl::Workload& w, const std::string& policy, TransformFn&& fn) {
-  AppResult res;
-  res.workload = w.name;
-  res.policy = policy;
+RunPlan make_plan(const arch::GpuArch& arch, const sim::SimOptions& sim_options,
+                  const wl::Workload& w, TransformFn&& fn) {
+  RunPlan plan;
+  plan.entries.reserve(w.schedule.size());
+  // Chain seed: everything launch-independent a simulation depends on —
+  // the architecture, the sim options, and the workload's initial memory
+  // image (identified by the workload name; inputs are deterministic).
+  std::uint64_t chain = hash::Fnv1a{}
+                            .u64(arch.fingerprint())
+                            .u64(sim_options.fingerprint())
+                            .str(w.name)
+                            .value();
+  for (const auto& entry : w.schedule) {
+    const ir::Kernel& original = w.kernel(entry.kernel);
+    PlanEntry pe;
+    pe.run = &entry;
+    pe.choice.kernel = entry.kernel;
+    pe.choice.baseline_occ = occupancy::compute(arch, original, entry.launch);
+    pe.kernel = fn(original, entry, pe.choice);
+    chain = hash::Fnv1a{}
+                .u64(chain)
+                .u64(exec::fingerprint(pe.kernel))
+                .u64(exec::fingerprint(entry.launch))
+                .u64(exec::fingerprint(entry.params))
+                .i32(entry.repeats)
+                .value();
+    pe.key = chain;
+    plan.entries.push_back(std::move(pe));
+  }
+  plan.chain = chain;
+  return plan;
+}
+
+/// Simulates one schedule entry (all repeats) and aggregates its stats.
+sim::KernelStats simulate_entry(sim::Gpu& gpu, const PlanEntry& pe,
+                                const sim::SimOptions& opts) {
+  const wl::KernelRun& entry = *pe.run;
+  sim::KernelStats agg;
+  for (int r = 0; r < entry.repeats; ++r) {
+    sim::LaunchSpec spec;
+    spec.kernel = &pe.kernel;
+    spec.launch = entry.launch;
+    spec.params = entry.params;
+    sim::KernelStats s = gpu.run(spec, opts);
+    if (r == 0) {
+      agg = std::move(s);
+    } else {
+      agg.cycles += s.cycles;
+      agg.l1 += s.l1;
+      agg.l2 += s.l2;
+      agg.dram_lines += s.dram_lines;
+      agg.warp_insts += s.warp_insts;
+      agg.mem_insts += s.mem_insts;
+      agg.mem_requests += s.mem_requests;
+    }
+  }
+  agg.kernel_name = entry.kernel;
+  return agg;
+}
+
+/// Executes a plan through the cache: if every chained key is present the
+/// run is assembled without simulating (one hit per launch); otherwise the
+/// whole application is simulated from a fresh memory image and each
+/// launch's stats are inserted (one miss per launch). Thread-safe: callers
+/// on different pool threads each build their own Gpu + DeviceMemory.
+RunOutput run_plan_cached(const arch::GpuArch& arch, const sim::SimOptions& sim_options,
+                          exec::SimCache& cache, const wl::Workload& w, const RunPlan& plan) {
+  RunOutput out;
+  bool all_cached = true;
+  for (const auto& pe : plan.entries) all_cached = all_cached && cache.contains(pe.key);
+  if (all_cached) {
+    out.launches.reserve(plan.entries.size());
+    for (const auto& pe : plan.entries) {
+      // The cache never evicts, so the probed keys are still present.
+      out.launches.push_back(*cache.lookup(pe.key));
+      out.total_cycles += out.launches.back().cycles;
+    }
+    return out;
+  }
 
   sim::DeviceMemory mem;
   w.setup(mem);
-  sim::Gpu gpu(arch_, mem);
-
-  for (const auto& entry : w.schedule) {
-    const ir::Kernel& original = w.kernel(entry.kernel);
-    KernelChoice choice;
-    choice.kernel = entry.kernel;
-    choice.baseline_occ = occupancy::compute(arch_, original, entry.launch);
-
-    // fn returns the (possibly transformed) kernel and fills `choice`.
-    ir::Kernel to_run = fn(original, entry, choice);
-
-    sim::KernelStats agg;
-    for (int r = 0; r < entry.repeats; ++r) {
-      sim::LaunchSpec spec;
-      spec.kernel = &to_run;
-      spec.launch = entry.launch;
-      spec.params = entry.params;
-      sim::KernelStats s = gpu.run(spec, sim_options);
-      if (r == 0) {
-        agg = std::move(s);
-      } else {
-        agg.cycles += s.cycles;
-        agg.l1 += s.l1;
-        agg.l2 += s.l2;
-        agg.dram_lines += s.dram_lines;
-        agg.warp_insts += s.warp_insts;
-        agg.mem_insts += s.mem_insts;
-        agg.mem_requests += s.mem_requests;
-      }
-    }
-    agg.kernel_name = entry.kernel;
-    res.total_cycles += agg.cycles;
-    res.launches.push_back(std::move(agg));
-    res.choices.push_back(std::move(choice));
+  sim::Gpu gpu(arch, mem);
+  out.launches.reserve(plan.entries.size());
+  for (const auto& pe : plan.entries) {
+    sim::KernelStats agg = simulate_entry(gpu, pe, sim_options);
+    cache.count_miss();
+    cache.insert(pe.key, agg);
+    out.total_cycles += agg.cycles;
+    out.launches.push_back(std::move(agg));
   }
+  return out;
+}
+
+AppResult assemble(const wl::Workload& w, const RunPlan& plan, RunOutput output,
+                   std::string policy_label) {
+  AppResult res;
+  res.workload = w.name;
+  res.policy = std::move(policy_label);
+  res.launches = std::move(output.launches);
+  res.total_cycles = output.total_cycles;
+  res.choices.reserve(plan.entries.size());
+  for (const auto& pe : plan.entries) res.choices.push_back(pe.choice);
   return res;
 }
 
-AppResult Runner::run_baseline(const wl::Workload& w) {
-  return run_with(w, "baseline",
-                  [&](const ir::Kernel& k, const wl::KernelRun& entry, KernelChoice& choice) {
-                    (void)entry;
-                    for (const ir::Stmt* loop : ir::collect_loops(k)) {
-                      choice.loops.push_back({loop->loop_id, choice.baseline_occ.warps_per_tb,
-                                              choice.baseline_occ.tbs_per_sm, false});
-                    }
-                    return k.clone();
-                  });
+RunPlan make_baseline_plan(const arch::GpuArch& arch, const sim::SimOptions& sim_options,
+                           const wl::Workload& w) {
+  return make_plan(arch, sim_options, w,
+                   [&](const ir::Kernel& k, const wl::KernelRun& entry, KernelChoice& choice) {
+                     (void)entry;
+                     for (const ir::Stmt* loop : ir::collect_loops(k)) {
+                       choice.loops.push_back({loop->loop_id, choice.baseline_occ.warps_per_tb,
+                                               choice.baseline_occ.tbs_per_sm, false});
+                     }
+                     return k.clone();
+                   });
 }
 
+RunPlan make_catt_plan(const arch::GpuArch& arch, const sim::SimOptions& sim_options,
+                       const wl::Workload& w, const analysis::AnalysisOptions& opts) {
+  return make_plan(
+      arch, sim_options, w,
+      [&](const ir::Kernel& k, const wl::KernelRun& entry, KernelChoice& choice) {
+        const analysis::KernelAnalysis ka =
+            analysis::analyze(arch, k, entry.launch, entry.params, opts);
+        const int tbs = ka.plan.tb_limit > 0 ? ka.plan.tb_limit : ka.occ.tbs_per_sm;
+        for (const auto& loop : ka.loops) {
+          if (!loop.top_level) continue;
+          choice.loops.push_back({loop.loop_id,
+                                  ka.occ.warps_per_tb / loop.decision.n_divisor,
+                                  loop.decision.unresolvable ? ka.occ.tbs_per_sm : tbs,
+                                  loop.decision.unresolvable});
+        }
+        xform::TransformResult tr = xform::apply_plan(arch, k, entry.launch, ka.plan);
+        return std::move(tr.kernel);
+      });
+}
+
+RunPlan make_fixed_plan(const arch::GpuArch& arch, const sim::SimOptions& sim_options,
+                        const wl::Workload& w, const FixedFactor& f) {
+  return make_plan(
+      arch, sim_options, w,
+      [&](const ir::Kernel& k, const wl::KernelRun& entry, KernelChoice& choice) {
+        const int warps = choice.baseline_occ.warps_per_tb;
+        const int n = clamp_divisor(warps, f.n_divisor);
+        ir::Kernel out = k.clone();
+        if (n > 1) {
+          // Split every top-level loop; descending ids keep earlier ids valid.
+          std::vector<int> ids;
+          {
+            analysis::AnalysisOptions aopts;
+            const analysis::KernelAnalysis ka =
+                analysis::analyze(arch, k, entry.launch, entry.params, aopts);
+            const auto loops = ir::collect_loops(k);
+            for (const auto& loop : ka.loops) {
+              if (!loop.top_level) continue;
+              // Warp-splitting a loop that contains a barrier is illegal.
+              if (ir::contains_sync(*loops[static_cast<std::size_t>(loop.loop_id)])) continue;
+              ids.push_back(loop.loop_id);
+            }
+          }
+          std::sort(ids.rbegin(), ids.rend());
+          for (int id : ids) {
+            out = xform::apply_warp_throttle(out, entry.launch, id, n, arch.warp_size);
+          }
+        }
+        int tbs = choice.baseline_occ.tbs_per_sm;
+        if (f.tb_limit > 0 && f.tb_limit < tbs) {
+          out = xform::apply_tb_throttle(arch, out, entry.launch, f.tb_limit);
+          tbs = f.tb_limit;
+        }
+        for (const ir::Stmt* loop : ir::collect_loops(k)) {
+          choice.loops.push_back({loop->loop_id, warps / n, tbs, false});
+        }
+        return out;
+      });
+}
+
+}  // namespace
+
 std::vector<KernelChoice> Runner::catt_choices(const wl::Workload& w,
-                                               const analysis::AnalysisOptions& opts) {
+                                               const analysis::AnalysisOptions& opts) const {
   std::vector<KernelChoice> out;
   for (const auto& entry : w.schedule) {
     const ir::Kernel& k = w.kernel(entry.kernel);
@@ -120,64 +285,7 @@ std::vector<KernelChoice> Runner::catt_choices(const wl::Workload& w,
   return out;
 }
 
-AppResult Runner::run_catt(const wl::Workload& w, const analysis::AnalysisOptions& opts) {
-  return run_with(
-      w, "catt", [&](const ir::Kernel& k, const wl::KernelRun& entry, KernelChoice& choice) {
-        const analysis::KernelAnalysis ka =
-            analysis::analyze(arch_, k, entry.launch, entry.params, opts);
-        const int tbs = ka.plan.tb_limit > 0 ? ka.plan.tb_limit : ka.occ.tbs_per_sm;
-        for (const auto& loop : ka.loops) {
-          if (!loop.top_level) continue;
-          choice.loops.push_back({loop.loop_id,
-                                  ka.occ.warps_per_tb / loop.decision.n_divisor,
-                                  loop.decision.unresolvable ? ka.occ.tbs_per_sm : tbs,
-                                  loop.decision.unresolvable});
-        }
-        xform::TransformResult tr = xform::apply_plan(arch_, k, entry.launch, ka.plan);
-        return std::move(tr.kernel);
-      });
-}
-
-AppResult Runner::run_fixed(const wl::Workload& w, const FixedFactor& f) {
-  return run_with(
-      w, "fixed[" + f.str() + "]",
-      [&](const ir::Kernel& k, const wl::KernelRun& entry, KernelChoice& choice) {
-        const int warps = choice.baseline_occ.warps_per_tb;
-        const int n = clamp_divisor(warps, f.n_divisor);
-        ir::Kernel out = k.clone();
-        if (n > 1) {
-          // Split every top-level loop; descending ids keep earlier ids valid.
-          std::vector<int> ids;
-          {
-            analysis::AnalysisOptions aopts;
-            const analysis::KernelAnalysis ka =
-                analysis::analyze(arch_, k, entry.launch, entry.params, aopts);
-            const auto loops = ir::collect_loops(k);
-            for (const auto& loop : ka.loops) {
-              if (!loop.top_level) continue;
-              // Warp-splitting a loop that contains a barrier is illegal.
-              if (ir::contains_sync(*loops[static_cast<std::size_t>(loop.loop_id)])) continue;
-              ids.push_back(loop.loop_id);
-            }
-          }
-          std::sort(ids.rbegin(), ids.rend());
-          for (int id : ids) {
-            out = xform::apply_warp_throttle(out, entry.launch, id, n, arch_.warp_size);
-          }
-        }
-        int tbs = choice.baseline_occ.tbs_per_sm;
-        if (f.tb_limit > 0 && f.tb_limit < tbs) {
-          out = xform::apply_tb_throttle(arch_, out, entry.launch, f.tb_limit);
-          tbs = f.tb_limit;
-        }
-        for (const ir::Stmt* loop : ir::collect_loops(k)) {
-          choice.loops.push_back({loop->loop_id, warps / n, tbs, false});
-        }
-        return out;
-      });
-}
-
-std::vector<FixedFactor> Runner::candidate_factors(const wl::Workload& w) {
+std::vector<FixedFactor> Runner::candidate_factors(const wl::Workload& w) const {
   // Union of legal warp divisors and TB counts across the app's kernels.
   std::set<int> divisors;
   int max_tbs = 1;
@@ -204,10 +312,90 @@ std::vector<FixedFactor> Runner::candidate_factors(const wl::Workload& w) {
   return out;
 }
 
-AppResult Runner::run_dyncta(const wl::Workload& w, double low_hit, double high_hit) {
+AppResult Runner::run(const wl::Workload& w, const Policy& policy) {
+  struct Visitor {
+    Runner& self;
+    const wl::Workload& w;
+    const Policy& policy;
+
+    AppResult cached(const RunPlan& plan) const {
+      return assemble(w, plan,
+                      run_plan_cached(self.arch_, self.sim_options, self.cache_, w, plan),
+                      policy.label());
+    }
+
+    AppResult operator()(const Baseline&) const {
+      return cached(make_baseline_plan(self.arch_, self.sim_options, w));
+    }
+    AppResult operator()(const Catt& p) const {
+      return cached(make_catt_plan(self.arch_, self.sim_options, w, p.opts));
+    }
+    AppResult operator()(const Fixed& p) const {
+      return cached(make_fixed_plan(self.arch_, self.sim_options, w, p.factor));
+    }
+    AppResult operator()(const Dyncta& p) const { return self.run_dyncta_impl(w, p); }
+    AppResult operator()(const Bftt&) const { return self.bftt_sweep(w).best; }
+  };
+  return std::visit(Visitor{*this, w, policy}, policy.variant());
+}
+
+Runner::BfttOutcome Runner::bftt_sweep(const wl::Workload& w) {
+  const std::vector<FixedFactor> cands = candidate_factors(w);
+
+  // Resolve every candidate to its plan (analysis + transform only; no
+  // simulation) and group candidates whose plans are identical — factors
+  // that clamp to the same per-kernel transforms simulate identically.
+  std::vector<RunPlan> plans;
+  plans.reserve(cands.size());
+  for (const FixedFactor& f : cands) {
+    plans.push_back(make_fixed_plan(arch_, sim_options, w, f));
+  }
+  std::vector<std::size_t> group_of(cands.size());
+  std::vector<std::size_t> rep;  // group -> representative candidate index
+  {
+    std::unordered_map<std::uint64_t, std::size_t> by_chain;
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      auto [it, fresh] = by_chain.try_emplace(plans[i].chain, rep.size());
+      if (fresh) rep.push_back(i);
+      group_of[i] = it->second;
+    }
+  }
+
+  // Fan the distinct plans out across the pool. Results land in a vector
+  // keyed by group index, so collection order is independent of thread
+  // scheduling and the outcome is bit-identical to a serial sweep.
+  std::vector<RunOutput> outputs(rep.size());
+  exec::SweepEngine engine(*pool_);
+  engine.for_each(rep.size(), [&](std::size_t g) {
+    outputs[g] = run_plan_cached(arch_, sim_options, cache_, w, plans[rep[g]]);
+  });
+
+  BfttOutcome outcome;
+  outcome.unique_runs = rep.size();
+  outcome.sweep.reserve(cands.size());
+  std::int64_t best_cycles = std::numeric_limits<std::int64_t>::max();
+  std::size_t best_i = 0;
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    const std::int64_t cycles = outputs[group_of[i]].total_cycles;
+    outcome.sweep.emplace_back(cands[i], cycles);
+    log::debug("bftt ", w.name, " ", cands[i].str(), " -> ", cycles, " cycles");
+    // Strict '<' keeps the first minimum in candidate order — the same
+    // winner a serial sweep picks.
+    if (cycles < best_cycles) {
+      best_cycles = cycles;
+      best_i = i;
+    }
+  }
+  outcome.factor = cands[best_i];
+  outcome.best = assemble(w, plans[best_i], std::move(outputs[group_of[best_i]]),
+                          "bftt[" + outcome.factor.str() + "]");
+  return outcome;
+}
+
+AppResult Runner::run_dyncta_impl(const wl::Workload& w, const Dyncta& p) {
   AppResult res;
   res.workload = w.name;
-  res.policy = "dyncta";
+  res.policy = Policy(p).label();
 
   sim::DeviceMemory mem;
   w.setup(mem);
@@ -242,9 +430,9 @@ AppResult Runner::run_dyncta(const wl::Workload& w, double low_hit, double high_
       if (st.cycles > 0 && current != st.cap && s.cycles > st.cycles) {
         // The last change regressed this kernel: undo it.
         tb_cap = st.cap;
-      } else if (hit < low_hit && current > 1) {
+      } else if (hit < p.low_hit && current > 1) {
         tb_cap = std::max(1, current / 2);
-      } else if (hit > high_hit) {
+      } else if (hit > p.high_hit) {
         tb_cap = std::min(choice.baseline_occ.tbs_per_sm, current * 2);
       } else {
         tb_cap = current;
@@ -270,23 +458,6 @@ AppResult Runner::run_dyncta(const wl::Workload& w, double low_hit, double high_
     res.choices.push_back(std::move(choice));
   }
   return res;
-}
-
-Runner::BfttOutcome Runner::run_bftt(const wl::Workload& w) {
-  BfttOutcome outcome;
-  std::int64_t best_cycles = std::numeric_limits<std::int64_t>::max();
-  for (const FixedFactor& f : candidate_factors(w)) {
-    AppResult r = run_fixed(w, f);
-    outcome.sweep.emplace_back(f, r.total_cycles);
-    log::debug("bftt ", w.name, " ", f.str(), " -> ", r.total_cycles, " cycles");
-    if (r.total_cycles < best_cycles) {
-      best_cycles = r.total_cycles;
-      outcome.factor = f;
-      outcome.best = std::move(r);
-    }
-  }
-  outcome.best.policy = "bftt[" + outcome.factor.str() + "]";
-  return outcome;
 }
 
 }  // namespace catt::throttle

@@ -1,21 +1,34 @@
-// Throttling policies and the application runner used by every experiment:
+// Throttling policies and the application runner used by every experiment.
+//
+// A policy describes *what to run*:
 //
 //   * Baseline — the unmodified kernels at maximum occupancy.
-//   * CATT     — the paper's contribution: static analysis picks per-loop
+//   * Catt     — the paper's contribution: static analysis picks per-loop
 //                (N, M); the source transform applies them.
 //   * Fixed    — one (N, tb-limit) applied to every loop of every kernel,
 //                via the same source transforms.
-//   * BFTT     — best-fixed thread throttling (the paper's Best-SWL-style
+//   * Dyncta   — DYNCTA-style reactive TB capping (no code changes).
+//   * Bftt     — best-fixed thread throttling (the paper's Best-SWL-style
 //                baseline): exhaustively simulates every fixed factor and
 //                keeps the fastest.
+//
+// Runner::run(workload, policy) is the single entry point. Execution goes
+// through the exec:: engine: candidate simulations fan out across a thread
+// pool and every per-launch result is memoized in a content-addressed
+// SimCache, so repeated configurations (clamped duplicate factors, the
+// baseline inside a sweep, CATT on untransformed workloads) are simulated
+// exactly once per Runner. Results are bit-identical to serial execution.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "arch/gpu_arch.hpp"
 #include "catt/analysis.hpp"
+#include "exec/pool.hpp"
+#include "exec/sim_cache.hpp"
 #include "gpusim/gpu.hpp"
 #include "workloads/workload.hpp"
 
@@ -38,6 +51,8 @@ struct KernelChoice {
 
 struct AppResult {
   std::string workload;
+  /// Policy::label() of the policy that produced this result (BFTT winners
+  /// carry the winning factor: "bftt[N=2,TB<=3]").
   std::string policy;
   /// One entry per schedule item (repeats accumulated into it).
   std::vector<sim::KernelStats> launches;
@@ -58,48 +73,130 @@ struct FixedFactor {
   std::string str() const;
 };
 
+// --- policy alternatives ---
+
+struct Baseline {};
+
+struct Catt {
+  analysis::AnalysisOptions opts{};
+};
+
+struct Fixed {
+  FixedFactor factor{};
+};
+
+/// DYNCTA-style *dynamic* thread throttling (Kayiran et al., the class of
+/// scheme Section 2.2 argues against): no code changes; the resident TB cap
+/// is adjusted reactively between launches based on the L1D hit rate
+/// observed in the previous launch. It needs warm-up launches to converge
+/// and reacts one phase late on multi-phase apps — exactly the weakness
+/// CATT's compile-time per-loop decisions avoid.
+struct Dyncta {
+  double low_hit = 0.60;
+  double high_hit = 0.90;
+};
+
+/// Exhaustive best-fixed search; run() returns the winner's AppResult.
+/// Use Runner::bftt_sweep for the full per-candidate sweep (Figure 9).
+struct Bftt {};
+
+/// Sum type over the five alternatives, with the canonical result label.
+class Policy {
+ public:
+  using Variant = std::variant<Baseline, Catt, Fixed, Dyncta, Bftt>;
+
+  Policy(Baseline p) : v_(p) {}
+  Policy(Catt p) : v_(std::move(p)) {}
+  Policy(Fixed p) : v_(p) {}
+  Policy(Dyncta p) : v_(p) {}
+  Policy(Bftt p) : v_(p) {}
+
+  /// "baseline", "catt", "fixed[N=2,TB<=3]", "dyncta", or "bftt".
+  std::string label() const;
+
+  const Variant& variant() const { return v_; }
+
+  template <typename T>
+  const T* get_if() const {
+    return std::get_if<T>(&v_);
+  }
+
+ private:
+  Variant v_;
+};
+
 class Runner {
  public:
-  explicit Runner(arch::GpuArch gpu_arch);
+  /// `pool` is the thread pool sweeps fan out on; defaults to the
+  /// process-wide exec::Pool::shared() (sized by CATT_JOBS, see DESIGN.md).
+  explicit Runner(arch::GpuArch gpu_arch, exec::Pool* pool = nullptr);
 
-  AppResult run_baseline(const wl::Workload& w);
-  AppResult run_catt(const wl::Workload& w, const analysis::AnalysisOptions& opts = {});
-  AppResult run_fixed(const wl::Workload& w, const FixedFactor& f);
+  /// Runs `w` under `policy`. The only non-deprecated run entry point.
+  AppResult run(const wl::Workload& w, const Policy& policy);
 
   /// Static analysis only (no simulation): the choices CATT would make.
   std::vector<KernelChoice> catt_choices(const wl::Workload& w,
-                                         const analysis::AnalysisOptions& opts = {});
+                                         const analysis::AnalysisOptions& opts = {}) const;
 
   /// Candidate fixed factors for a workload: every legal warp divisor
   /// crossed with every TB cap up to the baseline occupancy.
-  std::vector<FixedFactor> candidate_factors(const wl::Workload& w);
+  std::vector<FixedFactor> candidate_factors(const wl::Workload& w) const;
 
   struct BfttOutcome {
     AppResult best;
     FixedFactor factor;
     /// (factor, total cycles) for every candidate — Figure 9's sweep.
+    /// Candidate order is identical to candidate_factors(); parallel
+    /// execution cannot reorder it (results are keyed by candidate index).
     std::vector<std::pair<FixedFactor, std::int64_t>> sweep;
+    /// Distinct simulation plans among the candidates: duplicates (factors
+    /// that clamp to the same per-kernel transforms) are simulated once.
+    std::size_t unique_runs = 0;
   };
-  BfttOutcome run_bftt(const wl::Workload& w);
 
-  /// DYNCTA-style *dynamic* thread throttling (Kayiran et al., the class
-  /// of scheme Section 2.2 argues against): no code changes; the resident
-  /// TB cap is adjusted reactively between launches based on the L1D hit
-  /// rate observed in the previous launch. It needs warm-up launches to
-  /// converge and reacts one phase late on multi-phase apps — exactly the
-  /// weakness CATT's compile-time per-loop decisions avoid.
-  AppResult run_dyncta(const wl::Workload& w, double low_hit = 0.60, double high_hit = 0.90);
+  /// The full BFTT sweep: every candidate factor, fanned out across the
+  /// pool, deduplicated through the SimCache.
+  BfttOutcome bftt_sweep(const wl::Workload& w);
+
+  // --- deprecated forwarders (migrate to run(w, Policy)) ---
+
+  [[deprecated("use run(w, Baseline{})")]] AppResult run_baseline(const wl::Workload& w) {
+    return run(w, Baseline{});
+  }
+  [[deprecated("use run(w, Catt{opts})")]] AppResult run_catt(
+      const wl::Workload& w, const analysis::AnalysisOptions& opts = {}) {
+    return run(w, Catt{opts});
+  }
+  [[deprecated("use run(w, Fixed{f})")]] AppResult run_fixed(const wl::Workload& w,
+                                                             const FixedFactor& f) {
+    return run(w, Fixed{f});
+  }
+  [[deprecated("use run(w, Dyncta{low_hit, high_hit})")]] AppResult run_dyncta(
+      const wl::Workload& w, double low_hit = 0.60, double high_hit = 0.90) {
+    return run(w, Dyncta{low_hit, high_hit});
+  }
+  [[deprecated("use bftt_sweep(w) (or run(w, Bftt{}) for just the winner)")]] BfttOutcome
+  run_bftt(const wl::Workload& w) {
+    return bftt_sweep(w);
+  }
 
   const arch::GpuArch& gpu_arch() const { return arch_; }
 
+  /// Per-Runner memoization of launch simulations (hit/miss counters are
+  /// exposed for tests and capacity planning).
+  const exec::SimCache& cache() const { return cache_; }
+  exec::SimCache& cache() { return cache_; }
+
   /// Forwarded to every simulation (e.g. request-trace collection).
+  /// Changing it changes the cache key, so stale reuse cannot occur.
   sim::SimOptions sim_options;
 
  private:
-  template <typename TransformFn>
-  AppResult run_with(const wl::Workload& w, const std::string& policy, TransformFn&& fn);
+  AppResult run_dyncta_impl(const wl::Workload& w, const Dyncta& p);
 
   arch::GpuArch arch_;
+  exec::Pool* pool_;
+  exec::SimCache cache_;
 };
 
 }  // namespace catt::throttle

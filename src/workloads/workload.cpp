@@ -1,6 +1,7 @@
 #include "workloads/workload.hpp"
 
 #include <map>
+#include <mutex>
 
 #include "common/error.hpp"
 
@@ -23,7 +24,12 @@ const ir::Kernel& Workload::kernel(const std::string& kname) const {
 }
 
 const std::vector<Workload>& all_workloads(int num_sms) {
+  // Guarded so experiment code may look workloads up from pool threads;
+  // the returned reference stays valid (entries are never erased and
+  // node-based map insertion does not move existing values).
+  static std::mutex mu;
   static std::map<int, std::vector<Workload>> cache;
+  std::lock_guard<std::mutex> lock(mu);
   auto it = cache.find(num_sms);
   if (it != cache.end()) return it->second;
 

@@ -13,7 +13,7 @@ namespace {
 TEST(Runner, BaselineRecordsOneLaunchPerScheduleEntry) {
   Runner r(bench::max_l1d_arch());
   const wl::Workload& w = wl::find_workload("atax", 2);
-  const AppResult res = r.run_baseline(w);
+  const AppResult res = r.run(w, Baseline{});
   EXPECT_EQ(res.launches.size(), w.schedule.size());
   EXPECT_EQ(res.choices.size(), w.schedule.size());
   EXPECT_GT(res.total_cycles, 0);
@@ -24,8 +24,8 @@ TEST(Runner, BaselineRecordsOneLaunchPerScheduleEntry) {
 TEST(Runner, CattSpeedsUpAtax) {
   Runner r(bench::max_l1d_arch());
   const wl::Workload& w = wl::find_workload("atax", 2);
-  const AppResult base = r.run_baseline(w);
-  const AppResult catt = r.run_catt(w);
+  const AppResult base = r.run(w, Baseline{});
+  const AppResult catt = r.run(w, Catt{});
   EXPECT_LT(catt.total_cycles, base.total_cycles);
   EXPECT_GT(catt.l1_hit_rate(), base.l1_hit_rate());
   // Kernel 2 must be untouched: same choice as baseline occupancy.
@@ -55,7 +55,7 @@ TEST(Runner, FixedFactorClampsPerKernel) {
   Runner r(bench::max_l1d_arch());
   const wl::Workload& w = wl::find_workload("cfd", 2);  // 6 warps/TB
   // 4 does not divide 6: clamps to 3.
-  const AppResult res = r.run_fixed(w, {4, 0});
+  const AppResult res = r.run(w, Fixed{{4, 0}});
   ASSERT_FALSE(res.choices.empty());
   EXPECT_EQ(res.choices[0].loops.empty() ? 2 : res.choices[0].loops[0].warps, 2);
 }
@@ -63,8 +63,8 @@ TEST(Runner, FixedFactorClampsPerKernel) {
 TEST(Runner, FixedIdentityEqualsBaseline) {
   Runner r(bench::max_l1d_arch());
   const wl::Workload& w = wl::find_workload("gsmv", 2);
-  const AppResult base = r.run_baseline(w);
-  const AppResult fixed1 = r.run_fixed(w, {1, 0});
+  const AppResult base = r.run(w, Baseline{});
+  const AppResult fixed1 = r.run(w, Fixed{{1, 0}});
   EXPECT_EQ(base.total_cycles, fixed1.total_cycles);
 }
 
@@ -81,7 +81,7 @@ TEST(Runner, CandidateFactorsCoverDivisorsAndTbs) {
 TEST(Runner, BfttPicksBestOfSweep) {
   Runner r(bench::max_l1d_arch());
   const wl::Workload& w = wl::find_workload("gsmv", 2);
-  const Runner::BfttOutcome out = r.run_bftt(w);
+  const Runner::BfttOutcome out = r.bftt_sweep(w);
   ASSERT_FALSE(out.sweep.empty());
   std::int64_t best = out.sweep.front().second;
   for (const auto& [f, cycles] : out.sweep) best = std::min(best, cycles);
@@ -95,8 +95,8 @@ TEST(Runner, CattBeatsOrMatchesBfttOnMultiPhaseApp) {
   // serve both (the paper's core argument, Section 5.1).
   Runner r(bench::max_l1d_arch());
   const wl::Workload& w = wl::find_workload("atax", 2);
-  const AppResult catt = r.run_catt(w);
-  const Runner::BfttOutcome bftt = r.run_bftt(w);
+  const AppResult catt = r.run(w, Catt{});
+  const Runner::BfttOutcome bftt = r.bftt_sweep(w);
   EXPECT_LE(catt.total_cycles,
             static_cast<std::int64_t>(static_cast<double>(bftt.best.total_cycles) * 1.05));
 }
@@ -104,8 +104,8 @@ TEST(Runner, CattBeatsOrMatchesBfttOnMultiPhaseApp) {
 TEST(Runner, CiWorkloadUnaffectedByCatt) {
   Runner r(bench::max_l1d_arch());
   const wl::Workload& w = wl::find_workload("gemm", 2);
-  const AppResult base = r.run_baseline(w);
-  const AppResult catt = r.run_catt(w);
+  const AppResult base = r.run(w, Baseline{});
+  const AppResult catt = r.run(w, Catt{});
   // No transform applied: cycle counts identical.
   EXPECT_EQ(base.total_cycles, catt.total_cycles);
 }
@@ -139,8 +139,8 @@ TEST(Dyncta, LearnsOnRepeatedLaunches) {
   // material: it must end up strictly faster than the baseline.
   Runner r(bench::max_l1d_arch());
   const wl::Workload& w = wl::find_workload("km", 2);
-  const AppResult base = r.run_baseline(w);
-  const AppResult dyn = r.run_dyncta(w);
+  const AppResult base = r.run(w, Baseline{});
+  const AppResult dyn = r.run(w, Dyncta{});
   EXPECT_LT(dyn.total_cycles, base.total_cycles);
 }
 
@@ -149,15 +149,15 @@ TEST(Dyncta, LosesToCattOnSinglePhaseApps) {
   // from and runs it at full TLP, while CATT throttles it up front.
   Runner r(bench::max_l1d_arch());
   const wl::Workload& w = wl::find_workload("gsmv", 2);
-  const AppResult dyn = r.run_dyncta(w);
-  const AppResult catt = r.run_catt(w);
+  const AppResult dyn = r.run(w, Dyncta{});
+  const AppResult catt = r.run(w, Catt{});
   EXPECT_LE(catt.total_cycles, dyn.total_cycles);
 }
 
 TEST(Dyncta, RecordsPerLaunchTbChoices) {
   Runner r(bench::max_l1d_arch());
   const wl::Workload& w = wl::find_workload("km", 2);
-  const AppResult dyn = r.run_dyncta(w);
+  const AppResult dyn = r.run(w, Dyncta{});
   ASSERT_EQ(dyn.choices.size(), w.schedule.size());
   for (const auto& c : dyn.choices) {
     for (const auto& l : c.loops) {
@@ -165,6 +165,43 @@ TEST(Dyncta, RecordsPerLaunchTbChoices) {
       EXPECT_LE(l.tbs, c.baseline_occ.tbs_per_sm);
     }
   }
+}
+
+}  // namespace
+}  // namespace catt::throttle
+// Appended: Policy sum-type API tests (unified Runner::run entry point).
+namespace catt::throttle {
+namespace {
+
+TEST(Policy, LabelsAreCanonical) {
+  EXPECT_EQ(Policy(Baseline{}).label(), "baseline");
+  EXPECT_EQ(Policy(Catt{}).label(), "catt");
+  EXPECT_EQ(Policy(Fixed{{2, 3}}).label(), "fixed[N=2,TB<=3]");
+  EXPECT_EQ(Policy(Fixed{{4, 0}}).label(), "fixed[N=4]");
+  EXPECT_EQ(Policy(Dyncta{}).label(), "dyncta");
+  EXPECT_EQ(Policy(Bftt{}).label(), "bftt");
+}
+
+TEST(Policy, ResultPolicyFieldIsTheLabel) {
+  Runner r(bench::max_l1d_arch());
+  const wl::Workload& w = wl::find_workload("gsmv", 2);
+  EXPECT_EQ(r.run(w, Fixed{{2, 0}}).policy, "fixed[N=2]");
+  EXPECT_EQ(r.run(w, Catt{}).policy, "catt");
+  // The BFTT winner carries the winning factor in its label.
+  const AppResult best = r.run(w, Bftt{});
+  EXPECT_EQ(best.policy.rfind("bftt[", 0), 0u);
+}
+
+TEST(Policy, DeprecatedForwardersMatchUnifiedEntryPoint) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  Runner r(bench::max_l1d_arch());
+  const wl::Workload& w = wl::find_workload("gsmv", 2);
+  const AppResult via_forwarder = r.run_baseline(w);
+  const AppResult via_run = r.run(w, Baseline{});
+  EXPECT_EQ(via_forwarder.total_cycles, via_run.total_cycles);
+  EXPECT_EQ(via_forwarder.policy, via_run.policy);
+#pragma GCC diagnostic pop
 }
 
 }  // namespace

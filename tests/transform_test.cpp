@@ -207,11 +207,11 @@ __global__ void lud_like(float *m, int N) {
 }
 
 TEST(FixedRunner, SkipsBarrierLoops) {
-  // run_fixed must not crash on workloads whose loops contain barriers
-  // (LUD); the barrier loop is simply left unsplit.
+  // The Fixed policy must not crash on workloads whose loops contain
+  // barriers (LUD); the barrier loop is simply left unsplit.
   throttle::Runner r(arch::GpuArch::titan_v(2));
   const wl::Workload& w = wl::find_workload("lud", 2);
-  EXPECT_NO_THROW(r.run_fixed(w, {2, 0}));
+  EXPECT_NO_THROW(r.run(w, throttle::Fixed{{2, 0}}));
 }
 
 }  // namespace
