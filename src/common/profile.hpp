@@ -1,0 +1,48 @@
+// CATT_PROFILE=1 phase timing. Opt-in via the environment (independent of
+// the log level): when enabled, the simulator logs per-launch trace-gen vs.
+// timing-sim wall-clock and the harness logs report-write time, all through
+// common/log so lines land on stderr with the usual prefix.
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#include "common/log.hpp"
+
+namespace catt::prof {
+
+/// True when the CATT_PROFILE environment variable is set and non-"0".
+inline bool enabled() {
+  static const bool on = [] {
+    const char* v = std::getenv("CATT_PROFILE");
+    return v != nullptr && *v != '\0' && std::string(v) != "0";
+  }();
+  return on;
+}
+
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds between two steady_clock points.
+inline double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Accumulates wall-clock over multiple start/stop windows (e.g. all
+/// run_block calls of one launch).
+class Accum {
+ public:
+  void start() { t0_ = Clock::now(); }
+  void stop() { total_ += ms_between(t0_, Clock::now()); }
+  double ms() const { return total_; }
+
+ private:
+  Clock::time_point t0_{};
+  double total_ = 0.0;
+};
+
+/// Emits one profile line (bypasses the log-level threshold: CATT_PROFILE
+/// is the opt-in, and the default level would swallow kInfo).
+inline void report(const std::string& msg) { log::write(log::Level::kInfo, "[profile] " + msg); }
+
+}  // namespace catt::prof

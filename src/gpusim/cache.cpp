@@ -25,6 +25,9 @@ Cache::Cache(std::size_t bytes, int line_bytes, int assoc, Replacement repl)
     assoc_ = static_cast<int>(std::max<std::size_t>(1, lines));
   }
   lines_.assign(static_cast<std::size_t>(num_sets_) * static_cast<std::size_t>(assoc_), Line{});
+  if (num_sets_ > 0 && (num_sets_ & (num_sets_ - 1)) == 0) {
+    set_mask_ = static_cast<std::uint64_t>(num_sets_) - 1;
+  }
 }
 
 namespace {
@@ -39,19 +42,42 @@ std::uint64_t mix_line(std::uint64_t x) {
 }
 }  // namespace
 
-Cache::Line* Cache::find(std::uint64_t line_addr) {
-  if (num_sets_ == 0) return nullptr;
-  const std::uint64_t set = mix_line(line_addr) % static_cast<std::uint64_t>(num_sets_);
-  Line* base = &lines_[set * static_cast<std::uint64_t>(assoc_)];
+int Cache::set_of(std::uint64_t line_addr) const {
+  const std::uint64_t h = mix_line(line_addr);
+  // Masking and modulo agree for power-of-two set counts; the mask avoids
+  // a hardware divide on the hottest path in the whole timing model.
+  if (set_mask_ != 0) return static_cast<int>(h & set_mask_);
+  return static_cast<int>(h % static_cast<std::uint64_t>(num_sets_));
+}
+
+Cache::Line* Cache::find_in_set(std::uint64_t line_addr, int set) {
+  Line* base = &lines_[static_cast<std::uint64_t>(set) * static_cast<std::uint64_t>(assoc_)];
   for (int w = 0; w < assoc_; ++w) {
     if (base[w].valid && base[w].tag == line_addr) return &base[w];
   }
   return nullptr;
 }
 
+Cache::Line* Cache::find(std::uint64_t line_addr) {
+  if (num_sets_ == 0) return nullptr;
+  return find_in_set(line_addr, set_of(line_addr));
+}
+
 std::optional<std::int64_t> Cache::probe_load(std::uint64_t line_addr, std::int64_t now) {
+  SetHint scratch;
+  return probe_load(line_addr, now, scratch);
+}
+
+std::optional<std::int64_t> Cache::probe_load(std::uint64_t line_addr, std::int64_t now,
+                                              SetHint& hint) {
   ++stats_.accesses;
-  Line* l = find(line_addr);
+  hint.set = -1;
+  Line* l = nullptr;
+  if (num_sets_ != 0) {
+    const int set = set_of(line_addr);
+    hint.set = set;
+    l = find_in_set(line_addr, set);
+  }
   if (l == nullptr) {
     ++stats_.misses;
     return std::nullopt;
@@ -63,13 +89,28 @@ std::optional<std::int64_t> Cache::probe_load(std::uint64_t line_addr, std::int6
 
 void Cache::insert(std::uint64_t line_addr, std::int64_t ready_at) {
   if (num_sets_ == 0) return;
-  if (Line* existing = find(line_addr)) {
+  const int set = set_of(line_addr);
+  if (Line* existing = find_in_set(line_addr, set)) {
     existing->ready_at = std::min(existing->ready_at, ready_at);
     existing->lru = ++lru_clock_;
     return;
   }
-  const std::uint64_t set = mix_line(line_addr) % static_cast<std::uint64_t>(num_sets_);
-  Line* base = &lines_[set * static_cast<std::uint64_t>(assoc_)];
+  fill_victim(line_addr, ready_at, set);
+}
+
+void Cache::insert(std::uint64_t line_addr, std::int64_t ready_at, const SetHint& hint) {
+  if (num_sets_ == 0) return;
+  // The probe that produced the hint established the line is absent, so
+  // go straight to victim selection in the probed set.
+  if (hint.set < 0) {
+    insert(line_addr, ready_at);
+    return;
+  }
+  fill_victim(line_addr, ready_at, hint.set);
+}
+
+void Cache::fill_victim(std::uint64_t line_addr, std::int64_t ready_at, int set) {
+  Line* base = &lines_[static_cast<std::uint64_t>(set) * static_cast<std::uint64_t>(assoc_)];
   Line* victim = nullptr;
   for (int w = 0; w < assoc_; ++w) {
     if (!base[w].valid) {

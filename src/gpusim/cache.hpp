@@ -39,15 +39,29 @@ class Cache {
   Cache(std::size_t bytes, int line_bytes, int assoc,
         Replacement repl = Replacement::kLru);
 
+  /// Remembers which set a probe hashed to, so the insert() that follows
+  /// a miss skips the re-hash and the duplicate presence scan. Valid only
+  /// while nothing else has been inserted into this cache since the probe
+  /// (true at both call sites: the miss path goes straight to the next
+  /// level and comes back with a fill time).
+  struct SetHint {
+    std::int32_t set = -1;
+  };
+
   /// Load probe at cycle `now`. Hit: returns the cycle the data is
   /// available (>= now; later than now only for an in-flight fill).
   /// Miss: returns nullopt; the caller determines the fill time from the
   /// next level and calls insert().
   std::optional<std::int64_t> probe_load(std::uint64_t line_addr, std::int64_t now);
+  std::optional<std::int64_t> probe_load(std::uint64_t line_addr, std::int64_t now,
+                                         SetHint& hint);
 
   /// Installs a line whose fill completes at `ready_at` (LRU victim is
   /// evicted). No-op for a disabled cache.
   void insert(std::uint64_t line_addr, std::int64_t ready_at);
+  /// Hinted variant for the probe-miss path: reuses the probed set index
+  /// and skips the already-present scan the probe just performed.
+  void insert(std::uint64_t line_addr, std::int64_t ready_at, const SetHint& hint);
 
   /// Write-through, no-allocate store: updates stats and refreshes LRU if
   /// the line is present. Returns true if the line was present.
@@ -70,13 +84,21 @@ class Cache {
     std::int64_t ready_at = 0;
   };
 
+  /// XOR-hashed set index for a line address (the single home of the
+  /// mix_line % num_sets_ computation).
+  int set_of(std::uint64_t line_addr) const;
+  Line* find_in_set(std::uint64_t line_addr, int set);
   Line* find(std::uint64_t line_addr);
+  void fill_victim(std::uint64_t line_addr, std::int64_t ready_at, int set);
 
   std::size_t capacity_;
   int line_bytes_;
   int assoc_;
   Replacement repl_;
   int num_sets_;
+  /// num_sets_ - 1 when num_sets_ is a power of two (the common cache
+  /// geometry), else 0: lets set_of() mask instead of divide.
+  std::uint64_t set_mask_ = 0;
   std::vector<Line> lines_;  // num_sets_ * assoc_, set-major
   std::uint64_t lru_clock_ = 0;
   std::uint64_t victim_rng_ = 0x9E3779B97F4A7C15ULL;

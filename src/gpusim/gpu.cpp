@@ -1,9 +1,11 @@
 #include "gpusim/gpu.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/hash.hpp"
+#include "common/profile.hpp"
 #include "gpusim/interp.hpp"
 #include "gpusim/sm.hpp"
 
@@ -25,6 +27,13 @@ KernelStats Gpu::run(const LaunchSpec& spec, const SimOptions& opts) {
           : occupancy::compute(arch_, *spec.kernel, spec.launch);
 
   KernelInterp interp(*spec.kernel, spec.launch, spec.params, mem_, arch_.line_bytes);
+  if (opts.skip_functional && interp.trace_pure()) {
+    interp.set_functional(false);
+    if (opts.trace_key != 0) interp.enable_dedup(dedup_, opts.trace_key);
+  }
+
+  const prof::Clock::time_point prof_t0 = prof::Clock::now();
+  prof::Accum trace_gen;
 
   memsys_.reset_stats();
   SeriesAccum series;
@@ -39,14 +48,23 @@ KernelStats Gpu::run(const LaunchSpec& spec, const SimOptions& opts) {
   // Dispatch: fill SMs round-robin; refill whichever SM frees a slot.
   const std::uint64_t num_blocks = spec.launch.num_blocks();
   std::uint64_t next_block = 0;
+  // Per-SM wake-up cache: an SM that issued nothing cannot issue again
+  // before its earliest warp wake-up (stepping it earlier is a no-op, so
+  // skipping those calls is behavior-preserving). Admission resets the
+  // cache: newly admitted warps become ready at now + 1.
+  std::vector<std::int64_t> next_try(sms.size(), 0);
   auto admit_where_possible = [&](std::int64_t now) {
     bool progress = true;
     while (progress && next_block < num_blocks) {
       progress = false;
-      for (auto& sm : sms) {
+      for (std::size_t i = 0; i < sms.size(); ++i) {
         if (next_block >= num_blocks) break;
-        if (sm.has_free_slot()) {
-          sm.admit_tb(interp.run_block(next_block), now);
+        if (sms[i].has_free_slot()) {
+          trace_gen.start();
+          std::vector<WarpTrace> traces = interp.run_block(next_block);
+          trace_gen.stop();
+          sms[i].admit_tb(std::move(traces), now);
+          next_try[i] = now + 1;
           ++next_block;
           progress = true;
         }
@@ -59,7 +77,13 @@ KernelStats Gpu::run(const LaunchSpec& spec, const SimOptions& opts) {
 
   while (true) {
     int issued = 0;
-    for (auto& sm : sms) issued += sm.step(now);
+    for (std::size_t i = 0; i < sms.size(); ++i) {
+      if (next_try[i] > now) continue;
+      std::int64_t wake = Sm::kNever;
+      const int k = sms[i].step(now, &wake);
+      if (k == 0) next_try[i] = wake;
+      issued += k;
+    }
     admit_where_possible(now);
 
     bool busy = next_block < num_blocks;
@@ -70,9 +94,12 @@ KernelStats Gpu::run(const LaunchSpec& spec, const SimOptions& opts) {
       ++now;
       continue;
     }
-    // Nothing issuable this cycle: jump to the earliest wake-up.
+    // Nothing issuable this cycle: jump to the earliest wake-up. With
+    // zero warps issued, every SM was either skipped (wake-up cached in
+    // next_try) or stepped and refreshed its cache, so the minimum over
+    // next_try is exact.
     std::int64_t next = Sm::kNever;
-    for (const auto& sm : sms) next = std::min(next, sm.next_ready_time());
+    for (const std::int64_t t : next_try) next = std::min(next, t);
     if (next == Sm::kNever) {
       throw SimError("simulation deadlock in kernel '" + spec.kernel->name + "'");
     }
@@ -92,6 +119,16 @@ KernelStats Gpu::run(const LaunchSpec& spec, const SimOptions& opts) {
   stats.l2 = memsys_.l2_stats();
   stats.dram_lines = memsys_.dram_lines();
   if (opts.collect_request_trace) stats.request_trace = series.points();
+
+  if (prof::enabled()) {
+    const double total_ms = prof::ms_between(prof_t0, prof::Clock::now());
+    prof::report("kernel=" + spec.kernel->name + " blocks=" + std::to_string(num_blocks) +
+                 " trace_gen_ms=" + std::to_string(trace_gen.ms()) +
+                 " timing_ms=" + std::to_string(total_ms - trace_gen.ms()) +
+                 " total_ms=" + std::to_string(total_ms) +
+                 " warps_rendered=" + std::to_string(interp.warps_rendered()) +
+                 " warps_executed=" + std::to_string(interp.warps_executed()));
+  }
   return stats;
 }
 

@@ -11,6 +11,7 @@
 #include "arch/launch.hpp"
 #include "expr/affine.hpp"
 #include "gpusim/cache.hpp"
+#include "gpusim/dedup.hpp"
 #include "gpusim/memory.hpp"
 #include "gpusim/series.hpp"
 #include "gpusim/sm.hpp"
@@ -33,8 +34,21 @@ struct SimOptions {
   /// used by throttling policies that limit TBs without code changes.
   int tb_cap = 0;
 
+  /// Skip functional global-memory effects for trace-pure kernels (the
+  /// runner sets this when nothing downstream observes memory contents).
+  /// Honoured only when the kernel proves bc::trace_data_independent.
+  bool skip_functional = false;
+  /// Non-zero enables homogeneous-warp trace dedup across blocks (and
+  /// across launches sharing the key). The key must capture kernel,
+  /// launch config and scalar params; the runner derives it from the
+  /// exec::fingerprint chain. Requires skip_functional semantics.
+  std::uint64_t trace_key = 0;
+
   /// Stable content hash; part of the exec::SimCache key (options that
   /// change simulated behaviour or collected outputs must be included).
+  /// skip_functional/trace_key are deliberately EXCLUDED: they are pure
+  /// execution-strategy switches that cannot change any collected output,
+  /// and including them would needlessly split SimCache chains.
   std::uint64_t fingerprint() const;
 };
 
@@ -78,6 +92,11 @@ class Gpu {
   arch::GpuArch arch_;
   DeviceMemory& mem_;
   MemorySystem memsys_;
+  /// Block-parametric trace cache, keyed by SimOptions::trace_key. Lives
+  /// as long as the Gpu so repeated launches of the same (kernel, config,
+  /// params) reuse generated traces; sound because DeviceMemory base
+  /// addresses are stable for the Gpu's lifetime.
+  dedup::TraceDedup dedup_;
 };
 
 }  // namespace catt::sim

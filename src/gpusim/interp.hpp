@@ -1,11 +1,14 @@
 // Functional SIMT interpreter: executes a kernel IR thread block with full
 // memory effects and produces per-warp traces for the timing model.
 //
-// Execution is warp-vectorized: expressions evaluate once per warp over
-// 32-lane value vectors under an active-lane mask, with structured SIMT
-// control flow (if: both paths under complementary masks; for: iterate
-// while any lane's condition holds). This mirrors reconvergence at the
-// immediate post-dominator, which is exact for structured code.
+// Execution is a two-stage pipeline (see DESIGN.md "Bytecode warp VM"):
+// the kernel IR is flattened once per launch into a linear bytecode
+// program (bytecode.hpp) and warps run as a tight dispatch loop over
+// 32-wide lane vectors. Optionally, block-parametric trace dedup
+// (dedup.hpp) proves most warps' traces are affine translates across
+// blocks and renders them instead of re-executing. Both stages are
+// trace-exact: the original tree-walk implementation survives as
+// RefKernelInterp (ref_interp.hpp) and vm_test.cpp pins equality.
 //
 // Modeling notes (documented limitations):
 //  * Warps of a block execute sequentially at trace-generation time, so
@@ -19,11 +22,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "arch/launch.hpp"
 #include "expr/affine.hpp"
+#include "gpusim/bytecode.hpp"
+#include "gpusim/dedup.hpp"
 #include "gpusim/memory.hpp"
 #include "gpusim/trace.hpp"
 #include "ir/ir.hpp"
@@ -42,29 +48,53 @@ class KernelInterp {
   /// and returns one trace per warp of the block.
   std::vector<WarpTrace> run_block(std::uint64_t block_linear);
 
-  const std::vector<MemSite>& sites() const { return sites_; }
+  const std::vector<MemSite>& sites() const { return table_->sites; }
   const arch::LaunchConfig& launch() const { return launch_; }
   int warps_per_block() const;
 
- private:
-  struct Impl;
-  friend struct Impl;
+  /// True when every trace the kernel can generate is independent of the
+  /// values loaded from memory (bc::trace_data_independent).
+  bool trace_pure() const { return pure_; }
 
-  std::uint16_t site_id(const void* key, const std::string& array, const std::string& index_text,
-                        bool is_store);
+  /// Disables functional global-memory effects (addresses are still
+  /// computed and recorded). Sound only for trace-pure kernels whose
+  /// memory contents nobody observes; the runner decides.
+  void set_functional(bool on);
+
+  /// Attaches the block-parametric trace cache under `key`. Requires a
+  /// trace-pure kernel; renders affine warps instead of executing them.
+  void enable_dedup(dedup::TraceDedup& cache, std::uint64_t key);
+
+  /// Dedup counters (for CATT_PROFILE attribution).
+  std::uint64_t warps_rendered() const { return rendered_; }
+  std::uint64_t warps_executed() const { return executed_; }
+
+ private:
+  void ensure_compiled();
+  std::vector<WarpTrace> run_block_vm(std::uint64_t block_linear);
+  std::vector<WarpTrace> run_block_dedup(std::uint64_t block_linear);
 
   const ir::Kernel& kernel_;
   arch::LaunchConfig launch_;
   expr::ParamEnv params_;
   DeviceMemory& mem_;
   int line_bytes_;
+  bool pure_ = false;
+  bool functional_ = true;
 
-  std::map<const void*, std::uint16_t> site_ids_;
-  std::vector<MemSite> sites_;
   /// Static per-statement compute cost, keyed by Stmt pointer.
   std::map<const void*, std::uint32_t> stmt_cost_;
   /// Per-iteration overhead (condition + increment) for loops.
   std::map<const void*, std::uint32_t> loop_iter_cost_;
+
+  std::optional<bc::Program> prog_;  // compiled lazily on first run_block
+  std::optional<bc::Vm> vm_;
+  bc::SiteTable own_table_;
+  bc::SiteTable* table_ = &own_table_;  // entry's table when dedup is on
+  dedup::DedupEntry* entry_ = nullptr;
+
+  std::uint64_t rendered_ = 0;
+  std::uint64_t executed_ = 0;
 };
 
 }  // namespace catt::sim

@@ -18,7 +18,8 @@ std::int64_t MemorySystem::load(std::uint64_t line, std::int64_t t, int sectors)
   t = std::max(t, l2_next_free_);
   l2_next_free_ = t + timing_.l2_service_interval;
 
-  if (auto hit_ready = l2_.probe_load(line, t)) {
+  Cache::SetHint hint;
+  if (auto hit_ready = l2_.probe_load(line, t, hint)) {
     return *hit_ready + timing_.l2_hit_latency;
   }
   // Miss: DRAM fills only the touched sectors (Volta's sectored L1/L2),
@@ -27,7 +28,7 @@ std::int64_t MemorySystem::load(std::uint64_t line, std::int64_t t, int sectors)
   dram_next_free_ = fill_start + static_cast<std::int64_t>(timing_.dram_sector_interval) * sectors;
   ++dram_lines_;
   const std::int64_t ready = fill_start + timing_.dram_latency;
-  l2_.insert(line, ready);
+  l2_.insert(line, ready, hint);
   return ready;
 }
 
@@ -90,7 +91,7 @@ std::int64_t Sm::next_ready_time() const {
   return best;
 }
 
-int Sm::step(std::int64_t now) {
+int Sm::step(std::int64_t now, std::int64_t* next_ready) {
   int issued = 0;
   for (int slot = 0; slot < arch_.schedulers_per_sm; ++slot) {
     // Greedy-then-oldest: keep the last issued warp as long as it is
@@ -103,14 +104,19 @@ int Sm::step(std::int64_t now) {
       }
     }
     if (pick < 0) {
+      // One pass doubles as the wake-up computation: if no warp is ready
+      // the minimum ready_at seen is exactly next_ready_time().
+      std::int64_t soonest = kNever;
       for (int wi : live_) {
         WarpCtx& w = warps_[static_cast<std::size_t>(wi)];
-        if ((w.state == WarpState::kReady || w.state == WarpState::kBlocked) &&
-            w.ready_at <= now) {
+        if (w.state != WarpState::kReady && w.state != WarpState::kBlocked) continue;
+        if (w.ready_at <= now) {
           pick = wi;
           break;
         }
+        soonest = std::min(soonest, w.ready_at);
       }
+      if (pick < 0 && issued == 0 && next_ready != nullptr) *next_ready = soonest;
     }
     if (pick < 0) break;
     greedy_warp_ = pick;
@@ -151,7 +157,8 @@ void Sm::issue(WarpCtx& w, std::int64_t now) {
           continue;
         }
         std::int64_t line_done;
-        if (auto hit_ready = l1_.probe_load(txn.line, t_issue)) {
+        Cache::SetHint hint;
+        if (auto hit_ready = l1_.probe_load(txn.line, t_issue, hint)) {
           line_done = *hit_ready + arch_.timing.l1_hit_latency;
         } else {
           // Allocate an MSHR; when all are in flight the miss stalls until
@@ -162,7 +169,7 @@ void Sm::issue(WarpCtx& w, std::int64_t now) {
               memsys_.load(txn.line, t_mshr + arch_.timing.l1_hit_latency, txn.sectors);
           mshr_ring_[mshr_next_] = line_done;
           mshr_next_ = (mshr_next_ + 1) % mshr_ring_.size();
-          l1_.insert(txn.line, line_done);
+          l1_.insert(txn.line, line_done, hint);
         }
         done = std::max(done, line_done);
       }

@@ -62,8 +62,11 @@ class Sm {
   void admit_tb(std::vector<WarpTrace> traces, std::int64_t now);
 
   /// Issues up to schedulers_per_sm ready warps at cycle `now`.
-  /// Returns the number of warp instructions issued.
-  int step(std::int64_t now);
+  /// Returns the number of warp instructions issued. When nothing issues
+  /// and `next_ready` is non-null, it receives the earliest cycle a warp
+  /// becomes issuable (kNever if none) — computed in the same scan that
+  /// established nothing was ready, so callers avoid a second pass.
+  int step(std::int64_t now, std::int64_t* next_ready = nullptr);
 
   /// Any resident warp not yet done?
   bool busy() const { return active_warps_ > 0; }

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <map>
 
+#include "common/profile.hpp"
+
 namespace catt::bench {
 
 arch::GpuArch max_l1d_arch() { return arch::GpuArch::titan_v(kNumSms); }
@@ -75,11 +77,16 @@ WriteStatus write_result_file(const std::string& name, const std::string& conten
     st.message = "could not open " + st.path + " for writing";
     return st;
   }
+  const prof::Clock::time_point t0 = prof::Clock::now();
   f << content;
   f.flush();
   if (!f) {
     st.message = "short write to " + st.path;
     return st;
+  }
+  if (prof::enabled()) {
+    prof::report("report=" + name + " bytes=" + std::to_string(content.size()) +
+                 " write_ms=" + std::to_string(prof::ms_between(t0, prof::Clock::now())));
   }
   st.ok = true;
   return st;

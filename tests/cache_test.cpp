@@ -24,6 +24,33 @@ TEST(Cache, ColdMissThenHit) {
   EXPECT_EQ(c.stats().misses, 1u);
 }
 
+TEST(Cache, HintedInsertMatchesPlainInsert) {
+  // The probe-miss -> hinted-insert path must behave exactly like the
+  // re-hashing insert: same sets, same victims, same stats.
+  Cache plain(4096, 128, 4);
+  Cache hinted(4096, 128, 4);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const std::uint64_t line = (i * 2654435761u) % 97;
+    const std::int64_t now = static_cast<std::int64_t>(i);
+    auto a = plain.probe_load(line, now);
+    if (!a.has_value()) plain.insert(line, now + 50);
+    Cache::SetHint hint;
+    auto b = hinted.probe_load(line, now, hint);
+    if (!b.has_value()) hinted.insert(line, now + 50, hint);
+    EXPECT_EQ(a, b) << "line " << line << " iteration " << i;
+  }
+  EXPECT_EQ(plain.stats().hits, hinted.stats().hits);
+  EXPECT_EQ(plain.stats().misses, hinted.stats().misses);
+}
+
+TEST(Cache, HintedInsertOnDisabledCacheIsNoop) {
+  Cache c(0, 128, 4);
+  Cache::SetHint hint;
+  EXPECT_FALSE(c.probe_load(1, 0, hint).has_value());
+  c.insert(1, 10, hint);  // must not crash or retain anything
+  EXPECT_FALSE(c.probe_load(1, 20).has_value());
+}
+
 TEST(Cache, InFlightFillDelaysHit) {
   Cache c(4096, 128, 4);
   c.insert(7, 500);  // fill arrives at cycle 500
