@@ -976,17 +976,7 @@ struct TraceBuilder {
   };
   std::vector<Rec> recs;
 
-  void compute(std::uint32_t cycles) {
-    auto& ev = t.events;
-    if (!ev.empty() && ev.back().kind == EventKind::kCompute) {
-      ev.back().cycles += cycles;
-      return;
-    }
-    TraceEvent e;
-    e.kind = EventKind::kCompute;
-    e.cycles = cycles;
-    ev.push_back(std::move(e));
-  }
+  void compute(std::uint32_t cycles) { t.push_compute(cycles); }
 
   Rec& rec_for(std::uint16_t site, bool is_store) {
     for (auto& r : recs) {
@@ -998,24 +988,15 @@ struct TraceBuilder {
 
   void flush() {
     for (auto& r : recs) {
-      TraceEvent e;
-      e.kind = EventKind::kMem;
-      e.site = r.site;
-      e.is_store = r.is_store;
+      t.begin_mem(r.site, r.is_store);
       auto& addrs = r.byte_addrs;
       const std::uint64_t sectors_per_line = static_cast<std::uint64_t>(line_bytes) / 32;
       for (auto& a : addrs) a /= 32;
       std::sort(addrs.begin(), addrs.end());
       addrs.erase(std::unique(addrs.begin(), addrs.end()), addrs.end());
       for (std::uint64_t sector : addrs) {
-        const std::uint64_t line = sector / sectors_per_line;
-        if (!e.txns.empty() && e.txns.back().line == line) {
-          ++e.txns.back().sectors;
-        } else {
-          e.txns.push_back({line, 1});
-        }
+        t.mem_sector(sector / sectors_per_line);
       }
-      t.events.push_back(std::move(e));
     }
     recs.clear();
   }
@@ -1049,8 +1030,8 @@ void Vm::set_block(std::uint64_t block_linear) {
   }
 }
 
-WarpTrace Vm::run_warp(int wid, SiteTable& sites) {
-  WarpTrace t;
+WarpTrace Vm::run_warp(int wid, SiteTable& sites, const std::shared_ptr<TxnPool>& pool) {
+  WarpTrace t(pool);
   TraceBuilder tb{t, line_bytes_, {}};
 
   for (const std::uint16_t r : p_.var_iregs) ir_[r].fill(0);
@@ -1464,12 +1445,9 @@ WarpTrace Vm::run_warp(int wid, SiteTable& sites) {
       case Op::kFlush:
         tb.flush();
         break;
-      case Op::kBarrier: {
-        TraceEvent e;
-        e.kind = EventKind::kBarrier;
-        t.events.push_back(std::move(e));
+      case Op::kBarrier:
+        t.push_barrier();
         break;
-      }
       case Op::kJump:
         pc = static_cast<std::size_t>(ins.x);
         continue;
@@ -1538,12 +1516,9 @@ WarpTrace Vm::run_warp(int wid, SiteTable& sites) {
         break;
       case Op::kError:
         throw SimError(p_.strings[static_cast<std::size_t>(ins.y)]);
-      case Op::kEnd: {
-        TraceEvent end;
-        end.kind = EventKind::kEnd;
-        t.events.push_back(std::move(end));
+      case Op::kEnd:
+        t.push_end();
         return t;
-      }
     }
     ++pc;
   }

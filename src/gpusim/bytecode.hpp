@@ -183,8 +183,9 @@ class Vm {
   /// Toggles functional global-memory effects (see KernelInterp).
   void set_functional(bool on) { functional_ = on; }
 
-  /// Runs warp `wid` of the current block and returns its trace.
-  WarpTrace run_warp(int wid, SiteTable& sites);
+  /// Runs warp `wid` of the current block and returns its trace; coalesced
+  /// transactions are appended to `pool` (shared by the block's warps).
+  WarpTrace run_warp(int wid, SiteTable& sites, const std::shared_ptr<TxnPool>& pool);
 
  private:
   const Program& p_;

@@ -24,43 +24,22 @@ Cache::Cache(std::size_t bytes, int line_bytes, int assoc, Replacement repl)
     num_sets_ = 1;
     assoc_ = static_cast<int>(std::max<std::size_t>(1, lines));
   }
-  lines_.assign(static_cast<std::size_t>(num_sets_) * static_cast<std::size_t>(assoc_), Line{});
+  const std::size_t total = static_cast<std::size_t>(num_sets_) * static_cast<std::size_t>(assoc_);
+  tags_.assign(total, kInvalidTag);
+  meta_.assign(total, WayMeta{0, 0});
+  used_.assign(static_cast<std::size_t>(num_sets_), 0);
   if (num_sets_ > 0 && (num_sets_ & (num_sets_ - 1)) == 0) {
     set_mask_ = static_cast<std::uint64_t>(num_sets_) - 1;
   }
 }
 
-namespace {
-/// Set-index hash (GPU L1s XOR-hash the index to break power-of-two
-/// strides; without this, an 8 KB row stride maps a whole warp into four
-/// sets and the cache thrashes regardless of capacity).
-std::uint64_t mix_line(std::uint64_t x) {
-  x ^= x >> 33;
-  x *= 0xFF51AFD7ED558CCDULL;
-  x ^= x >> 33;
-  return x;
-}
-}  // namespace
-
-int Cache::set_of(std::uint64_t line_addr) const {
-  const std::uint64_t h = mix_line(line_addr);
-  // Masking and modulo agree for power-of-two set counts; the mask avoids
-  // a hardware divide on the hottest path in the whole timing model.
-  if (set_mask_ != 0) return static_cast<int>(h & set_mask_);
-  return static_cast<int>(h % static_cast<std::uint64_t>(num_sets_));
+void Cache::throw_tag_overflow() {
+  throw SimError("cache line address exceeds the 32-bit tag range");
 }
 
-Cache::Line* Cache::find_in_set(std::uint64_t line_addr, int set) {
-  Line* base = &lines_[static_cast<std::uint64_t>(set) * static_cast<std::uint64_t>(assoc_)];
-  for (int w = 0; w < assoc_; ++w) {
-    if (base[w].valid && base[w].tag == line_addr) return &base[w];
-  }
-  return nullptr;
-}
-
-Cache::Line* Cache::find(std::uint64_t line_addr) {
-  if (num_sets_ == 0) return nullptr;
-  return find_in_set(line_addr, set_of(line_addr));
+int Cache::find_in_set(std::uint64_t line_addr, int set) const {
+  return scan_tags(tags_.data() + static_cast<std::size_t>(set) * static_cast<std::size_t>(assoc_),
+                   assoc_, tag_of(line_addr));
 }
 
 std::optional<std::int64_t> Cache::probe_load(std::uint64_t line_addr, std::int64_t now) {
@@ -70,29 +49,20 @@ std::optional<std::int64_t> Cache::probe_load(std::uint64_t line_addr, std::int6
 
 std::optional<std::int64_t> Cache::probe_load(std::uint64_t line_addr, std::int64_t now,
                                               SetHint& hint) {
-  ++stats_.accesses;
-  hint.set = -1;
-  Line* l = nullptr;
-  if (num_sets_ != 0) {
-    const int set = set_of(line_addr);
-    hint.set = set;
-    l = find_in_set(line_addr, set);
-  }
-  if (l == nullptr) {
-    ++stats_.misses;
-    return std::nullopt;
-  }
-  ++stats_.hits;
-  l->lru = ++lru_clock_;
-  return std::max(now, l->ready_at);
+  const std::int64_t ready = probe_load_fast(line_addr, now, hint);
+  if (ready == kProbeMiss) return std::nullopt;
+  return ready;
 }
 
 void Cache::insert(std::uint64_t line_addr, std::int64_t ready_at) {
   if (num_sets_ == 0) return;
   const int set = set_of(line_addr);
-  if (Line* existing = find_in_set(line_addr, set)) {
-    existing->ready_at = std::min(existing->ready_at, ready_at);
-    existing->lru = ++lru_clock_;
+  const int w = find_in_set(line_addr, set);
+  if (w >= 0) {
+    WayMeta& m = meta_[static_cast<std::size_t>(set) * static_cast<std::size_t>(assoc_) +
+                       static_cast<std::size_t>(w)];
+    m.ready_at = std::min(m.ready_at, ready_at);
+    if (repl_ == Replacement::kLru) m.lru = ++lru_clock_;
     return;
   }
   fill_victim(line_addr, ready_at, set);
@@ -110,42 +80,54 @@ void Cache::insert(std::uint64_t line_addr, std::int64_t ready_at, const SetHint
 }
 
 void Cache::fill_victim(std::uint64_t line_addr, std::int64_t ready_at, int set) {
-  Line* base = &lines_[static_cast<std::uint64_t>(set) * static_cast<std::uint64_t>(assoc_)];
-  Line* victim = nullptr;
-  for (int w = 0; w < assoc_; ++w) {
-    if (!base[w].valid) {
-      victim = &base[w];
-      break;
+  const std::size_t base = static_cast<std::size_t>(set) * static_cast<std::size_t>(assoc_);
+  std::uint32_t* tags = tags_.data() + base;
+  int victim = -1;
+  if (used_[static_cast<std::size_t>(set)] < assoc_) {
+    // Cold set: fill the first empty way, as the AoS layout did.
+    for (int w = 0; w < assoc_; ++w) {
+      if (tags[w] == kInvalidTag) {
+        victim = w;
+        break;
+      }
     }
-  }
-  if (victim == nullptr) {
-    if (repl_ == Replacement::kRandom) {
-      victim_rng_ ^= victim_rng_ << 13;
-      victim_rng_ ^= victim_rng_ >> 7;
-      victim_rng_ ^= victim_rng_ << 17;
-      victim = &base[victim_rng_ % static_cast<std::uint64_t>(assoc_)];
-    } else {
-      victim = &base[0];
-      for (int w = 1; w < assoc_; ++w) {
-        if (base[w].lru < victim->lru) victim = &base[w];
+    ++used_[static_cast<std::size_t>(set)];
+  } else if (repl_ == Replacement::kRandom) {
+    victim_rng_ ^= victim_rng_ << 13;
+    victim_rng_ ^= victim_rng_ >> 7;
+    victim_rng_ ^= victim_rng_ << 17;
+    victim = static_cast<int>(victim_rng_ % static_cast<std::uint64_t>(assoc_));
+  } else {
+    victim = 0;
+    for (int w = 1; w < assoc_; ++w) {
+      if (meta_[base + static_cast<std::size_t>(w)].lru <
+          meta_[base + static_cast<std::size_t>(victim)].lru) {
+        victim = w;
       }
     }
   }
-  victim->valid = true;
-  victim->tag = line_addr;
-  victim->ready_at = ready_at;
-  victim->lru = ++lru_clock_;
+  tags[victim] = tag_of(line_addr);
+  WayMeta& m = meta_[base + static_cast<std::size_t>(victim)];
+  m.ready_at = ready_at;
+  if (repl_ == Replacement::kLru) m.lru = ++lru_clock_;
 }
 
 bool Cache::note_store(std::uint64_t line_addr) {
   ++stats_.store_accesses;
-  Line* l = find(line_addr);
-  if (l != nullptr) l->lru = ++lru_clock_;
-  return l != nullptr;
+  if (num_sets_ == 0) return false;
+  const int set = set_of(line_addr);
+  const int w = find_in_set(line_addr, set);
+  if (w < 0) return false;
+  if (repl_ == Replacement::kLru) {
+    meta_[static_cast<std::size_t>(set) * static_cast<std::size_t>(assoc_) +
+          static_cast<std::size_t>(w)].lru = ++lru_clock_;
+  }
+  return true;
 }
 
 void Cache::invalidate() {
-  for (auto& l : lines_) l.valid = false;
+  std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+  std::fill(used_.begin(), used_.end(), 0);
 }
 
 }  // namespace catt::sim

@@ -4,9 +4,14 @@
 // but completes no earlier than the fill).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <vector>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 namespace catt::sim {
 
@@ -56,6 +61,41 @@ class Cache {
   std::optional<std::int64_t> probe_load(std::uint64_t line_addr, std::int64_t now,
                                          SetHint& hint);
 
+  /// Sentinel returned by probe_load_fast on a miss (ready cycles are
+  /// always >= 0).
+  static constexpr std::int64_t kProbeMiss = -1;
+
+  /// Header-inlined probe for the replay hot path: identical stats, LRU
+  /// and hint behaviour to probe_load, but returns kProbeMiss instead of
+  /// boxing the result in an optional. The single-transaction fully
+  /// coalesced load in the SM datapath and the L2 probe inside
+  /// MemorySystem::load go through this. The way scan runs over the
+  /// contiguous tag array (4 host cache lines for a 32-way set, vs 16
+  /// when tags were interleaved with ready/LRU state) four ways at a
+  /// time via scan_tags().
+  std::int64_t probe_load_fast(std::uint64_t line_addr, std::int64_t now, SetHint& hint) {
+    ++stats_.accesses;
+    hint.set = -1;
+    if (num_sets_ != 0) {
+      const std::uint32_t tag = tag_of(line_addr);
+      const int set = set_of(line_addr);
+      hint.set = set;
+      const std::size_t base =
+          static_cast<std::size_t>(set) * static_cast<std::size_t>(assoc_);
+      const int w = scan_tags(tags_.data() + base, assoc_, tag);
+      if (w >= 0) {
+        ++stats_.hits;
+        WayMeta& m = meta_[base + static_cast<std::size_t>(w)];
+        // LRU state is only ever read by kLru victim selection; skip
+        // the bookkeeping store for random-replacement caches (the L1).
+        if (repl_ == Replacement::kLru) m.lru = ++lru_clock_;
+        return m.ready_at > now ? m.ready_at : now;
+      }
+    }
+    ++stats_.misses;
+    return kProbeMiss;
+  }
+
   /// Installs a line whose fill completes at `ready_at` (LRU victim is
   /// evicted). No-op for a disabled cache.
   void insert(std::uint64_t line_addr, std::int64_t ready_at);
@@ -77,18 +117,70 @@ class Cache {
   std::size_t capacity_bytes() const { return capacity_; }
 
  private:
-  struct Line {
-    bool valid = false;
-    std::uint64_t tag = 0;
-    std::uint64_t lru = 0;
-    std::int64_t ready_at = 0;
-  };
+  /// Empty-way sentinel. Tags are 32-bit: line addresses are byte
+  /// addresses divided by the line size, so any simulated footprint under
+  /// 512 GB fits — tag_of() throws otherwise rather than aliasing. The
+  /// narrow tag keeps a 32-way set's tag scan inside two host cache
+  /// lines, and folding validity into the tag keeps it a pure equality
+  /// test over a flat array.
+  static constexpr std::uint32_t kInvalidTag = 0xFFFFFFFFu;
+
+  std::uint32_t tag_of(std::uint64_t line_addr) const {
+    if (line_addr >= kInvalidTag) throw_tag_overflow();
+    return static_cast<std::uint32_t>(line_addr);
+  }
+
+  [[noreturn]] static void throw_tag_overflow();
+
+  /// Way holding `tag` in the `n`-way tag array, or -1. Any-match is
+  /// exact: a line has a single home way (insert() dedups), and no real
+  /// tag equals kInvalidTag (tag_of() rejects it), so the scan never sees
+  /// two candidates. The SSE2 path compares four ways per iteration —
+  /// misses scan the whole set, so on the miss-dominated workloads this
+  /// quarters the work of the scalar loop.
+  static int scan_tags(const std::uint32_t* tags, int n, std::uint32_t tag) {
+#if defined(__SSE2__)
+    const __m128i needle = _mm_set1_epi32(static_cast<int>(tag));
+    int w = 0;
+    for (; w + 4 <= n; w += 4) {
+      const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(tags + w));
+      const unsigned m =
+          static_cast<unsigned>(_mm_movemask_epi8(_mm_cmpeq_epi32(v, needle)));
+      if (m != 0) return w + std::countr_zero(m) / 4;
+    }
+    for (; w < n; ++w) {
+      if (tags[w] == tag) return w;
+    }
+    return -1;
+#else
+    for (int w = 0; w < n; ++w) {
+      if (tags[w] == tag) return w;
+    }
+    return -1;
+#endif
+  }
+
+  /// Set-index hash (GPU L1s XOR-hash the index to break power-of-two
+  /// strides; without this, an 8 KB row stride maps a whole warp into four
+  /// sets and the cache thrashes regardless of capacity).
+  static std::uint64_t mix_line(std::uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDULL;
+    x ^= x >> 33;
+    return x;
+  }
 
   /// XOR-hashed set index for a line address (the single home of the
-  /// mix_line % num_sets_ computation).
-  int set_of(std::uint64_t line_addr) const;
-  Line* find_in_set(std::uint64_t line_addr, int set);
-  Line* find(std::uint64_t line_addr);
+  /// mix_line % num_sets_ computation). Masking and modulo agree for
+  /// power-of-two set counts; the mask avoids a hardware divide on the
+  /// hottest path in the whole timing model.
+  int set_of(std::uint64_t line_addr) const {
+    const std::uint64_t h = mix_line(line_addr);
+    if (set_mask_ != 0) return static_cast<int>(h & set_mask_);
+    return static_cast<int>(h % static_cast<std::uint64_t>(num_sets_));
+  }
+  /// Way index of `line_addr` in `set`, or -1 when absent.
+  int find_in_set(std::uint64_t line_addr, int set) const;
   void fill_victim(std::uint64_t line_addr, std::int64_t ready_at, int set);
 
   std::size_t capacity_;
@@ -99,7 +191,21 @@ class Cache {
   /// num_sets_ - 1 when num_sets_ is a power of two (the common cache
   /// geometry), else 0: lets set_of() mask instead of divide.
   std::uint64_t set_mask_ = 0;
-  std::vector<Line> lines_;  // num_sets_ * assoc_, set-major
+  /// Per-way fill time + LRU stamp, kept apart from the tags so the probe
+  /// scan streams over a dense tag array and touches at most one payload
+  /// entry (the hit way).
+  struct WayMeta {
+    std::int64_t ready_at;
+    std::uint64_t lru;
+  };
+
+  // Line state, structure-of-arrays and set-major (way w of set s lives
+  // at s * assoc_ + w).
+  std::vector<std::uint32_t> tags_;  // kInvalidTag = empty way
+  std::vector<WayMeta> meta_;
+  /// Valid ways per set: lets fill_victim skip the empty-way scan once a
+  /// set is full (the steady state of every warm workload).
+  std::vector<std::uint16_t> used_;
   std::uint64_t lru_clock_ = 0;
   std::uint64_t victim_rng_ = 0x9E3779B97F4A7C15ULL;
   CacheStats stats_;

@@ -1,0 +1,154 @@
+// Bucketed calendar queue over per-SM wake-up times, driving the
+// event-driven Gpu::run loop: the next simulated cycle is a queue pop, not
+// an increment-and-scan. Near-future wake-ups (the common case — SM
+// re-steps at now+1, warp wake-ups within a few hundred cycles) land in a
+// power-of-two window of one-cycle buckets with an occupancy bitmap;
+// far-future ones overflow into a min-heap and migrate into the window as
+// it advances.
+//
+// Staleness discipline: `due_[idx]` is the single authoritative wake-up
+// per index. schedule() overwrites it and appends a bucket/heap entry;
+// entries whose recorded time no longer matches due_[idx] are discarded
+// when encountered. An index scheduled twice for the same cycle yields
+// duplicate valid entries, so pop_due() dedups.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace catt::sim {
+
+class CalendarQueue {
+ public:
+  static constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
+
+  explicit CalendarQueue(std::size_t n)
+      : buckets_(kWindow), bitmap_(kWindow / 64, 0), due_(n, kNever) {}
+
+  /// (Re)schedules `idx` to wake at `when` (>= the last popped cycle),
+  /// superseding any earlier schedule for `idx`.
+  void schedule(int idx, std::int64_t when) {
+    due_[static_cast<std::size_t>(idx)] = when;
+    insert_entry(idx, when);
+  }
+
+  /// Earliest scheduled cycle, kNever when nothing is pending.
+  std::int64_t next_time() {
+    migrate_overflow();
+    const std::int64_t t = scan_window();
+    if (t != kNever) return t;
+    if (!drop_stale_overflow()) return kNever;
+    // Window exhausted but far-future work remains: jump the window to it.
+    base_ = overflow_.front().at;
+    migrate_overflow();
+    return scan_window();
+  }
+
+  /// Pops every index due exactly at `now` (== next_time()) into `out`,
+  /// ascending and deduplicated. Advances the window.
+  void pop_due(std::int64_t now, std::vector<int>& out) {
+    out.clear();
+    auto& vec = buckets_[bucket_of(now)];
+    for (const int idx : vec) {
+      if (due_[static_cast<std::size_t>(idx)] == now) out.push_back(idx);
+    }
+    vec.clear();
+    clear_bit(bucket_of(now));
+    base_ = now;
+    if (out.size() > 1) {
+      std::sort(out.begin(), out.end());
+      out.erase(std::unique(out.begin(), out.end()), out.end());
+    }
+    for (const int idx : out) due_[static_cast<std::size_t>(idx)] = kNever;
+  }
+
+ private:
+  static constexpr std::int64_t kWindow = 1024;  // one-cycle buckets, power of two
+  static constexpr std::int64_t kMask = kWindow - 1;
+
+  struct OverflowEv {
+    std::int64_t at;
+    int idx;
+  };
+  struct Later {
+    bool operator()(const OverflowEv& a, const OverflowEv& b) const { return a.at > b.at; }
+  };
+
+  static std::size_t bucket_of(std::int64_t t) { return static_cast<std::size_t>(t & kMask); }
+
+  void set_bit(std::size_t b) { bitmap_[b >> 6] |= 1ULL << (b & 63); }
+  void clear_bit(std::size_t b) { bitmap_[b >> 6] &= ~(1ULL << (b & 63)); }
+
+  void insert_entry(int idx, std::int64_t when) {
+    if (when < base_ + kWindow) {
+      const std::size_t b = bucket_of(when);
+      if (buckets_[b].empty()) set_bit(b);
+      buckets_[b].push_back(idx);
+    } else {
+      overflow_.push_back({when, idx});
+      std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+    }
+  }
+
+  /// Drops stale overflow tops; true if a valid entry remains on top.
+  bool drop_stale_overflow() {
+    while (!overflow_.empty()) {
+      const OverflowEv& top = overflow_.front();
+      if (due_[static_cast<std::size_t>(top.idx)] == top.at) return true;
+      std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+      overflow_.pop_back();
+    }
+    return false;
+  }
+
+  /// Moves overflow entries the advancing window now covers into buckets.
+  void migrate_overflow() {
+    while (drop_stale_overflow() && overflow_.front().at < base_ + kWindow) {
+      const OverflowEv ev = overflow_.front();
+      std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+      overflow_.pop_back();
+      insert_entry(ev.idx, ev.at);
+    }
+  }
+
+  /// Earliest valid entry in [base_, base_ + kWindow), pruning stale
+  /// entries and bits as it goes; kNever if the window is empty. Word-wise
+  /// circular bitmap scan: kWindow is a multiple of 64, so bucket time
+  /// increases with bit index inside any one word.
+  std::int64_t scan_window() {
+    std::int64_t off = 0;
+    while (off < kWindow) {
+      const std::int64_t t = base_ + off;
+      const std::size_t b = bucket_of(t);
+      const std::uint64_t bits = bitmap_[b >> 6] & (~0ULL << (b & 63));
+      if (bits == 0) {
+        off += 64 - static_cast<std::int64_t>(b & 63);
+        continue;
+      }
+      const int bit = std::countr_zero(bits);
+      const std::int64_t ft = t + (bit - static_cast<std::int64_t>(b & 63));
+      auto& vec = buckets_[bucket_of(ft)];
+      std::erase_if(vec,
+                    [&](int idx) { return due_[static_cast<std::size_t>(idx)] != ft; });
+      if (vec.empty()) {
+        clear_bit(bucket_of(ft));
+        off = ft - base_ + 1;
+        continue;
+      }
+      return ft;
+    }
+    return kNever;
+  }
+
+  std::vector<std::vector<int>> buckets_;
+  std::vector<std::uint64_t> bitmap_;
+  std::vector<OverflowEv> overflow_;  // min-heap by .at
+  std::vector<std::int64_t> due_;
+  /// All valid entries are at times >= base_ (== the last popped cycle).
+  std::int64_t base_ = 0;
+};
+
+}  // namespace catt::sim

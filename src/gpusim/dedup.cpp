@@ -934,20 +934,20 @@ std::vector<ParamWarpTrace> symbolize(const bc::Program& prog, const arch::Launc
 }
 
 WarpTrace render(const ParamWarpTrace& pt, const bc::Program& prog, bc::SiteTable& table,
-                 const arch::Dim3& block_idx, int line_bytes) {
-  WarpTrace t;
-  t.events.reserve(pt.events.size());
+                 const arch::Dim3& block_idx, int line_bytes,
+                 const std::shared_ptr<TxnPool>& pool) {
+  WarpTrace t(pool);
+  t.reserve(pt.events.size());
   const std::uint64_t sectors_per_line = static_cast<std::uint64_t>(line_bytes) / 32;
   for (const ParamEvent& pe : pt.events) {
-    TraceEvent e;
-    e.kind = pe.kind;
     switch (pe.kind) {
       case EventKind::kCompute:
-        e.cycles = pe.cycles;
+        // Symbolic events are already merged; replay them one-for-one so
+        // the rendered trace matches the concrete VM's event sequence.
+        t.push_compute_raw(pe.cycles);
         break;
       case EventKind::kMem: {
-        e.site = table.id_for(prog, pe.slot);
-        e.is_store = pe.is_store;
+        t.begin_mem(table.id_for(prog, pe.slot), pe.is_store);
         const std::uint64_t delta = static_cast<std::uint64_t>(pe.dx) * block_idx.x +
                                     static_cast<std::uint64_t>(pe.dy) * block_idx.y +
                                     static_cast<std::uint64_t>(pe.dz) * block_idx.z;
@@ -958,20 +958,17 @@ WarpTrace render(const ParamWarpTrace& pt, const bc::Program& prog, bc::SiteTabl
           const std::uint64_t sector = (a + delta) / 32;
           if (sector == last_sector) continue;
           last_sector = sector;
-          const std::uint64_t line = sector / sectors_per_line;
-          if (!e.txns.empty() && e.txns.back().line == line) {
-            ++e.txns.back().sectors;
-          } else {
-            e.txns.push_back({line, 1});
-          }
+          t.mem_sector(sector / sectors_per_line);
         }
         break;
       }
       case EventKind::kBarrier:
+        t.push_barrier();
+        break;
       case EventKind::kEnd:
+        t.push_end();
         break;
     }
-    t.events.push_back(std::move(e));
   }
   return t;
 }

@@ -77,8 +77,10 @@ std::vector<ParamWarpTrace> symbolize(const bc::Program& prog, const arch::Launc
 
 /// Renders one parametric warp trace for a concrete block. `table`
 /// resolves site slots to ids (already assigned by the generation block's
-/// concrete execution).
+/// concrete execution). Transactions land in `pool` (shared by the
+/// block's warps).
 WarpTrace render(const ParamWarpTrace& pt, const bc::Program& prog, bc::SiteTable& table,
-                 const arch::Dim3& block_idx, int line_bytes);
+                 const arch::Dim3& block_idx, int line_bytes,
+                 const std::shared_ptr<TxnPool>& pool);
 
 }  // namespace catt::sim::dedup

@@ -6,8 +6,10 @@
 #include "common/error.hpp"
 #include "common/hash.hpp"
 #include "common/profile.hpp"
+#include "gpusim/calendar.hpp"
 #include "gpusim/interp.hpp"
 #include "gpusim/sm.hpp"
+#include "gpusim/sm_ref.hpp"
 
 namespace catt::sim {
 
@@ -17,6 +19,176 @@ std::uint64_t SimOptions::fingerprint() const {
 
 Gpu::Gpu(const arch::GpuArch& arch, DeviceMemory& mem)
     : arch_(arch), mem_(mem), memsys_(arch) {}
+
+namespace {
+
+/// Dispatch: fill SMs round-robin; refill whichever SM frees a slot.
+/// Shared verbatim by both engines — TB admission order is observable
+/// through the functional interpreter's memory effects, so it must not
+/// depend on the engine.
+template <typename SmT, typename OnAdmit>
+class Dispatcher {
+ public:
+  Dispatcher(std::vector<SmT>& sms, KernelInterp& interp, std::uint64_t num_blocks,
+             prof::Accum& trace_gen, OnAdmit on_admit)
+      : sms_(sms),
+        interp_(interp),
+        num_blocks_(num_blocks),
+        trace_gen_(trace_gen),
+        on_admit_(on_admit) {}
+
+  void admit_where_possible(std::int64_t now) {
+    bool progress = true;
+    while (progress && next_block_ < num_blocks_) {
+      progress = false;
+      for (std::size_t i = 0; i < sms_.size(); ++i) {
+        if (next_block_ >= num_blocks_) break;
+        if (sms_[i].has_free_slot()) {
+          trace_gen_.start();
+          std::vector<WarpTrace> traces = interp_.run_block(next_block_);
+          trace_gen_.stop();
+          sms_[i].admit_tb(std::move(traces), now);
+          on_admit_(i, now);
+          ++next_block_;
+          progress = true;
+        }
+      }
+    }
+  }
+
+  bool blocks_pending() const { return next_block_ < num_blocks_; }
+
+ private:
+  std::vector<SmT>& sms_;
+  KernelInterp& interp_;
+  std::uint64_t num_blocks_;
+  std::uint64_t next_block_ = 0;
+  prof::Accum& trace_gen_;
+  OnAdmit on_admit_;
+};
+
+[[noreturn]] void throw_deadlock(const LaunchSpec& spec) {
+  throw SimError("simulation deadlock in kernel '" + spec.kernel->name + "'");
+}
+
+/// Event-driven loop: simulated time advances by popping the calendar
+/// queue of SM wake-ups; only SMs due at the popped cycle are stepped.
+/// Equivalence with the stepped reference loop below:
+///  * step() reports the SM's exact next issuable cycle (now+1 while its
+///    ready heap is non-empty, else its earliest warp wake-up) -> due
+///    then. The reference re-steps an SM every cycle from now+1 until
+///    that same time; those intermediate steps issue nothing and touch
+///    no shared state, so skipping them is exact;
+///  * admission makes warps ready at now+1 -> due now+1 (the reference
+///    resets its cache to now+1);
+///  * same-cycle SM steps run in ascending index order (pop_due sorts),
+///    matching the reference's 0..N-1 sweep — observable through the
+///    shared MemorySystem bandwidth cursors.
+std::int64_t run_event_loop(std::vector<Sm>& sms, KernelInterp& interp,
+                            const LaunchSpec& spec, std::uint64_t num_blocks,
+                            prof::Accum& trace_gen) {
+  CalendarQueue cal(sms.size());
+  Dispatcher dispatch(sms, interp, num_blocks, trace_gen,
+                      [&](std::size_t i, std::int64_t now) {
+                        cal.schedule(static_cast<int>(i), now + 1);
+                      });
+
+  std::int64_t now = 0;
+  dispatch.admit_where_possible(now);
+  std::vector<int> due;
+  while (true) {
+    bool busy = dispatch.blocks_pending();
+    for (const auto& sm : sms) busy = busy || sm.busy();
+    if (!busy) break;
+
+    const std::int64_t next = cal.next_time();
+    if (next == CalendarQueue::kNever) throw_deadlock(spec);
+    now = next;
+    cal.pop_due(now, due);
+    for (const int i : due) {
+      std::int64_t wake = Sm::kNever;
+      sms[static_cast<std::size_t>(i)].step(now, &wake);
+      if (wake != Sm::kNever) cal.schedule(i, wake);
+    }
+    dispatch.admit_where_possible(now);
+  }
+  return now;
+}
+
+/// The retained cycle-stepped loop (SimOptions::use_stepped_reference):
+/// advances the clock cycle by cycle, scanning every SM whose cached
+/// wake-up is due.
+std::int64_t run_stepped_loop(std::vector<SmRef>& sms, KernelInterp& interp,
+                              const LaunchSpec& spec, std::uint64_t num_blocks,
+                              prof::Accum& trace_gen) {
+  // Per-SM wake-up cache: an SM that issued nothing cannot issue again
+  // before its earliest warp wake-up (stepping it earlier is a no-op, so
+  // skipping those calls is behavior-preserving). Admission resets the
+  // cache: newly admitted warps become ready at now + 1.
+  std::vector<std::int64_t> next_try(sms.size(), 0);
+  Dispatcher dispatch(sms, interp, num_blocks, trace_gen,
+                      [&](std::size_t i, std::int64_t now) { next_try[i] = now + 1; });
+
+  std::int64_t now = 0;
+  dispatch.admit_where_possible(now);
+  while (true) {
+    int issued = 0;
+    for (std::size_t i = 0; i < sms.size(); ++i) {
+      if (next_try[i] > now) continue;
+      std::int64_t wake = SmRef::kNever;
+      const int k = sms[i].step(now, &wake);
+      if (k == 0) next_try[i] = wake;
+      issued += k;
+    }
+    dispatch.admit_where_possible(now);
+
+    bool busy = dispatch.blocks_pending();
+    for (const auto& sm : sms) busy = busy || sm.busy();
+    if (!busy) break;
+
+    if (issued > 0) {
+      ++now;
+      continue;
+    }
+    // Nothing issuable this cycle: jump to the earliest wake-up. With
+    // zero warps issued, every SM was either skipped (wake-up cached in
+    // next_try) or stepped and refreshed its cache, so the minimum over
+    // next_try is exact.
+    std::int64_t next = SmRef::kNever;
+    for (const std::int64_t t : next_try) next = std::min(next, t);
+    if (next == SmRef::kNever) throw_deadlock(spec);
+    now = std::max(now + 1, next);
+  }
+  return now;
+}
+
+template <typename SmT>
+void aggregate_sm_stats(KernelStats& stats, const std::vector<SmT>& sms) {
+  for (const auto& sm : sms) {
+    stats.l1 += sm.l1_stats();
+    stats.warp_insts += sm.stats().warp_insts;
+    stats.mem_insts += sm.stats().mem_insts;
+    stats.mem_requests += sm.stats().mem_requests;
+    stats.sm_steps += sm.stats().sm_steps;
+    stats.warps_scanned += sm.stats().warps_scanned;
+    stats.queue_pops += sm.stats().queue_pops;
+  }
+}
+
+template <typename SmT>
+std::vector<SmT> make_sms(const arch::GpuArch& arch, MemorySystem& memsys,
+                          const occupancy::Occupancy& occ, bool collect_request_trace,
+                          SeriesAccum& series) {
+  std::vector<SmT> sms;
+  sms.reserve(static_cast<std::size_t>(arch.num_sms));
+  for (int i = 0; i < arch.num_sms; ++i) {
+    sms.emplace_back(arch, memsys, occ.l1d_bytes, occ.tbs_per_sm, occ.warps_per_tb,
+                     (collect_request_trace && i == 0) ? &series : nullptr);
+  }
+  return sms;
+}
+
+}  // namespace
 
 KernelStats Gpu::run(const LaunchSpec& spec, const SimOptions& opts) {
   if (spec.kernel == nullptr) throw SimError("LaunchSpec without kernel");
@@ -38,84 +210,22 @@ KernelStats Gpu::run(const LaunchSpec& spec, const SimOptions& opts) {
   memsys_.reset_stats();
   SeriesAccum series;
 
-  std::vector<Sm> sms;
-  sms.reserve(static_cast<std::size_t>(arch_.num_sms));
-  for (int i = 0; i < arch_.num_sms; ++i) {
-    sms.emplace_back(arch_, memsys_, occ.l1d_bytes, occ.tbs_per_sm, occ.warps_per_tb,
-                     (opts.collect_request_trace && i == 0) ? &series : nullptr);
-  }
-
-  // Dispatch: fill SMs round-robin; refill whichever SM frees a slot.
   const std::uint64_t num_blocks = spec.launch.num_blocks();
-  std::uint64_t next_block = 0;
-  // Per-SM wake-up cache: an SM that issued nothing cannot issue again
-  // before its earliest warp wake-up (stepping it earlier is a no-op, so
-  // skipping those calls is behavior-preserving). Admission resets the
-  // cache: newly admitted warps become ready at now + 1.
-  std::vector<std::int64_t> next_try(sms.size(), 0);
-  auto admit_where_possible = [&](std::int64_t now) {
-    bool progress = true;
-    while (progress && next_block < num_blocks) {
-      progress = false;
-      for (std::size_t i = 0; i < sms.size(); ++i) {
-        if (next_block >= num_blocks) break;
-        if (sms[i].has_free_slot()) {
-          trace_gen.start();
-          std::vector<WarpTrace> traces = interp.run_block(next_block);
-          trace_gen.stop();
-          sms[i].admit_tb(std::move(traces), now);
-          next_try[i] = now + 1;
-          ++next_block;
-          progress = true;
-        }
-      }
-    }
-  };
-
-  std::int64_t now = 0;
-  admit_where_possible(now);
-
-  while (true) {
-    int issued = 0;
-    for (std::size_t i = 0; i < sms.size(); ++i) {
-      if (next_try[i] > now) continue;
-      std::int64_t wake = Sm::kNever;
-      const int k = sms[i].step(now, &wake);
-      if (k == 0) next_try[i] = wake;
-      issued += k;
-    }
-    admit_where_possible(now);
-
-    bool busy = next_block < num_blocks;
-    for (const auto& sm : sms) busy = busy || sm.busy();
-    if (!busy) break;
-
-    if (issued > 0) {
-      ++now;
-      continue;
-    }
-    // Nothing issuable this cycle: jump to the earliest wake-up. With
-    // zero warps issued, every SM was either skipped (wake-up cached in
-    // next_try) or stepped and refreshed its cache, so the minimum over
-    // next_try is exact.
-    std::int64_t next = Sm::kNever;
-    for (const std::int64_t t : next_try) next = std::min(next, t);
-    if (next == Sm::kNever) {
-      throw SimError("simulation deadlock in kernel '" + spec.kernel->name + "'");
-    }
-    now = std::max(now + 1, next);
-  }
-
   KernelStats stats;
   stats.kernel_name = spec.kernel->name;
-  stats.cycles = now;
   stats.occ = occ;
-  for (const auto& sm : sms) {
-    stats.l1 += sm.l1_stats();
-    stats.warp_insts += sm.stats().warp_insts;
-    stats.mem_insts += sm.stats().mem_insts;
-    stats.mem_requests += sm.stats().mem_requests;
+
+  if (opts.use_stepped_reference) {
+    std::vector<SmRef> sms =
+        make_sms<SmRef>(arch_, memsys_, occ, opts.collect_request_trace, series);
+    stats.cycles = run_stepped_loop(sms, interp, spec, num_blocks, trace_gen);
+    aggregate_sm_stats(stats, sms);
+  } else {
+    std::vector<Sm> sms = make_sms<Sm>(arch_, memsys_, occ, opts.collect_request_trace, series);
+    stats.cycles = run_event_loop(sms, interp, spec, num_blocks, trace_gen);
+    aggregate_sm_stats(stats, sms);
   }
+
   stats.l2 = memsys_.l2_stats();
   stats.dram_lines = memsys_.dram_lines();
   if (opts.collect_request_trace) stats.request_trace = series.points();
@@ -127,7 +237,11 @@ KernelStats Gpu::run(const LaunchSpec& spec, const SimOptions& opts) {
                  " timing_ms=" + std::to_string(total_ms - trace_gen.ms()) +
                  " total_ms=" + std::to_string(total_ms) +
                  " warps_rendered=" + std::to_string(interp.warps_rendered()) +
-                 " warps_executed=" + std::to_string(interp.warps_executed()));
+                 " warps_executed=" + std::to_string(interp.warps_executed()) +
+                 " sm_steps=" + std::to_string(stats.sm_steps) +
+                 " warps_scanned=" + std::to_string(stats.warps_scanned) +
+                 " warps_issued=" + std::to_string(stats.warp_insts) +
+                 " queue_pops=" + std::to_string(stats.queue_pops));
   }
   return stats;
 }

@@ -44,11 +44,18 @@ struct SimOptions {
   /// exec::fingerprint chain. Requires skip_functional semantics.
   std::uint64_t trace_key = 0;
 
+  /// Run the retained cycle-stepped engine (SmRef + per-cycle scan loop)
+  /// instead of the event-driven one. The two are pinned cycle-identical
+  /// by tests/timing_test.cpp; this switch exists for that test and for
+  /// bisecting any future divergence.
+  bool use_stepped_reference = false;
+
   /// Stable content hash; part of the exec::SimCache key (options that
   /// change simulated behaviour or collected outputs must be included).
-  /// skip_functional/trace_key are deliberately EXCLUDED: they are pure
-  /// execution-strategy switches that cannot change any collected output,
-  /// and including them would needlessly split SimCache chains.
+  /// skip_functional/trace_key/use_stepped_reference are deliberately
+  /// EXCLUDED: they are pure execution-strategy switches that cannot
+  /// change any collected output, and including them would needlessly
+  /// split SimCache chains.
   std::uint64_t fingerprint() const;
 };
 
@@ -62,6 +69,12 @@ struct KernelStats {
   std::uint64_t warp_insts = 0;
   std::uint64_t mem_insts = 0;
   std::uint64_t mem_requests = 0;
+  /// Scheduler-attribution counters (aggregated SmStats; surfaced in the
+  /// CATT_PROFILE=1 report line, see DESIGN.md). Engine-dependent by
+  /// design — excluded from the cycle-exactness pin in timing_test.
+  std::uint64_t sm_steps = 0;
+  std::uint64_t warps_scanned = 0;
+  std::uint64_t queue_pops = 0;
   occupancy::Occupancy occ;
   /// Figure 2 series: mean coalesced requests per load instruction, over
   /// dynamic instruction sequence (bucketed).

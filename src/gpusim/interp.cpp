@@ -97,8 +97,9 @@ std::vector<WarpTrace> KernelInterp::run_block_vm(std::uint64_t block_linear) {
   const int warps = warps_per_block();
   std::vector<WarpTrace> out;
   out.reserve(static_cast<std::size_t>(warps));
+  auto pool = std::make_shared<TxnPool>();
   for (int w = 0; w < warps; ++w) {
-    out.push_back(vm_->run_warp(w, *table_));
+    out.push_back(vm_->run_warp(w, *table_, pool));
     ++executed_;
   }
   return out;
@@ -120,20 +121,21 @@ std::vector<WarpTrace> KernelInterp::run_block_dedup(std::uint64_t block_linear)
   const int warps = warps_per_block();
   std::vector<WarpTrace> out;
   out.reserve(static_cast<std::size_t>(warps));
+  auto pool = std::make_shared<TxnPool>();
   bool vm_block_set = false;
   for (int w = 0; w < warps; ++w) {
     const bool affine = static_cast<std::size_t>(w) < entry_->warps.size() &&
                         entry_->warps[static_cast<std::size_t>(w)].valid;
     if (affine) {
       out.push_back(dedup::render(entry_->warps[static_cast<std::size_t>(w)], *prog_,
-                                  entry_->table, bid, line_bytes_));
+                                  entry_->table, bid, line_bytes_, pool));
       ++rendered_;
     } else {
       if (!vm_block_set) {
         vm_->set_block(block_linear);
         vm_block_set = true;
       }
-      out.push_back(vm_->run_warp(w, *table_));
+      out.push_back(vm_->run_warp(w, *table_, pool));
       ++executed_;
     }
   }

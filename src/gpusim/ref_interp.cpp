@@ -155,17 +155,7 @@ struct RefKernelInterp::Impl {
 
   // ---- event emission ----
 
-  void emit_compute(std::uint32_t cycles) {
-    auto& ev = trace->events;
-    if (!ev.empty() && ev.back().kind == EventKind::kCompute) {
-      ev.back().cycles += cycles;
-      return;
-    }
-    TraceEvent e;
-    e.kind = EventKind::kCompute;
-    e.cycles = cycles;
-    ev.push_back(std::move(e));
-  }
+  void emit_compute(std::uint32_t cycles) { trace->push_compute(cycles); }
 
   SiteRec& rec_for(std::uint16_t site, bool is_store) {
     for (auto& r : recs) {
@@ -179,10 +169,7 @@ struct RefKernelInterp::Impl {
   /// events: distinct lines, each with its touched 32 B sector count.
   void flush_mem() {
     for (auto& r : recs) {
-      TraceEvent e;
-      e.kind = EventKind::kMem;
-      e.site = r.site;
-      e.is_store = r.is_store;
+      trace->begin_mem(r.site, r.is_store);
       auto& addrs = r.byte_addrs;
       // Sector address = byte / 32; line = sector / (line/32).
       const std::uint64_t sectors_per_line =
@@ -191,14 +178,8 @@ struct RefKernelInterp::Impl {
       std::sort(addrs.begin(), addrs.end());
       addrs.erase(std::unique(addrs.begin(), addrs.end()), addrs.end());
       for (std::uint64_t sector : addrs) {
-        const std::uint64_t line = sector / sectors_per_line;
-        if (!e.txns.empty() && e.txns.back().line == line) {
-          ++e.txns.back().sectors;
-        } else {
-          e.txns.push_back({line, 1});
-        }
+        trace->mem_sector(sector / sectors_per_line);
       }
-      trace->events.push_back(std::move(e));
     }
     recs.clear();
   }
@@ -628,21 +609,18 @@ struct RefKernelInterp::Impl {
           if (m2 != 0 && !s.else_body.empty()) exec_body(s.else_body, m2);
           break;
         }
-        case StmtKind::kSync: {
-          TraceEvent e;
-          e.kind = EventKind::kBarrier;
-          trace->events.push_back(std::move(e));
+        case StmtKind::kSync:
+          trace->push_barrier();
           break;
-        }
       }
     }
   }
 
-  WarpTrace run_warp(int wid) {
+  WarpTrace run_warp(int wid, const std::shared_ptr<TxnPool>& pool) {
     warp_id = wid;
     vars.clear();
     recs.clear();
-    WarpTrace t;
+    WarpTrace t(pool);
     trace = &t;
 
     const std::uint64_t threads = I.launch_.block.count();
@@ -661,9 +639,7 @@ struct RefKernelInterp::Impl {
     }
 
     exec_body(I.kernel_.body, full_mask);
-    TraceEvent end;
-    end.kind = EventKind::kEnd;
-    t.events.push_back(std::move(end));
+    t.push_end();
     trace = nullptr;
     return t;
   }
@@ -677,7 +653,8 @@ std::vector<WarpTrace> RefKernelInterp::run_block(std::uint64_t block_linear) {
   std::vector<WarpTrace> out;
   const int warps = warps_per_block();
   out.reserve(static_cast<std::size_t>(warps));
-  for (int w = 0; w < warps; ++w) out.push_back(impl.run_warp(w));
+  auto pool = std::make_shared<TxnPool>();
+  for (int w = 0; w < warps; ++w) out.push_back(impl.run_warp(w, pool));
   return out;
 }
 

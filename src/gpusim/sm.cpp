@@ -1,6 +1,7 @@
 #include "gpusim/sm.hpp"
 
 #include <algorithm>
+#include <functional>
 
 #include "common/error.hpp"
 
@@ -19,8 +20,9 @@ std::int64_t MemorySystem::load(std::uint64_t line, std::int64_t t, int sectors)
   l2_next_free_ = t + timing_.l2_service_interval;
 
   Cache::SetHint hint;
-  if (auto hit_ready = l2_.probe_load(line, t, hint)) {
-    return *hit_ready + timing_.l2_hit_latency;
+  const std::int64_t hit_ready = l2_.probe_load_fast(line, t, hint);
+  if (hit_ready != Cache::kProbeMiss) {
+    return hit_ready + timing_.l2_hit_latency;
   }
   // Miss: DRAM fills only the touched sectors (Volta's sectored L1/L2),
   // serialized by the bandwidth cursor.
@@ -42,18 +44,93 @@ void MemorySystem::store(std::uint64_t line, std::int64_t t, int sectors) {
 }
 
 // ---------------------------------------------------------------------------
-// Sm
+// SmDatapath
 // ---------------------------------------------------------------------------
+
+std::int64_t SmDatapath::mshr_load(std::uint64_t line, std::int64_t t_issue, int sectors,
+                                   const Cache::SetHint& hint) {
+  // Allocate an MSHR; when all are in flight the miss stalls until the
+  // oldest retires.
+  const std::int64_t t_mshr = std::max(t_issue, mshr_ring_[mshr_next_]);
+  const std::int64_t line_done = memsys_.load(line, t_mshr + arch_.timing.l1_hit_latency, sectors);
+  mshr_ring_[mshr_next_] = line_done;
+  if (++mshr_next_ == mshr_ring_.size()) mshr_next_ = 0;
+  l1_.insert(line, line_done, hint);
+  return line_done;
+}
+
+std::int64_t SmDatapath::exec_mem(const WarpTrace& t, std::size_t pc, std::int64_t now) {
+  const std::uint32_t n = t.txn_count(pc);
+  const bool is_store = t.is_store(pc);
+  ++stats.mem_insts;
+  stats.mem_requests += n;
+  if (request_series_ != nullptr && !is_store) {
+    request_series_->add(static_cast<double>(n));
+  }
+
+  // Fast path: one fully coalesced load — the case that dominates the CS
+  // workloads. Same LSU/probe/MSHR sequence as the loop below, minus the
+  // divergence bookkeeping.
+  if (n == 1 && !is_store) {
+    const Txn txn = t.txns(pc)[0];
+    const std::int64_t t_issue = std::max(now, lsu_next_free_);
+    lsu_next_free_ = t_issue + arch_.timing.lsu_issue_interval;
+    Cache::SetHint hint;
+    const std::int64_t hit = l1_.probe_load_fast(txn.line, t_issue, hint);
+    const std::int64_t line_done =
+        hit != Cache::kProbeMiss ? hit + arch_.timing.l1_hit_latency
+                                 : mshr_load(txn.line, t_issue, txn.sectors, hint);
+    return std::max(now + 1, line_done);
+  }
+
+  std::int64_t done = now + 1;
+  const Txn* txns = n != 0 ? t.txns(pc) : nullptr;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Txn& txn = txns[i];
+    // LSU pipeline: one transaction per issue interval. Divergent
+    // instructions (many lines) serialize here.
+    const std::int64_t t_issue = std::max(now, lsu_next_free_);
+    lsu_next_free_ = t_issue + arch_.timing.lsu_issue_interval;
+
+    if (is_store) {
+      l1_.note_store(txn.line);
+      memsys_.store(txn.line, t_issue, txn.sectors);
+      done = std::max(done, t_issue + 1);
+      continue;
+    }
+    Cache::SetHint hint;
+    const std::int64_t hit = l1_.probe_load_fast(txn.line, t_issue, hint);
+    const std::int64_t line_done = hit != Cache::kProbeMiss
+                                       ? hit + arch_.timing.l1_hit_latency
+                                       : mshr_load(txn.line, t_issue, txn.sectors, hint);
+    done = std::max(done, line_done);
+  }
+  // Stores are fire-and-forget: the warp proceeds once transactions are
+  // handed to the LSU.
+  return is_store ? std::max(now + 1, lsu_next_free_) : done;
+}
+
+// ---------------------------------------------------------------------------
+// Sm (event-driven)
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Min-heap order for wake-up events.
+struct WakeLater {
+  bool operator()(const auto& a, const auto& b) const { return a.at > b.at; }
+};
+}  // namespace
 
 Sm::Sm(const arch::GpuArch& arch, MemorySystem& memsys, std::size_t l1_bytes,
        int max_resident_tbs, int warps_per_tb, SeriesAccum* request_series)
     : arch_(arch),
-      memsys_(memsys),
-      l1_(l1_bytes, arch.line_bytes, arch.l1_assoc, Replacement::kRandom),
-      request_series_(request_series),
+      path_(arch, memsys, l1_bytes, request_series),
       free_slots_(max_resident_tbs),
-      warps_per_tb_(warps_per_tb) {
-  mshr_ring_.assign(static_cast<std::size_t>(std::max(1, arch.l1_mshrs)), 0);
+      warps_per_tb_(warps_per_tb) {}
+
+void Sm::push_wake(int wi) {
+  wake_.push_back({warps_[static_cast<std::size_t>(wi)].ready_at, wi});
+  std::push_heap(wake_.begin(), wake_.end(), WakeLater{});
 }
 
 void Sm::admit_tb(std::vector<WarpTrace> traces, std::int64_t now) {
@@ -72,19 +149,56 @@ void Sm::admit_tb(std::vector<WarpTrace> traces, std::int64_t now) {
     w.state = WarpState::kBlocked;
     w.ready_at = now + 1;  // launch latency
     w.tb = tb_id;
-    tb.warps.push_back(static_cast<int>(warps_.size()));
-    live_.push_back(static_cast<int>(warps_.size()));
+    const int wi = static_cast<int>(warps_.size());
+    tb.warps.push_back(wi);
     warps_.push_back(std::move(w));
+    push_wake(wi);
     ++active_warps_;
   }
   tbs_.push_back(std::move(tb));
 }
 
+void Sm::drain_wake(std::int64_t now) {
+  while (!wake_.empty() && wake_.front().at <= now) {
+    const WakeEv e = wake_.front();
+    std::pop_heap(wake_.begin(), wake_.end(), WakeLater{});
+    wake_.pop_back();
+    ++path_.stats.queue_pops;
+    const WarpCtx& w = warps_[static_cast<std::size_t>(e.warp)];
+    if (w.ready_at != e.at ||
+        (w.state != WarpState::kReady && w.state != WarpState::kBlocked)) {
+      continue;  // stale: the warp moved on since this wake-up was queued
+    }
+    ready_.push_back(e.warp);
+    std::push_heap(ready_.begin(), ready_.end(), std::greater<int>{});
+  }
+}
+
+std::int64_t Sm::wake_min() {
+  while (!wake_.empty()) {
+    const WakeEv e = wake_.front();
+    const WarpCtx& w = warps_[static_cast<std::size_t>(e.warp)];
+    if (w.ready_at == e.at &&
+        (w.state == WarpState::kReady || w.state == WarpState::kBlocked)) {
+      return e.at;
+    }
+    std::pop_heap(wake_.begin(), wake_.end(), WakeLater{});
+    wake_.pop_back();
+  }
+  return kNever;
+}
+
 std::int64_t Sm::next_ready_time() const {
   std::int64_t best = kNever;
-  for (int wi : live_) {
+  for (const WakeEv& e : wake_) {
+    const WarpCtx& w = warps_[static_cast<std::size_t>(e.warp)];
+    if (e.at == w.ready_at && (w.state == WarpState::kReady || w.state == WarpState::kBlocked)) {
+      best = std::min(best, e.at);
+    }
+  }
+  for (const int wi : ready_) {
     const WarpCtx& w = warps_[static_cast<std::size_t>(wi)];
-    if (w.state == WarpState::kBlocked || w.state == WarpState::kReady) {
+    if (w.state == WarpState::kReady || w.state == WarpState::kBlocked) {
       best = std::min(best, w.ready_at);
     }
   }
@@ -92,95 +206,68 @@ std::int64_t Sm::next_ready_time() const {
 }
 
 int Sm::step(std::int64_t now, std::int64_t* next_ready) {
+  ++path_.stats.sm_steps;
+  drain_wake(now);
   int issued = 0;
   for (int slot = 0; slot < arch_.schedulers_per_sm; ++slot) {
     // Greedy-then-oldest: keep the last issued warp as long as it is
-    // ready; otherwise the oldest ready warp (admission order).
+    // ready; otherwise the oldest ready warp. Warp indices are assigned in
+    // admission order, so the ready heap's minimum IS the oldest.
     int pick = -1;
     if (greedy_warp_ >= 0) {
-      WarpCtx& g = warps_[static_cast<std::size_t>(greedy_warp_)];
-      if ((g.state == WarpState::kReady || g.state == WarpState::kBlocked) && g.ready_at <= now) {
-        pick = greedy_warp_;
-      }
+      ++path_.stats.warps_scanned;
+      if (issuable(warps_[static_cast<std::size_t>(greedy_warp_)], now)) pick = greedy_warp_;
     }
     if (pick < 0) {
-      // One pass doubles as the wake-up computation: if no warp is ready
-      // the minimum ready_at seen is exactly next_ready_time().
-      std::int64_t soonest = kNever;
-      for (int wi : live_) {
-        WarpCtx& w = warps_[static_cast<std::size_t>(wi)];
-        if (w.state != WarpState::kReady && w.state != WarpState::kBlocked) continue;
-        if (w.ready_at <= now) {
+      while (!ready_.empty()) {
+        const int wi = ready_.front();
+        std::pop_heap(ready_.begin(), ready_.end(), std::greater<int>{});
+        ready_.pop_back();
+        ++path_.stats.warps_scanned;
+        // Entries go stale when the warp issued through the greedy path
+        // since its wake-up fired; pops either consume or discard, so
+        // stale entries never linger.
+        if (issuable(warps_[static_cast<std::size_t>(wi)], now)) {
           pick = wi;
           break;
         }
-        soonest = std::min(soonest, w.ready_at);
       }
-      if (pick < 0 && issued == 0 && next_ready != nullptr) *next_ready = soonest;
     }
     if (pick < 0) break;
     greedy_warp_ = pick;
     issue(warps_[static_cast<std::size_t>(pick)], now);
     ++issued;
   }
+  // Next cycle this SM can issue: every warp that will ever be issuable
+  // again sits in ready_ (issuable now, so again at now+1 — entries may
+  // be stale, which only costs one no-op step) or in wake_ (blocked, and
+  // barrier releases push wakes synchronously with the issue that
+  // completes the barrier). Idle cycles in between have no side effects,
+  // so the caller can jump straight to this time.
+  if (next_ready != nullptr) *next_ready = ready_.empty() ? wake_min() : now + 1;
   return issued;
 }
 
 void Sm::issue(WarpCtx& w, std::int64_t now) {
-  const TraceEvent& e = w.trace.events[w.pc];
+  const std::size_t pc = w.pc;
   ++w.pc;
-  ++stats_.warp_insts;
+  ++path_.stats.warp_insts;
 
-  switch (e.kind) {
+  switch (w.trace.kind(pc)) {
     case EventKind::kCompute: {
       w.state = WarpState::kBlocked;
-      w.ready_at = now + std::max<std::uint32_t>(1, e.cycles);
+      w.ready_at = now + std::max<std::uint32_t>(1, w.trace.cycles(pc));
+      push_wake(static_cast<int>(&w - warps_.data()));
       return;
     }
     case EventKind::kMem: {
-      ++stats_.mem_insts;
-      stats_.mem_requests += e.txns.size();
-      if (request_series_ != nullptr && !e.is_store) {
-        request_series_->add(static_cast<double>(e.txns.size()));
-      }
-      std::int64_t done = now + 1;
-      for (const Txn& txn : e.txns) {
-        // LSU pipeline: one transaction per issue interval. Divergent
-        // instructions (many lines) serialize here.
-        const std::int64_t t_issue = std::max(now, lsu_next_free_);
-        lsu_next_free_ = t_issue + arch_.timing.lsu_issue_interval;
-
-        if (e.is_store) {
-          l1_.note_store(txn.line);
-          memsys_.store(txn.line, t_issue, txn.sectors);
-          done = std::max(done, t_issue + 1);
-          continue;
-        }
-        std::int64_t line_done;
-        Cache::SetHint hint;
-        if (auto hit_ready = l1_.probe_load(txn.line, t_issue, hint)) {
-          line_done = *hit_ready + arch_.timing.l1_hit_latency;
-        } else {
-          // Allocate an MSHR; when all are in flight the miss stalls until
-          // the oldest retires.
-          const std::int64_t t_mshr =
-              std::max(t_issue, mshr_ring_[mshr_next_]);
-          line_done =
-              memsys_.load(txn.line, t_mshr + arch_.timing.l1_hit_latency, txn.sectors);
-          mshr_ring_[mshr_next_] = line_done;
-          mshr_next_ = (mshr_next_ + 1) % mshr_ring_.size();
-          l1_.insert(txn.line, line_done, hint);
-        }
-        done = std::max(done, line_done);
-      }
       w.state = WarpState::kBlocked;
-      // Stores are fire-and-forget: the warp proceeds once transactions
-      // are handed to the LSU.
-      w.ready_at = e.is_store ? std::max(now + 1, lsu_next_free_) : done;
+      w.ready_at = path_.exec_mem(w.trace, pc, now);
+      push_wake(static_cast<int>(&w - warps_.data()));
       return;
     }
     case EventKind::kBarrier: {
-      ++stats_.barriers;
+      ++path_.stats.barriers;
       w.state = WarpState::kAtBarrier;
       maybe_release_barrier(w.tb, now);
       return;
@@ -188,11 +275,9 @@ void Sm::issue(WarpCtx& w, std::int64_t now) {
     case EventKind::kEnd: {
       w.state = WarpState::kDone;
       --active_warps_;
-      const int self = static_cast<int>(&w - warps_.data());
-      live_.erase(std::remove(live_.begin(), live_.end(), self), live_.end());
-      // Release the trace storage; finished warps are never replayed.
-      w.trace.events.clear();
-      w.trace.events.shrink_to_fit();
+      // Release the trace storage; finished warps are never replayed (the
+      // block's shared txn pool dies with its last warp).
+      w.trace.release();
       TbCtx& tb = tbs_[static_cast<std::size_t>(w.tb)];
       --tb.live_warps;
       if (tb.live_warps == 0) {
@@ -214,16 +299,14 @@ void Sm::maybe_release_barrier(int tb_id, std::int64_t now) {
     const WarpState s = warps_[static_cast<std::size_t>(wi)].state;
     if (s != WarpState::kAtBarrier && s != WarpState::kDone) return;
   }
-  bool any = false;
   for (int wi : tb.warps) {
     WarpCtx& w = warps_[static_cast<std::size_t>(wi)];
     if (w.state == WarpState::kAtBarrier) {
       w.state = WarpState::kBlocked;
       w.ready_at = now + 2;
-      any = true;
+      push_wake(wi);
     }
   }
-  if (!any) return;
 }
 
 }  // namespace catt::sim

@@ -1,6 +1,15 @@
 // Streaming-multiprocessor timing model: replays warp traces under a
 // greedy-then-oldest scheduler with an LSU pipeline, a private L1D, and
 // `__syncthreads()` barriers; misses go to the shared MemorySystem.
+//
+// Two engines share one datapath (SmDatapath — LSU pipeline, L1D probe,
+// MSHR ring, request-series hook), so they can only diverge in scheduling:
+//  * Sm (this header): event-driven — blocked-warp wake-ups live in a
+//    min-heap and issuable warps in an admission-ordered ready heap, so a
+//    scheduler pick is O(log warps) instead of an O(live warps) scan.
+//  * SmRef (sm_ref.hpp): the retained cycle-stepped reference that scans
+//    the live list every step; tests/timing_test.cpp pins the two engines'
+//    KernelStats equal across every registered workload.
 #pragma once
 
 #include <cstdint>
@@ -47,8 +56,54 @@ struct SmStats {
   std::uint64_t mem_insts = 0;
   std::uint64_t mem_requests = 0;  // coalesced line transactions
   std::uint64_t barriers = 0;
+  // Scheduler-attribution counters (CATT_PROFILE=1; see DESIGN.md). Not
+  // part of the cycle-exactness contract — the two engines legitimately
+  // differ here.
+  std::uint64_t sm_steps = 0;       // step() calls on a due SM
+  std::uint64_t warps_scanned = 0;  // scheduler pick candidates examined
+  std::uint64_t queue_pops = 0;     // wake-heap pops (0 for the scan-based SmRef)
 };
 
+/// The per-SM memory datapath both engines share: LSU issue pipeline, L1D
+/// probes/fills, the MSHR ring that caps miss throughput, and the Figure 2
+/// request-series hook. Keeping this single-sourced guarantees the
+/// engines' per-transaction timing is identical by construction.
+class SmDatapath {
+ public:
+  SmDatapath(const arch::GpuArch& arch, MemorySystem& memsys, std::size_t l1_bytes,
+             SeriesAccum* request_series)
+      : arch_(arch),
+        memsys_(memsys),
+        l1_(l1_bytes, arch.line_bytes, arch.l1_assoc, Replacement::kRandom),
+        request_series_(request_series) {
+    mshr_ring_.assign(static_cast<std::size_t>(std::max(1, arch.l1_mshrs)), 0);
+  }
+
+  /// Executes the kMem trace event `pc` of `t` issued at cycle `now` and
+  /// returns the cycle the warp may proceed.
+  std::int64_t exec_mem(const WarpTrace& t, std::size_t pc, std::int64_t now);
+
+  const CacheStats& l1_stats() const { return l1_.stats(); }
+  SmStats stats;
+
+ private:
+  std::int64_t mshr_load(std::uint64_t line, std::int64_t t_issue, int sectors,
+                         const Cache::SetHint& hint);
+
+  const arch::GpuArch& arch_;
+  MemorySystem& memsys_;
+  Cache l1_;
+  SeriesAccum* request_series_;
+  std::int64_t lsu_next_free_ = 0;
+  /// Ring of in-flight miss completion times: a new miss must wait for the
+  /// oldest MSHR to retire when all are busy. This caps the SM's miss
+  /// throughput at mshrs/latency — the mechanism that makes thrashing
+  /// expensive relative to the LSU-bound hit path.
+  std::vector<std::int64_t> mshr_ring_;
+  std::size_t mshr_next_ = 0;
+};
+
+/// Event-driven SM engine (see header comment).
 class Sm {
  public:
   static constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
@@ -64,8 +119,8 @@ class Sm {
   /// Issues up to schedulers_per_sm ready warps at cycle `now`.
   /// Returns the number of warp instructions issued. When nothing issues
   /// and `next_ready` is non-null, it receives the earliest cycle a warp
-  /// becomes issuable (kNever if none) — computed in the same scan that
-  /// established nothing was ready, so callers avoid a second pass.
+  /// becomes issuable (kNever if none) — read off the wake heap, so
+  /// callers avoid any scan.
   int step(std::int64_t now, std::int64_t* next_ready = nullptr);
 
   /// Any resident warp not yet done?
@@ -75,8 +130,8 @@ class Sm {
   std::int64_t next_ready_time() const;
 
   int completed_tbs() const { return completed_tbs_; }
-  const CacheStats& l1_stats() const { return l1_.stats(); }
-  const SmStats& stats() const { return stats_; }
+  const CacheStats& l1_stats() const { return path_.l1_stats(); }
+  const SmStats& stats() const { return path_.stats; }
 
  private:
   enum class WarpState : std::uint8_t { kReady, kBlocked, kAtBarrier, kDone };
@@ -95,32 +150,41 @@ class Sm {
     bool active = false;
   };
 
+  /// Wake-heap entry; stale when the warp's ready_at moved past `at`
+  /// (ready_at is strictly increasing per warp, so equality identifies
+  /// the newest entry).
+  struct WakeEv {
+    std::int64_t at;
+    int warp;
+  };
+
+  bool issuable(const WarpCtx& w, std::int64_t now) const {
+    return (w.state == WarpState::kReady || w.state == WarpState::kBlocked) && w.ready_at <= now;
+  }
+  void push_wake(int wi);
+  void drain_wake(std::int64_t now);
+  std::int64_t wake_min();
   void issue(WarpCtx& w, std::int64_t now);
   void maybe_release_barrier(int tb, std::int64_t now);
 
   const arch::GpuArch& arch_;
-  MemorySystem& memsys_;
-  Cache l1_;
-  SeriesAccum* request_series_;
+  SmDatapath path_;
 
   std::vector<WarpCtx> warps_;
-  /// Indices of not-yet-done warps in admission order ("oldest" order);
-  /// keeps scheduling O(live) instead of O(all warps ever admitted).
-  std::vector<int> live_;
   std::vector<TbCtx> tbs_;
+  /// Min-heap (by wake-up cycle) of blocked-warp wake-ups; lazily pruned.
+  std::vector<WakeEv> wake_;
+  /// Min-heap (by warp index == admission order) of warps whose wake-up
+  /// already fired: popping yields the oldest ready warp. Entries go stale
+  /// when the warp issues through the greedy path; staleness is checked
+  /// against the warp's live state on pop, so stale entries are discarded,
+  /// never retained.
+  std::vector<int> ready_;
   int free_slots_;
   int warps_per_tb_;
   int active_warps_ = 0;
   int completed_tbs_ = 0;
   int greedy_warp_ = -1;
-  std::int64_t lsu_next_free_ = 0;
-  /// Ring of in-flight miss completion times: a new miss must wait for the
-  /// oldest MSHR to retire when all are busy. This caps the SM's miss
-  /// throughput at mshrs/latency — the mechanism that makes thrashing
-  /// expensive relative to the LSU-bound hit path.
-  std::vector<std::int64_t> mshr_ring_;
-  std::size_t mshr_next_ = 0;
-  SmStats stats_;
 };
 
 }  // namespace catt::sim

@@ -1,0 +1,163 @@
+#include "gpusim/sm_ref.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace catt::sim {
+
+SmRef::SmRef(const arch::GpuArch& arch, MemorySystem& memsys, std::size_t l1_bytes,
+             int max_resident_tbs, int warps_per_tb, SeriesAccum* request_series)
+    : arch_(arch),
+      path_(arch, memsys, l1_bytes, request_series),
+      free_slots_(max_resident_tbs),
+      warps_per_tb_(warps_per_tb) {}
+
+void SmRef::admit_tb(std::vector<WarpTrace> traces, std::int64_t now) {
+  if (free_slots_ <= 0) throw SimError("admit_tb with no free slot");
+  if (static_cast<int>(traces.size()) != warps_per_tb_) {
+    throw SimError("trace count does not match warps per TB");
+  }
+  --free_slots_;
+  TbCtx tb;
+  tb.active = true;
+  tb.live_warps = warps_per_tb_;
+  const int tb_id = static_cast<int>(tbs_.size());
+  for (auto& t : traces) {
+    WarpCtx w;
+    w.trace = std::move(t);
+    w.state = WarpState::kBlocked;
+    w.ready_at = now + 1;  // launch latency
+    w.tb = tb_id;
+    tb.warps.push_back(static_cast<int>(warps_.size()));
+    live_.push_back(static_cast<int>(warps_.size()));
+    warps_.push_back(std::move(w));
+    ++active_warps_;
+  }
+  tbs_.push_back(std::move(tb));
+}
+
+std::int64_t SmRef::next_ready_time() const {
+  std::int64_t best = kNever;
+  for (int wi : live_) {
+    const WarpCtx& w = warps_[static_cast<std::size_t>(wi)];
+    if (w.state == WarpState::kBlocked || w.state == WarpState::kReady) {
+      best = std::min(best, w.ready_at);
+    }
+  }
+  return best;
+}
+
+int SmRef::step(std::int64_t now, std::int64_t* next_ready) {
+  ++path_.stats.sm_steps;
+  int issued = 0;
+  for (int slot = 0; slot < arch_.schedulers_per_sm; ++slot) {
+    // Greedy-then-oldest: keep the last issued warp as long as it is
+    // ready; otherwise the oldest ready warp (admission order).
+    int pick = -1;
+    if (greedy_warp_ >= 0) {
+      ++path_.stats.warps_scanned;
+      WarpCtx& g = warps_[static_cast<std::size_t>(greedy_warp_)];
+      if ((g.state == WarpState::kReady || g.state == WarpState::kBlocked) && g.ready_at <= now) {
+        pick = greedy_warp_;
+      }
+    }
+    if (pick < 0) {
+      // One pass doubles as the wake-up computation: if no warp is ready
+      // the minimum ready_at seen is exactly next_ready_time().
+      std::int64_t soonest = kNever;
+      for (int wi : live_) {
+        WarpCtx& w = warps_[static_cast<std::size_t>(wi)];
+        ++path_.stats.warps_scanned;
+        if (w.state != WarpState::kReady && w.state != WarpState::kBlocked) continue;
+        if (w.ready_at <= now) {
+          pick = wi;
+          break;
+        }
+        soonest = std::min(soonest, w.ready_at);
+      }
+      if (pick < 0 && issued == 0 && next_ready != nullptr) *next_ready = soonest;
+    }
+    if (pick < 0) break;
+    greedy_warp_ = pick;
+    issue(warps_[static_cast<std::size_t>(pick)], now);
+    ++issued;
+  }
+  return issued;
+}
+
+void SmRef::issue(WarpCtx& w, std::int64_t now) {
+  const std::size_t pc = w.pc;
+  ++w.pc;
+  ++path_.stats.warp_insts;
+
+  switch (w.trace.kind(pc)) {
+    case EventKind::kCompute: {
+      w.state = WarpState::kBlocked;
+      w.ready_at = now + std::max<std::uint32_t>(1, w.trace.cycles(pc));
+      return;
+    }
+    case EventKind::kMem: {
+      w.state = WarpState::kBlocked;
+      w.ready_at = path_.exec_mem(w.trace, pc, now);
+      return;
+    }
+    case EventKind::kBarrier: {
+      ++path_.stats.barriers;
+      w.state = WarpState::kAtBarrier;
+      maybe_release_barrier(w.tb, now);
+      return;
+    }
+    case EventKind::kEnd: {
+      w.state = WarpState::kDone;
+      --active_warps_;
+      // Retirement is deferred: scans skip kDone, so the entry can stay in
+      // live_ until enough garbage accumulates to amortize one stable
+      // sweep (the old per-kEnd std::remove made retirement O(live)).
+      ++dead_live_;
+      if (dead_live_ * 2 > live_.size()) compact_live();
+      // Release the trace storage; finished warps are never replayed.
+      w.trace.release();
+      TbCtx& tb = tbs_[static_cast<std::size_t>(w.tb)];
+      --tb.live_warps;
+      if (tb.live_warps == 0) {
+        tb.active = false;
+        ++free_slots_;
+        ++completed_tbs_;
+      } else {
+        // A warp ending may complete a barrier the rest are waiting on.
+        maybe_release_barrier(w.tb, now);
+      }
+      return;
+    }
+  }
+}
+
+void SmRef::compact_live() {
+  // Stable removal of finished warps, preserving admission order (pick
+  // order among the survivors is unchanged).
+  live_.erase(std::remove_if(live_.begin(), live_.end(),
+                             [this](int wi) {
+                               return warps_[static_cast<std::size_t>(wi)].state ==
+                                      WarpState::kDone;
+                             }),
+              live_.end());
+  dead_live_ = 0;
+}
+
+void SmRef::maybe_release_barrier(int tb_id, std::int64_t now) {
+  TbCtx& tb = tbs_[static_cast<std::size_t>(tb_id)];
+  for (int wi : tb.warps) {
+    const WarpState s = warps_[static_cast<std::size_t>(wi)].state;
+    if (s != WarpState::kAtBarrier && s != WarpState::kDone) return;
+  }
+  for (int wi : tb.warps) {
+    WarpCtx& w = warps_[static_cast<std::size_t>(wi)];
+    if (w.state == WarpState::kAtBarrier) {
+      w.state = WarpState::kBlocked;
+      w.ready_at = now + 2;
+    }
+  }
+}
+
+}  // namespace catt::sim

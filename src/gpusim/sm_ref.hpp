@@ -1,0 +1,75 @@
+// Cycle-stepped reference SM engine: the original O(live warps)
+// scan-per-step scheduler, retained as the oracle the event-driven Sm
+// (sm.hpp) is pinned against in tests/timing_test.cpp. Both engines share
+// SmDatapath, so any divergence is a scheduling bug, not a timing-model
+// drift. Selected at run time via SimOptions::use_stepped_reference.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "arch/gpu_arch.hpp"
+#include "gpusim/sm.hpp"
+#include "gpusim/trace.hpp"
+
+namespace catt::sim {
+
+/// Scan-based SM engine with the same public surface as Sm.
+class SmRef {
+ public:
+  static constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
+
+  SmRef(const arch::GpuArch& arch, MemorySystem& memsys, std::size_t l1_bytes,
+        int max_resident_tbs, int warps_per_tb, SeriesAccum* request_series = nullptr);
+
+  bool has_free_slot() const { return free_slots_ > 0; }
+  void admit_tb(std::vector<WarpTrace> traces, std::int64_t now);
+  int step(std::int64_t now, std::int64_t* next_ready = nullptr);
+  bool busy() const { return active_warps_ > 0; }
+  std::int64_t next_ready_time() const;
+  int completed_tbs() const { return completed_tbs_; }
+  const CacheStats& l1_stats() const { return path_.l1_stats(); }
+  const SmStats& stats() const { return path_.stats; }
+
+ private:
+  enum class WarpState : std::uint8_t { kReady, kBlocked, kAtBarrier, kDone };
+
+  struct WarpCtx {
+    WarpTrace trace;
+    std::size_t pc = 0;
+    WarpState state = WarpState::kReady;
+    std::int64_t ready_at = 0;
+    int tb = -1;
+  };
+
+  struct TbCtx {
+    std::vector<int> warps;
+    int live_warps = 0;
+    bool active = false;
+  };
+
+  void issue(WarpCtx& w, std::int64_t now);
+  void maybe_release_barrier(int tb, std::int64_t now);
+  void compact_live();
+
+  const arch::GpuArch& arch_;
+  SmDatapath path_;
+
+  std::vector<WarpCtx> warps_;
+  /// Indices of not-yet-compacted warps in admission order ("oldest"
+  /// order). Finished warps are not erased here eagerly — scans already
+  /// skip kDone — but marked by dead_live_ and swept out stably once they
+  /// outnumber the live half, keeping retirement O(1) amortized instead
+  /// of an O(live) std::remove per kEnd while preserving pick order.
+  std::vector<int> live_;
+  std::size_t dead_live_ = 0;
+  std::vector<TbCtx> tbs_;
+  int free_slots_;
+  int warps_per_tb_;
+  int active_warps_ = 0;
+  int completed_tbs_ = 0;
+  int greedy_warp_ = -1;
+};
+
+}  // namespace catt::sim

@@ -2,9 +2,15 @@
 // a kernel + thread block into one trace per warp: the timed events the SM
 // model replays. Traces are generated lazily per resident thread block, so
 // memory stays bounded by occupancy rather than grid size.
+//
+// Events are stored structure-of-arrays: the replay loop in the SM model
+// touches kind/payload/txn-span as parallel flat vectors instead of chasing
+// a per-event heap vector, and all coalesced transactions of a thread
+// block live in one shared pool (TxnPool) the block's warps index into.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,19 +32,112 @@ struct Txn {
   std::uint8_t sectors = 1;
 };
 
-/// One warp-level event. For kMem, `txns` holds the distinct cache-line
-/// transactions the coalescer produced for the instruction — the paper's
-/// "off-chip memory requests (after coalescing)" (Figure 2's Y value).
-struct TraceEvent {
-  EventKind kind = EventKind::kCompute;
-  std::uint32_t cycles = 0;   // kCompute
-  std::uint16_t site = 0;     // kMem: static memory-instruction id
-  bool is_store = false;      // kMem
-  std::vector<Txn> txns;      // kMem: coalesced transactions
-};
+/// Transaction storage shared by all warps of one thread block. Spans
+/// recorded in a WarpTrace index into the block's pool; the pool dies when
+/// the last warp of the block releases its trace.
+using TxnPool = std::vector<Txn>;
 
-struct WarpTrace {
-  std::vector<TraceEvent> events;
+/// One warp's timed event sequence in structure-of-arrays layout. For kMem
+/// events the txn span holds the distinct cache-line transactions the
+/// coalescer produced for the instruction — the paper's "off-chip memory
+/// requests (after coalescing)" (Figure 2's Y value).
+///
+/// Build protocol: events are appended in order; at most one kMem event is
+/// open at a time (begin_mem, then mem_sector per touched 32 B sector in
+/// line-sorted order).
+class WarpTrace {
+ public:
+  WarpTrace() = default;
+  explicit WarpTrace(std::shared_ptr<TxnPool> pool) : pool_(std::move(pool)) {}
+
+  std::size_t size() const { return kind_.size(); }
+  bool empty() const { return kind_.empty(); }
+  EventKind kind(std::size_t i) const { return static_cast<EventKind>(kind_[i]); }
+  std::uint32_t cycles(std::size_t i) const { return cycles_[i]; }
+  std::uint16_t site(std::size_t i) const { return site_[i]; }
+  bool is_store(std::size_t i) const { return store_[i] != 0; }
+  std::uint32_t txn_count(std::size_t i) const { return txn_count_[i]; }
+  /// First transaction of event `i`'s span (valid only when txn_count > 0).
+  const Txn* txns(std::size_t i) const { return pool_->data() + txn_begin_[i]; }
+
+  const std::shared_ptr<TxnPool>& pool() const { return pool_; }
+
+  // ---- emission ----
+
+  /// Appends compute work, merging into a directly preceding kCompute
+  /// event (the interpreters' event-merge rule).
+  void push_compute(std::uint32_t cycles) {
+    if (!kind_.empty() && kind_.back() == static_cast<std::uint8_t>(EventKind::kCompute)) {
+      cycles_.back() += cycles;
+      return;
+    }
+    push_row(EventKind::kCompute, cycles, 0, false);
+  }
+
+  /// Appends a kCompute event without merging (dedup render replays
+  /// already-merged symbolic events one-for-one).
+  void push_compute_raw(std::uint32_t cycles) { push_row(EventKind::kCompute, cycles, 0, false); }
+
+  /// Opens a kMem event; transactions follow via mem_sector().
+  void begin_mem(std::uint16_t site, bool is_store) {
+    if (!pool_) pool_ = std::make_shared<TxnPool>();
+    push_row(EventKind::kMem, 0, site, is_store);
+  }
+
+  /// Records one touched 32 B sector of `line` for the open kMem event.
+  /// Call sites present sectors line-sorted, so consecutive sectors of the
+  /// same line merge into one transaction with a higher sector count.
+  void mem_sector(std::uint64_t line) {
+    TxnPool& p = *pool_;
+    if (txn_count_.back() != 0 && p.back().line == line) {
+      ++p.back().sectors;
+      return;
+    }
+    p.push_back({line, 1});
+    ++txn_count_.back();
+  }
+
+  void push_barrier() { push_row(EventKind::kBarrier, 0, 0, false); }
+  void push_end() { push_row(EventKind::kEnd, 0, 0, false); }
+
+  /// Drops event storage and the pool reference (finished warps are never
+  /// replayed; the block's pool is freed when its last warp releases).
+  void release() {
+    kind_ = {};
+    cycles_ = {};
+    site_ = {};
+    store_ = {};
+    txn_begin_ = {};
+    txn_count_ = {};
+    pool_.reset();
+  }
+
+  void reserve(std::size_t events) {
+    kind_.reserve(events);
+    cycles_.reserve(events);
+    site_.reserve(events);
+    store_.reserve(events);
+    txn_begin_.reserve(events);
+    txn_count_.reserve(events);
+  }
+
+ private:
+  void push_row(EventKind k, std::uint32_t cycles, std::uint16_t site, bool store) {
+    kind_.push_back(static_cast<std::uint8_t>(k));
+    cycles_.push_back(cycles);
+    site_.push_back(site);
+    store_.push_back(store ? 1 : 0);
+    txn_begin_.push_back(pool_ ? static_cast<std::uint32_t>(pool_->size()) : 0);
+    txn_count_.push_back(0);
+  }
+
+  std::vector<std::uint8_t> kind_;
+  std::vector<std::uint32_t> cycles_;
+  std::vector<std::uint16_t> site_;
+  std::vector<std::uint8_t> store_;
+  std::vector<std::uint32_t> txn_begin_;
+  std::vector<std::uint32_t> txn_count_;
+  std::shared_ptr<TxnPool> pool_;
 };
 
 /// Static memory-instruction site (for reports and Figure 2 labels).

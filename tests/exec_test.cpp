@@ -98,8 +98,11 @@ TEST(SimCache, CountsHitsAndMisses) {
 
 // (a) Parallel run must be bit-identical to a forced single-thread run:
 // same sweep (factor order and cycle counts), same winner, same launches.
+// The microbenchmark keeps the double sweep cheap; the property under
+// test is engine plumbing (job ordering, result placement), which is
+// workload-independent.
 TEST(ExecEngine, ParallelBfttIdenticalToSingleThread) {
-  const wl::Workload& w = wl::find_workload("atax", 2);
+  const wl::Workload& w = wl::find_workload("l1dfull8w", 2);
 
   exec::Pool serial_pool(1);
   throttle::Runner serial(bench::max_l1d_arch(), &serial_pool);

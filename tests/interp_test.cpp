@@ -166,9 +166,10 @@ __global__ void g(float *A, float *B, float *out, int N) {
   ASSERT_EQ(traces.size(), 1u);
 
   std::map<std::string, std::size_t> lines_by_array;
-  for (const auto& ev : traces[0].events) {
-    if (ev.kind == EventKind::kMem && !ev.is_store) {
-      lines_by_array[interp.sites()[ev.site].array] = ev.txns.size();
+  const WarpTrace& t0 = traces[0];
+  for (std::size_t i = 0; i < t0.size(); ++i) {
+    if (t0.kind(i) == EventKind::kMem && !t0.is_store(i)) {
+      lines_by_array[interp.sites()[t0.site(i)].array] = t0.txn_count(i);
     }
   }
   EXPECT_EQ(lines_by_array.at("A"), 1u);
@@ -190,9 +191,9 @@ __global__ void g(float *out, int N) {
   int barriers = 0;
   int ends = 0;
   for (const auto& t : traces) {
-    for (const auto& ev : t.events) {
-      if (ev.kind == EventKind::kBarrier) ++barriers;
-      if (ev.kind == EventKind::kEnd) ++ends;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t.kind(i) == EventKind::kBarrier) ++barriers;
+      if (t.kind(i) == EventKind::kEnd) ++ends;
     }
   }
   EXPECT_EQ(barriers, 2);  // one per warp
@@ -251,8 +252,8 @@ __global__ void g(float *out, int N) {
   KernelInterp interp(k, {{1}, {32}}, {{"N", 32}}, mem, 128);
   auto traces = interp.run_block(0);
   std::uint64_t compute_cycles = 0;
-  for (const auto& ev : traces[0].events) {
-    if (ev.kind == EventKind::kCompute) compute_cycles += ev.cycles;
+  for (std::size_t i = 0; i < traces[0].size(); ++i) {
+    if (traces[0].kind(i) == EventKind::kCompute) compute_cycles += traces[0].cycles(i);
   }
   EXPECT_GT(compute_cycles, 4u);
 }

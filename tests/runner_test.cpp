@@ -10,8 +10,18 @@
 namespace catt::throttle {
 namespace {
 
+/// One memoizing Runner shared by every test that only inspects results:
+/// repeated policies over the same workloads (atax baseline/CATT, gsmv
+/// sweeps, ...) hit the SimCache instead of re-simulating. Results are
+/// bit-identical either way — cache-vs-fresh identity is exec_test's
+/// pin — and tests that assert cache counters build their own Runner.
+Runner& shared_runner() {
+  static Runner r(bench::max_l1d_arch());
+  return r;
+}
+
 TEST(Runner, BaselineRecordsOneLaunchPerScheduleEntry) {
-  Runner r(bench::max_l1d_arch());
+  Runner& r = shared_runner();
   const wl::Workload& w = wl::find_workload("atax", 2);
   const AppResult res = r.run(w, Baseline{});
   EXPECT_EQ(res.launches.size(), w.schedule.size());
@@ -22,7 +32,7 @@ TEST(Runner, BaselineRecordsOneLaunchPerScheduleEntry) {
 }
 
 TEST(Runner, CattSpeedsUpAtax) {
-  Runner r(bench::max_l1d_arch());
+  Runner& r = shared_runner();
   const wl::Workload& w = wl::find_workload("atax", 2);
   const AppResult base = r.run(w, Baseline{});
   const AppResult catt = r.run(w, Catt{});
@@ -36,7 +46,7 @@ TEST(Runner, CattSpeedsUpAtax) {
 }
 
 TEST(Runner, CattChoicesMatchTable3ForAtax) {
-  Runner r(bench::max_l1d_arch());
+  Runner& r = shared_runner();
   const auto choices = r.catt_choices(wl::find_workload("atax", 2));
   ASSERT_EQ(choices.size(), 2u);
   // Max L1D: kernel 1 throttled to (4,4), kernel 2 kept at (8,4).
@@ -52,7 +62,7 @@ TEST(Runner, CattChoicesMatchTable3ForAtax) {
 }
 
 TEST(Runner, FixedFactorClampsPerKernel) {
-  Runner r(bench::max_l1d_arch());
+  Runner& r = shared_runner();
   const wl::Workload& w = wl::find_workload("cfd", 2);  // 6 warps/TB
   // 4 does not divide 6: clamps to 3.
   const AppResult res = r.run(w, Fixed{{4, 0}});
@@ -61,7 +71,7 @@ TEST(Runner, FixedFactorClampsPerKernel) {
 }
 
 TEST(Runner, FixedIdentityEqualsBaseline) {
-  Runner r(bench::max_l1d_arch());
+  Runner& r = shared_runner();
   const wl::Workload& w = wl::find_workload("gsmv", 2);
   const AppResult base = r.run(w, Baseline{});
   const AppResult fixed1 = r.run(w, Fixed{{1, 0}});
@@ -69,7 +79,7 @@ TEST(Runner, FixedIdentityEqualsBaseline) {
 }
 
 TEST(Runner, CandidateFactorsCoverDivisorsAndTbs) {
-  Runner r(bench::max_l1d_arch());
+  Runner& r = shared_runner();
   const auto cands = r.candidate_factors(wl::find_workload("atax", 2));
   // divisors {1,2,4,8} x tb caps {none,3,2,1} = 16 candidates.
   EXPECT_EQ(cands.size(), 16u);
@@ -79,7 +89,7 @@ TEST(Runner, CandidateFactorsCoverDivisorsAndTbs) {
 }
 
 TEST(Runner, BfttPicksBestOfSweep) {
-  Runner r(bench::max_l1d_arch());
+  Runner& r = shared_runner();
   const wl::Workload& w = wl::find_workload("gsmv", 2);
   const Runner::BfttOutcome out = r.bftt_sweep(w);
   ASSERT_FALSE(out.sweep.empty());
@@ -93,7 +103,7 @@ TEST(Runner, BfttPicksBestOfSweep) {
 TEST(Runner, CattBeatsOrMatchesBfttOnMultiPhaseApp) {
   // ATAX's two kernels want different TLPs; a single fixed factor cannot
   // serve both (the paper's core argument, Section 5.1).
-  Runner r(bench::max_l1d_arch());
+  Runner& r = shared_runner();
   const wl::Workload& w = wl::find_workload("atax", 2);
   const AppResult catt = r.run(w, Catt{});
   const Runner::BfttOutcome bftt = r.bftt_sweep(w);
@@ -102,7 +112,7 @@ TEST(Runner, CattBeatsOrMatchesBfttOnMultiPhaseApp) {
 }
 
 TEST(Runner, CiWorkloadUnaffectedByCatt) {
-  Runner r(bench::max_l1d_arch());
+  Runner& r = shared_runner();
   const wl::Workload& w = wl::find_workload("gemm", 2);
   const AppResult base = r.run(w, Baseline{});
   const AppResult catt = r.run(w, Catt{});
@@ -137,7 +147,7 @@ namespace {
 TEST(Dyncta, LearnsOnRepeatedLaunches) {
   // KM repeats its contended kernels, so the reactive scheme has warm-up
   // material: it must end up strictly faster than the baseline.
-  Runner r(bench::max_l1d_arch());
+  Runner& r = shared_runner();
   const wl::Workload& w = wl::find_workload("km", 2);
   const AppResult base = r.run(w, Baseline{});
   const AppResult dyn = r.run(w, Dyncta{});
@@ -147,7 +157,7 @@ TEST(Dyncta, LearnsOnRepeatedLaunches) {
 TEST(Dyncta, LosesToCattOnSinglePhaseApps) {
   // GSMV is one contended launch: the dynamic scheme has nothing to learn
   // from and runs it at full TLP, while CATT throttles it up front.
-  Runner r(bench::max_l1d_arch());
+  Runner& r = shared_runner();
   const wl::Workload& w = wl::find_workload("gsmv", 2);
   const AppResult dyn = r.run(w, Dyncta{});
   const AppResult catt = r.run(w, Catt{});
@@ -155,7 +165,7 @@ TEST(Dyncta, LosesToCattOnSinglePhaseApps) {
 }
 
 TEST(Dyncta, RecordsPerLaunchTbChoices) {
-  Runner r(bench::max_l1d_arch());
+  Runner& r = shared_runner();
   const wl::Workload& w = wl::find_workload("km", 2);
   const AppResult dyn = r.run(w, Dyncta{});
   ASSERT_EQ(dyn.choices.size(), w.schedule.size());
@@ -183,7 +193,7 @@ TEST(Policy, LabelsAreCanonical) {
 }
 
 TEST(Policy, ResultPolicyFieldIsTheLabel) {
-  Runner r(bench::max_l1d_arch());
+  Runner& r = shared_runner();
   const wl::Workload& w = wl::find_workload("gsmv", 2);
   EXPECT_EQ(r.run(w, Fixed{{2, 0}}).policy, "fixed[N=2]");
   EXPECT_EQ(r.run(w, Catt{}).policy, "catt");
@@ -195,7 +205,7 @@ TEST(Policy, ResultPolicyFieldIsTheLabel) {
 TEST(Policy, DeprecatedForwardersMatchUnifiedEntryPoint) {
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  Runner r(bench::max_l1d_arch());
+  Runner& r = shared_runner();
   const wl::Workload& w = wl::find_workload("gsmv", 2);
   const AppResult via_forwarder = r.run_baseline(w);
   const AppResult via_run = r.run(w, Baseline{});

@@ -24,19 +24,19 @@ void expect_traces_equal(const std::vector<WarpTrace>& ref, const std::vector<Wa
                          const std::string& label) {
   ASSERT_EQ(ref.size(), got.size()) << label;
   for (std::size_t w = 0; w < ref.size(); ++w) {
-    const auto& re = ref[w].events;
-    const auto& ge = got[w].events;
+    const WarpTrace& re = ref[w];
+    const WarpTrace& ge = got[w];
     ASSERT_EQ(re.size(), ge.size()) << label << " warp " << w;
     for (std::size_t i = 0; i < re.size(); ++i) {
       const std::string at = label + " warp " + std::to_string(w) + " event " + std::to_string(i);
-      ASSERT_EQ(static_cast<int>(re[i].kind), static_cast<int>(ge[i].kind)) << at;
-      ASSERT_EQ(re[i].cycles, ge[i].cycles) << at;
-      ASSERT_EQ(re[i].site, ge[i].site) << at;
-      ASSERT_EQ(re[i].is_store, ge[i].is_store) << at;
-      ASSERT_EQ(re[i].txns.size(), ge[i].txns.size()) << at;
-      for (std::size_t t = 0; t < re[i].txns.size(); ++t) {
-        ASSERT_EQ(re[i].txns[t].line, ge[i].txns[t].line) << at << " txn " << t;
-        ASSERT_EQ(re[i].txns[t].sectors, ge[i].txns[t].sectors) << at << " txn " << t;
+      ASSERT_EQ(static_cast<int>(re.kind(i)), static_cast<int>(ge.kind(i))) << at;
+      ASSERT_EQ(re.cycles(i), ge.cycles(i)) << at;
+      ASSERT_EQ(re.site(i), ge.site(i)) << at;
+      ASSERT_EQ(re.is_store(i), ge.is_store(i)) << at;
+      ASSERT_EQ(re.txn_count(i), ge.txn_count(i)) << at;
+      for (std::uint32_t t = 0; t < re.txn_count(i); ++t) {
+        ASSERT_EQ(re.txns(i)[t].line, ge.txns(i)[t].line) << at << " txn " << t;
+        ASSERT_EQ(re.txns(i)[t].sectors, ge.txns(i)[t].sectors) << at << " txn " << t;
       }
     }
   }
