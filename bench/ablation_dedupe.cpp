@@ -33,8 +33,9 @@ std::string choice_string(const std::vector<catt::throttle::KernelChoice>& choic
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace catt;
+  const bench::ObsSession obs_session(argc, argv, "ablation_dedupe");
 
   throttle::Runner runner(bench::max_l1d_arch());
   analysis::AnalysisOptions eq8;  // paper default

@@ -10,8 +10,9 @@
 #include "common/table.hpp"
 #include "harness/harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace catt;
+  const bench::ObsSession obs_session(argc, argv, "ablation_throttle_modes");
 
   throttle::Runner runner(bench::max_l1d_arch());
 

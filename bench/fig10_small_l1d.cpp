@@ -10,8 +10,9 @@
 #include "common/table.hpp"
 #include "harness/harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace catt;
+  const bench::ObsSession obs_session(argc, argv, "fig10_small_l1d");
 
   throttle::Runner runner(bench::small_l1d_arch());
   TextTable table({"app", "baseline(cyc)", "BFTT", "CATT", "BFTT speedup", "CATT speedup"});

@@ -28,8 +28,9 @@ void print_series(const std::vector<catt::sim::SeriesAccum::Point>& pts) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace catt;
+  const bench::ObsSession obs_session(argc, argv, "fig2_request_trace");
 
   CsvWriter csv({"app", "launch", "instr_index", "mean_requests"});
 

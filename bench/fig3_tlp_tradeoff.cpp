@@ -11,8 +11,9 @@
 #include "common/table.hpp"
 #include "harness/harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace catt;
+  const bench::ObsSession obs_session(argc, argv, "fig3_tlp_tradeoff");
 
   throttle::Runner runner(bench::max_l1d_arch());
   const std::vector<int> divisors = {32, 16, 8, 4, 2, 1};  // TLP = 32/divisor warps

@@ -9,8 +9,9 @@
 #include "common/table.hpp"
 #include "harness/harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace catt;
+  const bench::ObsSession obs_session(argc, argv, "fig6_hit_rates");
 
   throttle::Runner runner(bench::max_l1d_arch());
   TextTable table({"kernel", "baseline", "BFTT", "CATT"});

@@ -8,8 +8,9 @@
 #include "common/table.hpp"
 #include "harness/harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace catt;
+  const bench::ObsSession obs_session(argc, argv, "fig9_factor_sweep");
 
   throttle::Runner runner(bench::max_l1d_arch());
   CsvWriter csv({"app", "factor", "active_warps_frac", "normalized_time", "is_catt_pick",

@@ -11,8 +11,9 @@
 #include "common/table.hpp"
 #include "harness/harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace catt;
+  const bench::ObsSession obs_session(argc, argv, "sensitivity_l1d_capacity");
 
   // A representative contended subset (full sweeps are Figures 7/10).
   const std::vector<std::string> apps = {"atax", "gsmv", "km", "mvt"};

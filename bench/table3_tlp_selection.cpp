@@ -25,7 +25,8 @@ std::string bftt_tlp_for(const throttle::FixedFactor& f, const occupancy::Occupa
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsSession obs_session(argc, argv, "table3_tlp_selection");
   throttle::Runner r32(bench::small_l1d_arch());
   throttle::Runner rmax(bench::max_l1d_arch());
 

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Overhead guard: fail when a candidate bench binary runs more than
+# MAX_REGRESS_PCT slower than the baseline binary on the same machine.
+#
+#   perf_guard.sh <baseline-binary> <candidate-binary> [max-regress-pct]
+#
+# Used by CI to pin the observability subsystem's metrics-disabled cost:
+# the candidate (HEAD, no obs knobs set) must stay within the threshold of
+# the merge-base build. Both binaries run interleaved best-of-N wall-clock
+# so slow shared runners bias both sides equally; the comparison is on the
+# minimum, the least noisy location statistic for wall time.
+set -euo pipefail
+
+if [[ $# -lt 2 ]]; then
+  echo "usage: $0 <baseline-binary> <candidate-binary> [max-regress-pct]" >&2
+  exit 2
+fi
+
+BASELINE=$1
+CANDIDATE=$2
+MAX_PCT=${3:-3}
+RUNS=${PERF_GUARD_RUNS:-3}
+
+for bin in "$BASELINE" "$CANDIDATE"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "perf_guard: not executable: $bin" >&2
+    exit 2
+  fi
+done
+
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+
+now_ns() { date +%s%N; }
+
+# One timed run; results and stderr go to the scratch dir so the guard
+# never pollutes the workspace. Obs knobs are explicitly cleared: this
+# measures the metrics-DISABLED path.
+time_one() {
+  local bin=$1
+  local t0 t1
+  t0=$(now_ns)
+  env -u CATT_TRACE -u CATT_TRACE_OUT -u CATT_METRICS_INTERVAL -u CATT_PROFILE \
+    CATT_RESULTS_DIR="$scratch" "$bin" >/dev/null 2>&1
+  t1=$(now_ns)
+  echo $(( (t1 - t0) / 1000000 ))
+}
+
+# Warm-up (page cache, CPU governor) — one run each, discarded.
+time_one "$BASELINE" >/dev/null
+time_one "$CANDIDATE" >/dev/null
+
+base_best=
+cand_best=
+for i in $(seq "$RUNS"); do
+  b=$(time_one "$BASELINE")
+  c=$(time_one "$CANDIDATE")
+  echo "run $i: baseline=${b}ms candidate=${c}ms"
+  if [[ -z "$base_best" || "$b" -lt "$base_best" ]]; then base_best=$b; fi
+  if [[ -z "$cand_best" || "$c" -lt "$cand_best" ]]; then cand_best=$c; fi
+done
+
+# candidate <= baseline * (1 + MAX_PCT/100), in integer arithmetic.
+limit=$(( base_best * (100 + MAX_PCT) / 100 ))
+echo "best-of-$RUNS: baseline=${base_best}ms candidate=${cand_best}ms limit=${limit}ms (+${MAX_PCT}%)"
+if [[ "$cand_best" -gt "$limit" ]]; then
+  echo "perf_guard: FAIL — candidate exceeds baseline by more than ${MAX_PCT}%" >&2
+  exit 1
+fi
+echo "perf_guard: OK"

@@ -28,18 +28,9 @@ inline double ms_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
-/// Accumulates wall-clock over multiple start/stop windows (e.g. all
-/// run_block calls of one launch).
-class Accum {
- public:
-  void start() { t0_ = Clock::now(); }
-  void stop() { total_ += ms_between(t0_, Clock::now()); }
-  double ms() const { return total_; }
-
- private:
-  Clock::time_point t0_{};
-  double total_ = 0.0;
-};
+// Phase-timing accumulation lives in obs::Accum (src/obs/obs.hpp): same
+// start/stop/ms() contract the old prof::Accum had, plus the accumulated
+// time is mirrored into the obs metrics registry as a microsecond counter.
 
 /// Emits one profile line (bypasses the log-level threshold: CATT_PROFILE
 /// is the opt-in, and the default level would swallow kInfo).

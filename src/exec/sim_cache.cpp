@@ -1,15 +1,33 @@
 #include "exec/sim_cache.hpp"
 
+#include "obs/obs.hpp"
+
 namespace catt::exec {
+namespace {
+
+/// Mirrors the cache's internal hit/miss counters into the obs registry,
+/// with identical semantics (lookup hit/miss, count_miss). Reads of
+/// hits()/misses() stay on the internal counters so cache-asserting tests
+/// are independent of obs configuration.
+void note_cache_event(const char* counter) {
+  if (const obs::SimObs* ob = obs::resolve(nullptr)) {
+    obs::Registry& reg = ob->registry_or_global();
+    reg.add(reg.counter(counter), 1);
+  }
+}
+
+}  // namespace
 
 std::optional<sim::KernelStats> SimCache::lookup(std::uint64_t key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) {
     ++misses_;
+    note_cache_event("exec.simcache.misses");
     return std::nullopt;
   }
   ++hits_;
+  note_cache_event("exec.simcache.hits");
   return it->second;
 }
 
@@ -21,6 +39,7 @@ bool SimCache::contains(std::uint64_t key) const {
 void SimCache::count_miss() {
   std::lock_guard<std::mutex> lock(mu_);
   ++misses_;
+  note_cache_event("exec.simcache.misses");
 }
 
 void SimCache::insert(std::uint64_t key, sim::KernelStats stats) {

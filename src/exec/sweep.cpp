@@ -4,10 +4,24 @@
 #include <exception>
 #include <mutex>
 
+#include "obs/obs.hpp"
+
 namespace catt::exec {
 
 void SweepEngine::for_each(std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+
+  obs::Tracer* tr = nullptr;
+  std::int64_t t0 = 0;
+  if (const obs::SimObs* ob = obs::resolve(nullptr)) {
+    obs::Registry& reg = ob->registry_or_global();
+    reg.add(reg.counter("exec.sweeps"), 1);
+    reg.add(reg.counter("exec.sweep.items"), static_cast<std::uint64_t>(n));
+    if (ob->trace_level >= 1) {
+      tr = &ob->tracer_or_global();
+      t0 = tr->host_now_us();
+    }
+  }
 
   std::mutex mu;
   std::condition_variable done_cv;
@@ -28,8 +42,15 @@ void SweepEngine::for_each(std::size_t n, const std::function<void(std::size_t)>
     });
   }
 
-  std::unique_lock<std::mutex> lock(mu);
-  done_cv.wait(lock, [&] { return remaining == 0; });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  }
+  if (tr != nullptr) {
+    tr->record(obs::TraceEvent{tr->intern("sweep"), tr->intern("items"),
+                               obs::Phase::kComplete, 0, tr->host_tid(), t0,
+                               tr->host_now_us() - t0, static_cast<std::int64_t>(n)});
+  }
   for (std::size_t i = 0; i < n; ++i) {
     if (errors[i]) std::rethrow_exception(errors[i]);
   }

@@ -1,6 +1,7 @@
 #include "gpusim/gpu.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <string>
 
 #include "common/error.hpp"
@@ -10,6 +11,7 @@
 #include "gpusim/interp.hpp"
 #include "gpusim/sm.hpp"
 #include "gpusim/sm_ref.hpp"
+#include "obs/obs.hpp"
 
 namespace catt::sim {
 
@@ -30,11 +32,12 @@ template <typename SmT, typename OnAdmit>
 class Dispatcher {
  public:
   Dispatcher(std::vector<SmT>& sms, KernelInterp& interp, std::uint64_t num_blocks,
-             prof::Accum& trace_gen, OnAdmit on_admit)
+             obs::Accum& trace_gen, const obs::SimTraceCtx* trace, OnAdmit on_admit)
       : sms_(sms),
         interp_(interp),
         num_blocks_(num_blocks),
         trace_gen_(trace_gen),
+        trace_(trace),
         on_admit_(on_admit) {}
 
   void admit_where_possible(std::int64_t now) {
@@ -48,6 +51,10 @@ class Dispatcher {
           std::vector<WarpTrace> traces = interp_.run_block(next_block_);
           trace_gen_.stop();
           sms_[i].admit_tb(std::move(traces), now);
+          if (trace_ != nullptr) {
+            trace_->instant(trace_->id_tb_dispatch, static_cast<std::uint32_t>(i), now,
+                            trace_->arg_block, static_cast<std::int64_t>(next_block_));
+          }
           on_admit_(i, now);
           ++next_block_;
           progress = true;
@@ -63,13 +70,81 @@ class Dispatcher {
   KernelInterp& interp_;
   std::uint64_t num_blocks_;
   std::uint64_t next_block_ = 0;
-  prof::Accum& trace_gen_;
+  obs::Accum& trace_gen_;
+  const obs::SimTraceCtx* trace_;
   OnAdmit on_admit_;
 };
 
 [[noreturn]] void throw_deadlock(const LaunchSpec& spec) {
   throw SimError("simulation deadlock in kernel '" + spec.kernel->name + "'");
 }
+
+/// Interval sampler for the event-driven engine: at each multiple of the
+/// configured interval it snapshots cumulative counters plus the
+/// instantaneous MSHR/ready-warp/DRAM-queue state. Sampling is exact even
+/// though simulated time jumps between calendar pops: all state is
+/// constant on the open interval between consecutive event times, so a
+/// boundary b is sampled when the first event time beyond it is popped
+/// (every event at cycles <= b has then been applied, none later).
+class IntervalSampler {
+ public:
+  IntervalSampler(const obs::SimObs& ob, const std::vector<Sm>& sms,
+                  const MemorySystem& memsys, std::string kernel_name)
+      : ob_(ob), sms_(sms), memsys_(memsys), next_(ob.metrics_interval) {
+    series_.kernel = std::move(kernel_name);
+    series_.interval = ob.metrics_interval;
+  }
+
+  /// Samples every boundary strictly before the event time being popped.
+  void advance(std::int64_t now) {
+    while (next_ < now) {
+      sample(next_);
+      next_ += series_.interval;
+    }
+  }
+
+  /// Samples remaining boundaries plus a final sample at `end`, so the
+  /// last cumulative row always equals the launch's KernelStats; then
+  /// feeds the MSHR-occupancy histogram and hands off the series.
+  void finish(std::int64_t end) {
+    while (next_ < end) {
+      sample(next_);
+      next_ += series_.interval;
+    }
+    sample(end);
+    obs::Registry& reg = ob_.registry_or_global();
+    const obs::HistogramDesc* mshr_hist =
+        reg.histogram("sim.mshr_occupancy", {0, 1, 2, 4, 8, 16, 32, 64, 128});
+    for (const obs::IntervalSample& s : series_.samples) {
+      reg.observe(*mshr_hist, s.mshr_in_flight);
+    }
+    if (ob_.on_series) ob_.on_series(series_);
+  }
+
+ private:
+  void sample(std::int64_t cycle) {
+    obs::IntervalSample s;
+    s.cycle = cycle;
+    for (const Sm& sm : sms_) {
+      s.warp_insts += sm.stats().warp_insts;
+      s.l1_accesses += sm.l1_stats().accesses;
+      s.l1_hits += sm.l1_stats().hits;
+      s.mshr_in_flight += sm.mshr_in_flight(cycle);
+      s.ready_warps += sm.issuable_warps(cycle);
+    }
+    s.l2_accesses = memsys_.l2_stats().accesses;
+    s.l2_hits = memsys_.l2_stats().hits;
+    s.dram_lines = memsys_.dram_lines();
+    s.dram_backlog = memsys_.dram_backlog(cycle);
+    series_.samples.push_back(s);
+  }
+
+  const obs::SimObs& ob_;
+  const std::vector<Sm>& sms_;
+  const MemorySystem& memsys_;
+  obs::LaunchSeries series_;
+  std::int64_t next_;
+};
 
 /// Event-driven loop: simulated time advances by popping the calendar
 /// queue of SM wake-ups; only SMs due at the popped cycle are stepped.
@@ -86,9 +161,10 @@ class Dispatcher {
 ///    shared MemorySystem bandwidth cursors.
 std::int64_t run_event_loop(std::vector<Sm>& sms, KernelInterp& interp,
                             const LaunchSpec& spec, std::uint64_t num_blocks,
-                            prof::Accum& trace_gen) {
+                            obs::Accum& trace_gen, const obs::SimTraceCtx* trace,
+                            IntervalSampler* sampler) {
   CalendarQueue cal(sms.size());
-  Dispatcher dispatch(sms, interp, num_blocks, trace_gen,
+  Dispatcher dispatch(sms, interp, num_blocks, trace_gen, trace,
                       [&](std::size_t i, std::int64_t now) {
                         cal.schedule(static_cast<int>(i), now + 1);
                       });
@@ -104,6 +180,7 @@ std::int64_t run_event_loop(std::vector<Sm>& sms, KernelInterp& interp,
     const std::int64_t next = cal.next_time();
     if (next == CalendarQueue::kNever) throw_deadlock(spec);
     now = next;
+    if (sampler != nullptr) sampler->advance(now);
     cal.pop_due(now, due);
     for (const int i : due) {
       std::int64_t wake = Sm::kNever;
@@ -120,13 +197,13 @@ std::int64_t run_event_loop(std::vector<Sm>& sms, KernelInterp& interp,
 /// wake-up is due.
 std::int64_t run_stepped_loop(std::vector<SmRef>& sms, KernelInterp& interp,
                               const LaunchSpec& spec, std::uint64_t num_blocks,
-                              prof::Accum& trace_gen) {
+                              obs::Accum& trace_gen, const obs::SimTraceCtx* trace) {
   // Per-SM wake-up cache: an SM that issued nothing cannot issue again
   // before its earliest warp wake-up (stepping it earlier is a no-op, so
   // skipping those calls is behavior-preserving). Admission resets the
   // cache: newly admitted warps become ready at now + 1.
   std::vector<std::int64_t> next_try(sms.size(), 0);
-  Dispatcher dispatch(sms, interp, num_blocks, trace_gen,
+  Dispatcher dispatch(sms, interp, num_blocks, trace_gen, trace,
                       [&](std::size_t i, std::int64_t now) { next_try[i] = now + 1; });
 
   std::int64_t now = 0;
@@ -178,12 +255,16 @@ void aggregate_sm_stats(KernelStats& stats, const std::vector<SmT>& sms) {
 template <typename SmT>
 std::vector<SmT> make_sms(const arch::GpuArch& arch, MemorySystem& memsys,
                           const occupancy::Occupancy& occ, bool collect_request_trace,
-                          SeriesAccum& series) {
+                          SeriesAccum& series, const obs::SimTraceCtx* trace) {
+  // Fine-grained events (per-issue, miss lifetimes) only exist at trace
+  // level >= 2; passing null otherwise keeps the per-issue gate a single
+  // pointer test.
+  const obs::SimTraceCtx* fine = (trace != nullptr && trace->fine()) ? trace : nullptr;
   std::vector<SmT> sms;
   sms.reserve(static_cast<std::size_t>(arch.num_sms));
   for (int i = 0; i < arch.num_sms; ++i) {
     sms.emplace_back(arch, memsys, occ.l1d_bytes, occ.tbs_per_sm, occ.warps_per_tb,
-                     (collect_request_trace && i == 0) ? &series : nullptr);
+                     (collect_request_trace && i == 0) ? &series : nullptr, fine, i);
   }
   return sms;
 }
@@ -204,8 +285,25 @@ KernelStats Gpu::run(const LaunchSpec& spec, const SimOptions& opts) {
     if (opts.trace_key != 0) interp.enable_dedup(dedup_, opts.trace_key);
   }
 
-  const prof::Clock::time_point prof_t0 = prof::Clock::now();
-  prof::Accum trace_gen;
+  // Observability: resolved once per launch; null means every hook below
+  // is skipped (and in CATT_OBS=OFF builds the compiler deletes them).
+  const obs::SimObs* ob = obs::resolve(opts.obs);
+  obs::SimTraceCtx trace_ctx;
+  const obs::SimTraceCtx* trace = nullptr;
+  if (ob != nullptr && ob->trace_level > 0) {
+    trace_ctx = obs::SimTraceCtx::for_launch(ob->tracer_or_global(), ob->trace_level,
+                                             spec.kernel->name);
+    trace = &trace_ctx;
+  }
+
+  obs::Accum trace_gen;
+  obs::Accum total;
+  if (ob != nullptr) {
+    obs::Registry& reg = ob->registry_or_global();
+    trace_gen = obs::Accum(&reg, reg.counter("sim.trace_gen_us"));
+    total = obs::Accum(&reg, reg.counter("sim.total_us"));
+  }
+  total.start();
 
   memsys_.reset_stats();
   SeriesAccum series;
@@ -217,12 +315,24 @@ KernelStats Gpu::run(const LaunchSpec& spec, const SimOptions& opts) {
 
   if (opts.use_stepped_reference) {
     std::vector<SmRef> sms =
-        make_sms<SmRef>(arch_, memsys_, occ, opts.collect_request_trace, series);
-    stats.cycles = run_stepped_loop(sms, interp, spec, num_blocks, trace_gen);
+        make_sms<SmRef>(arch_, memsys_, occ, opts.collect_request_trace, series, trace);
+    stats.cycles = run_stepped_loop(sms, interp, spec, num_blocks, trace_gen, trace);
     aggregate_sm_stats(stats, sms);
   } else {
-    std::vector<Sm> sms = make_sms<Sm>(arch_, memsys_, occ, opts.collect_request_trace, series);
-    stats.cycles = run_event_loop(sms, interp, spec, num_blocks, trace_gen);
+    std::vector<Sm> sms =
+        make_sms<Sm>(arch_, memsys_, occ, opts.collect_request_trace, series, trace);
+    // The interval sampler only exists for the event-driven engine: it
+    // piggybacks on calendar pops, and the stepped reference is a
+    // test-only oracle whose results must stay untouched by hooks.
+    IntervalSampler* sampler = nullptr;
+    std::unique_ptr<IntervalSampler> sampler_storage;
+    if (ob != nullptr && ob->metrics_interval > 0) {
+      sampler_storage =
+          std::make_unique<IntervalSampler>(*ob, sms, memsys_, spec.kernel->name);
+      sampler = sampler_storage.get();
+    }
+    stats.cycles = run_event_loop(sms, interp, spec, num_blocks, trace_gen, trace, sampler);
+    if (sampler != nullptr) sampler->finish(stats.cycles);
     aggregate_sm_stats(stats, sms);
   }
 
@@ -230,8 +340,23 @@ KernelStats Gpu::run(const LaunchSpec& spec, const SimOptions& opts) {
   stats.dram_lines = memsys_.dram_lines();
   if (opts.collect_request_trace) stats.request_trace = series.points();
 
+  total.stop();
+  if (trace != nullptr) {
+    trace->complete(trace->id_launch, 0, 0, stats.cycles, trace->arg_block,
+                    static_cast<std::int64_t>(num_blocks));
+  }
+  if (ob != nullptr) {
+    obs::Registry& reg = ob->registry_or_global();
+    reg.add(reg.counter("sim.launches"), 1);
+    reg.add(reg.counter("sim.cycles"), static_cast<std::uint64_t>(stats.cycles));
+    reg.add(reg.counter("sim.sm_steps"), stats.sm_steps);
+    reg.add(reg.counter("sim.warps_scanned"), stats.warps_scanned);
+    reg.add(reg.counter("sim.warps_issued"), stats.warp_insts);
+    reg.add(reg.counter("sim.queue_pops"), stats.queue_pops);
+  }
+
   if (prof::enabled()) {
-    const double total_ms = prof::ms_between(prof_t0, prof::Clock::now());
+    const double total_ms = total.ms();
     prof::report("kernel=" + spec.kernel->name + " blocks=" + std::to_string(num_blocks) +
                  " trace_gen_ms=" + std::to_string(trace_gen.ms()) +
                  " timing_ms=" + std::to_string(total_ms - trace_gen.ms()) +

@@ -18,6 +18,10 @@
 #include "ir/ir.hpp"
 #include "occupancy/occupancy.hpp"
 
+namespace catt::obs {
+struct SimObs;
+}
+
 namespace catt::sim {
 
 /// One kernel launch: kernel + geometry + scalar argument bindings.
@@ -50,12 +54,17 @@ struct SimOptions {
   /// bisecting any future divergence.
   bool use_stepped_reference = false;
 
+  /// Observability attachment (null = environment defaults, see
+  /// obs::resolve). Read-only for the simulator; sinks inside are written.
+  const obs::SimObs* obs = nullptr;
+
   /// Stable content hash; part of the exec::SimCache key (options that
   /// change simulated behaviour or collected outputs must be included).
-  /// skip_functional/trace_key/use_stepped_reference are deliberately
-  /// EXCLUDED: they are pure execution-strategy switches that cannot
-  /// change any collected output, and including them would needlessly
-  /// split SimCache chains.
+  /// skip_functional/trace_key/use_stepped_reference/obs are deliberately
+  /// EXCLUDED: the first three are pure execution-strategy switches that
+  /// cannot change any collected output, and observability must never
+  /// perturb memoization keys (runner_test pins trace-on/off CSVs
+  /// byte-identical through the cache).
   std::uint64_t fingerprint() const;
 };
 

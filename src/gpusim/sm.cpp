@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace catt::sim {
 
@@ -56,6 +57,11 @@ std::int64_t SmDatapath::mshr_load(std::uint64_t line, std::int64_t t_issue, int
   mshr_ring_[mshr_next_] = line_done;
   if (++mshr_next_ == mshr_ring_.size()) mshr_next_ = 0;
   l1_.insert(line, line_done, hint);
+  if (trace_ != nullptr) {
+    // Miss lifetime: issue through fill completion, one span per L1 miss.
+    trace_->complete(trace_->id_miss, static_cast<std::uint32_t>(sm_index_), t_issue,
+                     line_done - t_issue, trace_->arg_line, static_cast<std::int64_t>(line));
+  }
   return line_done;
 }
 
@@ -122,9 +128,12 @@ struct WakeLater {
 }  // namespace
 
 Sm::Sm(const arch::GpuArch& arch, MemorySystem& memsys, std::size_t l1_bytes,
-       int max_resident_tbs, int warps_per_tb, SeriesAccum* request_series)
+       int max_resident_tbs, int warps_per_tb, SeriesAccum* request_series,
+       const obs::SimTraceCtx* trace, int sm_index)
     : arch_(arch),
-      path_(arch, memsys, l1_bytes, request_series),
+      path_(arch, memsys, l1_bytes, request_series, trace, sm_index),
+      trace_(trace),
+      sm_index_(sm_index),
       free_slots_(max_resident_tbs),
       warps_per_tb_(warps_per_tb) {}
 
@@ -186,6 +195,12 @@ std::int64_t Sm::wake_min() {
     wake_.pop_back();
   }
   return kNever;
+}
+
+std::uint64_t Sm::issuable_warps(std::int64_t now) const {
+  std::uint64_t n = 0;
+  for (const WarpCtx& w : warps_) n += issuable(w, now) ? 1 : 0;
+  return n;
 }
 
 std::int64_t Sm::next_ready_time() const {
@@ -252,6 +267,10 @@ void Sm::issue(WarpCtx& w, std::int64_t now) {
   const std::size_t pc = w.pc;
   ++w.pc;
   ++path_.stats.warp_insts;
+  if (trace_ != nullptr) {
+    trace_->instant(trace_->id_issue, static_cast<std::uint32_t>(sm_index_), now,
+                    trace_->arg_warp, static_cast<std::int64_t>(&w - warps_.data()));
+  }
 
   switch (w.trace.kind(pc)) {
     case EventKind::kCompute: {

@@ -22,6 +22,10 @@
 #include "gpusim/series.hpp"
 #include "gpusim/trace.hpp"
 
+namespace catt::obs {
+struct SimTraceCtx;
+}
+
 namespace catt::sim {
 
 /// Shared L2 + DRAM with bandwidth cursors. One instance serves all SMs,
@@ -42,6 +46,13 @@ class MemorySystem {
   void reset_stats() { l2_.reset_stats(); dram_lines_ = 0; }
   void invalidate() { l2_.invalidate(); }
   std::uint64_t dram_lines() const { return dram_lines_; }
+
+  /// Cycles of already-queued DRAM fill service still pending at `now`
+  /// (0 when the DRAM cursor is idle) — the obs sampler's queue-depth
+  /// proxy for the shared fill bandwidth.
+  std::int64_t dram_backlog(std::int64_t now) const {
+    return dram_next_free_ > now ? dram_next_free_ - now : 0;
+  }
 
  private:
   const arch::MemoryTiming timing_;
@@ -70,12 +81,17 @@ struct SmStats {
 /// engines' per-transaction timing is identical by construction.
 class SmDatapath {
  public:
+  /// `trace` enables fine-grained miss-lifetime events; pass null unless
+  /// the obs trace level is >= 2 so the hot path gates on one pointer.
   SmDatapath(const arch::GpuArch& arch, MemorySystem& memsys, std::size_t l1_bytes,
-             SeriesAccum* request_series)
+             SeriesAccum* request_series, const obs::SimTraceCtx* trace = nullptr,
+             int sm_index = 0)
       : arch_(arch),
         memsys_(memsys),
         l1_(l1_bytes, arch.line_bytes, arch.l1_assoc, Replacement::kRandom),
-        request_series_(request_series) {
+        request_series_(request_series),
+        trace_(trace),
+        sm_index_(sm_index) {
     mshr_ring_.assign(static_cast<std::size_t>(std::max(1, arch.l1_mshrs)), 0);
   }
 
@@ -84,6 +100,16 @@ class SmDatapath {
   std::int64_t exec_mem(const WarpTrace& t, std::size_t pc, std::int64_t now);
 
   const CacheStats& l1_stats() const { return l1_.stats(); }
+
+  /// MSHRs whose in-flight miss has not completed by cycle `now` (the obs
+  /// sampler's MSHR-occupancy probe; exact between events because
+  /// completion times are assigned at issue).
+  std::uint64_t mshr_in_flight(std::int64_t now) const {
+    std::uint64_t n = 0;
+    for (const std::int64_t done : mshr_ring_) n += done > now ? 1 : 0;
+    return n;
+  }
+
   SmStats stats;
 
  private:
@@ -94,6 +120,8 @@ class SmDatapath {
   MemorySystem& memsys_;
   Cache l1_;
   SeriesAccum* request_series_;
+  const obs::SimTraceCtx* trace_;
+  int sm_index_;
   std::int64_t lsu_next_free_ = 0;
   /// Ring of in-flight miss completion times: a new miss must wait for the
   /// oldest MSHR to retire when all are busy. This caps the SM's miss
@@ -109,7 +137,8 @@ class Sm {
   static constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
 
   Sm(const arch::GpuArch& arch, MemorySystem& memsys, std::size_t l1_bytes, int max_resident_tbs,
-     int warps_per_tb, SeriesAccum* request_series = nullptr);
+     int warps_per_tb, SeriesAccum* request_series = nullptr,
+     const obs::SimTraceCtx* trace = nullptr, int sm_index = 0);
 
   bool has_free_slot() const { return free_slots_ > 0; }
 
@@ -132,6 +161,10 @@ class Sm {
   int completed_tbs() const { return completed_tbs_; }
   const CacheStats& l1_stats() const { return path_.l1_stats(); }
   const SmStats& stats() const { return path_.stats; }
+
+  /// Instantaneous obs probes (exact between events; see SmDatapath).
+  std::uint64_t mshr_in_flight(std::int64_t now) const { return path_.mshr_in_flight(now); }
+  std::uint64_t issuable_warps(std::int64_t now) const;
 
  private:
   enum class WarpState : std::uint8_t { kReady, kBlocked, kAtBarrier, kDone };
@@ -169,6 +202,10 @@ class Sm {
 
   const arch::GpuArch& arch_;
   SmDatapath path_;
+  /// Fine trace context (null unless level >= 2); issue() emits per-pick
+  /// scheduler events through it.
+  const obs::SimTraceCtx* trace_;
+  int sm_index_;
 
   std::vector<WarpCtx> warps_;
   std::vector<TbCtx> tbs_;

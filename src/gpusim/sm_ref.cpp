@@ -7,9 +7,10 @@
 namespace catt::sim {
 
 SmRef::SmRef(const arch::GpuArch& arch, MemorySystem& memsys, std::size_t l1_bytes,
-             int max_resident_tbs, int warps_per_tb, SeriesAccum* request_series)
+             int max_resident_tbs, int warps_per_tb, SeriesAccum* request_series,
+             const obs::SimTraceCtx* trace, int sm_index)
     : arch_(arch),
-      path_(arch, memsys, l1_bytes, request_series),
+      path_(arch, memsys, l1_bytes, request_series, trace, sm_index),
       free_slots_(max_resident_tbs),
       warps_per_tb_(warps_per_tb) {}
 

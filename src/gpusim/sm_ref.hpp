@@ -20,8 +20,12 @@ class SmRef {
  public:
   static constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
 
+  /// Ctor mirrors Sm (the templated dispatcher builds either engine). The
+  /// trace context only feeds the shared datapath's miss-lifetime events;
+  /// the reference engine emits no per-issue events of its own.
   SmRef(const arch::GpuArch& arch, MemorySystem& memsys, std::size_t l1_bytes,
-        int max_resident_tbs, int warps_per_tb, SeriesAccum* request_series = nullptr);
+        int max_resident_tbs, int warps_per_tb, SeriesAccum* request_series = nullptr,
+        const obs::SimTraceCtx* trace = nullptr, int sm_index = 0);
 
   bool has_free_slot() const { return free_slots_ > 0; }
   void admit_tb(std::vector<WarpTrace> traces, std::int64_t now);
@@ -31,6 +35,7 @@ class SmRef {
   int completed_tbs() const { return completed_tbs_; }
   const CacheStats& l1_stats() const { return path_.l1_stats(); }
   const SmStats& stats() const { return path_.stats; }
+  std::uint64_t mshr_in_flight(std::int64_t now) const { return path_.mshr_in_flight(now); }
 
  private:
   enum class WarpState : std::uint8_t { kReady, kBlocked, kAtBarrier, kDone };

@@ -4,8 +4,12 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <sstream>
+#include <string_view>
 
+#include "common/log.hpp"
 #include "common/profile.hpp"
+#include "obs/obs.hpp"
 
 namespace catt::bench {
 
@@ -77,19 +81,70 @@ WriteStatus write_result_file(const std::string& name, const std::string& conten
     st.message = "could not open " + st.path + " for writing";
     return st;
   }
-  const prof::Clock::time_point t0 = prof::Clock::now();
+  obs::Accum write_timer;
+  if (const obs::SimObs* ob = obs::resolve(nullptr)) {
+    obs::Registry& reg = ob->registry_or_global();
+    reg.add(reg.counter("harness.reports"), 1);
+    reg.add(reg.counter("harness.report_bytes"), content.size());
+    write_timer = obs::Accum(&reg, reg.counter("harness.write_us"));
+  }
+  write_timer.start();
   f << content;
   f.flush();
+  write_timer.stop();
   if (!f) {
     st.message = "short write to " + st.path;
     return st;
   }
   if (prof::enabled()) {
     prof::report("report=" + name + " bytes=" + std::to_string(content.size()) +
-                 " write_ms=" + std::to_string(prof::ms_between(t0, prof::Clock::now())));
+                 " write_ms=" + std::to_string(write_timer.ms()));
   }
   st.ok = true;
   return st;
+}
+
+ObsSession::ObsSession(int argc, char** argv, std::string bench_name)
+    : bench_name_(std::move(bench_name)) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    constexpr std::string_view kFlag = "--trace-out=";
+    if (arg.rfind(kFlag, 0) == 0) trace_out_ = std::string(arg.substr(kFlag.size()));
+  }
+  if (trace_out_.empty()) {
+    if (const char* env = std::getenv("CATT_TRACE_OUT"); env != nullptr && *env != '\0') {
+      trace_out_ = env;
+    }
+  }
+  // A requested trace file implies tracing; must happen before the first
+  // launch freezes the environment-derived SimObs.
+  if (!trace_out_.empty()) obs::override_trace_level(1);
+}
+
+ObsSession::~ObsSession() {
+  const obs::SimObs* ob = obs::env_sim_obs();
+  if (ob == nullptr) return;
+
+  // Metrics registry dump. [obs] lines bypass the log-level threshold for
+  // the same reason [profile] lines do: the env knob is the opt-in.
+  std::istringstream lines(ob->registry_or_global().render());
+  for (std::string line; std::getline(lines, line);) {
+    if (!line.empty()) log::write(log::Level::kInfo, "[obs] " + line);
+  }
+
+  if (ob->trace_level <= 0) return;
+  obs::Tracer& tracer = ob->tracer_or_global();
+  const std::string summary = " events=" + std::to_string(tracer.recorded()) +
+                              " dropped=" + std::to_string(tracer.dropped());
+  if (!trace_out_.empty()) {
+    if (tracer.write_json(trace_out_)) {
+      log::write(log::Level::kInfo, "[obs] trace=" + trace_out_ + summary);
+    }
+  } else if (WriteStatus st = write_result_file(bench_name_ + "_trace.json", tracer.to_json())) {
+    log::write(log::Level::kInfo, "[obs] trace=" + st.path + summary);
+  } else {
+    log::write(log::Level::kWarn, "[obs] trace export failed: " + st.message);
+  }
 }
 
 }  // namespace catt::bench

@@ -66,4 +66,26 @@ struct WriteStatus {
 /// where results go).
 WriteStatus write_result_file(const std::string& name, const std::string& content);
 
+/// RAII observability session for bench main()s. Parses `--trace-out=PATH`
+/// (or the CATT_TRACE_OUT environment variable) and raises the CATT_TRACE
+/// floor to 1 when a path is given, so asking for a trace file implies
+/// coarse tracing. At destruction — i.e. after the bench body ran — it
+/// exports the Chrome trace JSON (to the explicit path, else to
+/// `<bench>_trace.json` next to the result CSVs) and dumps the metrics
+/// registry as `[obs]` stderr lines. A no-op when no obs knob is set.
+class ObsSession {
+ public:
+  ObsSession(int argc, char** argv, std::string bench_name);
+  ~ObsSession();
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  /// The explicit trace output path ("" = default results location).
+  const std::string& trace_out() const { return trace_out_; }
+
+ private:
+  std::string bench_name_;
+  std::string trace_out_;
+};
+
 }  // namespace catt::bench

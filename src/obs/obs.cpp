@@ -1,0 +1,66 @@
+#include "obs/obs.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+
+namespace catt::obs {
+namespace {
+
+std::atomic<int> g_trace_floor{0};
+
+int parse_env_int(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || parsed < 0) return 0;
+  return static_cast<int>(parsed);
+}
+
+}  // namespace
+
+int env_trace_level() {
+  static const int from_env = parse_env_int("CATT_TRACE");
+  const int floor = g_trace_floor.load(std::memory_order_relaxed);
+  return from_env > floor ? from_env : floor;
+}
+
+void override_trace_level(int level) {
+  int cur = g_trace_floor.load(std::memory_order_relaxed);
+  while (level > cur &&
+         !g_trace_floor.compare_exchange_weak(cur, level, std::memory_order_relaxed)) {
+  }
+}
+
+std::int64_t env_metrics_interval() {
+  static const std::int64_t v = parse_env_int("CATT_METRICS_INTERVAL");
+  return v;
+}
+
+const SimObs* env_sim_obs() {
+  if constexpr (!kCompiledIn) return nullptr;
+  // The env SimObs is rebuilt lazily so an override_trace_level() call
+  // before the first launch (the --trace-out path) is honoured; after
+  // first use the configuration is frozen for the process lifetime.
+  static const SimObs* configured = [] {
+    static SimObs s;
+    s.trace_level = env_trace_level();
+    s.metrics_interval = env_metrics_interval();
+    return s.active() ? &s : nullptr;
+  }();
+  return configured;
+}
+
+void Accum::start() { t0_ = std::chrono::steady_clock::now(); }
+
+void Accum::stop() {
+  const auto now = std::chrono::steady_clock::now();
+  total_ms_ += std::chrono::duration<double, std::milli>(now - t0_).count();
+  if (registry_ != nullptr) {
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(now - t0_).count();
+    registry_->add(us_counter_, static_cast<std::uint64_t>(us < 0 ? 0 : us));
+  }
+}
+
+}  // namespace catt::obs

@@ -1,0 +1,100 @@
+// Umbrella header for the observability subsystem: run-time configuration
+// (SimObs), the environment knobs (CATT_TRACE, CATT_METRICS_INTERVAL), and
+// the compile-time stub switch. Simulator code takes a `const SimObs*`
+// (null = everything off) and calls obs::resolve() once per launch; when
+// the library is built with CATT_OBS=OFF resolve() constant-folds to
+// nullptr and all hooks compile out.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "obs/registry.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
+
+namespace catt::obs {
+
+/// True when the library was built with observability compiled in
+/// (CMake option CATT_OBS, default ON).
+#if defined(CATT_OBS_DISABLED)
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+/// Per-run observability configuration, attached to SimOptions. The
+/// pointer is deliberately excluded from SimOptions::fingerprint():
+/// observability must never perturb memoization keys or simulated results.
+struct SimObs {
+  /// 0 = no event tracing, 1 = coarse (launch, TB dispatch, exec jobs),
+  /// 2 = fine (+ per-issue scheduler decisions, cache miss lifetimes).
+  int trace_level = 0;
+  /// Sampling interval in cycles for the per-launch time-series;
+  /// 0 disables sampling.
+  std::int64_t metrics_interval = 0;
+
+  /// Sinks; null falls back to the process-wide instances.
+  Tracer* tracer = nullptr;
+  Registry* registry = nullptr;
+
+  /// Invoked once per sampled launch with the finished series. Must be
+  /// thread-safe: the exec pool simulates launches concurrently.
+  std::function<void(const LaunchSeries&)> on_series;
+
+  Tracer& tracer_or_global() const { return tracer != nullptr ? *tracer : Tracer::global(); }
+  Registry& registry_or_global() const {
+    return registry != nullptr ? *registry : Registry::global();
+  }
+  bool active() const { return trace_level > 0 || metrics_interval > 0; }
+};
+
+/// CATT_TRACE level from the environment (cached; 0 when unset/invalid),
+/// possibly raised by override_trace_level().
+int env_trace_level();
+/// Raises the effective env_trace_level() floor (used by --trace-out: a
+/// trace output path implies at least coarse tracing).
+void override_trace_level(int level);
+
+/// CATT_METRICS_INTERVAL cycles from the environment (cached; 0 when
+/// unset/invalid).
+std::int64_t env_metrics_interval();
+
+/// The process-wide SimObs assembled from the environment knobs, or null
+/// when every knob is off. Used by entry points that have no explicit
+/// SimObs (benches pick it up via harness::ObsSession).
+const SimObs* env_sim_obs();
+
+/// Gate for every hook site: returns the configured SimObs only when it is
+/// active, and constant-folds to nullptr in CATT_OBS=OFF builds so the
+/// whole hook statically disappears.
+inline const SimObs* resolve(const SimObs* configured) {
+  if constexpr (!kCompiledIn) return nullptr;
+  if (configured != nullptr) return configured->active() ? configured : nullptr;
+  return env_sim_obs();
+}
+
+/// Wall-clock accumulator, successor of prof::Accum: same ms() contract
+/// (so [profile] lines stay byte-compatible), plus the accumulated time is
+/// mirrored into a registry counter (microseconds) at stop() when a metric
+/// id is bound.
+class Accum {
+ public:
+  Accum() = default;
+  Accum(Registry* registry, MetricId us_counter)
+      : registry_(registry), us_counter_(us_counter) {}
+
+  void start();
+  void stop();
+  double ms() const { return total_ms_; }
+
+ private:
+  std::chrono::steady_clock::time_point t0_{};
+  double total_ms_ = 0.0;
+  Registry* registry_ = nullptr;
+  MetricId us_counter_ = 0;
+};
+
+}  // namespace catt::obs

@@ -1,0 +1,205 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace catt::obs {
+namespace {
+
+std::uint64_t next_registry_uid() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Registry::Registry() : uid_(next_registry_uid()) {}
+Registry::~Registry() = default;
+
+Registry& Registry::global() {
+  static Registry* r = new Registry();  // leaked: outlives pool threads at exit
+  return *r;
+}
+
+MetricId Registry::counter(std::string_view name) {
+  return register_metric(name, Kind::kCounter, 1);
+}
+
+MetricId Registry::gauge(std::string_view name) {
+  return register_metric(name, Kind::kGauge, 1);
+}
+
+const HistogramDesc* Registry::histogram(std::string_view name,
+                                         std::vector<std::uint64_t> bounds) {
+  if (bounds.empty() || !std::is_sorted(bounds.begin(), bounds.end())) {
+    throw Error("histogram '" + std::string(name) + "': bounds must be non-empty ascending");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) {
+    const Meta& m = metas_[it->second];
+    if (m.kind != Kind::kHistogram) {
+      throw Error("metric '" + std::string(name) + "' re-registered as a different kind");
+    }
+    for (const auto& h : histograms_) {
+      if (h->name == name) {
+        if (h->bounds != bounds) {
+          throw Error("histogram '" + std::string(name) + "' re-registered with different bounds");
+        }
+        return h.get();
+      }
+    }
+  }
+  // Slots: one per bucket (bounds + overflow), then count, then sum.
+  const auto nslots = static_cast<std::uint32_t>(bounds.size() + 3);
+  if (slots_used_ + nslots > kMaxSlots) {
+    throw Error("obs registry slot arena exhausted registering '" + std::string(name) + "'");
+  }
+  Meta meta{std::string(name), Kind::kHistogram, slots_used_, nslots};
+  by_name_.emplace(meta.name, static_cast<std::uint32_t>(metas_.size()));
+  metas_.push_back(meta);
+  slots_used_ += nslots;
+  histograms_.push_back(std::make_unique<HistogramDesc>(
+      HistogramDesc{meta.name, meta.base, std::move(bounds)}));
+  return histograms_.back().get();
+}
+
+MetricId Registry::register_metric(std::string_view name, Kind kind,
+                                   std::uint32_t nslots) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) {
+    const Meta& m = metas_[it->second];
+    if (m.kind != kind) {
+      throw Error("metric '" + std::string(name) + "' re-registered as a different kind");
+    }
+    return m.base;
+  }
+  if (slots_used_ + nslots > kMaxSlots) {
+    throw Error("obs registry slot arena exhausted registering '" + std::string(name) + "'");
+  }
+  Meta meta{std::string(name), kind, slots_used_, nslots};
+  by_name_.emplace(meta.name, static_cast<std::uint32_t>(metas_.size()));
+  metas_.push_back(meta);
+  slots_used_ += nslots;
+  return meta.base;
+}
+
+Registry::Shard& Registry::local_shard() {
+  // Cache the shard per (thread, registry). The cache is keyed by the
+  // registry's uid, not its address: a destroyed registry's address can be
+  // reused, and a stale address match would write into freed memory.
+  struct Entry {
+    std::uint64_t uid;
+    Shard* shard;
+  };
+  thread_local std::vector<Entry> cache;
+  for (const Entry& e : cache) {
+    if (e.uid == uid_) return *e.shard;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.push_back(std::make_unique<Shard>());
+  Shard* s = shards_.back().get();
+  cache.push_back(Entry{uid_, s});
+  return *s;
+}
+
+void Registry::add(MetricId id, std::uint64_t delta) {
+  local_shard().slots[id].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Registry::set(MetricId id, std::uint64_t value) {
+  local_shard().slots[id].store(value, std::memory_order_relaxed);
+}
+
+void Registry::observe(const HistogramDesc& h, std::uint64_t value) {
+  Shard& s = local_shard();
+  std::size_t b = 0;
+  while (b < h.bounds.size() && value > h.bounds[b]) ++b;
+  s.slots[h.base + b].fetch_add(1, std::memory_order_relaxed);
+  s.slots[h.base + h.bounds.size() + 1].fetch_add(1, std::memory_order_relaxed);  // count
+  s.slots[h.base + h.bounds.size() + 2].fetch_add(value, std::memory_order_relaxed);  // sum
+}
+
+std::uint64_t Registry::sum_slot_locked(std::uint32_t slot) const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->slots[slot].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Registry::Snapshot Registry::scrape() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  for (const Meta& m : metas_) {
+    if (m.kind == Kind::kHistogram) {
+      const HistogramDesc* desc = nullptr;
+      for (const auto& h : histograms_) {
+        if (h->name == m.name) desc = h.get();
+      }
+      HistogramValue v;
+      v.bounds = desc->bounds;
+      const std::size_t nbuckets = desc->bounds.size() + 1;
+      v.buckets.resize(nbuckets);
+      for (std::size_t b = 0; b < nbuckets; ++b) {
+        v.buckets[b] = sum_slot_locked(m.base + static_cast<std::uint32_t>(b));
+      }
+      v.count = sum_slot_locked(m.base + static_cast<std::uint32_t>(nbuckets));
+      v.sum = sum_slot_locked(m.base + static_cast<std::uint32_t>(nbuckets + 1));
+      snap.histograms.emplace_back(m.name, std::move(v));
+    } else {
+      snap.counters.emplace_back(m.name, sum_slot_locked(m.base));
+    }
+  }
+  return snap;
+}
+
+std::uint64_t Registry::Snapshot::counter_or(std::string_view name,
+                                             std::uint64_t fallback) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return fallback;
+}
+
+const Registry::HistogramValue* Registry::Snapshot::histogram(
+    std::string_view name) const {
+  for (const auto& [n, v] : histograms) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+std::string Registry::render() const {
+  Snapshot snap = scrape();
+  std::sort(snap.counters.begin(), snap.counters.end());
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::ostringstream out;
+  for (const auto& [name, value] : snap.counters) {
+    out << name << " " << value << "\n";
+  }
+  for (const auto& [name, v] : snap.histograms) {
+    out << name << " count=" << v.count << " sum=" << v.sum << " buckets=[";
+    for (std::size_t b = 0; b < v.buckets.size(); ++b) {
+      if (b != 0) out << ",";
+      if (b < v.bounds.size()) {
+        out << "le" << v.bounds[b] << ":" << v.buckets[b];
+      } else {
+        out << "inf:" << v.buckets[b];
+      }
+    }
+    out << "]\n";
+  }
+  return out.str();
+}
+
+std::size_t Registry::shard_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_.size();
+}
+
+}  // namespace catt::obs

@@ -1,0 +1,117 @@
+// Metrics registry: counters, gauges, and histograms with string-interned
+// ids, sharded per thread so the exec pool's simulation threads never
+// contend on a shared cache line. A metric is registered once (mutex-held,
+// idempotent by name) and returns a stable handle; updates go to a
+// thread-local shard as relaxed atomic adds; scrape() aggregates every
+// shard into one snapshot. Shards live as long as the registry, so counts
+// from exited pool threads are never lost.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace catt::obs {
+
+/// Handle for a counter or gauge: the metric's slot index in each shard.
+using MetricId = std::uint32_t;
+
+/// Handle for a histogram: the bucket slot range plus the (immutable)
+/// bucket upper bounds. Returned by Registry::histogram(); pointer-stable
+/// for the registry's lifetime so hot paths can hold it without locking.
+struct HistogramDesc {
+  std::string name;
+  std::uint32_t base = 0;  // first bucket slot; layout: buckets..., count, sum
+  std::vector<std::uint64_t> bounds;  // inclusive upper bounds, ascending
+};
+
+class Registry {
+ public:
+  /// Slot arena size per shard; registration beyond this throws.
+  static constexpr std::size_t kMaxSlots = 1024;
+
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Process-wide registry used by the built-in simulator/exec hooks.
+  static Registry& global();
+
+  /// Registers (or looks up) a metric. Idempotent per name; re-registering
+  /// under a different kind (or different histogram bounds) throws.
+  MetricId counter(std::string_view name);
+  MetricId gauge(std::string_view name);
+  const HistogramDesc* histogram(std::string_view name,
+                                 std::vector<std::uint64_t> bounds);
+
+  /// Adds `delta` to a counter on this thread's shard (relaxed atomic).
+  void add(MetricId id, std::uint64_t delta);
+  /// Sets a gauge on this thread's shard. scrape() sums shards, so gauges
+  /// are meaningful when a single thread owns them (the common case here:
+  /// pool size, configuration values).
+  void set(MetricId id, std::uint64_t value);
+  /// Records one observation into a histogram.
+  void observe(const HistogramDesc& h, std::uint64_t value);
+
+  struct HistogramValue {
+    std::vector<std::uint64_t> bounds;
+    std::vector<std::uint64_t> buckets;  // bounds.size() + 1 (last = overflow)
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+  };
+
+  /// Point-in-time aggregation over all shards. Exact once writers have
+  /// quiesced; an approximate-but-consistent-per-slot view otherwise.
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;  // incl. gauges
+    std::vector<std::pair<std::string, HistogramValue>> histograms;
+
+    std::uint64_t counter_or(std::string_view name, std::uint64_t fallback = 0) const;
+    const HistogramValue* histogram(std::string_view name) const;
+  };
+
+  Snapshot scrape() const;
+
+  /// Human-readable dump, one "name value" line per metric, sorted by
+  /// name (used by the harness's [obs] summary).
+  std::string render() const;
+
+  std::size_t shard_count() const;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Meta {
+    std::string name;
+    Kind kind;
+    std::uint32_t base;     // first slot
+    std::uint32_t nslots;   // 1 for counter/gauge; bounds+3 for histogram
+  };
+
+  /// Per-thread slot arena. Atomics make concurrent scrape well-defined;
+  /// contention never happens (one writer thread per shard).
+  struct Shard {
+    std::array<std::atomic<std::uint64_t>, kMaxSlots> slots{};
+  };
+
+  MetricId register_metric(std::string_view name, Kind kind, std::uint32_t nslots);
+  Shard& local_shard();
+  std::uint64_t sum_slot_locked(std::uint32_t slot) const;
+
+  const std::uint64_t uid_;  // distinguishes registries in thread-local caches
+  mutable std::mutex mu_;
+  std::vector<Meta> metas_;
+  std::unordered_map<std::string, std::uint32_t> by_name_;  // name -> metas_ index
+  std::vector<std::unique_ptr<HistogramDesc>> histograms_;  // pointer-stable
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint32_t slots_used_ = 0;
+};
+
+}  // namespace catt::obs

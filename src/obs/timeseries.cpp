@@ -1,0 +1,48 @@
+#include "obs/timeseries.hpp"
+
+#include <cstdio>
+
+namespace catt::obs {
+namespace {
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return std::string(buf);
+}
+
+double rate(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+}  // namespace
+
+std::vector<std::string> LaunchSeries::csv_columns() {
+  return {"cycle",          "warp_insts",  "ipc",         "l1_hit_rate",
+          "l2_hit_rate",    "mshr_in_flight", "ready_warps", "dram_backlog"};
+}
+
+std::vector<std::vector<std::string>> LaunchSeries::csv_rows() const {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(samples.size());
+  IntervalSample prev;  // zero baseline: row 0 covers [0, samples[0].cycle]
+  for (const IntervalSample& s : samples) {
+    const std::uint64_t d_insts = s.warp_insts - prev.warp_insts;
+    const std::int64_t d_cycles = s.cycle - prev.cycle;
+    rows.push_back({
+        std::to_string(s.cycle),
+        std::to_string(d_insts),
+        fmt(d_cycles <= 0 ? 0.0
+                          : static_cast<double>(d_insts) / static_cast<double>(d_cycles)),
+        fmt(rate(s.l1_hits - prev.l1_hits, s.l1_accesses - prev.l1_accesses)),
+        fmt(rate(s.l2_hits - prev.l2_hits, s.l2_accesses - prev.l2_accesses)),
+        std::to_string(s.mshr_in_flight),
+        std::to_string(s.ready_warps),
+        std::to_string(s.dram_backlog),
+    });
+    prev = s;
+  }
+  return rows;
+}
+
+}  // namespace catt::obs

@@ -1,0 +1,45 @@
+// Per-interval time-series for one simulated kernel launch. The sampler in
+// Gpu::run pushes one IntervalSample at each interval boundary (cumulative
+// counters plus instantaneous occupancies); LaunchSeries renders them as
+// CSV rows with per-interval derived rates (IPC, hit rates).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace catt::obs {
+
+struct IntervalSample {
+  std::int64_t cycle = 0;  // boundary cycle this sample was taken at
+
+  // Cumulative since launch start (deltas between consecutive samples give
+  // the per-interval values).
+  std::uint64_t warp_insts = 0;
+  std::uint64_t l1_accesses = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_accesses = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t dram_lines = 0;
+
+  // Instantaneous at `cycle`.
+  std::uint64_t mshr_in_flight = 0;
+  std::uint64_t ready_warps = 0;
+  std::int64_t dram_backlog = 0;  // cycles of queued DRAM service
+};
+
+struct LaunchSeries {
+  std::string kernel;
+  std::int64_t interval = 0;
+  std::vector<IntervalSample> samples;
+
+  /// Column names matching csv_rows(), without app/policy context (the
+  /// caller prepends those).
+  static std::vector<std::string> csv_columns();
+
+  /// One row per sample; rates are per-interval deltas, so row i describes
+  /// the window (samples[i-1].cycle, samples[i].cycle].
+  std::vector<std::vector<std::string>> csv_rows() const;
+};
+
+}  // namespace catt::obs

@@ -1,0 +1,252 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+
+#include "common/log.hpp"
+
+namespace catt::obs {
+namespace {
+
+std::uint64_t next_tracer_uid() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::int64_t steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Minimal JSON string escaping: the strings we intern are kernel/event
+/// names, but a hostile workload name must not corrupt the file.
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t ring_capacity)
+    : uid_(next_tracer_uid()),
+      capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      t0_us_(steady_now_us()) {
+  names_.emplace_back();  // id 0 reserved = "no name / no arg"
+}
+
+Tracer::~Tracer() = default;
+
+Tracer& Tracer::global() {
+  static Tracer* t = new Tracer();  // leaked: outlives pool threads at exit
+  return *t;
+}
+
+std::uint32_t Tracer::intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 1; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  names_.emplace_back(name);
+  return static_cast<std::uint32_t>(names_.size() - 1);
+}
+
+Tracer::Ring& Tracer::local_ring() {
+  struct Entry {
+    std::uint64_t uid;
+    Ring* ring;
+  };
+  thread_local std::vector<Entry> cache;
+  for (const Entry& e : cache) {
+    if (e.uid == uid_) return *e.ring;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.push_back(std::make_unique<Ring>());
+  Ring* r = rings_.back().get();
+  r->buf.reserve(std::min<std::size_t>(capacity_, 1024));
+  cache.push_back(Entry{uid_, r});
+  return *r;
+}
+
+void Tracer::record(const TraceEvent& e) {
+  Ring& r = local_ring();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.buf.size() < capacity_) {
+    r.buf.push_back(e);
+  } else {
+    r.buf[r.pushed % capacity_] = e;  // overwrite-oldest
+  }
+  ++r.pushed;
+}
+
+std::uint32_t Tracer::begin_launch(std::string_view kernel_name) {
+  const std::uint32_t pid = next_pid_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t name = intern(std::string("sim:") + std::string(kernel_name));
+  std::lock_guard<std::mutex> lock(mu_);
+  meta_.push_back(TraceEvent{name, 0, Phase::kMeta, pid, 0, 0, 0, 0});
+  return pid;
+}
+
+std::uint32_t Tracer::host_tid() {
+  struct Entry {
+    std::uint64_t uid;
+    std::uint32_t tid;
+  };
+  thread_local std::vector<Entry> cache;
+  for (const Entry& e : cache) {
+    if (e.uid == uid_) return e.tid;
+  }
+  const std::uint32_t tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+  cache.push_back(Entry{uid_, tid});
+  return tid;
+}
+
+std::int64_t Tracer::host_now_us() const { return steady_now_us() - t0_us_; }
+
+std::uint64_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& r : rings_) {
+    std::lock_guard<std::mutex> rl(r->mu);
+    total += r->buf.size();
+  }
+  return total;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& r : rings_) {
+    std::lock_guard<std::mutex> rl(r->mu);
+    total += r->pushed - r->buf.size();
+  }
+  return total;
+}
+
+void Tracer::append_json(std::string& out, const TraceEvent& e,
+                         const std::vector<std::string>& names) const {
+  out += "{\"name\":\"";
+  append_escaped(out, names[e.name]);
+  out += "\",\"ph\":\"";
+  out += static_cast<char>(e.ph);
+  out += "\",\"pid\":" + std::to_string(e.pid);
+  out += ",\"tid\":" + std::to_string(e.tid);
+  out += ",\"ts\":" + std::to_string(e.ts);
+  if (e.ph == Phase::kComplete) {
+    out += ",\"dur\":" + std::to_string(e.dur);
+  }
+  if (e.ph == Phase::kMeta) {
+    // Chrome convention: the process name travels in args.name.
+    out += ",\"cat\":\"__metadata\",\"args\":{\"name\":\"";
+    append_escaped(out, names[e.name]);
+    out += "\"}";
+  } else if (e.arg_name != 0) {
+    out += ",\"args\":{\"";
+    append_escaped(out, names[e.arg_name]);
+    out += "\":" + std::to_string(e.arg) + "}";
+  }
+  out += "}";
+}
+
+std::string Tracer::to_json() const {
+  // Snapshot under the structure lock; rings are copied ring-at-a-time so
+  // recording threads stall at most one ring-copy.
+  std::vector<std::string> names;
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names = names_;
+    events = meta_;
+    for (const auto& r : rings_) {
+      std::lock_guard<std::mutex> rl(r->mu);
+      if (r->pushed <= r->buf.size()) {
+        events.insert(events.end(), r->buf.begin(), r->buf.end());
+      } else {
+        // Ring has wrapped: replay in age order starting at the oldest.
+        const std::size_t n = r->buf.size();
+        const std::size_t head = r->pushed % n;
+        events.insert(events.end(), r->buf.begin() + static_cast<std::ptrdiff_t>(head),
+                      r->buf.end());
+        events.insert(events.end(), r->buf.begin(),
+                      r->buf.begin() + static_cast<std::ptrdiff_t>(head));
+      }
+    }
+  }
+  // Stable timeline order helps both tooling and the round-trip test.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ph == Phase::kMeta || b.ph == Phase::kMeta) {
+                       return a.ph == Phase::kMeta && b.ph != Phase::kMeta;
+                     }
+                     return a.ts < b.ts;
+                   });
+  std::string out;
+  out.reserve(events.size() * 96 + 64);
+  out += "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i != 0) out += ",\n";
+    append_json(out, events[i], names);
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool Tracer::write_json(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    log::write(log::Level::kWarn, "[obs] cannot open trace output '" + path + "'");
+    return false;
+  }
+  f << to_json();
+  f.flush();
+  if (!f) {
+    log::write(log::Level::kWarn, "[obs] short write to trace output '" + path + "'");
+    return false;
+  }
+  return true;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& r : rings_) {
+    std::lock_guard<std::mutex> rl(r->mu);
+    r->buf.clear();
+    r->pushed = 0;
+  }
+  meta_.clear();
+}
+
+SimTraceCtx SimTraceCtx::for_launch(Tracer& tracer, int level,
+                                    std::string_view kernel_name) {
+  SimTraceCtx ctx;
+  ctx.tracer = &tracer;
+  ctx.level = level;
+  ctx.pid = tracer.begin_launch(kernel_name);
+  ctx.id_launch = tracer.intern("launch");
+  ctx.id_tb_dispatch = tracer.intern("tb_dispatch");
+  ctx.id_issue = tracer.intern("issue");
+  ctx.id_miss = tracer.intern("l1_miss");
+  ctx.arg_block = tracer.intern("block");
+  ctx.arg_warp = tracer.intern("warp");
+  ctx.arg_line = tracer.intern("line");
+  return ctx;
+}
+
+}  // namespace catt::obs

@@ -1,0 +1,145 @@
+// Structured event tracer with per-thread fixed-capacity ring buffers and
+// Chrome trace-event JSON export (load the file in chrome://tracing or
+// https://ui.perfetto.dev). Event names are interned to u32 ids so a
+// recorded event is a small POD; when a ring overflows the oldest events
+// are overwritten and the drop is accounted (dropped() = pushed - kept).
+//
+// Timeline convention: pid 0 is the host process (timestamps are wall-clock
+// microseconds since the tracer was created; tids are per host thread).
+// Each simulated kernel launch claims its own pid via begin_launch(), with
+// timestamps in GPU cycles (1 cycle rendered as 1 "us") and tids for SMs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace catt::obs {
+
+/// Chrome trace-event phases we emit. kComplete carries a duration;
+/// kInstant is a point; kBegin/kEnd form nested spans; kMeta names a pid.
+enum class Phase : char {
+  kComplete = 'X',
+  kInstant = 'i',
+  kBegin = 'B',
+  kEnd = 'E',
+  kMeta = 'M',
+};
+
+struct TraceEvent {
+  std::uint32_t name = 0;      // interned
+  std::uint32_t arg_name = 0;  // interned; 0 = no arg
+  Phase ph = Phase::kInstant;
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  std::int64_t ts = 0;   // microseconds (host) or cycles (sim pids)
+  std::int64_t dur = 0;  // kComplete only
+  std::int64_t arg = 0;
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+  explicit Tracer(std::size_t ring_capacity = kDefaultCapacity);
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Process-wide tracer used by the built-in hooks.
+  static Tracer& global();
+
+  /// Interns a name, returning a stable id (idempotent per string).
+  std::uint32_t intern(std::string_view name);
+
+  /// Records an event into this thread's ring (overwrite-oldest on
+  /// overflow). Cheap: one mutex ping on an uncontended per-thread lock.
+  void record(const TraceEvent& e);
+
+  /// Allocates a fresh pid for a simulated kernel launch and emits its
+  /// process_name metadata event. Thread-safe.
+  std::uint32_t begin_launch(std::string_view kernel_name);
+
+  /// Stable small tid for the calling host thread (0, 1, 2, ... in first-
+  /// use order).
+  std::uint32_t host_tid();
+
+  /// Wall-clock microseconds since the tracer was constructed.
+  std::int64_t host_now_us() const;
+
+  /// Events currently retained / dropped by ring overflow, over all rings.
+  std::uint64_t recorded() const;
+  std::uint64_t dropped() const;
+
+  /// Serialises all retained events as Chrome trace JSON.
+  std::string to_json() const;
+  /// to_json() to a file; returns false (and logs) on I/O failure.
+  bool write_json(const std::string& path) const;
+
+  /// Drops all retained events and resets drop accounting. Interned names
+  /// and assigned pids/tids survive.
+  void clear();
+
+ private:
+  /// Per-thread ring. The mutex is per-ring: the owning thread is the only
+  /// writer, so record() never contends; to_json()/clear() walk all rings.
+  struct Ring {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> buf;
+    std::uint64_t pushed = 0;  // lifetime pushes; kept = min(pushed, capacity)
+  };
+
+  Ring& local_ring();
+  void append_json(std::string& out, const TraceEvent& e,
+                   const std::vector<std::string>& names) const;
+
+  const std::uint64_t uid_;
+  const std::size_t capacity_;
+  const std::int64_t t0_us_;
+
+  mutable std::mutex mu_;  // guards rings_ vector, intern table, meta_
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::vector<std::string> names_;  // id -> string; id 0 reserved (empty)
+  std::vector<TraceEvent> meta_;    // process_name metadata events
+  std::atomic<std::uint32_t> next_pid_{1};  // 0 = host
+  std::atomic<std::uint32_t> next_tid_{0};
+};
+
+/// Pre-resolved trace context for one simulated kernel launch: the tracer,
+/// the launch's pid, the gating level, and interned ids for every event
+/// the simulator emits — so hot paths never touch the intern table. A null
+/// SimTraceCtx* everywhere means tracing is off.
+struct SimTraceCtx {
+  Tracer* tracer = nullptr;
+  int level = 0;  // 1 = coarse (launch, TB dispatch), 2 = + per-issue/miss
+  std::uint32_t pid = 0;
+
+  std::uint32_t id_launch = 0;
+  std::uint32_t id_tb_dispatch = 0;
+  std::uint32_t id_issue = 0;
+  std::uint32_t id_miss = 0;
+  std::uint32_t arg_block = 0;
+  std::uint32_t arg_warp = 0;
+  std::uint32_t arg_line = 0;
+
+  /// Builds a context for one launch (interns ids, claims a pid).
+  static SimTraceCtx for_launch(Tracer& tracer, int level,
+                                std::string_view kernel_name);
+
+  bool fine() const { return level >= 2; }
+
+  void instant(std::uint32_t name, std::uint32_t tid, std::int64_t ts,
+               std::uint32_t arg_name, std::int64_t arg) const {
+    tracer->record(TraceEvent{name, arg_name, Phase::kInstant, pid, tid, ts, 0, arg});
+  }
+  void complete(std::uint32_t name, std::uint32_t tid, std::int64_t ts,
+                std::int64_t dur, std::uint32_t arg_name, std::int64_t arg) const {
+    tracer->record(TraceEvent{name, arg_name, Phase::kComplete, pid, tid, ts, dur, arg});
+  }
+};
+
+}  // namespace catt::obs

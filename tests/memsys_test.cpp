@@ -142,5 +142,132 @@ TEST(SmDatapath, SingleTxnFastPathMatchesGeneralPath) {
   EXPECT_EQ(dp1.stats.mem_requests, 1u);
 }
 
+TEST(SmDatapath, MshrInFlightMatchesDirectCompletionCount) {
+  // Eight divergent single-sector misses through the DRAM-only machine:
+  // miss i issues at cycle i (LSU interval 1), reaches the L2 at i + 10
+  // (L1 hit latency), and its fill starts when the DRAM cursor frees up
+  // (10 + 3i) — so completion_i = 10 + 3i + 400. The datapath's
+  // mshr_in_flight(t) probe must equal the directly counted number of
+  // completions still in the future at every cycle.
+  const arch::GpuArch a = dram_only_arch();
+  MemorySystem ms(a);
+  SmDatapath dp(a, ms, /*l1_bytes=*/4096, nullptr);
+  const std::int64_t done = dp.exec_mem(divergent_load(8), /*pc=*/0, /*now=*/0);
+
+  std::vector<std::int64_t> completions;
+  for (int i = 0; i < 8; ++i) completions.push_back(410 + 3 * i);
+  EXPECT_EQ(done, completions.back());
+
+  for (std::int64_t t = 0; t <= completions.back() + 5; ++t) {
+    std::uint64_t expect = 0;
+    for (const std::int64_t c : completions) expect += c > t ? 1 : 0;
+    ASSERT_EQ(dp.mshr_in_flight(t), expect) << "at cycle " << t;
+  }
+  EXPECT_EQ(dp.mshr_in_flight(409), 8u);
+  EXPECT_EQ(dp.mshr_in_flight(410), 7u);   // oldest fill retires at 410
+  EXPECT_EQ(dp.mshr_in_flight(431), 0u);
+}
+
+}  // namespace
+}  // namespace catt::sim
+
+// Appended: obs interval-sampler cross-checks — the per-interval series
+// and MSHR-occupancy histogram must agree with the directly counted
+// KernelStats of the same launch.
+#include "frontend/parser.hpp"
+#include "gpusim/gpu.hpp"
+#include "obs/obs.hpp"
+
+namespace catt::sim {
+namespace {
+
+TEST(Gpu, IntervalSeriesMatchesKernelStats) {
+  // A thrashing micro-kernel (working set >> L1D) so every rate the
+  // sampler reports is non-trivial: L1 misses, L2 traffic, DRAM fills.
+  const ir::Kernel k = frontend::parse_kernel(R"(
+//@regs=16
+__global__ void thrash(float *data, float *out, int N) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    float acc = 0.0f;
+    for (int j = 0; j < 50; j++) {
+        acc += data[i * 64];
+    }
+    out[i] = acc;
+}
+)");
+  DeviceMemory mem;
+  mem.alloc_f32("data", 2048u * 64u, 1.0f);
+  mem.alloc_f32("out", 2048, 0.0f);
+  Gpu gpu(arch::GpuArch::titan_v(2), mem);
+
+  obs::Registry reg;
+  std::vector<obs::LaunchSeries> collected;
+  obs::SimObs ob;
+  ob.metrics_interval = 512;
+  ob.registry = &reg;
+  ob.on_series = [&](const obs::LaunchSeries& s) { collected.push_back(s); };
+  SimOptions opts;
+  opts.obs = &ob;
+
+  const KernelStats stats = gpu.run({&k, {{8}, {256}}, {{"N", 2048}}}, opts);
+
+  ASSERT_EQ(collected.size(), 1u);
+  const obs::LaunchSeries& series = collected[0];
+  EXPECT_EQ(series.kernel, "thrash");
+  EXPECT_EQ(series.interval, 512);
+  ASSERT_GE(series.samples.size(), 3u) << "launch too short to sample";
+
+  // Cumulative counters are non-decreasing at strictly increasing
+  // interval boundaries, and the final sample — taken at the launch's
+  // last cycle — must equal the directly counted KernelStats exactly.
+  for (std::size_t i = 1; i < series.samples.size(); ++i) {
+    const obs::IntervalSample& prev = series.samples[i - 1];
+    const obs::IntervalSample& cur = series.samples[i];
+    EXPECT_GT(cur.cycle, prev.cycle);
+    EXPECT_GE(cur.warp_insts, prev.warp_insts);
+    EXPECT_GE(cur.l1_accesses, prev.l1_accesses);
+    EXPECT_GE(cur.l1_hits, prev.l1_hits);
+    EXPECT_GE(cur.l2_accesses, prev.l2_accesses);
+    EXPECT_GE(cur.l2_hits, prev.l2_hits);
+    EXPECT_GE(cur.dram_lines, prev.dram_lines);
+    if (i + 1 < series.samples.size()) {
+      EXPECT_EQ(cur.cycle, static_cast<std::int64_t>(i + 1) * 512);
+    }
+  }
+  const obs::IntervalSample& last = series.samples.back();
+  EXPECT_EQ(last.cycle, stats.cycles);
+  EXPECT_EQ(last.warp_insts, stats.warp_insts);
+  EXPECT_EQ(last.l1_accesses, stats.l1.accesses);
+  EXPECT_EQ(last.l1_hits, stats.l1.hits);
+  EXPECT_EQ(last.l2_accesses, stats.l2.accesses);
+  EXPECT_EQ(last.l2_hits, stats.l2.hits);
+  EXPECT_EQ(last.dram_lines, stats.dram_lines);
+  // At the final cycle every warp has retired: nothing in flight.
+  EXPECT_EQ(last.mshr_in_flight, 0u);
+  EXPECT_EQ(last.ready_warps, 0u);
+
+  // The MSHR-occupancy histogram is fed one observation per sample;
+  // re-bucket the series directly and require an exact match.
+  const obs::Registry::Snapshot snap = reg.scrape();
+  const obs::Registry::HistogramValue* hv = snap.histogram("sim.mshr_occupancy");
+  ASSERT_NE(hv, nullptr);
+  EXPECT_EQ(hv->count, series.samples.size());
+  std::uint64_t sum = 0;
+  std::vector<std::uint64_t> buckets(hv->bounds.size() + 1, 0);
+  for (const obs::IntervalSample& s : series.samples) {
+    sum += s.mshr_in_flight;
+    std::size_t b = hv->bounds.size();
+    for (std::size_t j = 0; j < hv->bounds.size(); ++j) {
+      if (s.mshr_in_flight <= hv->bounds[j]) {
+        b = j;
+        break;
+      }
+    }
+    ++buckets[b];
+  }
+  EXPECT_EQ(hv->sum, sum);
+  EXPECT_EQ(hv->buckets, buckets);
+}
+
 }  // namespace
 }  // namespace catt::sim

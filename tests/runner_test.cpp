@@ -216,3 +216,81 @@ TEST(Policy, DeprecatedForwardersMatchUnifiedEntryPoint) {
 
 }  // namespace
 }  // namespace catt::throttle
+// Appended: observability must be invisible to results (the fingerprint
+// exclusion pin for PR 4's obs subsystem).
+#include <mutex>
+
+#include "obs/obs.hpp"
+
+namespace catt::throttle {
+namespace {
+
+TEST(Obs, TracingDoesNotPerturbResults) {
+  // The acceptance pin for the observability subsystem: a sweep run with
+  // full tracing + interval sampling attached must produce byte-identical
+  // result CSVs (and identical cache behaviour) to a plain run.
+  // SimOptions::fingerprint() deliberately excludes the obs attachment;
+  // this test is what keeps that exclusion honest.
+  const wl::Workload& w = wl::find_workload("atax", 2);
+
+  auto render = [](const AppResult& r, const Runner::BfttOutcome& sweep) {
+    std::string out = r.workload + "," + r.policy + "," + std::to_string(r.total_cycles) + "\n";
+    for (const auto& l : r.launches) {
+      out += l.kernel_name + "," + std::to_string(l.cycles) + "," +
+             std::to_string(l.l1.accesses) + "," + std::to_string(l.l1.hits) + "," +
+             std::to_string(l.l2.accesses) + "," + std::to_string(l.l2.hits) + "," +
+             std::to_string(l.dram_lines) + "," + std::to_string(l.warp_insts) + "\n";
+    }
+    for (const auto& c : r.choices) {
+      for (const auto& lp : c.loops) {
+        out += c.kernel + "," + std::to_string(lp.loop_id) + "," +
+               std::to_string(lp.warps) + "," + std::to_string(lp.tbs) + "\n";
+      }
+    }
+    for (const auto& [f, cycles] : sweep.sweep) {
+      out += f.str() + "," + std::to_string(cycles) + "\n";
+    }
+    return out;
+  };
+
+  auto run_all = [&](const obs::SimObs* ob, std::uint64_t& hits, std::uint64_t& misses) {
+    Runner r(bench::max_l1d_arch());
+    if (ob != nullptr) r.sim_options.obs = ob;
+    const AppResult base = r.run(w, Baseline{});
+    const Runner::BfttOutcome sweep = r.bftt_sweep(w);
+    const AppResult catt = r.run(w, Catt{});
+    hits = r.cache().hits();
+    misses = r.cache().misses();
+    return render(base, sweep) + render(catt, sweep);
+  };
+
+  std::uint64_t plain_hits = 0, plain_misses = 0;
+  const std::string plain = run_all(nullptr, plain_hits, plain_misses);
+
+  obs::Tracer tracer;
+  obs::Registry registry;
+  std::mutex mu;
+  std::size_t series_seen = 0;
+  obs::SimObs ob;
+  ob.trace_level = 2;  // fine: per-issue + miss-lifetime events
+  ob.metrics_interval = 1024;
+  ob.tracer = &tracer;
+  ob.registry = &registry;
+  ob.on_series = [&](const obs::LaunchSeries&) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++series_seen;
+  };
+
+  std::uint64_t traced_hits = 0, traced_misses = 0;
+  const std::string traced = run_all(&ob, traced_hits, traced_misses);
+
+  EXPECT_EQ(plain, traced);
+  EXPECT_EQ(plain_hits, traced_hits);
+  EXPECT_EQ(plain_misses, traced_misses);
+  // The attachment demonstrably did something: events and series flowed.
+  EXPECT_GT(tracer.recorded() + tracer.dropped(), 0u);
+  EXPECT_GT(series_seen, 0u);
+}
+
+}  // namespace
+}  // namespace catt::throttle
