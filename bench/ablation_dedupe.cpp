@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
   const bench::ObsSession obs_session(argc, argv, "ablation_dedupe");
 
   throttle::Runner runner(bench::max_l1d_arch());
+  runner.sim_options.sched = bench::sched_from_args(argc, argv);
   analysis::AnalysisOptions eq8;  // paper default
   analysis::AnalysisOptions dedupe;
   dedupe.dedupe_tb_footprint = true;

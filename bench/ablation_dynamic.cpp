@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   const bench::ObsSession obs_session(argc, argv, "ablation_dynamic");
 
   throttle::Runner runner(bench::max_l1d_arch());
+  runner.sim_options.sched = bench::sched_from_args(argc, argv);
   TextTable table({"app", "baseline(cyc)", "DYNCTA-like", "CATT"});
   std::vector<double> s_dyn, s_catt;
 

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   const bench::ObsSession obs_session(argc, argv, "ablation_throttle_modes");
 
   throttle::Runner runner(bench::max_l1d_arch());
+  runner.sim_options.sched = bench::sched_from_args(argc, argv);
 
   analysis::AnalysisOptions defaults;  // warp-first, conservative
   analysis::AnalysisOptions tb_only;

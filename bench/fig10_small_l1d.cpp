@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   const bench::ObsSession obs_session(argc, argv, "fig10_small_l1d");
 
   throttle::Runner runner(bench::small_l1d_arch());
+  runner.sim_options.sched = bench::sched_from_args(argc, argv);
   TextTable table({"app", "baseline(cyc)", "BFTT", "CATT", "BFTT speedup", "CATT speedup"});
   CsvWriter csv({"app", "baseline_cycles", "bftt_cycles", "catt_cycles", "bftt_speedup",
                  "catt_speedup"});
@@ -49,8 +50,5 @@ int main(int argc, char** argv) {
   std::printf("paper:   CATT +89.23%% geomean, BFTT +68.17%% geomean\n");
   std::printf("this run: CATT %+.2f%% geomean, BFTT %+.2f%% geomean\n",
               (catt_geo - 1.0) * 100.0, (bftt_geo - 1.0) * 100.0);
-  if (const auto st = bench::write_result_file("fig10_small_l1d.csv", csv.str()); !st) {
-    std::fprintf(stderr, "[bench] %s\n", st.message.c_str());
-  }
-  return 0;
+  return bench::exit_status(bench::write_result_file("fig10_small_l1d.csv", csv.str()));
 }

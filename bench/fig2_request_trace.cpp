@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   const bench::ObsSession obs_session(argc, argv, "fig2_request_trace");
 
   CsvWriter csv({"app", "launch", "instr_index", "mean_requests"});
+  const sim::sched::PolicyConfig sched = bench::sched_from_args(argc, argv);
 
   for (const wl::Workload* w : wl::workloads_in_group(wl::Group::kCS, bench::kNumSms)) {
     sim::DeviceMemory mem;
@@ -44,6 +45,7 @@ int main(int argc, char** argv) {
       const auto& entry = w->schedule[i];
       sim::SimOptions opts;
       opts.collect_request_trace = true;
+      opts.sched = sched;
       sim::LaunchSpec spec{&w->kernel(entry.kernel), entry.launch, entry.params};
       for (int r = 0; r < entry.repeats; ++r) {
         const sim::KernelStats s = gpu.run(spec, opts);
@@ -66,8 +68,5 @@ int main(int argc, char** argv) {
       "paper shape: ATAX/BICG/MVT show one high-divergence phase (32 req/inst) and one\n"
       "coalesced phase (~1); PF alternates within kernel 1; BFS/CFD fluctuate; CI-style\n"
       "phases are flat.\n");
-  if (const auto st = bench::write_result_file("fig2_request_trace.csv", csv.str()); !st) {
-    std::fprintf(stderr, "[bench] %s\n", st.message.c_str());
-  }
-  return 0;
+  return bench::exit_status(bench::write_result_file("fig2_request_trace.csv", csv.str()));
 }

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   const bench::ObsSession obs_session(argc, argv, "fig3_tlp_tradeoff");
 
   throttle::Runner runner(bench::max_l1d_arch());
+  runner.sim_options.sched = bench::sched_from_args(argc, argv);
   const std::vector<int> divisors = {32, 16, 8, 4, 2, 1};  // TLP = 32/divisor warps
 
   TextTable table({"TLP (warps)", "L1D-full-4w", "L1D-full-8w", "L1D-full-16w"});
@@ -66,8 +67,5 @@ int main(int argc, char** argv) {
   std::printf(
       "paper shape: each curve bottoms out at its filling warp count (4/8/16) — more\n"
       "warps thrash the L1D, fewer underutilize the SM. CATT should pick the knee.\n");
-  if (const auto st = bench::write_result_file("fig3_tlp_tradeoff.csv", csv.str()); !st) {
-    std::fprintf(stderr, "[bench] %s\n", st.message.c_str());
-  }
-  return 0;
+  return bench::exit_status(bench::write_result_file("fig3_tlp_tradeoff.csv", csv.str()));
 }

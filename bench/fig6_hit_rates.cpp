@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   const bench::ObsSession obs_session(argc, argv, "fig6_hit_rates");
 
   throttle::Runner runner(bench::max_l1d_arch());
+  runner.sim_options.sched = bench::sched_from_args(argc, argv);
   TextTable table({"kernel", "baseline", "BFTT", "CATT"});
   CsvWriter csv({"kernel", "baseline_hit_rate", "bftt_hit_rate", "catt_hit_rate"});
 
@@ -42,8 +43,5 @@ int main(int argc, char** argv) {
   std::printf(
       "paper shape: CATT raises the hit rate on contended kernels (ATAX#1, BICG#2, MVT#1,\n"
       "GSMV, SYR2K, KM, PF#1) and matches the baseline on irregular/untouched ones.\n");
-  if (const auto st = bench::write_result_file("fig6_hit_rates.csv", csv.str()); !st) {
-    std::fprintf(stderr, "[bench] %s\n", st.message.c_str());
-  }
-  return 0;
+  return bench::exit_status(bench::write_result_file("fig6_hit_rates.csv", csv.str()));
 }

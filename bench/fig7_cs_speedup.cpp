@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const bench::ObsSession obs_session(argc, argv, "fig7_cs_speedup");
 
   throttle::Runner runner(bench::max_l1d_arch());
+  runner.sim_options.sched = bench::sched_from_args(argc, argv);
   TextTable table({"app", "baseline(cyc)", "BFTT", "CATT", "BFTT speedup", "CATT speedup"});
   CsvWriter csv({"app", "baseline_cycles", "bftt_cycles", "catt_cycles", "bftt_speedup",
                  "catt_speedup", "bftt_factor"});
@@ -52,8 +53,5 @@ int main(int argc, char** argv) {
   std::printf("paper:   CATT +42.96%% geomean, BFTT +31.19%% geomean\n");
   std::printf("this run: CATT %+.2f%% geomean, BFTT %+.2f%% geomean\n",
               (catt_geo - 1.0) * 100.0, (bftt_geo - 1.0) * 100.0);
-  if (const auto st = bench::write_result_file("fig7_cs_speedup.csv", csv.str()); !st) {
-    std::fprintf(stderr, "[bench] %s\n", st.message.c_str());
-  }
-  return 0;
+  return bench::exit_status(bench::write_result_file("fig7_cs_speedup.csv", csv.str()));
 }

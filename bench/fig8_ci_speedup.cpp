@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   const bench::ObsSession obs_session(argc, argv, "fig8_ci_speedup");
 
   throttle::Runner runner(bench::max_l1d_arch());
+  runner.sim_options.sched = bench::sched_from_args(argc, argv);
   TextTable table({"app", "baseline(cyc)", "BFTT speedup", "CATT speedup", "CATT throttled?"});
   CsvWriter csv({"app", "baseline_cycles", "bftt_speedup", "catt_speedup", "catt_throttled"});
 
@@ -56,8 +57,5 @@ int main(int argc, char** argv) {
   std::printf("Figure 8 — CI-group performance, maximum L1D (normalized to baseline)\n\n%s\n",
               table.str().c_str());
   std::printf("paper: CATT and BFTT both keep the baseline TLP on every CI app (~1.00x)\n");
-  if (const auto st = bench::write_result_file("fig8_ci_speedup.csv", csv.str()); !st) {
-    std::fprintf(stderr, "[bench] %s\n", st.message.c_str());
-  }
-  return 0;
+  return bench::exit_status(bench::write_result_file("fig8_ci_speedup.csv", csv.str()));
 }

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   const bench::ObsSession obs_session(argc, argv, "fig9_factor_sweep");
 
   throttle::Runner runner(bench::max_l1d_arch());
+  runner.sim_options.sched = bench::sched_from_args(argc, argv);
   CsvWriter csv({"app", "factor", "active_warps_frac", "normalized_time", "is_catt_pick",
                  "is_best"});
 
@@ -74,8 +75,5 @@ int main(int argc, char** argv) {
       "paper shape: for regular apps the star sits at the sweep minimum; for irregular\n"
       "apps (PF#1, BFS#1, CFD#3) the optimum can deviate because contention fluctuates\n"
       "within the loop (Section 5.1.2).\n");
-  if (const auto st = bench::write_result_file("fig9_factor_sweep.csv", csv.str()); !st) {
-    std::fprintf(stderr, "[bench] %s\n", st.message.c_str());
-  }
-  return 0;
+  return bench::exit_status(bench::write_result_file("fig9_factor_sweep.csv", csv.str()));
 }

@@ -113,8 +113,5 @@ int main(int argc, char** argv) {
               static_cast<long long>(catt_res.total_cycles),
               bench::speedup(base_res.total_cycles, catt_res.total_cycles));
 
-  if (const auto st = bench::write_result_file("fig_phase_timeline.csv", csv.str()); !st) {
-    std::fprintf(stderr, "[bench] %s\n", st.message.c_str());
-  }
-  return 0;
+  return bench::exit_status(bench::write_result_file("fig_phase_timeline.csv", csv.str()));
 }

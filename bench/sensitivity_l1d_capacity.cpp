@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   auto run_row = [&](const std::string& label, const arch::GpuArch& gpu_arch,
                      std::size_t cap_kib) {
     throttle::Runner runner(gpu_arch);
+    runner.sim_options.sched = bench::sched_from_args(argc, argv);
     std::vector<double> speedups;
     auto& r = table.row().cell(label);
     for (const auto& name : apps) {
@@ -52,8 +53,5 @@ int main(int argc, char** argv) {
       "L1D capacity sensitivity — CATT speedup over baseline per capacity\n"
       "(Section 5.1.3: throttling should matter more as the L1D shrinks)\n\n%s\n",
       table.str().c_str());
-  if (const auto st = bench::write_result_file("sensitivity_l1d_capacity.csv", csv.str()); !st) {
-    std::fprintf(stderr, "[bench] %s\n", st.message.c_str());
-  }
-  return 0;
+  return bench::exit_status(bench::write_result_file("sensitivity_l1d_capacity.csv", csv.str()));
 }

@@ -29,6 +29,8 @@ int main(int argc, char** argv) {
   const bench::ObsSession obs_session(argc, argv, "table3_tlp_selection");
   throttle::Runner r32(bench::small_l1d_arch());
   throttle::Runner rmax(bench::max_l1d_arch());
+  r32.sim_options.sched = bench::sched_from_args(argc, argv);
+  rmax.sim_options.sched = r32.sim_options.sched;
 
   TextTable table({"app", "kernel", "loop", "baseline", "32K BFTT", "32K CATT", "max BFTT",
                    "max CATT"});
@@ -90,8 +92,5 @@ int main(int argc, char** argv) {
       "paper shape: BFTT picks one pair per app; CATT differs per loop — e.g. ATAX#1's\n"
       "divergent loop is throttled while ATAX#2 keeps the baseline; irregular apps (BFS,\n"
       "CFD) and CORR stay at baseline everywhere.\n");
-  if (const auto st = bench::write_result_file("table3_tlp_selection.csv", csv.str()); !st) {
-    std::fprintf(stderr, "[bench] %s\n", st.message.c_str());
-  }
-  return 0;
+  return bench::exit_status(bench::write_result_file("table3_tlp_selection.csv", csv.str()));
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates the golden CSVs under tests/golden/ after an intentional
+# behaviour or schema change. Rebuilds golden_test and reruns it in update
+# mode; review the resulting `git diff tests/golden/` before committing.
+#
+# Usage: scripts/update_goldens.sh [build-dir]   (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+if [ ! -d "$build_dir" ]; then
+  cmake -B "$build_dir" -S "$repo_root"
+fi
+cmake --build "$build_dir" --target golden_test -j "$(nproc)"
+
+CATT_UPDATE_GOLDENS=1 "$build_dir/tests/golden_test"
+
+echo
+echo "goldens rewritten under tests/golden/ — review with: git diff tests/golden/"

@@ -54,8 +54,8 @@ std::optional<std::int64_t> Cache::probe_load(std::uint64_t line_addr, std::int6
   return ready;
 }
 
-void Cache::insert(std::uint64_t line_addr, std::int64_t ready_at) {
-  if (num_sets_ == 0) return;
+std::uint64_t Cache::insert(std::uint64_t line_addr, std::int64_t ready_at) {
+  if (num_sets_ == 0) return kNoVictim;
   const int set = set_of(line_addr);
   const int w = find_in_set(line_addr, set);
   if (w >= 0) {
@@ -63,23 +63,21 @@ void Cache::insert(std::uint64_t line_addr, std::int64_t ready_at) {
                        static_cast<std::size_t>(w)];
     m.ready_at = std::min(m.ready_at, ready_at);
     if (repl_ == Replacement::kLru) m.lru = ++lru_clock_;
-    return;
+    return kNoVictim;
   }
-  fill_victim(line_addr, ready_at, set);
+  return fill_victim(line_addr, ready_at, set);
 }
 
-void Cache::insert(std::uint64_t line_addr, std::int64_t ready_at, const SetHint& hint) {
-  if (num_sets_ == 0) return;
+std::uint64_t Cache::insert(std::uint64_t line_addr, std::int64_t ready_at,
+                            const SetHint& hint) {
+  if (num_sets_ == 0) return kNoVictim;
   // The probe that produced the hint established the line is absent, so
   // go straight to victim selection in the probed set.
-  if (hint.set < 0) {
-    insert(line_addr, ready_at);
-    return;
-  }
-  fill_victim(line_addr, ready_at, hint.set);
+  if (hint.set < 0) return insert(line_addr, ready_at);
+  return fill_victim(line_addr, ready_at, hint.set);
 }
 
-void Cache::fill_victim(std::uint64_t line_addr, std::int64_t ready_at, int set) {
+std::uint64_t Cache::fill_victim(std::uint64_t line_addr, std::int64_t ready_at, int set) {
   const std::size_t base = static_cast<std::size_t>(set) * static_cast<std::size_t>(assoc_);
   std::uint32_t* tags = tags_.data() + base;
   int victim = -1;
@@ -106,10 +104,12 @@ void Cache::fill_victim(std::uint64_t line_addr, std::int64_t ready_at, int set)
       }
     }
   }
+  const std::uint32_t displaced = tags[victim];
   tags[victim] = tag_of(line_addr);
   WayMeta& m = meta_[base + static_cast<std::size_t>(victim)];
   m.ready_at = ready_at;
   if (repl_ == Replacement::kLru) m.lru = ++lru_clock_;
+  return displaced == kInvalidTag ? kNoVictim : static_cast<std::uint64_t>(displaced);
 }
 
 bool Cache::note_store(std::uint64_t line_addr) {

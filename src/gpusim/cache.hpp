@@ -96,12 +96,18 @@ class Cache {
     return kProbeMiss;
   }
 
-  /// Installs a line whose fill completes at `ready_at` (LRU victim is
-  /// evicted). No-op for a disabled cache.
-  void insert(std::uint64_t line_addr, std::int64_t ready_at);
+  /// insert() return value when nothing was displaced (empty way filled,
+  /// line already present, or disabled cache).
+  static constexpr std::uint64_t kNoVictim = ~0ULL;
+
+  /// Installs a line whose fill completes at `ready_at`. Returns the line
+  /// address of the evicted victim, or kNoVictim when nothing was evicted
+  /// (tags are the full line address, so the displaced tag round-trips).
+  /// No-op for a disabled cache.
+  std::uint64_t insert(std::uint64_t line_addr, std::int64_t ready_at);
   /// Hinted variant for the probe-miss path: reuses the probed set index
   /// and skips the already-present scan the probe just performed.
-  void insert(std::uint64_t line_addr, std::int64_t ready_at, const SetHint& hint);
+  std::uint64_t insert(std::uint64_t line_addr, std::int64_t ready_at, const SetHint& hint);
 
   /// Write-through, no-allocate store: updates stats and refreshes LRU if
   /// the line is present. Returns true if the line was present.
@@ -181,7 +187,7 @@ class Cache {
   }
   /// Way index of `line_addr` in `set`, or -1 when absent.
   int find_in_set(std::uint64_t line_addr, int set) const;
-  void fill_victim(std::uint64_t line_addr, std::int64_t ready_at, int set);
+  std::uint64_t fill_victim(std::uint64_t line_addr, std::int64_t ready_at, int set);
 
   std::size_t capacity_;
   int line_bytes_;

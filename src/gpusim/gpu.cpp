@@ -16,7 +16,12 @@
 namespace catt::sim {
 
 std::uint64_t SimOptions::fingerprint() const {
-  return hash::Fnv1a{}.b(collect_request_trace).i32(tb_cap).value();
+  hash::Fnv1a h;
+  h.b(collect_request_trace).i32(tb_cap);
+  // Folded only when a policy is active: a "none" config must hash
+  // identically to a pre-seam SimOptions (memoized results stay valid).
+  if (sched.enabled()) h.u64(sched.fingerprint());
+  return h.value();
 }
 
 Gpu::Gpu(const arch::GpuArch& arch, DeviceMemory& mem)
@@ -255,7 +260,8 @@ void aggregate_sm_stats(KernelStats& stats, const std::vector<SmT>& sms) {
 template <typename SmT>
 std::vector<SmT> make_sms(const arch::GpuArch& arch, MemorySystem& memsys,
                           const occupancy::Occupancy& occ, bool collect_request_trace,
-                          SeriesAccum& series, const obs::SimTraceCtx* trace) {
+                          SeriesAccum& series, const obs::SimTraceCtx* trace,
+                          const std::vector<std::unique_ptr<sched::SchedPolicy>>& policies) {
   // Fine-grained events (per-issue, miss lifetimes) only exist at trace
   // level >= 2; passing null otherwise keeps the per-issue gate a single
   // pointer test.
@@ -263,10 +269,27 @@ std::vector<SmT> make_sms(const arch::GpuArch& arch, MemorySystem& memsys,
   std::vector<SmT> sms;
   sms.reserve(static_cast<std::size_t>(arch.num_sms));
   for (int i = 0; i < arch.num_sms; ++i) {
+    sched::SchedPolicy* policy =
+        policies.empty() ? nullptr : policies[static_cast<std::size_t>(i)].get();
     sms.emplace_back(arch, memsys, occ.l1d_bytes, occ.tbs_per_sm, occ.warps_per_tb,
-                     (collect_request_trace && i == 0) ? &series : nullptr, fine, i);
+                     (collect_request_trace && i == 0) ? &series : nullptr, fine, i, policy);
   }
   return sms;
+}
+
+/// Sums per-SM PolicyStats into KernelStats (throttle_level takes the max
+/// final level — a per-SM gauge, not an additive counter).
+void aggregate_policy_stats(KernelStats& stats,
+                            const std::vector<std::unique_ptr<sched::SchedPolicy>>& policies) {
+  for (const auto& p : policies) {
+    const sched::PolicyStats& ps = p->stats();
+    stats.sched_vetoes += ps.vetoes;
+    stats.sched_victim_tag_hits += ps.victim_tag_hits;
+    stats.sched_updates += ps.updates;
+    stats.sched_throttle_level = std::max(stats.sched_throttle_level, ps.throttle_level);
+    stats.sched_paused_tbs += ps.paused_tbs;
+    stats.sched_max_paused_tbs += ps.max_paused_tbs;
+  }
 }
 
 }  // namespace
@@ -313,14 +336,22 @@ KernelStats Gpu::run(const LaunchSpec& spec, const SimOptions& opts) {
   stats.kernel_name = spec.kernel->name;
   stats.occ = occ;
 
+  // One policy instance per SM (per-SM state: victim tags, TB pause
+  // bits); empty when disabled so the engines get null pointers.
+  std::vector<std::unique_ptr<sched::SchedPolicy>> policies;
+  if (opts.sched.enabled()) {
+    policies.reserve(static_cast<std::size_t>(arch_.num_sms));
+    for (int i = 0; i < arch_.num_sms; ++i) policies.push_back(sched::make_policy(opts.sched));
+  }
+
   if (opts.use_stepped_reference) {
-    std::vector<SmRef> sms =
-        make_sms<SmRef>(arch_, memsys_, occ, opts.collect_request_trace, series, trace);
+    std::vector<SmRef> sms = make_sms<SmRef>(arch_, memsys_, occ, opts.collect_request_trace,
+                                             series, trace, policies);
     stats.cycles = run_stepped_loop(sms, interp, spec, num_blocks, trace_gen, trace);
     aggregate_sm_stats(stats, sms);
   } else {
     std::vector<Sm> sms =
-        make_sms<Sm>(arch_, memsys_, occ, opts.collect_request_trace, series, trace);
+        make_sms<Sm>(arch_, memsys_, occ, opts.collect_request_trace, series, trace, policies);
     // The interval sampler only exists for the event-driven engine: it
     // piggybacks on calendar pops, and the stepped reference is a
     // test-only oracle whose results must stay untouched by hooks.
@@ -336,6 +367,7 @@ KernelStats Gpu::run(const LaunchSpec& spec, const SimOptions& opts) {
     aggregate_sm_stats(stats, sms);
   }
 
+  aggregate_policy_stats(stats, policies);
   stats.l2 = memsys_.l2_stats();
   stats.dram_lines = memsys_.dram_lines();
   if (opts.collect_request_trace) stats.request_trace = series.points();
@@ -353,6 +385,15 @@ KernelStats Gpu::run(const LaunchSpec& spec, const SimOptions& opts) {
     reg.add(reg.counter("sim.warps_scanned"), stats.warps_scanned);
     reg.add(reg.counter("sim.warps_issued"), stats.warp_insts);
     reg.add(reg.counter("sim.queue_pops"), stats.queue_pops);
+    if (opts.sched.enabled()) {
+      reg.add(reg.counter("sim.sched.vetoes"), stats.sched_vetoes);
+      reg.add(reg.counter("sim.sched.victim_tag_hits"), stats.sched_victim_tag_hits);
+      reg.add(reg.counter("sim.sched.updates"), stats.sched_updates);
+      reg.set(reg.gauge("sim.sched.throttle_level"),
+              static_cast<std::uint64_t>(stats.sched_throttle_level));
+      reg.set(reg.gauge("sim.sched.paused_tbs"),
+              static_cast<std::uint64_t>(stats.sched_paused_tbs));
+    }
   }
 
   if (prof::enabled()) {

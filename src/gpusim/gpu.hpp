@@ -13,6 +13,7 @@
 #include "gpusim/cache.hpp"
 #include "gpusim/dedup.hpp"
 #include "gpusim/memory.hpp"
+#include "gpusim/sched/policy.hpp"
 #include "gpusim/series.hpp"
 #include "gpusim/sm.hpp"
 #include "ir/ir.hpp"
@@ -37,6 +38,12 @@ struct SimOptions {
   /// Cap resident TBs per SM below the occupancy result (0 = no cap);
   /// used by throttling policies that limit TBs without code changes.
   int tb_cap = 0;
+
+  /// Runtime scheduler policy (the hardware-dynamic throttling baselines:
+  /// CCWS-style warp throttling, DYNCTA-style TB pausing). kNone installs
+  /// no policy object at all — the engines run their pre-seam code path
+  /// and the fingerprint is unchanged (pinned by tests/golden_test.cpp).
+  sched::PolicyConfig sched;
 
   /// Skip functional global-memory effects for trace-pure kernels (the
   /// runner sets this when nothing downstream observes memory contents).
@@ -64,7 +71,8 @@ struct SimOptions {
   /// EXCLUDED: the first three are pure execution-strategy switches that
   /// cannot change any collected output, and observability must never
   /// perturb memoization keys (runner_test pins trace-on/off CSVs
-  /// byte-identical through the cache).
+  /// byte-identical through the cache). `sched` folds in only when
+  /// enabled, so a "none" config hashes identically to pre-seam builds.
   std::uint64_t fingerprint() const;
 };
 
@@ -84,6 +92,15 @@ struct KernelStats {
   std::uint64_t sm_steps = 0;
   std::uint64_t warps_scanned = 0;
   std::uint64_t queue_pops = 0;
+  /// Scheduler-policy telemetry (all zero when SimOptions::sched is
+  /// "none"): summed PolicyStats over SMs, except throttle_level which is
+  /// the maximum final level across SMs.
+  std::uint64_t sched_vetoes = 0;
+  std::uint64_t sched_victim_tag_hits = 0;
+  std::uint64_t sched_updates = 0;
+  int sched_throttle_level = 0;
+  int sched_paused_tbs = 0;
+  int sched_max_paused_tbs = 0;
   occupancy::Occupancy occ;
   /// Figure 2 series: mean coalesced requests per load instruction, over
   /// dynamic instruction sequence (bucketed).

@@ -1,0 +1,140 @@
+// Runtime thread-throttling scheduler policies (the hardware-dynamic
+// baselines the paper argues against, Section 2.2): a SchedPolicy instance
+// per SM is consulted by both timing engines (Sm, SmRef) at their issue
+// points and fed L1D access/eviction events by the shared SmDatapath.
+//
+// Three policies:
+//  * none   — no policy object is created at all; the engines' scheduling
+//             code path is bit-identical to a build without the seam
+//             (pinned by tests/golden_test.cpp and runner_test.cpp).
+//  * ccws   — CCWS-style lost-locality scoring (Rogers et al., MICRO'12):
+//             each warp owns a small victim-tag array sampled from L1D
+//             evictions of lines it brought in; a miss that hits the
+//             warp's own victim tags means intra-warp locality was lost
+//             to contention and bumps the warp's score. At every update
+//             interval the warps are ranked by score and the active-warp
+//             set is cut off where the cumulative score exceeds the
+//             baseline budget — high scorers keep the cache, the rest are
+//             throttled.
+//  * dyncta — DYNCTA-style CTA pausing (Kayiran et al., PACT'13): a
+//             per-SM controller samples the L1D hit rate and the ready-
+//             warp count each interval and pauses/resumes whole resident
+//             thread blocks (youngest first) to steer the active TB count
+//             toward the contention sweet spot.
+//
+// Decisions depend only on simulated state (cycle counts, cache events),
+// so every policy is deterministic across repeated runs and across exec
+// pool sizes (pinned by runner_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace catt::sim {
+struct CacheStats;
+}
+
+namespace catt::sim::sched {
+
+enum class Kind : std::uint8_t { kNone, kCcws, kDyncta };
+
+const char* to_string(Kind k);
+
+/// Value-type policy selection + knobs; lives in SimOptions. Only the
+/// fields of the selected kind are part of fingerprint()/str(), so two
+/// configs that simulate identically always hash identically.
+struct PolicyConfig {
+  Kind kind = Kind::kNone;
+
+  /// Cycles between controller re-evaluations (both dynamic policies).
+  std::int64_t update_interval = 2048;
+
+  // --- CCWS knobs ---
+  int ccws_victim_tags = 8;   // victim-tag entries per warp
+  int ccws_hit_score = 64;    // score bump on a victim-tag hit
+  int ccws_decay = 8;         // score decay per update interval
+  int ccws_base_score = 32;   // per-warp budget contribution and score floor
+  int ccws_min_active = 2;    // never throttle below this many warps
+
+  // --- DYNCTA knobs ---
+  double dyncta_low_hit = 0.55;   // interval hit rate below which a TB pauses
+  double dyncta_high_hit = 0.90;  // interval hit rate above which a TB resumes
+  int dyncta_min_tbs = 1;         // active TBs never drop below this
+
+  bool enabled() const { return kind != Kind::kNone; }
+
+  /// Parses "none" | "ccws" | "dyncta", optionally followed by
+  /// ":key=value,..." knob overrides (e.g. "ccws:interval=4096,tags=16").
+  /// Throws catt::SimError on unknown names/keys.
+  static PolicyConfig parse(const std::string& spec);
+
+  /// Canonical spec string: "none", or "<kind>:interval=...,..." with every
+  /// knob of the active kind spelled out.
+  std::string str() const;
+
+  /// Stable content hash of the *active* knobs (0 when disabled, so a
+  /// "none" config never perturbs SimOptions::fingerprint()).
+  std::uint64_t fingerprint() const;
+};
+
+/// Per-launch throttling telemetry, aggregated over SMs into KernelStats
+/// and the obs registry (sim.sched.* counters).
+struct PolicyStats {
+  std::uint64_t vetoes = 0;           // issue opportunities denied
+  std::uint64_t victim_tag_hits = 0;  // CCWS lost-locality detections
+  std::uint64_t updates = 0;          // controller re-evaluations
+  int throttle_level = 0;             // final active-warp cap (ccws) / active TBs (dyncta)
+  int paused_tbs = 0;                 // currently paused TBs (dyncta)
+  int max_paused_tbs = 0;             // high-water mark of paused TBs
+};
+
+/// One instance per SM; single-threaded (a Gpu and its SMs live on one
+/// simulation thread). All virtual calls are gated behind a null check in
+/// the engines, so the "none" configuration pays nothing.
+class SchedPolicy {
+ public:
+  static constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
+
+  virtual ~SchedPolicy() = default;
+
+  /// Lifecycle feedback from the engine.
+  virtual void on_warp_admitted(int warp, int tb) = 0;
+  virtual void on_warp_done(int warp, int tb) = 0;
+
+  /// L1D datapath feedback (called by SmDatapath for load probes).
+  virtual void on_l1_access(int warp, std::uint64_t line, bool hit) {
+    (void)warp;
+    (void)line;
+    (void)hit;
+  }
+  virtual void on_l1_evict(std::uint64_t line) { (void)line; }
+
+  /// Controller re-evaluation; the engine calls this at the top of step()
+  /// whenever `now >= next_update_time()`. `l1` is the SM's cumulative L1D
+  /// stats, `ready_warps` the instantaneous issuable-warp count.
+  virtual void update(std::int64_t now, const CacheStats& l1, std::uint64_t ready_warps) = 0;
+
+  /// Earliest cycle at which a currently-vetoed warp may become eligible
+  /// again. The engines fold this into their next-wake computation so a
+  /// fully-throttled SM is re-stepped exactly at the next update.
+  virtual std::int64_t next_update_time() const = 0;
+
+  /// May warp `warp` of TB `tb` issue now? Engines exempt TBs with a warp
+  /// waiting at a barrier (barrier release must never be throttled), so
+  /// policies need no barrier awareness. A denial is counted in stats().
+  virtual bool may_issue(int warp, int tb) = 0;
+
+  const PolicyStats& stats() const { return stats_; }
+
+ protected:
+  PolicyStats stats_;
+};
+
+/// Factory; cfg.kind must not be kNone (the seam's "none" is a null
+/// pointer, not a pass-through object).
+std::unique_ptr<SchedPolicy> make_policy(const PolicyConfig& cfg);
+
+}  // namespace catt::sim::sched

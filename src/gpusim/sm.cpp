@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "common/error.hpp"
+#include "gpusim/sched/policy.hpp"
 #include "obs/trace.hpp"
 
 namespace catt::sim {
@@ -56,7 +57,8 @@ std::int64_t SmDatapath::mshr_load(std::uint64_t line, std::int64_t t_issue, int
   const std::int64_t line_done = memsys_.load(line, t_mshr + arch_.timing.l1_hit_latency, sectors);
   mshr_ring_[mshr_next_] = line_done;
   if (++mshr_next_ == mshr_ring_.size()) mshr_next_ = 0;
-  l1_.insert(line, line_done, hint);
+  const std::uint64_t victim = l1_.insert(line, line_done, hint);
+  if (policy_ != nullptr && victim != Cache::kNoVictim) policy_->on_l1_evict(victim);
   if (trace_ != nullptr) {
     // Miss lifetime: issue through fill completion, one span per L1 miss.
     trace_->complete(trace_->id_miss, static_cast<std::uint32_t>(sm_index_), t_issue,
@@ -65,7 +67,8 @@ std::int64_t SmDatapath::mshr_load(std::uint64_t line, std::int64_t t_issue, int
   return line_done;
 }
 
-std::int64_t SmDatapath::exec_mem(const WarpTrace& t, std::size_t pc, std::int64_t now) {
+std::int64_t SmDatapath::exec_mem(const WarpTrace& t, std::size_t pc, std::int64_t now,
+                                  int warp) {
   const std::uint32_t n = t.txn_count(pc);
   const bool is_store = t.is_store(pc);
   ++stats.mem_insts;
@@ -83,6 +86,7 @@ std::int64_t SmDatapath::exec_mem(const WarpTrace& t, std::size_t pc, std::int64
     lsu_next_free_ = t_issue + arch_.timing.lsu_issue_interval;
     Cache::SetHint hint;
     const std::int64_t hit = l1_.probe_load_fast(txn.line, t_issue, hint);
+    if (policy_ != nullptr) policy_->on_l1_access(warp, txn.line, hit != Cache::kProbeMiss);
     const std::int64_t line_done =
         hit != Cache::kProbeMiss ? hit + arch_.timing.l1_hit_latency
                                  : mshr_load(txn.line, t_issue, txn.sectors, hint);
@@ -106,6 +110,7 @@ std::int64_t SmDatapath::exec_mem(const WarpTrace& t, std::size_t pc, std::int64
     }
     Cache::SetHint hint;
     const std::int64_t hit = l1_.probe_load_fast(txn.line, t_issue, hint);
+    if (policy_ != nullptr) policy_->on_l1_access(warp, txn.line, hit != Cache::kProbeMiss);
     const std::int64_t line_done = hit != Cache::kProbeMiss
                                        ? hit + arch_.timing.l1_hit_latency
                                        : mshr_load(txn.line, t_issue, txn.sectors, hint);
@@ -129,13 +134,22 @@ struct WakeLater {
 
 Sm::Sm(const arch::GpuArch& arch, MemorySystem& memsys, std::size_t l1_bytes,
        int max_resident_tbs, int warps_per_tb, SeriesAccum* request_series,
-       const obs::SimTraceCtx* trace, int sm_index)
+       const obs::SimTraceCtx* trace, int sm_index, sched::SchedPolicy* policy)
     : arch_(arch),
       path_(arch, memsys, l1_bytes, request_series, trace, sm_index),
       trace_(trace),
       sm_index_(sm_index),
+      policy_(policy),
       free_slots_(max_resident_tbs),
-      warps_per_tb_(warps_per_tb) {}
+      warps_per_tb_(warps_per_tb) {
+  path_.set_policy(policy);
+}
+
+bool Sm::policy_allows(const WarpCtx& w, int wi) {
+  if (policy_ == nullptr) return true;
+  if (tbs_[static_cast<std::size_t>(w.tb)].at_barrier > 0) return true;
+  return policy_->may_issue(wi, w.tb);
+}
 
 void Sm::push_wake(int wi) {
   wake_.push_back({warps_[static_cast<std::size_t>(wi)].ready_at, wi});
@@ -163,6 +177,7 @@ void Sm::admit_tb(std::vector<WarpTrace> traces, std::int64_t now) {
     warps_.push_back(std::move(w));
     push_wake(wi);
     ++active_warps_;
+    if (policy_ != nullptr) policy_->on_warp_admitted(wi, tb_id);
   }
   tbs_.push_back(std::move(tb));
 }
@@ -222,6 +237,9 @@ std::int64_t Sm::next_ready_time() const {
 
 int Sm::step(std::int64_t now, std::int64_t* next_ready) {
   ++path_.stats.sm_steps;
+  if (policy_ != nullptr && now >= policy_->next_update_time()) {
+    policy_->update(now, path_.l1_stats(), issuable_warps(now));
+  }
   drain_wake(now);
   int issued = 0;
   for (int slot = 0; slot < arch_.schedulers_per_sm; ++slot) {
@@ -231,7 +249,10 @@ int Sm::step(std::int64_t now, std::int64_t* next_ready) {
     int pick = -1;
     if (greedy_warp_ >= 0) {
       ++path_.stats.warps_scanned;
-      if (issuable(warps_[static_cast<std::size_t>(greedy_warp_)], now)) pick = greedy_warp_;
+      if (issuable(warps_[static_cast<std::size_t>(greedy_warp_)], now) &&
+          policy_allows(warps_[static_cast<std::size_t>(greedy_warp_)], greedy_warp_)) {
+        pick = greedy_warp_;
+      }
     }
     if (pick < 0) {
       while (!ready_.empty()) {
@@ -242,10 +263,16 @@ int Sm::step(std::int64_t now, std::int64_t* next_ready) {
         // Entries go stale when the warp issued through the greedy path
         // since its wake-up fired; pops either consume or discard, so
         // stale entries never linger.
-        if (issuable(warps_[static_cast<std::size_t>(wi)], now)) {
-          pick = wi;
-          break;
+        if (!issuable(warps_[static_cast<std::size_t>(wi)], now)) continue;
+        if (!policy_allows(warps_[static_cast<std::size_t>(wi)], wi)) {
+          // Vetoed, not stale: park it and restore it to ready_ below so
+          // the cover invariant (every future-issuable warp is findable)
+          // survives throttling.
+          vetoed_.push_back(wi);
+          continue;
         }
+        pick = wi;
+        break;
       }
     }
     if (pick < 0) break;
@@ -253,13 +280,27 @@ int Sm::step(std::int64_t now, std::int64_t* next_ready) {
     issue(warps_[static_cast<std::size_t>(pick)], now);
     ++issued;
   }
+  const bool had_vetoes = !vetoed_.empty();
+  for (const int wi : vetoed_) {
+    ready_.push_back(wi);
+    std::push_heap(ready_.begin(), ready_.end(), std::greater<int>{});
+  }
+  vetoed_.clear();
   // Next cycle this SM can issue: every warp that will ever be issuable
   // again sits in ready_ (issuable now, so again at now+1 — entries may
   // be stale, which only costs one no-op step) or in wake_ (blocked, and
   // barrier releases push wakes synchronously with the issue that
   // completes the barrier). Idle cycles in between have no side effects,
-  // so the caller can jump straight to this time.
-  if (next_ready != nullptr) *next_ready = ready_.empty() ? wake_min() : now + 1;
+  // so the caller can jump straight to this time. A fully-vetoed step
+  // instead sleeps until the policy's next re-evaluation (or an earlier
+  // wake-up), so a throttled SM is not re-stepped every cycle.
+  if (next_ready != nullptr) {
+    if (issued == 0 && had_vetoes) {
+      *next_ready = std::min(wake_min(), policy_->next_update_time());
+    } else {
+      *next_ready = ready_.empty() ? wake_min() : now + 1;
+    }
+  }
   return issued;
 }
 
@@ -280,19 +321,22 @@ void Sm::issue(WarpCtx& w, std::int64_t now) {
       return;
     }
     case EventKind::kMem: {
+      const int wi = static_cast<int>(&w - warps_.data());
       w.state = WarpState::kBlocked;
-      w.ready_at = path_.exec_mem(w.trace, pc, now);
-      push_wake(static_cast<int>(&w - warps_.data()));
+      w.ready_at = path_.exec_mem(w.trace, pc, now, wi);
+      push_wake(wi);
       return;
     }
     case EventKind::kBarrier: {
       ++path_.stats.barriers;
       w.state = WarpState::kAtBarrier;
+      ++tbs_[static_cast<std::size_t>(w.tb)].at_barrier;
       maybe_release_barrier(w.tb, now);
       return;
     }
     case EventKind::kEnd: {
       w.state = WarpState::kDone;
+      if (policy_ != nullptr) policy_->on_warp_done(static_cast<int>(&w - warps_.data()), w.tb);
       --active_warps_;
       // Release the trace storage; finished warps are never replayed (the
       // block's shared txn pool dies with its last warp).
@@ -323,6 +367,7 @@ void Sm::maybe_release_barrier(int tb_id, std::int64_t now) {
     if (w.state == WarpState::kAtBarrier) {
       w.state = WarpState::kBlocked;
       w.ready_at = now + 2;
+      --tb.at_barrier;
       push_wake(wi);
     }
   }

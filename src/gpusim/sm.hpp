@@ -26,6 +26,10 @@ namespace catt::obs {
 struct SimTraceCtx;
 }
 
+namespace catt::sim::sched {
+class SchedPolicy;
+}
+
 namespace catt::sim {
 
 /// Shared L2 + DRAM with bandwidth cursors. One instance serves all SMs,
@@ -95,9 +99,14 @@ class SmDatapath {
     mshr_ring_.assign(static_cast<std::size_t>(std::max(1, arch.l1_mshrs)), 0);
   }
 
-  /// Executes the kMem trace event `pc` of `t` issued at cycle `now` and
-  /// returns the cycle the warp may proceed.
-  std::int64_t exec_mem(const WarpTrace& t, std::size_t pc, std::int64_t now);
+  /// Executes the kMem trace event `pc` of `t` issued at cycle `now` by
+  /// warp `warp` and returns the cycle the warp may proceed. The warp index
+  /// only feeds the (optional) scheduling policy's L1 feedback.
+  std::int64_t exec_mem(const WarpTrace& t, std::size_t pc, std::int64_t now, int warp = -1);
+
+  /// Optional throttling policy fed by L1D access/eviction events. Null
+  /// (the default) means no feedback calls at all on the hot path.
+  void set_policy(sched::SchedPolicy* p) { policy_ = p; }
 
   const CacheStats& l1_stats() const { return l1_.stats(); }
 
@@ -119,6 +128,7 @@ class SmDatapath {
   const arch::GpuArch& arch_;
   MemorySystem& memsys_;
   Cache l1_;
+  sched::SchedPolicy* policy_ = nullptr;
   SeriesAccum* request_series_;
   const obs::SimTraceCtx* trace_;
   int sm_index_;
@@ -138,7 +148,8 @@ class Sm {
 
   Sm(const arch::GpuArch& arch, MemorySystem& memsys, std::size_t l1_bytes, int max_resident_tbs,
      int warps_per_tb, SeriesAccum* request_series = nullptr,
-     const obs::SimTraceCtx* trace = nullptr, int sm_index = 0);
+     const obs::SimTraceCtx* trace = nullptr, int sm_index = 0,
+     sched::SchedPolicy* policy = nullptr);
 
   bool has_free_slot() const { return free_slots_ > 0; }
 
@@ -180,6 +191,10 @@ class Sm {
   struct TbCtx {
     std::vector<int> warps;
     int live_warps = 0;
+    /// Warps currently parked at a __syncthreads(); a TB with any is
+    /// exempt from policy vetoes (a throttled warp must still be able to
+    /// reach and release the barrier its siblings wait on).
+    int at_barrier = 0;
     bool active = false;
   };
 
@@ -194,6 +209,9 @@ class Sm {
   bool issuable(const WarpCtx& w, std::int64_t now) const {
     return (w.state == WarpState::kReady || w.state == WarpState::kBlocked) && w.ready_at <= now;
   }
+  /// Veto check for an issuable warp: true when no policy is installed,
+  /// the warp's TB holds a barrier exemption, or the policy allows it.
+  bool policy_allows(const WarpCtx& w, int wi);
   void push_wake(int wi);
   void drain_wake(std::int64_t now);
   std::int64_t wake_min();
@@ -217,6 +235,11 @@ class Sm {
   /// against the warp's live state on pop, so stale entries are discarded,
   /// never retained.
   std::vector<int> ready_;
+  /// Optional throttling policy (null = seamless pre-seam behaviour).
+  sched::SchedPolicy* policy_;
+  /// Scratch: warps popped off ready_ this step but vetoed by the policy;
+  /// re-pushed after the pick loop so the ready cover invariant holds.
+  std::vector<int> vetoed_;
   int free_slots_;
   int warps_per_tb_;
   int active_warps_ = 0;

@@ -3,16 +3,37 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "gpusim/sched/policy.hpp"
 
 namespace catt::sim {
 
 SmRef::SmRef(const arch::GpuArch& arch, MemorySystem& memsys, std::size_t l1_bytes,
              int max_resident_tbs, int warps_per_tb, SeriesAccum* request_series,
-             const obs::SimTraceCtx* trace, int sm_index)
+             const obs::SimTraceCtx* trace, int sm_index, sched::SchedPolicy* policy)
     : arch_(arch),
       path_(arch, memsys, l1_bytes, request_series, trace, sm_index),
+      policy_(policy),
       free_slots_(max_resident_tbs),
-      warps_per_tb_(warps_per_tb) {}
+      warps_per_tb_(warps_per_tb) {
+  path_.set_policy(policy);
+}
+
+bool SmRef::policy_allows(const WarpCtx& w, int wi) {
+  if (policy_ == nullptr) return true;
+  if (tbs_[static_cast<std::size_t>(w.tb)].at_barrier > 0) return true;
+  return policy_->may_issue(wi, w.tb);
+}
+
+std::uint64_t SmRef::issuable_warps(std::int64_t now) const {
+  std::uint64_t n = 0;
+  for (const int wi : live_) {
+    const WarpCtx& w = warps_[static_cast<std::size_t>(wi)];
+    n += (w.state == WarpState::kReady || w.state == WarpState::kBlocked) && w.ready_at <= now
+             ? 1
+             : 0;
+  }
+  return n;
+}
 
 void SmRef::admit_tb(std::vector<WarpTrace> traces, std::int64_t now) {
   if (free_slots_ <= 0) throw SimError("admit_tb with no free slot");
@@ -30,10 +51,12 @@ void SmRef::admit_tb(std::vector<WarpTrace> traces, std::int64_t now) {
     w.state = WarpState::kBlocked;
     w.ready_at = now + 1;  // launch latency
     w.tb = tb_id;
-    tb.warps.push_back(static_cast<int>(warps_.size()));
-    live_.push_back(static_cast<int>(warps_.size()));
+    const int wi = static_cast<int>(warps_.size());
+    tb.warps.push_back(wi);
+    live_.push_back(wi);
     warps_.push_back(std::move(w));
     ++active_warps_;
+    if (policy_ != nullptr) policy_->on_warp_admitted(wi, tb_id);
   }
   tbs_.push_back(std::move(tb));
 }
@@ -51,6 +74,9 @@ std::int64_t SmRef::next_ready_time() const {
 
 int SmRef::step(std::int64_t now, std::int64_t* next_ready) {
   ++path_.stats.sm_steps;
+  if (policy_ != nullptr && now >= policy_->next_update_time()) {
+    policy_->update(now, path_.l1_stats(), issuable_warps(now));
+  }
   int issued = 0;
   for (int slot = 0; slot < arch_.schedulers_per_sm; ++slot) {
     // Greedy-then-oldest: keep the last issued warp as long as it is
@@ -59,7 +85,8 @@ int SmRef::step(std::int64_t now, std::int64_t* next_ready) {
     if (greedy_warp_ >= 0) {
       ++path_.stats.warps_scanned;
       WarpCtx& g = warps_[static_cast<std::size_t>(greedy_warp_)];
-      if ((g.state == WarpState::kReady || g.state == WarpState::kBlocked) && g.ready_at <= now) {
+      if ((g.state == WarpState::kReady || g.state == WarpState::kBlocked) && g.ready_at <= now &&
+          policy_allows(g, greedy_warp_)) {
         pick = greedy_warp_;
       }
     }
@@ -67,17 +94,27 @@ int SmRef::step(std::int64_t now, std::int64_t* next_ready) {
       // One pass doubles as the wake-up computation: if no warp is ready
       // the minimum ready_at seen is exactly next_ready_time().
       std::int64_t soonest = kNever;
+      bool vetoed_any = false;
       for (int wi : live_) {
         WarpCtx& w = warps_[static_cast<std::size_t>(wi)];
         ++path_.stats.warps_scanned;
         if (w.state != WarpState::kReady && w.state != WarpState::kBlocked) continue;
         if (w.ready_at <= now) {
+          if (!policy_allows(w, wi)) {
+            vetoed_any = true;
+            continue;
+          }
           pick = wi;
           break;
         }
         soonest = std::min(soonest, w.ready_at);
       }
-      if (pick < 0 && issued == 0 && next_ready != nullptr) *next_ready = soonest;
+      if (pick < 0 && issued == 0 && next_ready != nullptr) {
+        // A fully-vetoed SM sleeps until the policy re-evaluates (the only
+        // event that can restore a vetoed warp's eligibility).
+        if (vetoed_any) soonest = std::min(soonest, policy_->next_update_time());
+        *next_ready = soonest;
+      }
     }
     if (pick < 0) break;
     greedy_warp_ = pick;
@@ -100,17 +137,19 @@ void SmRef::issue(WarpCtx& w, std::int64_t now) {
     }
     case EventKind::kMem: {
       w.state = WarpState::kBlocked;
-      w.ready_at = path_.exec_mem(w.trace, pc, now);
+      w.ready_at = path_.exec_mem(w.trace, pc, now, static_cast<int>(&w - warps_.data()));
       return;
     }
     case EventKind::kBarrier: {
       ++path_.stats.barriers;
       w.state = WarpState::kAtBarrier;
+      ++tbs_[static_cast<std::size_t>(w.tb)].at_barrier;
       maybe_release_barrier(w.tb, now);
       return;
     }
     case EventKind::kEnd: {
       w.state = WarpState::kDone;
+      if (policy_ != nullptr) policy_->on_warp_done(static_cast<int>(&w - warps_.data()), w.tb);
       --active_warps_;
       // Retirement is deferred: scans skip kDone, so the entry can stay in
       // live_ until enough garbage accumulates to amortize one stable
@@ -157,6 +196,7 @@ void SmRef::maybe_release_barrier(int tb_id, std::int64_t now) {
     if (w.state == WarpState::kAtBarrier) {
       w.state = WarpState::kBlocked;
       w.ready_at = now + 2;
+      --tb.at_barrier;
     }
   }
 }

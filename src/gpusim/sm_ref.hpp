@@ -25,7 +25,8 @@ class SmRef {
   /// the reference engine emits no per-issue events of its own.
   SmRef(const arch::GpuArch& arch, MemorySystem& memsys, std::size_t l1_bytes,
         int max_resident_tbs, int warps_per_tb, SeriesAccum* request_series = nullptr,
-        const obs::SimTraceCtx* trace = nullptr, int sm_index = 0);
+        const obs::SimTraceCtx* trace = nullptr, int sm_index = 0,
+        sched::SchedPolicy* policy = nullptr);
 
   bool has_free_slot() const { return free_slots_ > 0; }
   void admit_tb(std::vector<WarpTrace> traces, std::int64_t now);
@@ -51,15 +52,21 @@ class SmRef {
   struct TbCtx {
     std::vector<int> warps;
     int live_warps = 0;
+    /// Warps parked at a __syncthreads(); grants the TB a veto exemption
+    /// (same barrier-release guarantee as the event engine).
+    int at_barrier = 0;
     bool active = false;
   };
 
+  bool policy_allows(const WarpCtx& w, int wi);
+  std::uint64_t issuable_warps(std::int64_t now) const;
   void issue(WarpCtx& w, std::int64_t now);
   void maybe_release_barrier(int tb, std::int64_t now);
   void compact_live();
 
   const arch::GpuArch& arch_;
   SmDatapath path_;
+  sched::SchedPolicy* policy_;
 
   std::vector<WarpCtx> warps_;
   /// Indices of not-yet-compacted warps in admission order ("oldest"

@@ -1,5 +1,6 @@
 #include "harness/harness.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -102,6 +103,31 @@ WriteStatus write_result_file(const std::string& name, const std::string& conten
   }
   st.ok = true;
   return st;
+}
+
+int exit_status(const WriteStatus& st) {
+  if (st) return 0;
+  std::fprintf(stderr, "[bench] result write failed: %s\n", st.message.c_str());
+  return 1;
+}
+
+sim::sched::PolicyConfig sched_from_args(int argc, char** argv) {
+  std::string spec;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    constexpr std::string_view kFlag = "--sched=";
+    if (arg.rfind(kFlag, 0) == 0) spec = std::string(arg.substr(kFlag.size()));
+  }
+  if (spec.empty()) {
+    if (const char* env = std::getenv("CATT_SCHED"); env != nullptr && *env != '\0') spec = env;
+  }
+  if (spec.empty()) return {};
+  try {
+    return sim::sched::PolicyConfig::parse(spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[bench] %s\n", e.what());
+    std::exit(2);
+  }
 }
 
 ObsSession::ObsSession(int argc, char** argv, std::string bench_name)

@@ -66,6 +66,18 @@ struct WriteStatus {
 /// where results go).
 WriteStatus write_result_file(const std::string& name, const std::string& content);
 
+/// Bench-main epilogue: logs a failed write to stderr and maps it to a
+/// nonzero process exit, so a full disk or unwritable CATT_RESULTS_DIR
+/// fails CI instead of silently yielding truncated CSVs. Combine multiple
+/// writes with `rc |= exit_status(...)`.
+int exit_status(const WriteStatus& st);
+
+/// Parses the shared scheduler-policy flag `--sched=SPEC` (else the
+/// CATT_SCHED environment variable, else "none") for benches to assign to
+/// Runner::sim_options.sched. Spec syntax: see sched::PolicyConfig::parse.
+/// Exits with a diagnostic on a malformed spec.
+sim::sched::PolicyConfig sched_from_args(int argc, char** argv);
+
 /// RAII observability session for bench main()s. Parses `--trace-out=PATH`
 /// (or the CATT_TRACE_OUT environment variable) and raises the CATT_TRACE
 /// floor to 1 when a path is given, so asking for a trace file implies

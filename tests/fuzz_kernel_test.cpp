@@ -1,0 +1,277 @@
+// Differential fuzzing of the execution stack on randomly generated
+// mini-CUDA affine kernels: every generated kernel is cross-checked three
+// ways — bytecode VM vs. the tree-walk RefKernelInterp (traces and final
+// functional memory), trace dedup on vs. off (for trace-pure kernels), and
+// the event-driven engine vs. the cycle-stepped SmRef (KernelStats). The
+// generator covers ragged guards, nested loops, data-dependent indexing
+// and value-dependent branches (which make kernels trace-impure), in-loop
+// stores, and partial warps.
+//
+// Deterministic by construction: the master seed is fixed (override with
+// CATT_FUZZ_SEED) and every kernel's own seed is printed via SCOPED_TRACE,
+// so a failure reproduces with CATT_FUZZ_SEED=<seed> CATT_FUZZ_KERNELS=1.
+// CATT_FUZZ_KERNELS overrides the kernel count (e.g. for sanitizer runs).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "frontend/parser.hpp"
+#include "gpusim/bytecode.hpp"
+#include "gpusim/dedup.hpp"
+#include "gpusim/gpu.hpp"
+#include "gpusim/interp.hpp"
+#include "gpusim/ref_interp.hpp"
+
+namespace catt::sim {
+namespace {
+
+constexpr int kLineBytes = 128;
+
+struct Generated {
+  std::uint64_t seed = 0;
+  std::string source;
+  arch::LaunchConfig launch;
+  expr::ParamEnv params;
+  bool data_dependent = false;  // uses loaded values in indexes/branches
+};
+
+/// Random affine mini-CUDA kernel. Index coefficients are bounded so every
+/// access stays inside the fixed 8 KiB-element arrays regardless of the
+/// drawn launch geometry (max 512 threads) and trip counts.
+Generated generate_kernel(std::uint64_t seed) {
+  Rng rng(seed);
+  Generated g;
+  g.seed = seed;
+
+  static const std::uint32_t kBlockX[] = {32, 48, 64, 96, 128};
+  const std::uint32_t bx = kBlockX[rng.next_below(5)];
+  const std::uint32_t blocks = 1 + static_cast<std::uint32_t>(rng.next_below(4));
+  g.launch.block = arch::Dim3{bx};
+  g.launch.grid = arch::Dim3{blocks};
+  const int total = static_cast<int>(bx * blocks);
+
+  const int n = total - static_cast<int>(rng.next_below(32));  // ragged guard bound
+  const int t = 1 + static_cast<int>(rng.next_below(8));
+  const int f = 1 + static_cast<int>(rng.next_below(4));
+
+  const bool use_p = rng.next_below(4) == 0;         // data-dependent index
+  const bool value_branch = rng.next_below(4) == 0;  // value-dependent control
+  const bool second_load = rng.next_below(2) == 0;
+  const bool nested = rng.next_below(2) == 0;
+  const bool loop_store = rng.next_below(3) == 0;
+  g.data_dependent = use_p || value_branch;
+
+  const int ca1 = 1 + static_cast<int>(rng.next_below(8));
+  const int ca2 = static_cast<int>(rng.next_below(8));
+  const int ca3 = static_cast<int>(rng.next_below(16));
+  const int cb1 = 1 + static_cast<int>(rng.next_below(8));
+  static const char* kConsts[] = {"0.25f", "0.5f", "1.5f", "2.0f"};
+  const char* fc = kConsts[rng.next_below(4)];
+
+  std::string sig = "float *A, float *B, float *C, ";
+  if (use_p) sig += "int *P, ";
+  sig += "int N, int T";
+  if (nested) sig += ", int F";
+
+  std::string body;
+  body += "    int i = blockIdx.x * blockDim.x + threadIdx.x;\n";
+  body += "    if (i < N) {\n";
+  body += "        float acc = " + std::string(fc) + ";\n";
+  if (use_p) body += "        int p = P[i];\n";
+  body += "        for (int j = 0; j < T; j++) {\n";
+  body += "            acc += A[i * " + std::to_string(ca1) + " + j * " + std::to_string(ca2) +
+          " + " + std::to_string(ca3) + "];\n";
+  if (second_load) {
+    body += "            acc += B[j * " + std::to_string(cb1) + " + " + std::to_string(ca3) +
+            "] * " + fc + ";\n";
+  }
+  if (use_p) body += "            acc += A[p + j];\n";
+  if (value_branch) {
+    body += "            if (acc < 0.5f) {\n                acc += B[i + j];\n            }\n";
+  }
+  if (nested) {
+    body += "            for (int q = 0; q < F; q++) {\n";
+    body += "                acc += B[i * F + q];\n";
+    body += "            }\n";
+  }
+  if (loop_store) body += "            C[i * 2 + j] = acc;\n";
+  body += "        }\n";
+  body += "        C[i] = acc;\n";
+  body += "    }\n";
+
+  g.source = "//@regs=" + std::string(rng.next_below(2) == 0 ? "16" : "32") +
+             "\n__global__ void fz(" + sig + ") {\n" + body + "}\n";
+  g.params = {{"N", n}, {"T", t}};
+  if (nested) g.params["F"] = f;
+  return g;
+}
+
+/// Allocates the fixed array set with seed-derived contents. Identical
+/// seeds give bit-identical images, so every engine/interp pair in a
+/// cross-check starts from the same functional state.
+void setup_memory(DeviceMemory& mem, std::uint64_t seed, const Generated& g) {
+  constexpr std::size_t kElems = 8192;
+  Rng rng(seed ^ 0xA11A);
+  std::vector<float> a(kElems), b(kElems);
+  for (auto& x : a) x = rng.next_float(0.0f, 1.0f);
+  for (auto& x : b) x = rng.next_float(0.0f, 1.0f);
+  mem.alloc_f32("A", std::move(a));
+  mem.alloc_f32("B", std::move(b));
+  mem.alloc_f32("C", kElems, 0.0f);
+  if (g.source.find("int *P") != std::string::npos) {
+    std::vector<std::int32_t> p(g.launch.total_threads());
+    for (auto& x : p) x = static_cast<std::int32_t>(rng.next_below(2048));
+    mem.alloc_i32("P", std::move(p));
+  }
+}
+
+void expect_traces_equal(const std::vector<WarpTrace>& ref, const std::vector<WarpTrace>& got,
+                         const std::string& label) {
+  ASSERT_EQ(ref.size(), got.size()) << label;
+  for (std::size_t w = 0; w < ref.size(); ++w) {
+    const WarpTrace& re = ref[w];
+    const WarpTrace& ge = got[w];
+    ASSERT_EQ(re.size(), ge.size()) << label << " warp " << w;
+    for (std::size_t i = 0; i < re.size(); ++i) {
+      const std::string at = label + " warp " + std::to_string(w) + " event " + std::to_string(i);
+      ASSERT_EQ(static_cast<int>(re.kind(i)), static_cast<int>(ge.kind(i))) << at;
+      ASSERT_EQ(re.cycles(i), ge.cycles(i)) << at;
+      ASSERT_EQ(re.site(i), ge.site(i)) << at;
+      ASSERT_EQ(re.is_store(i), ge.is_store(i)) << at;
+      ASSERT_EQ(re.txn_count(i), ge.txn_count(i)) << at;
+      for (std::uint32_t t = 0; t < re.txn_count(i); ++t) {
+        ASSERT_EQ(re.txns(i)[t].line, ge.txns(i)[t].line) << at << " txn " << t;
+        ASSERT_EQ(re.txns(i)[t].sectors, ge.txns(i)[t].sectors) << at << " txn " << t;
+      }
+    }
+  }
+}
+
+void expect_memory_equal(const DeviceMemory& ref, const DeviceMemory& got) {
+  for (const char* name : {"A", "B", "C"}) {
+    const auto r = ref.f32(name);
+    const auto g = got.f32(name);
+    ASSERT_EQ(r.size(), g.size()) << name;
+    ASSERT_EQ(0, std::memcmp(r.data(), g.data(), r.size() * sizeof(float)))
+        << "array " << name << " diverged";
+  }
+}
+
+void expect_stats_equal(const KernelStats& ev, const KernelStats& ref) {
+  EXPECT_EQ(ev.cycles, ref.cycles);
+  EXPECT_EQ(ev.l1.accesses, ref.l1.accesses);
+  EXPECT_EQ(ev.l1.hits, ref.l1.hits);
+  EXPECT_EQ(ev.l1.misses, ref.l1.misses);
+  EXPECT_EQ(ev.l1.store_accesses, ref.l1.store_accesses);
+  EXPECT_EQ(ev.l2.accesses, ref.l2.accesses);
+  EXPECT_EQ(ev.l2.hits, ref.l2.hits);
+  EXPECT_EQ(ev.l2.misses, ref.l2.misses);
+  EXPECT_EQ(ev.dram_lines, ref.dram_lines);
+  EXPECT_EQ(ev.warp_insts, ref.warp_insts);
+  EXPECT_EQ(ev.mem_insts, ref.mem_insts);
+  EXPECT_EQ(ev.mem_requests, ref.mem_requests);
+  ASSERT_EQ(ev.request_trace.size(), ref.request_trace.size());
+  for (std::size_t i = 0; i < ev.request_trace.size(); ++i) {
+    EXPECT_EQ(ev.request_trace[i].index, ref.request_trace[i].index) << " point " << i;
+    EXPECT_EQ(ev.request_trace[i].mean, ref.request_trace[i].mean) << " point " << i;
+  }
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 0);
+}
+
+TEST(FuzzKernel, DifferentialVmDedupAndEngines) {
+  const std::uint64_t master_seed = env_u64("CATT_FUZZ_SEED", 0xC477F022ULL);
+  const std::uint64_t count = env_u64("CATT_FUZZ_KERNELS", 200);
+  Rng master(master_seed);
+
+  int pure_seen = 0;
+  int impure_seen = 0;
+  for (std::uint64_t k = 0; k < count; ++k) {
+    const std::uint64_t seed = master.next_u64();
+    const Generated g = generate_kernel(seed);
+    SCOPED_TRACE("kernel " + std::to_string(k) + " seed 0x" +
+                 [&] { char b[32]; std::snprintf(b, sizeof b, "%llx",
+                       static_cast<unsigned long long>(seed)); return std::string(b); }() +
+                 "\n" + g.source);
+    std::vector<ir::Kernel> kernels;
+    ASSERT_NO_THROW(kernels = frontend::parse_program(g.source));
+    const ir::Kernel& kern = kernels.front();
+
+    // 1. Bytecode VM vs. tree-walk reference: per-warp traces for every
+    //    block, then the final functional memory image.
+    DeviceMemory mem_ref, mem_vm;
+    setup_memory(mem_ref, seed, g);
+    setup_memory(mem_vm, seed, g);
+    {
+      RefKernelInterp ref(kern, g.launch, g.params, mem_ref, kLineBytes);
+      KernelInterp vm(kern, g.launch, g.params, mem_vm, kLineBytes);
+      for (std::uint64_t b = 0; b < g.launch.num_blocks(); ++b) {
+        expect_traces_equal(ref.run_block(b), vm.run_block(b),
+                            "vm-vs-ref block " + std::to_string(b));
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+      expect_memory_equal(mem_ref, mem_vm);
+    }
+
+    // 2. Dedup on vs. off (trace-pure kernels only): rendered traces must
+    //    be bit-identical to concrete execution, including the cache-hit
+    //    second launch.
+    const bool pure = bc::trace_data_independent(kern);
+    EXPECT_EQ(pure, !g.data_dependent);
+    (pure ? pure_seen : impure_seen) += 1;
+    if (pure) {
+      DeviceMemory mem_plain, mem_dedup;
+      setup_memory(mem_plain, seed, g);
+      setup_memory(mem_dedup, seed, g);
+      dedup::TraceDedup cache;
+      KernelInterp plain(kern, g.launch, g.params, mem_plain, kLineBytes);
+      for (int launch = 0; launch < 2; ++launch) {
+        KernelInterp dd(kern, g.launch, g.params, mem_dedup, kLineBytes);
+        dd.set_functional(false);
+        dd.enable_dedup(cache, seed);
+        for (std::uint64_t b = 0; b < g.launch.num_blocks(); ++b) {
+          expect_traces_equal(plain.run_block(b), dd.run_block(b),
+                              "dedup launch " + std::to_string(launch) + " block " +
+                                  std::to_string(b));
+          if (::testing::Test::HasFatalFailure()) return;
+        }
+      }
+    }
+
+    // 3. Event-driven engine vs. cycle-stepped SmRef, occasionally with a
+    //    TB cap (refill/barrier interleavings) and the request series.
+    SimOptions opts;
+    Rng orng(seed ^ 0x0975);
+    if (orng.next_below(4) == 0) opts.tb_cap = 1;
+    opts.collect_request_trace = orng.next_below(4) == 0;
+    SimOptions opts_ref = opts;
+    opts_ref.use_stepped_reference = true;
+    DeviceMemory mem_ev, mem_sr;
+    setup_memory(mem_ev, seed, g);
+    setup_memory(mem_sr, seed, g);
+    Gpu gpu_ev(arch::GpuArch::titan_v(1), mem_ev);
+    Gpu gpu_sr(arch::GpuArch::titan_v(1), mem_sr);
+    const LaunchSpec spec{&kern, g.launch, g.params};
+    expect_stats_equal(gpu_ev.run(spec, opts), gpu_sr.run(spec, opts_ref));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+
+  // Generator sanity: both the affine-pure path (dedup-eligible) and the
+  // data-dependent path must actually have been exercised.
+  if (count >= 50) {
+    EXPECT_GT(pure_seen, 0);
+    EXPECT_GT(impure_seen, 0);
+  }
+}
+
+}  // namespace
+}  // namespace catt::sim

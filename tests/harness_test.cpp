@@ -1,0 +1,85 @@
+// Harness result-writing and CLI plumbing: an unwritable CATT_RESULTS_DIR
+// must surface as a falsy WriteStatus that exit_status() maps to a nonzero
+// process exit (benches fail CI instead of silently dropping CSVs), and
+// the shared --sched= flag must parse into the policy seam's config.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "harness/harness.hpp"
+
+namespace {
+
+using namespace catt;
+
+/// Scoped environment override (tests run single-threaded).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) old_ = old;
+    had_old_ = std::getenv(name) != nullptr;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+TEST(WriteResult, UnwritableResultsDirFailsWithNonzeroExit) {
+  // /dev/null is a file, so creating a directory under it fails for any
+  // user, root included.
+  const ScopedEnv env("CATT_RESULTS_DIR", "/dev/null/catt_results");
+  const bench::WriteStatus st = bench::write_result_file("x.csv", "a,b\n1,2\n");
+  EXPECT_FALSE(st);
+  EXPECT_FALSE(st.message.empty());
+  EXPECT_EQ(st.path, "/dev/null/catt_results/x.csv");
+  EXPECT_EQ(bench::exit_status(st), 1);
+}
+
+TEST(WriteResult, SuccessfulWriteIsTruthyAndExitsZero) {
+  const std::string dir = ::testing::TempDir() + "catt_harness_test_results";
+  const ScopedEnv env("CATT_RESULTS_DIR", dir.c_str());
+  const std::string content = "h1,h2\nv1,v2\n";
+  const bench::WriteStatus st = bench::write_result_file("ok.csv", content);
+  ASSERT_TRUE(st) << st.message;
+  EXPECT_EQ(bench::exit_status(st), 0);
+  std::ifstream in(st.path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << st.path;
+  std::string back((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(back, content);
+}
+
+TEST(SchedFromArgs, ParsesFlagEnvAndDefault) {
+  {
+    const ScopedEnv env("CATT_SCHED", "");
+    char arg0[] = "bench";
+    char* argv0[] = {arg0};
+    EXPECT_EQ(bench::sched_from_args(1, argv0).kind, sim::sched::Kind::kNone);
+
+    char arg1[] = "--sched=ccws:tags=4";
+    char* argv1[] = {arg0, arg1};
+    const sim::sched::PolicyConfig c = bench::sched_from_args(2, argv1);
+    EXPECT_EQ(c.kind, sim::sched::Kind::kCcws);
+    EXPECT_EQ(c.ccws_victim_tags, 4);
+    EXPECT_TRUE(c.enabled());
+  }
+  {
+    const ScopedEnv env("CATT_SCHED", "dyncta");
+    char arg0[] = "bench";
+    char* argv0[] = {arg0};
+    EXPECT_EQ(bench::sched_from_args(1, argv0).kind, sim::sched::Kind::kDyncta);
+  }
+}
+
+}  // namespace

@@ -3,6 +3,8 @@
 // best candidate of its own sweep.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "harness/harness.hpp"
 #include "throttle/runner.hpp"
 #include "workloads/workload.hpp"
@@ -290,6 +292,90 @@ TEST(Obs, TracingDoesNotPerturbResults) {
   // The attachment demonstrably did something: events and series flowed.
   EXPECT_GT(tracer.recorded() + tracer.dropped(), 0u);
   EXPECT_GT(series_seen, 0u);
+}
+
+}  // namespace
+}  // namespace catt::throttle
+// Appended: runtime scheduler-policy seam (SimOptions::sched) through the
+// Runner — the `none` identity, determinism of the dynamic policies across
+// repeated runs and pool widths, and their observable effect counters.
+namespace catt::throttle {
+namespace {
+
+std::string stats_signature(const AppResult& r) {
+  std::string out = std::to_string(r.total_cycles);
+  for (const auto& l : r.launches) {
+    out += "|" + std::to_string(l.cycles) + "," + std::to_string(l.l1.accesses) + "," +
+           std::to_string(l.l1.hits) + "," + std::to_string(l.l2.accesses) + "," +
+           std::to_string(l.l2.hits) + "," + std::to_string(l.dram_lines) + "," +
+           std::to_string(l.sched_vetoes) + "," + std::to_string(l.sched_victim_tag_hits) + "," +
+           std::to_string(l.sched_updates) + "," + std::to_string(l.sched_paused_tbs);
+  }
+  return out;
+}
+
+TEST(SchedSeam, NoneThroughRunnerMatchesDefaultAcrossWorkloads) {
+  for (const char* name : {"lud", "nw", "hp"}) {
+    const wl::Workload& w = wl::find_workload(name, 2);
+    Runner plain(bench::max_l1d_arch());
+    Runner none(bench::max_l1d_arch());
+    none.sim_options.sched = sim::sched::PolicyConfig::parse("none");
+    EXPECT_EQ(stats_signature(plain.run(w, Baseline{})), stats_signature(none.run(w, Baseline{})))
+        << name;
+    EXPECT_EQ(stats_signature(plain.run(w, Catt{})), stats_signature(none.run(w, Catt{})))
+        << name;
+  }
+}
+
+TEST(SchedSeam, DynamicPoliciesDeterministicAcrossRunsAndPoolWidths) {
+  // Fresh Runner per run, so every signature comes from a real simulation
+  // (not a SimCache hit), and two pool widths, so thread scheduling in the
+  // exec fan-out cannot leak into policy decisions.
+  exec::Pool pool1(1);
+  exec::Pool pool4(4);
+  const wl::Workload& w = wl::find_workload("hp", 2);
+  for (const char* spec : {"ccws", "dyncta"}) {
+    const sim::sched::PolicyConfig cfg = sim::sched::PolicyConfig::parse(spec);
+    auto run_once = [&](exec::Pool& pool) {
+      Runner r(bench::max_l1d_arch(), &pool);
+      r.sim_options.sched = cfg;
+      return stats_signature(r.run(w, Baseline{}));
+    };
+    const std::string first = run_once(pool1);
+    EXPECT_EQ(first, run_once(pool1)) << spec << " repeated run diverged";
+    EXPECT_EQ(first, run_once(pool4)) << spec << " pool width changed the result";
+  }
+}
+
+TEST(SchedSeam, CcwsThrottlesAndScoresOnContendedWorkload) {
+  Runner r(bench::max_l1d_arch());
+  r.sim_options.sched = sim::sched::PolicyConfig::parse("ccws");
+  const AppResult res = r.run(wl::find_workload("gsmv", 2), Baseline{});
+  std::uint64_t vetoes = 0, tag_hits = 0, updates = 0;
+  for (const auto& l : res.launches) {
+    vetoes += l.sched_vetoes;
+    tag_hits += l.sched_victim_tag_hits;
+    updates += l.sched_updates;
+  }
+  // GSMV thrashes the L1D at full TLP: the scorer must see its own victims
+  // come back (lost locality) and actually suppress issue slots.
+  EXPECT_GT(updates, 0u);
+  EXPECT_GT(tag_hits, 0u);
+  EXPECT_GT(vetoes, 0u);
+}
+
+TEST(SchedSeam, DynctaPausesTbsOnContendedWorkload) {
+  Runner r(bench::max_l1d_arch());
+  r.sim_options.sched = sim::sched::PolicyConfig::parse("dyncta");
+  const AppResult res = r.run(wl::find_workload("gsmv", 2), Baseline{});
+  std::uint64_t updates = 0;
+  int max_paused = 0;
+  for (const auto& l : res.launches) {
+    updates += l.sched_updates;
+    max_paused = std::max(max_paused, l.sched_max_paused_tbs);
+  }
+  EXPECT_GT(updates, 0u);
+  EXPECT_GT(max_paused, 0);
 }
 
 }  // namespace

@@ -87,5 +87,47 @@ TEST(TimingEngine, MatchesReferenceUnderTbCapAndRequestTrace) {
   run_workload_both_engines(wl::find_workload("hp", 2), opts);
 }
 
+// The scheduler-policy seam's identity pin: an explicit `--sched=none`
+// spec must be indistinguishable from a default-constructed SimOptions —
+// same memoization fingerprint and bit-identical per-launch stats — and
+// both engines must still agree under the explicit spec (no policy object
+// is installed, so no issue-path behaviour may change).
+TEST(TimingEngine, SchedNoneIsIdenticalToDefaultOnBothEngines) {
+  const wl::Workload& w = wl::find_workload("hp", 2);
+  SimOptions none_opts;
+  none_opts.sched = sched::PolicyConfig::parse("none");
+  EXPECT_EQ(SimOptions{}.fingerprint(), none_opts.fingerprint());
+  EXPECT_FALSE(none_opts.sched.enabled());
+
+  DeviceMemory mem_def, mem_none;
+  w.setup(mem_def);
+  w.setup(mem_none);
+  Gpu gpu_def(arch::GpuArch::titan_v(2), mem_def);
+  Gpu gpu_none(arch::GpuArch::titan_v(2), mem_none);
+  for (std::size_t e = 0; e < w.schedule.size(); ++e) {
+    const wl::KernelRun& run = w.schedule[e];
+    const LaunchSpec spec{&w.kernel(run.kernel), run.launch, run.params};
+    expect_stats_equal(gpu_def.run(spec, SimOptions{}), gpu_none.run(spec, none_opts),
+                       w.name + "#" + std::to_string(e) + " default-vs-none");
+  }
+  run_workload_both_engines(w, none_opts);
+}
+
+// An enabled policy must change the fingerprint (so the SimCache cannot
+// serve a policy run from a baseline entry, and vice versa), and distinct
+// knob settings must not collide.
+TEST(TimingEngine, EnabledPoliciesChangeTheFingerprint) {
+  SimOptions ccws;
+  ccws.sched = sched::PolicyConfig::parse("ccws");
+  SimOptions dyncta;
+  dyncta.sched = sched::PolicyConfig::parse("dyncta");
+  SimOptions ccws_tuned;
+  ccws_tuned.sched = sched::PolicyConfig::parse("ccws:tags=4");
+  EXPECT_NE(SimOptions{}.fingerprint(), ccws.fingerprint());
+  EXPECT_NE(SimOptions{}.fingerprint(), dyncta.fingerprint());
+  EXPECT_NE(ccws.fingerprint(), dyncta.fingerprint());
+  EXPECT_NE(ccws.fingerprint(), ccws_tuned.fingerprint());
+}
+
 }  // namespace
 }  // namespace catt::sim
