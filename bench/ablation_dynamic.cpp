@@ -17,6 +17,8 @@ int main(int argc, char** argv) {
 
   throttle::Runner runner(bench::max_l1d_arch());
   runner.sim_options.sched = bench::sched_from_args(argc, argv);
+  const auto disk_cache = bench::cache_from_args(argc, argv);
+  runner.set_disk_cache(disk_cache.get());
   TextTable table({"app", "baseline(cyc)", "DYNCTA-like", "CATT"});
   std::vector<double> s_dyn, s_catt;
 

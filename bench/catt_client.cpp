@@ -1,0 +1,130 @@
+// Command-line client for the catt_serve daemon.
+//
+// Usage:
+//   catt_client ping     [--socket=PATH]
+//   catt_client shutdown [--socket=PATH]
+//   catt_client fig9     [--socket=PATH] [--workloads=a,b,...] [--out=CSV]
+//
+// `fig9` reruns a reduced Figure 9 factor sweep with every simulation
+// answered by the daemon (see bench/fig9_factor_sweep.cpp for the local
+// variant): the first run is as expensive as a local sweep, every rerun —
+// from this or any other process — is served from the daemon's warm
+// caches. The CI smoke job runs it twice and asserts the warm rerun is
+// faster with a byte-identical CSV.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/string_util.hpp"
+#include "harness/harness.hpp"
+#include "harness/spec.hpp"
+#include "throttle/remote.hpp"
+
+namespace {
+
+using namespace catt;
+
+int run_fig9(const std::string& socket, const std::string& workloads_csv,
+             const std::string& out_path) {
+  exec::Client client(socket);
+  throttle::RemoteRunner remote(client, "titan_v", bench::kNumSms);
+  // Local runner for candidate_factors only (occupancy math, no timing
+  // runs); every simulation goes through the daemon.
+  throttle::Runner local(bench::max_l1d_arch());
+
+  CsvWriter csv({"app", "factor", "active_warps_frac", "normalized_time", "is_catt_pick",
+                 "is_best"});
+  for (const std::string& name : split(workloads_csv, ',')) {
+    if (name.empty()) continue;
+    const wl::Workload& w = wl::find_workload(name, bench::kNumSms);
+    const throttle::AppResult base = remote.run(name, throttle::Baseline{});
+    const throttle::AppResult catt = remote.run(name, throttle::Catt{});
+    const double catt_norm =
+        static_cast<double>(catt.total_cycles) / static_cast<double>(base.total_cycles);
+
+    int catt_n = 1;
+    for (const auto& choice : catt.choices) {
+      for (const auto& l : choice.loops) {
+        if (l.warps > 0 && choice.baseline_occ.warps_per_tb / l.warps > catt_n) {
+          catt_n = choice.baseline_occ.warps_per_tb / l.warps;
+        }
+      }
+    }
+
+    struct Point {
+      throttle::FixedFactor f;
+      double norm;
+    };
+    std::vector<Point> pts;
+    for (const throttle::FixedFactor& f : local.candidate_factors(w)) {
+      if (f.tb_limit != 0) continue;
+      const throttle::AppResult r = f.n_divisor == 1
+                                        ? remote.run(name, throttle::Baseline{})
+                                        : remote.run(name, throttle::Fixed{f});
+      pts.push_back(
+          {f, static_cast<double>(r.total_cycles) / static_cast<double>(base.total_cycles)});
+    }
+    double best = pts.front().norm;
+    for (const auto& p : pts) best = std::min(best, p.norm);
+    for (const auto& p : pts) {
+      csv.add_row({w.name, p.f.str(), std::to_string(1.0 / p.f.n_divisor),
+                   std::to_string(p.norm), p.f.n_divisor == catt_n ? "1" : "0",
+                   p.norm == best ? "1" : "0"});
+    }
+    csv.add_row({w.name, "catt", "-", std::to_string(catt_norm), "1",
+                 catt_norm <= best ? "1" : "0"});
+    std::fprintf(stderr, "[catt_client] %s done\n", w.name.c_str());
+  }
+
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "[catt_client] cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    const std::string content = csv.str();
+    const bool ok = std::fwrite(content.data(), 1, content.size(), f) == content.size();
+    std::fclose(f);
+    return ok ? 0 : 1;
+  }
+  return bench::exit_status(bench::write_result_file("fig9_daemon.csv", csv.str()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string cmd = argc > 1 ? argv[1] : "";
+  std::string socket = harness::flag_or_env(argc, argv, "socket", "CATT_SERVE_SOCKET");
+  if (socket.empty()) socket = "catt_serve.sock";
+
+  try {
+    if (cmd == "ping") {
+      exec::Client client(socket);
+      if (!client.ping()) {
+        std::fprintf(stderr, "[catt_client] engine version mismatch with %s\n", socket.c_str());
+        return 1;
+      }
+      std::printf("pong\n");
+      return 0;
+    }
+    if (cmd == "shutdown") {
+      exec::Client client(socket);
+      client.shutdown_server();
+      return 0;
+    }
+    if (cmd == "fig9") {
+      const std::string workloads = [&] {
+        const std::string v = harness::flag_or_env(argc, argv, "workloads", nullptr);
+        return v.empty() ? std::string("gsmv,bfs") : v;
+      }();
+      return run_fig9(socket, workloads, harness::flag_or_env(argc, argv, "out", nullptr));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[catt_client] %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "usage: catt_client ping|shutdown|fig9 [--socket=PATH]\n");
+  return 2;
+}

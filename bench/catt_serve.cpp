@@ -1,0 +1,45 @@
+// Long-lived CATT query daemon: serves plan/run/stats queries over a unix
+// socket so many sweep processes share one warm cache hierarchy (see
+// harness/server.hpp and exec/client.hpp for the protocol).
+//
+// Usage:
+//   catt_serve [--socket=PATH] [--cache=SPEC]
+//
+// The socket path defaults to $CATT_SERVE_SOCKET, else "catt_serve.sock"
+// in the working directory. --cache= (or $CATT_CACHE_DIR) attaches the
+// persistent disk tier; without it the daemon still deduplicates and
+// memoizes in memory, but forgets on exit. Stop it with
+// `catt_client shutdown` (or a signal).
+#include <cstdio>
+
+#include "harness/harness.hpp"
+#include "harness/server.hpp"
+#include "harness/spec.hpp"
+
+int main(int argc, char** argv) {
+  using namespace catt;
+
+  bench::ServerOptions opts;
+  opts.socket_path = harness::flag_or_env(argc, argv, "socket", "CATT_SERVE_SOCKET");
+  if (opts.socket_path.empty()) opts.socket_path = "catt_serve.sock";
+  opts.disk = bench::cache_from_args(argc, argv);
+  const bool has_disk = opts.disk != nullptr;
+  const std::string cache_dir = has_disk ? opts.disk->config().dir : "";
+
+  bench::Server server(std::move(opts));
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[catt_serve] %s\n", e.what());
+    return 1;
+  }
+  // One greppable ready line on stdout so scripts can wait for it.
+  std::printf("catt_serve: listening on %s%s\n", server.socket_path().c_str(),
+              has_disk ? (" cache=" + cache_dir).c_str() : " (no disk cache)");
+  std::fflush(stdout);
+
+  server.wait();
+  server.stop();
+  std::printf("catt_serve: shutdown\n");
+  return 0;
+}

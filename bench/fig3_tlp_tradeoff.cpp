@@ -17,6 +17,8 @@ int main(int argc, char** argv) {
 
   throttle::Runner runner(bench::max_l1d_arch());
   runner.sim_options.sched = bench::sched_from_args(argc, argv);
+  const auto disk_cache = bench::cache_from_args(argc, argv);
+  runner.set_disk_cache(disk_cache.get());
   const std::vector<int> divisors = {32, 16, 8, 4, 2, 1};  // TLP = 32/divisor warps
 
   TextTable table({"TLP (warps)", "L1D-full-4w", "L1D-full-8w", "L1D-full-16w"});

@@ -15,6 +15,8 @@ int main(int argc, char** argv) {
 
   throttle::Runner runner(bench::max_l1d_arch());
   runner.sim_options.sched = bench::sched_from_args(argc, argv);
+  const auto disk_cache = bench::cache_from_args(argc, argv);
+  runner.set_disk_cache(disk_cache.get());
   TextTable table({"kernel", "baseline", "BFTT", "CATT"});
   CsvWriter csv({"kernel", "baseline_hit_rate", "bftt_hit_rate", "catt_hit_rate"});
 

@@ -18,6 +18,8 @@ int main(int argc, char** argv) {
 
   throttle::Runner runner(bench::max_l1d_arch());
   runner.sim_options.sched = bench::sched_from_args(argc, argv);
+  const auto disk_cache = bench::cache_from_args(argc, argv);
+  runner.set_disk_cache(disk_cache.get());
   TextTable table({"app", "baseline(cyc)", "BFTT", "CATT", "BFTT speedup", "CATT speedup"});
   CsvWriter csv({"app", "baseline_cycles", "bftt_cycles", "catt_cycles", "bftt_speedup",
                  "catt_speedup", "bftt_factor"});

@@ -14,6 +14,8 @@ int main(int argc, char** argv) {
 
   throttle::Runner runner(bench::max_l1d_arch());
   runner.sim_options.sched = bench::sched_from_args(argc, argv);
+  const auto disk_cache = bench::cache_from_args(argc, argv);
+  runner.set_disk_cache(disk_cache.get());
   CsvWriter csv({"app", "factor", "active_warps_frac", "normalized_time", "is_catt_pick",
                  "is_best"});
 

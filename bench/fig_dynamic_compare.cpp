@@ -33,6 +33,8 @@ int main(int argc, char** argv) {
   const bench::ObsSession obs_session(argc, argv, "fig_dynamic_compare");
 
   throttle::Runner runner(bench::max_l1d_arch());
+  const auto disk_cache = bench::cache_from_args(argc, argv);
+  runner.set_disk_cache(disk_cache.get());
   TextTable table({"app", "group", "baseline(cyc)", "CCWS", "DYNCTA", "CATT", "best"});
   CsvWriter csv({"app", "group", "baseline_cycles", "ccws_cycles", "dyncta_cycles",
                  "catt_cycles", "ccws_speedup", "dyncta_speedup", "catt_speedup",

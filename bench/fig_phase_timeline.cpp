@@ -16,7 +16,8 @@ namespace {
 
 /// One policy's run with the interval sampler attached. A fresh Runner per
 /// policy keeps the SimCache cold so every launch actually simulates (a
-/// cache-assembled launch produces no samples, by design).
+/// cache-assembled launch produces no samples, by design) — which is also
+/// why this bench never attaches the --cache= disk tier.
 std::vector<catt::obs::LaunchSeries> run_sampled(const catt::wl::Workload& w,
                                                  const catt::throttle::Policy& policy,
                                                  std::int64_t interval,

@@ -22,10 +22,15 @@ int main(int argc, char** argv) {
   TextTable table({"L1D", "atax", "gsmv", "km", "mvt", "geomean"});
   CsvWriter csv({"l1d_kib", "app", "baseline_cycles", "catt_cycles", "catt_speedup"});
 
+  // One shared disk tier across the per-capacity Runners: each capacity
+  // changes the arch fingerprint, so entries never collide.
+  const auto disk_cache = bench::cache_from_args(argc, argv);
+
   auto run_row = [&](const std::string& label, const arch::GpuArch& gpu_arch,
                      std::size_t cap_kib) {
     throttle::Runner runner(gpu_arch);
     runner.sim_options.sched = bench::sched_from_args(argc, argv);
+    runner.set_disk_cache(disk_cache.get());
     std::vector<double> speedups;
     auto& r = table.row().cell(label);
     for (const auto& name : apps) {

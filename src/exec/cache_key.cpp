@@ -1,0 +1,49 @@
+#include "exec/cache_key.hpp"
+
+#include "gpusim/gpu.hpp"
+#include "ir/codegen.hpp"
+
+namespace catt::exec {
+
+CacheKey& CacheKey::kernel(const ir::Kernel& k) {
+  h_.str(k.name).i32(k.regs_per_thread);
+  h_.size(k.arrays.size());
+  for (const auto& a : k.arrays) h_.str(a.name).byte(static_cast<std::uint8_t>(a.type));
+  h_.size(k.scalars.size());
+  for (const auto& s : k.scalars) h_.str(s.name);
+  h_.size(k.shared.size());
+  for (const auto& s : k.shared) {
+    h_.str(s.name).byte(static_cast<std::uint8_t>(s.type)).i64(s.count);
+  }
+  h_.str(ir::to_cuda(k.body));
+  return *this;
+}
+
+CacheKey& CacheKey::launch(const arch::LaunchConfig& l) {
+  h_.u32(l.grid.x)
+      .u32(l.grid.y)
+      .u32(l.grid.z)
+      .u32(l.block.x)
+      .u32(l.block.y)
+      .u32(l.block.z)
+      .size(l.dyn_shared_bytes);
+  return *this;
+}
+
+CacheKey& CacheKey::params(const expr::ParamEnv& p) {
+  h_.size(p.size());
+  for (const auto& [name, value] : p) h_.str(name).i64(value);
+  return *this;
+}
+
+CacheKey& CacheKey::gpu_arch(const arch::GpuArch& a) {
+  h_.u64(a.fingerprint());
+  return *this;
+}
+
+CacheKey& CacheKey::sim_options(const sim::SimOptions& o) {
+  h_.u64(o.fingerprint());
+  return *this;
+}
+
+}  // namespace catt::exec

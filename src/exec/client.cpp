@@ -1,0 +1,126 @@
+#include "exec/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "exec/cache_key.hpp"
+#include "exec/wire.hpp"
+
+namespace catt::exec {
+namespace rpc {
+namespace {
+
+void write_all(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w <= 0) throw SimError("rpc: connection write failed");
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+void read_all(int fd, char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t r = ::read(fd, data + off, n - off);
+    if (r <= 0) throw SimError("rpc: connection closed mid-frame");
+    off += static_cast<std::size_t>(r);
+  }
+}
+
+}  // namespace
+
+void send_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) throw SimError("rpc: frame too large to send");
+  wire::Writer w;
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  write_all(fd, w.buffer().data(), w.buffer().size());
+  write_all(fd, payload.data(), payload.size());
+}
+
+std::string recv_frame(int fd) {
+  char len_bytes[4];
+  read_all(fd, len_bytes, sizeof(len_bytes));
+  wire::Reader r(std::string_view(len_bytes, sizeof(len_bytes)));
+  const std::uint32_t len = r.u32();
+  if (len > kMaxFrameBytes) {
+    throw SimError("rpc: oversized frame (" + std::to_string(len) + " bytes)");
+  }
+  std::string payload(len, '\0');
+  read_all(fd, payload.data(), payload.size());
+  return payload;
+}
+
+}  // namespace rpc
+
+Client::Client(std::string socket_path) : path_(std::move(socket_path)) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof(addr.sun_path)) {
+    throw SimError("rpc: socket path too long: " + path_);
+  }
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw SimError("rpc: cannot create socket");
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw SimError("rpc: cannot connect to " + path_ + " (is catt_serve running?)");
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string Client::call(std::uint8_t op, std::string_view body) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wire::Writer req;
+  req.u8(op);
+  std::string payload = req.take();
+  payload.append(body.data(), body.size());
+  rpc::send_frame(fd_, payload);
+
+  const std::string resp = rpc::recv_frame(fd_);
+  wire::Reader r(resp);
+  const std::uint8_t status = r.u8();
+  std::string rest(resp.substr(1));
+  if (status != rpc::kStatusOk) {
+    throw SimError("rpc: server error: " + rest);
+  }
+  return rest;
+}
+
+bool Client::ping() {
+  try {
+    const std::string body = call(rpc::kOpPing);
+    wire::Reader r(body);
+    const std::uint32_t version = r.u32();
+    r.expect_done("ping response");
+    return version == kEngineVersion;
+  } catch (const SimError&) {
+    return false;
+  }
+}
+
+std::optional<sim::KernelStats> Client::stats_for(std::uint64_t key) {
+  wire::Writer req;
+  req.u64(key);
+  const std::string body = call(rpc::kOpStats, req.buffer());
+  wire::Reader r(body);
+  if (!r.b()) {
+    r.expect_done("stats response");
+    return std::nullopt;
+  }
+  sim::KernelStats s = wire::decode_kernel_stats(r);
+  r.expect_done("stats response");
+  return s;
+}
+
+void Client::shutdown_server() { call(rpc::kOpShutdown); }
+
+}  // namespace catt::exec

@@ -1,0 +1,89 @@
+// Client for the catt_serve daemon: a length-prefixed binary protocol
+// over a unix-domain stream socket.
+//
+// Framing (both directions): [u32 le payload length][payload], payload
+// capped at kMaxFrameBytes. A request payload is [u8 op][op body]; a
+// response payload is [u8 status][body] where status 0 carries the op's
+// result and status 1 carries a UTF-8 error message (rethrown here as
+// catt::SimError).
+//
+// Ops:
+//   kOpPing      body: empty            -> u32 engine version
+//   kOpRun       body: str workload, u32 num_sms, str arch, str policy
+//                spec, str sched spec   -> wire-encoded AppResult
+//                                          (codec in throttle/remote.hpp)
+//   kOpPlan      body: str workload, u32 num_sms, str arch,
+//                u32 schedule index     -> wire-encoded ThrottlePlan
+//   kOpStats     body: u64 cache key    -> u8 found [+ KernelStats];
+//                                          lookup only, never computes
+//   kOpShutdown  body: empty            -> empty; server stops afterwards
+//
+// This class stays generic (framing + the typed ops above); AppResult
+// decoding and the Runner-shaped convenience wrapper live in
+// throttle/remote.hpp to keep exec:: below the throttle layer.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "gpusim/gpu.hpp"
+
+namespace catt::exec {
+namespace rpc {
+
+inline constexpr std::uint8_t kOpPing = 1;
+inline constexpr std::uint8_t kOpRun = 2;
+inline constexpr std::uint8_t kOpPlan = 3;
+inline constexpr std::uint8_t kOpStats = 4;
+inline constexpr std::uint8_t kOpShutdown = 5;
+
+inline constexpr std::uint8_t kStatusOk = 0;
+inline constexpr std::uint8_t kStatusError = 1;
+
+/// Frame-size guard on both ends: a corrupt length prefix fails fast
+/// instead of attempting a multi-gigabyte allocation.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Blocking frame IO on a connected socket; throws catt::SimError on a
+/// short read/write, closed peer, or an oversized frame.
+void send_frame(int fd, std::string_view payload);
+std::string recv_frame(int fd);
+
+}  // namespace rpc
+
+class Client {
+ public:
+  /// Connects immediately; throws catt::SimError when the daemon is not
+  /// reachable at `socket_path`.
+  explicit Client(std::string socket_path);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One request round-trip. Returns the response body on success; throws
+  /// catt::SimError carrying the server's message on an error status.
+  /// Thread-safe: calls on one client are serialized on the connection.
+  std::string call(std::uint8_t op, std::string_view body = {});
+
+  /// True when the server answers and reports a matching engine version.
+  bool ping();
+
+  /// Cached stats for one chained key, from the server's tiers; nullopt
+  /// when the server has never simulated it (this op never computes).
+  std::optional<sim::KernelStats> stats_for(std::uint64_t key);
+
+  /// Asks the server to exit after responding.
+  void shutdown_server();
+
+  const std::string& socket_path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::mutex mu_;
+};
+
+}  // namespace catt::exec

@@ -1,0 +1,304 @@
+#include "exec/disk_cache.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "exec/wire.hpp"
+#include "obs/obs.hpp"
+
+namespace catt::exec {
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x45435443;  // "CTCE"
+constexpr std::uint32_t kFormat = 1;
+/// magic + format + engine + kind + key + payload size + payload checksum.
+constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 1 + 8 + 8 + 8;
+
+std::uint64_t payload_checksum(std::string_view payload) {
+  hash::Fnv1a h;
+  h.str(payload);
+  return h.value();
+}
+
+const char* hex_digits = "0123456789abcdef";
+
+std::string key_hex(std::uint64_t key) {
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = hex_digits[key & 0xF];
+    key >>= 4;
+  }
+  return s;
+}
+
+/// RAII read-only mapping of a whole file.
+class Mapping {
+ public:
+  explicit Mapping(const std::string& path) {
+    fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd_ < 0) return;
+    struct stat st{};
+    if (::fstat(fd_, &st) != 0 || st.st_size < 0) return;
+    size_ = static_cast<std::size_t>(st.st_size);
+    if (size_ == 0) return;  // mmap of 0 bytes is EINVAL; treat as empty
+    void* p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd_, 0);
+    if (p != MAP_FAILED) base_ = static_cast<const char*>(p);
+  }
+  ~Mapping() {
+    if (base_ != nullptr) ::munmap(const_cast<char*>(base_), size_);
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Mapping(const Mapping&) = delete;
+  Mapping& operator=(const Mapping&) = delete;
+
+  bool open() const { return fd_ >= 0; }
+  std::string_view bytes() const {
+    return base_ != nullptr ? std::string_view(base_, size_) : std::string_view();
+  }
+
+ private:
+  int fd_ = -1;
+  std::size_t size_ = 0;
+  const char* base_ = nullptr;
+};
+
+}  // namespace
+
+DiskCache::DiskCache(DiskCacheConfig cfg) : cfg_(std::move(cfg)) {
+  std::error_code ec;
+  fs::create_directories(cfg_.dir, ec);
+  if (ec) {
+    throw SimError("disk cache: cannot create directory " + cfg_.dir + ": " + ec.message());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  size_bytes_ = scan_locked();
+}
+
+std::string DiskCache::entry_path(std::uint64_t key, PayloadKind kind) const {
+  const std::string hex = key_hex(key);
+  return cfg_.dir + "/" + hex.substr(0, 2) + "/" + hex + "-" +
+         std::to_string(static_cast<int>(kind)) + ".ce";
+}
+
+std::optional<std::string> DiskCache::get(std::uint64_t key, PayloadKind kind) {
+  const std::string path = entry_path(key, kind);
+  std::lock_guard<std::mutex> lock(mu_);
+  Mapping map(path);
+  if (!map.open()) {
+    ++counters_.misses;
+    obs::count("exec.diskcache.misses");
+    return std::nullopt;
+  }
+  const std::string_view bytes = map.bytes();
+  // Validate exhaustively; any mismatch drops the entry and misses.
+  bool version_skew = false;
+  std::optional<std::string> payload;
+  if (bytes.size() >= kHeaderBytes) {
+    wire::Reader r(bytes);
+    const std::uint32_t magic = r.u32();
+    const std::uint32_t format = r.u32();
+    const std::uint32_t engine = r.u32();
+    const std::uint8_t k = r.u8();
+    const std::uint64_t entry_key = r.u64();
+    const std::uint64_t size = r.u64();
+    const std::uint64_t sum = r.u64();
+    version_skew = magic == kMagic && format == kFormat && engine != cfg_.engine_version;
+    if (magic == kMagic && format == kFormat && engine == cfg_.engine_version &&
+        k == static_cast<std::uint8_t>(kind) && entry_key == key && size == r.remaining()) {
+      std::string body(bytes.substr(kHeaderBytes));
+      if (payload_checksum(body) == sum) payload = std::move(body);
+    }
+  }
+  if (!payload.has_value()) {
+    // Truncated, corrupt, or written by a different engine version: drop it
+    // so the slot is rebuilt by the next publish.
+    drop_entry_locked(path);
+    ++counters_.dropped;
+    ++counters_.misses;
+    obs::count(version_skew ? "exec.diskcache.version_skew" : "exec.diskcache.corrupt");
+    obs::count("exec.diskcache.misses");
+    return std::nullopt;
+  }
+  ++counters_.hits;
+  obs::count("exec.diskcache.hits");
+  if (cfg_.evict == DiskCacheConfig::Evict::kLru && cfg_.max_bytes > 0) {
+    // Touch for LRU: hits must outlive entries that were merely written.
+    std::error_code ec;
+    fs::last_write_time(path, std::chrono::file_clock::now(), ec);
+  }
+  return payload;
+}
+
+bool DiskCache::put(std::uint64_t key, PayloadKind kind, std::string_view payload) {
+  const std::string path = entry_path(key, kind);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  if (fs::exists(path, ec)) {
+    // Content-addressed: an existing entry is byte-identical by
+    // construction, so a second publish is a no-op.
+    ++counters_.dup_writes;
+    obs::count("exec.diskcache.dup_writes");
+    return true;
+  }
+
+  wire::Writer w;
+  w.u32(kMagic);
+  w.u32(kFormat);
+  w.u32(cfg_.engine_version);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u64(key);
+  w.u64(payload.size());
+  w.u64(payload_checksum(payload));
+  const std::string& header = w.buffer();
+  const std::uint64_t entry_bytes = header.size() + payload.size();
+
+  if (cfg_.max_bytes > 0 && size_bytes_ + entry_bytes > cfg_.max_bytes) {
+    if (cfg_.evict == DiskCacheConfig::Evict::kLru) {
+      evict_to_fit_locked(entry_bytes);
+    }
+    if (size_bytes_ + entry_bytes > cfg_.max_bytes) return false;  // entry larger than budget
+  }
+
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  if (ec) return false;
+  // Unique temp name in the same directory so rename() cannot cross
+  // filesystems; pid + per-instance sequence keeps concurrent writers
+  // (threads and processes) from colliding.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(::getpid()) + "." + std::to_string(tmp_seq_++);
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  bool ok = true;
+  auto write_all = [&](std::string_view bytes) {
+    std::size_t off = 0;
+    while (ok && off < bytes.size()) {
+      const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+      if (n <= 0) ok = false;
+      else off += static_cast<std::size_t>(n);
+    }
+  };
+  write_all(header);
+  write_all(payload);
+  if (ok && cfg_.fsync && ::fsync(fd) != 0) ok = false;
+  if (::close(fd) != 0) ok = false;
+  if (ok && std::rename(tmp.c_str(), path.c_str()) != 0) ok = false;
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    log::warn("disk cache: failed to publish ", path);
+    return false;
+  }
+  size_bytes_ += entry_bytes;
+  ++counters_.writes;
+  obs::count("exec.diskcache.writes");
+  return true;
+}
+
+std::optional<sim::KernelStats> DiskCache::get_stats(std::uint64_t key) {
+  const auto payload = get(key, PayloadKind::kKernelStats);
+  if (!payload.has_value()) return std::nullopt;
+  try {
+    return wire::decode_kernel_stats(*payload);
+  } catch (const SimError&) {
+    return std::nullopt;  // checksummed payload that still fails to decode
+  }
+}
+
+bool DiskCache::put_stats(std::uint64_t key, const sim::KernelStats& s) {
+  return put(key, PayloadKind::kKernelStats, wire::encode_kernel_stats(s));
+}
+
+std::optional<analysis::ThrottlePlan> DiskCache::get_plan(std::uint64_t key) {
+  const auto payload = get(key, PayloadKind::kThrottlePlan);
+  if (!payload.has_value()) return std::nullopt;
+  try {
+    return wire::decode_throttle_plan(*payload);
+  } catch (const SimError&) {
+    return std::nullopt;
+  }
+}
+
+bool DiskCache::put_plan(std::uint64_t key, const analysis::ThrottlePlan& p) {
+  return put(key, PayloadKind::kThrottlePlan, wire::encode_throttle_plan(p));
+}
+
+DiskCache::Counters DiskCache::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::uint64_t DiskCache::size_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_bytes_;
+}
+
+void DiskCache::drop_entry_locked(const std::string& path) {
+  std::error_code ec;
+  const auto sz = fs::file_size(path, ec);
+  if (!ec) size_bytes_ -= std::min<std::uint64_t>(size_bytes_, sz);
+  fs::remove(path, ec);
+}
+
+std::uint64_t DiskCache::scan_locked() {
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(cfg_.dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    if (it->path().extension() != ".ce") continue;
+    const auto sz = it->file_size(ec);
+    if (!ec) total += sz;
+  }
+  return total;
+}
+
+void DiskCache::evict_to_fit_locked(std::uint64_t incoming_bytes) {
+  // Rescan before evicting: other processes may have grown or shrunk the
+  // directory since our running total was last exact.
+  size_bytes_ = scan_locked();
+  if (size_bytes_ + incoming_bytes <= cfg_.max_bytes) return;
+
+  struct Entry {
+    fs::file_time_type mtime;
+    std::uint64_t size;
+    fs::path path;
+  };
+  std::vector<Entry> entries;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(cfg_.dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    if (it->path().extension() != ".ce") continue;
+    Entry e;
+    e.path = it->path();
+    e.size = it->file_size(ec);
+    if (ec) continue;
+    e.mtime = fs::last_write_time(e.path, ec);
+    if (ec) continue;
+    entries.push_back(std::move(e));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+  for (const Entry& e : entries) {
+    if (size_bytes_ + incoming_bytes <= cfg_.max_bytes) break;
+    std::error_code rec;
+    if (fs::remove(e.path, rec)) {
+      size_bytes_ -= std::min(size_bytes_, e.size);
+      ++counters_.evictions;
+      obs::count("exec.diskcache.evictions");
+    }
+  }
+}
+
+}  // namespace catt::exec

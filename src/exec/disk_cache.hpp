@@ -1,0 +1,110 @@
+// Disk-backed, content-addressed cache of execution-engine artifacts
+// (KernelStats payloads for the SimService, ThrottlePlan payloads for the
+// PlanService). This is the persistent tier behind the in-process SimCache:
+// many bench/sweep processes — and the catt_serve daemon — point at one
+// directory and share every simulation ever run for a given engine version.
+//
+// Layout: <dir>/<first-2-hex>/<16-hex-key>-<kind>.ce, one entry per file.
+// Each file is a fixed header (magic, format version, engine-version salt,
+// key, payload kind/size/checksum) followed by the wire-encoded payload.
+//
+// Correctness under concurrent writers: entries are written to a unique
+// temp file in the same directory and published with rename(2), which is
+// atomic on POSIX — a reader sees either no entry or a complete one, never
+// a partial write. Two processes publishing the same key race benignly:
+// keys are content-addressed and the engine is deterministic, so both
+// bodies are byte-identical and the losing rename simply overwrites an
+// equal file.
+//
+// Reads mmap the entry read-only, validate the header + an FNV-1a payload
+// checksum, and copy the payload out. Any mismatch — truncation, garbage,
+// a foreign engine version, a key collision — counts as a miss, drops the
+// file, and lets the caller recompute: corruption can cost time, never
+// wrong results.
+//
+// Eviction (evict=lru): on insert overflow the directory is rescanned and
+// the oldest entries by mtime are dropped until the cache fits under
+// max_bytes again; hits re-touch their entry's mtime so hot entries
+// survive. evict=none never deletes (max_bytes still bounds *this
+// process's* inserts by refusing them).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "catt/analysis.hpp"
+#include "exec/cache_key.hpp"
+#include "gpusim/gpu.hpp"
+
+namespace catt::exec {
+
+/// What an entry's payload decodes to; part of the on-disk name and header
+/// so the two services can never deserialize each other's artifacts.
+enum class PayloadKind : std::uint8_t {
+  kKernelStats = 1,
+  kThrottlePlan = 2,
+};
+
+struct DiskCacheConfig {
+  std::string dir;
+  /// Total payload+header bytes before eviction kicks in (0 = unbounded).
+  std::uint64_t max_bytes = 0;
+  enum class Evict : std::uint8_t { kNone, kLru };
+  Evict evict = Evict::kLru;
+  /// Entries stamped with a different version are invalid (self-invalidation
+  /// on timing-engine changes). Overridable for tests only.
+  std::uint32_t engine_version = kEngineVersion;
+  /// fsync entries before publish (crash durability; off for benches).
+  bool fsync = false;
+};
+
+class DiskCache {
+ public:
+  /// Creates the directory if needed and sizes the cache by scanning it.
+  /// Throws catt::SimError when the directory cannot be created.
+  explicit DiskCache(DiskCacheConfig cfg);
+
+  // Raw payload interface (used by the services and the daemon).
+  std::optional<std::string> get(std::uint64_t key, PayloadKind kind);
+  /// Publishes; returns false when the entry could not be written (IO
+  /// error, or evict=none and the cache is full). Never throws.
+  bool put(std::uint64_t key, PayloadKind kind, std::string_view payload);
+
+  // Typed helpers over the wire codecs.
+  std::optional<sim::KernelStats> get_stats(std::uint64_t key);
+  bool put_stats(std::uint64_t key, const sim::KernelStats& s);
+  std::optional<analysis::ThrottlePlan> get_plan(std::uint64_t key);
+  bool put_plan(std::uint64_t key, const analysis::ThrottlePlan& p);
+
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writes = 0;      // entries published by this instance
+    std::uint64_t dup_writes = 0;  // puts that found the entry already on disk
+    std::uint64_t evictions = 0;   // entries removed to fit max_bytes
+    std::uint64_t dropped = 0;     // corrupt/truncated/version-skewed entries removed
+  };
+  Counters counters() const;
+
+  /// Total on-disk bytes as tracked by this instance (rescan-corrected
+  /// whenever eviction runs).
+  std::uint64_t size_bytes() const;
+
+  const DiskCacheConfig& config() const { return cfg_; }
+
+ private:
+  std::string entry_path(std::uint64_t key, PayloadKind kind) const;
+  void drop_entry_locked(const std::string& path);
+  void evict_to_fit_locked(std::uint64_t incoming_bytes);
+  std::uint64_t scan_locked();
+
+  DiskCacheConfig cfg_;
+  mutable std::mutex mu_;
+  std::uint64_t size_bytes_ = 0;
+  Counters counters_;
+  std::uint64_t tmp_seq_ = 0;
+};
+
+}  // namespace catt::exec

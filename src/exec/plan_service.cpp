@@ -1,0 +1,65 @@
+#include "exec/plan_service.hpp"
+
+#include "obs/obs.hpp"
+
+namespace catt::exec {
+
+std::uint64_t PlanService::plan_key(const ir::Kernel& kernel, const arch::LaunchConfig& launch,
+                                    const expr::ParamEnv& params,
+                                    const analysis::AnalysisOptions& opts) const {
+  // Every input the analysis reads, plus a "plan" salt separating this key
+  // space from the chained launch-stats keys.
+  return CacheKey{}
+      .gpu_arch(arch_)
+      .kernel(kernel)
+      .launch(launch)
+      .params(params)
+      .b(opts.conservative_irregular)
+      .b(opts.warp_level_first)
+      .b(opts.enable_tb_level)
+      .b(opts.dedupe_tb_footprint)
+      .i32(opts.min_active_warps)
+      .str("plan")
+      .value();
+}
+
+analysis::ThrottlePlan PlanService::plan_for(const ir::Kernel& kernel,
+                                             const arch::LaunchConfig& launch,
+                                             const expr::ParamEnv& params,
+                                             const analysis::AnalysisOptions& opts) {
+  const std::uint64_t key = plan_key(kernel, launch, params, opts);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) {
+      obs::count("exec.planservice.mem_hits");
+      return it->second.plan;
+    }
+  }
+  if (disk_ != nullptr) {
+    if (auto plan = disk_->get_plan(key); plan.has_value()) {
+      obs::count("exec.planservice.disk_hits");
+      return *plan;
+    }
+  }
+  return analysis_for(kernel, launch, params, opts).plan;
+}
+
+analysis::KernelAnalysis PlanService::analysis_for(const ir::Kernel& kernel,
+                                                   const arch::LaunchConfig& launch,
+                                                   const expr::ParamEnv& params,
+                                                   const analysis::AnalysisOptions& opts) {
+  const std::uint64_t key = plan_key(kernel, launch, params, opts);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = memo_.find(key);
+  if (it != memo_.end()) {
+    obs::count("exec.planservice.mem_hits");
+    return it->second;
+  }
+  obs::count("exec.planservice.computes");
+  analysis::KernelAnalysis ka = analysis::analyze(arch_, kernel, launch, params, opts);
+  if (disk_ != nullptr) disk_->put_plan(key, ka.plan);
+  return memo_.emplace(key, std::move(ka)).first->second;
+}
+
+}  // namespace catt::exec

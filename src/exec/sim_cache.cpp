@@ -3,31 +3,22 @@
 #include "obs/obs.hpp"
 
 namespace catt::exec {
-namespace {
 
-/// Mirrors the cache's internal hit/miss counters into the obs registry,
-/// with identical semantics (lookup hit/miss, count_miss). Reads of
-/// hits()/misses() stay on the internal counters so cache-asserting tests
-/// are independent of obs configuration.
-void note_cache_event(const char* counter) {
-  if (const obs::SimObs* ob = obs::resolve(nullptr)) {
-    obs::Registry& reg = ob->registry_or_global();
-    reg.add(reg.counter(counter), 1);
-  }
-}
-
-}  // namespace
+// The internal hit/miss counters are mirrored into the obs registry
+// (exec.simcache.*) with identical semantics. Reads of hits()/misses()
+// stay on the internal counters so cache-asserting tests are independent
+// of obs configuration.
 
 std::optional<sim::KernelStats> SimCache::lookup(std::uint64_t key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) {
     ++misses_;
-    note_cache_event("exec.simcache.misses");
+    obs::count("exec.simcache.misses");
     return std::nullopt;
   }
   ++hits_;
-  note_cache_event("exec.simcache.hits");
+  obs::count("exec.simcache.hits");
   return it->second;
 }
 
@@ -36,10 +27,36 @@ bool SimCache::contains(std::uint64_t key) const {
   return map_.contains(key);
 }
 
-void SimCache::count_miss() {
+std::optional<std::vector<sim::KernelStats>> SimCache::lookup_run(
+    const std::vector<std::uint64_t>& keys, const FetchFn& fetch) {
   std::lock_guard<std::mutex> lock(mu_);
-  ++misses_;
-  note_cache_event("exec.simcache.misses");
+  // Holding the lock across the fetch keeps resolve-or-simulate decisions
+  // atomic with respect to concurrent runs; the lower tier has its own
+  // lock and never calls back up, so there is no ordering cycle.
+  std::vector<sim::KernelStats> out;
+  out.reserve(keys.size());
+  bool complete = true;
+  for (const std::uint64_t key : keys) {
+    auto it = map_.find(key);
+    if (it == map_.end() && fetch) {
+      if (auto fetched = fetch(key); fetched.has_value()) {
+        it = map_.insert_or_assign(key, std::move(*fetched)).first;
+      }
+    }
+    if (it == map_.end()) {
+      complete = false;
+      break;
+    }
+    out.push_back(it->second);
+  }
+  if (!complete) {
+    misses_ += keys.size();
+    obs::count("exec.simcache.misses", keys.size());
+    return std::nullopt;
+  }
+  hits_ += keys.size();
+  obs::count("exec.simcache.hits", keys.size());
+  return out;
 }
 
 void SimCache::insert(std::uint64_t key, sim::KernelStats stats) {

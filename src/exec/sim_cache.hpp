@@ -17,9 +17,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "gpusim/gpu.hpp"
 
@@ -31,17 +33,27 @@ namespace catt::exec {
 /// (and inserted). hits() + misses() = launches requested through the cache.
 class SimCache {
  public:
+  /// Pulls a missing entry from a lower tier (the disk cache). Returning
+  /// nullopt means the tier does not have it either.
+  using FetchFn = std::function<std::optional<sim::KernelStats>(std::uint64_t)>;
+
   std::optional<sim::KernelStats> lookup(std::uint64_t key);
 
-  /// True if `key` is present. Does not touch the hit/miss counters (used
-  /// to probe whether a whole run can be assembled before committing).
+  /// True if `key` is present. Does not touch the hit/miss counters.
   bool contains(std::uint64_t key) const;
 
   void insert(std::uint64_t key, sim::KernelStats stats);
 
-  /// Records that one launch was simulated rather than served (bumps the
-  /// miss counter; insert() itself does not count).
-  void count_miss();
+  /// Atomically resolves a whole run: returns the stats for every key, in
+  /// order, iff *all* keys resolve — from this cache or, for keys not in
+  /// memory, from `fetch` (resolved entries are promoted into memory).
+  /// All-or-nothing replaces the old probe-then-lookup / count_miss()
+  /// two-step, whose separate critical sections could double-count a
+  /// launch raced by a concurrent inserter. Counters move once per call:
+  /// success charges keys.size() hits, failure keys.size() misses (the
+  /// caller will simulate the whole run).
+  std::optional<std::vector<sim::KernelStats>> lookup_run(
+      const std::vector<std::uint64_t>& keys, const FetchFn& fetch = {});
 
   std::uint64_t hits() const;
   std::uint64_t misses() const;

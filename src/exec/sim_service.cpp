@@ -1,0 +1,26 @@
+#include "exec/sim_service.hpp"
+
+namespace catt::exec {
+
+std::optional<sim::KernelStats> SimService::stats_for(std::uint64_t key) {
+  const std::vector<std::uint64_t> keys{key};
+  auto run = l1_->lookup_run(keys, [this](std::uint64_t k) {
+    return disk_ != nullptr ? disk_->get_stats(k) : std::optional<sim::KernelStats>{};
+  });
+  if (!run.has_value()) return std::nullopt;
+  return std::move(run->front());
+}
+
+std::optional<std::vector<sim::KernelStats>> SimService::assemble(
+    const std::vector<std::uint64_t>& keys) {
+  return l1_->lookup_run(keys, [this](std::uint64_t k) {
+    return disk_ != nullptr ? disk_->get_stats(k) : std::optional<sim::KernelStats>{};
+  });
+}
+
+void SimService::publish(std::uint64_t key, const sim::KernelStats& stats) {
+  l1_->insert(key, stats);
+  if (disk_ != nullptr) disk_->put_stats(key, stats);
+}
+
+}  // namespace catt::exec

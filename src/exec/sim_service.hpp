@@ -1,0 +1,50 @@
+// SimService: the stats_for half of the plan/sim API split. It answers
+// "what are the stats for this chained cache key" through a two-tier
+// cache — the in-process SimCache as L1, the shared on-disk DiskCache as
+// L2 — and it is where simulated results get published to both tiers.
+//
+// The service never simulates. Key derivation and simulation stay with the
+// caller (throttle::Runner builds plans and runs the timing engine); the
+// service's contract is purely content-addressed: assemble(keys) either
+// returns the complete run from cache or reports that the caller must
+// simulate, and publish() makes a simulated launch visible to every
+// process sharing the disk tier.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "exec/disk_cache.hpp"
+#include "exec/sim_cache.hpp"
+
+namespace catt::exec {
+
+class SimService {
+ public:
+  /// Serves from `l1`; `disk` is the optional shared persistent tier
+  /// (null = in-memory only, the pre-daemon behaviour).
+  explicit SimService(SimCache& l1, DiskCache* disk = nullptr) : l1_(&l1), disk_(disk) {}
+
+  /// One launch's stats if cached in either tier; never computes. Disk
+  /// hits are promoted into L1.
+  std::optional<sim::KernelStats> stats_for(std::uint64_t key);
+
+  /// A whole run, iff *every* chained key resolves from L1 or disk
+  /// (atomic hit/miss accounting — see SimCache::lookup_run). nullopt
+  /// means the caller must simulate the run and publish() each launch.
+  std::optional<std::vector<sim::KernelStats>> assemble(const std::vector<std::uint64_t>& keys);
+
+  /// Records one simulated launch in L1 and, when attached, on disk.
+  void publish(std::uint64_t key, const sim::KernelStats& stats);
+
+  SimCache& l1() { return *l1_; }
+  DiskCache* disk() const { return disk_; }
+  void set_disk(DiskCache* disk) { disk_ = disk; }
+
+ private:
+  SimCache* l1_;
+  DiskCache* disk_;
+};
+
+}  // namespace catt::exec

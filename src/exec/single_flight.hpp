@@ -1,0 +1,94 @@
+// Single-flight execution: concurrent calls with the same key share one
+// computation instead of racing to repeat it. The daemon uses this per
+// request frame — ten clients asking for the same uncached sweep cost one
+// simulation, not ten — but the helper is generic and deterministic, so
+// sweep-level callers can use it too.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace catt::exec {
+
+/// For each key, the first caller (the *leader*) runs `compute`; callers
+/// that arrive while it is in flight (the *followers*) block and receive a
+/// copy of the leader's result — or its exception, rethrown. Once a flight
+/// lands the key is forgotten: a later call starts a fresh flight (caching
+/// is the tiered caches' job, not this class's).
+template <typename K, typename V>
+class SingleFlight {
+ public:
+  template <typename Fn>
+  V run(const K& key, Fn&& compute) {
+    std::shared_ptr<Gate> gate;
+    bool leader = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = inflight_.find(key);
+      if (it == inflight_.end()) {
+        gate = std::make_shared<Gate>();
+        inflight_.emplace(key, gate);
+        leader = true;
+        ++leaders_;
+      } else {
+        gate = it->second;
+        ++followers_;
+      }
+    }
+    obs::count(leader ? "exec.singleflight.leaders" : "exec.singleflight.followers");
+
+    if (leader) {
+      try {
+        V v = compute();
+        std::lock_guard<std::mutex> g(gate->m);
+        gate->value.emplace(std::move(v));
+        gate->done = true;
+      } catch (...) {
+        std::lock_guard<std::mutex> g(gate->m);
+        gate->error = std::current_exception();
+        gate->done = true;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        inflight_.erase(key);
+      }
+      gate->cv.notify_all();
+    }
+    std::unique_lock<std::mutex> g(gate->m);
+    gate->cv.wait(g, [&] { return gate->done; });
+    if (gate->error != nullptr) std::rethrow_exception(gate->error);
+    return *gate->value;
+  }
+
+  std::uint64_t leaders() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return leaders_;
+  }
+  std::uint64_t followers() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return followers_;
+  }
+
+ private:
+  struct Gate {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    std::optional<V> value;
+    std::exception_ptr error;
+  };
+
+  mutable std::mutex mu_;
+  std::map<K, std::shared_ptr<Gate>> inflight_;
+  std::uint64_t leaders_ = 0;
+  std::uint64_t followers_ = 0;
+};
+
+}  // namespace catt::exec

@@ -1,0 +1,89 @@
+// Binary serialization shared by the disk cache and the daemon protocol.
+//
+// Encoding rules: all integers little-endian and fixed-width, strings and
+// vectors length-prefixed (u64 count), doubles bit_cast to u64. Every
+// value is written field by field — never memcpy of a struct — so the
+// format is independent of padding, endianness of the host, and compiler.
+// Decoders validate bounds on every read and throw catt::SimError on
+// malformed input; a truncated or bit-flipped disk entry or wire frame is
+// reported, never silently misread.
+//
+// The codecs here cover the payload types the services exchange:
+// sim::KernelStats (the SimService artifact) and analysis::ThrottlePlan
+// (the PlanService artifact). AppResult — the throttle-layer aggregate —
+// is encoded in throttle/remote.cpp on top of these primitives.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "catt/analysis.hpp"
+#include "gpusim/gpu.hpp"
+
+namespace catt::exec::wire {
+
+/// Append-only encoder. Cheap to pass around; the buffer is the result.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void b(bool v) { u8(v ? 1 : 0); }
+  void f64(double v);
+  void str(std::string_view s);
+
+  const std::string& buffer() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked decoder over a borrowed buffer.
+class Reader {
+ public:
+  explicit Reader(std::string_view in) : in_(in) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  bool b() { return u8() != 0; }
+  double f64();
+  std::string str();
+
+  std::size_t remaining() const { return in_.size() - pos_; }
+  bool done() const { return pos_ == in_.size(); }
+  /// Throws SimError unless the whole buffer was consumed (catches both
+  /// trailing garbage and version-skewed encoders).
+  void expect_done(const char* what) const;
+
+ private:
+  void need(std::size_t n, const char* what) const;
+
+  std::string_view in_;
+  std::size_t pos_ = 0;
+};
+
+// --- payload codecs ---
+
+void encode(Writer& w, const occupancy::Occupancy& o);
+occupancy::Occupancy decode_occupancy(Reader& r);
+
+void encode(Writer& w, const sim::KernelStats& s);
+sim::KernelStats decode_kernel_stats(Reader& r);
+
+void encode(Writer& w, const analysis::ThrottlePlan& p);
+analysis::ThrottlePlan decode_throttle_plan(Reader& r);
+
+/// Convenience: one payload per buffer.
+std::string encode_kernel_stats(const sim::KernelStats& s);
+sim::KernelStats decode_kernel_stats(std::string_view buf);
+std::string encode_throttle_plan(const analysis::ThrottlePlan& p);
+analysis::ThrottlePlan decode_throttle_plan(std::string_view buf);
+
+}  // namespace catt::exec::wire

@@ -311,6 +311,9 @@ KernelStats Gpu::run(const LaunchSpec& spec, const SimOptions& opts) {
   // Observability: resolved once per launch; null means every hook below
   // is skipped (and in CATT_OBS=OFF builds the compiler deletes them).
   const obs::SimObs* ob = obs::resolve(opts.obs);
+  // Every timing-engine invocation is visible here; PlanService's
+  // no-simulation contract is asserted against this counter.
+  obs::count("sim.gpu.launches", 1, opts.obs);
   obs::SimTraceCtx trace_ctx;
   const obs::SimTraceCtx* trace = nullptr;
   if (ob != nullptr && ob->trace_level > 0) {

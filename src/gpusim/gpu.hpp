@@ -52,7 +52,7 @@ struct SimOptions {
   /// Non-zero enables homogeneous-warp trace dedup across blocks (and
   /// across launches sharing the key). The key must capture kernel,
   /// launch config and scalar params; the runner derives it from the
-  /// exec::fingerprint chain. Requires skip_functional semantics.
+  /// exec::CacheKey chain. Requires skip_functional semantics.
   std::uint64_t trace_key = 0;
 
   /// Run the retained cycle-stepped engine (SmRef + per-cycle scan loop)

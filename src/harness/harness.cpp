@@ -10,6 +10,7 @@
 
 #include "common/log.hpp"
 #include "common/profile.hpp"
+#include "harness/spec.hpp"
 #include "obs/obs.hpp"
 
 namespace catt::bench {
@@ -112,18 +113,42 @@ int exit_status(const WriteStatus& st) {
 }
 
 sim::sched::PolicyConfig sched_from_args(int argc, char** argv) {
-  std::string spec;
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    constexpr std::string_view kFlag = "--sched=";
-    if (arg.rfind(kFlag, 0) == 0) spec = std::string(arg.substr(kFlag.size()));
-  }
-  if (spec.empty()) {
-    if (const char* env = std::getenv("CATT_SCHED"); env != nullptr && *env != '\0') spec = env;
-  }
+  const std::string spec = harness::flag_or_env(argc, argv, "sched", "CATT_SCHED");
   if (spec.empty()) return {};
   try {
     return sim::sched::PolicyConfig::parse(spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[bench] %s\n", e.what());
+    std::exit(2);
+  }
+}
+
+std::shared_ptr<exec::DiskCache> cache_from_args(int argc, char** argv) {
+  std::string spec = harness::flag_or_env(argc, argv, "cache", nullptr);
+  if (spec.empty()) {
+    // The env fallback is a bare directory, not a spec: CATT_CACHE_DIR is
+    // what CI and the daemon quick-start export.
+    if (const char* env = std::getenv("CATT_CACHE_DIR"); env != nullptr && *env != '\0') {
+      spec = "dir:path=" + std::string(env);
+    }
+  }
+  if (spec.empty()) return nullptr;
+  try {
+    const harness::SpecParser p = harness::SpecParser::parse(spec);
+    if (p.name() == "none") {
+      p.reject_unknown_keys();
+      return nullptr;
+    }
+    if (p.name() != "dir") p.fail("unknown cache backend '" + p.name() + "' (use dir|none)");
+    exec::DiskCacheConfig cfg;
+    cfg.dir = p.str_or("path", "");
+    if (cfg.dir.empty()) p.fail("backend 'dir' needs path=DIR");
+    cfg.evict = p.enum_or("evict", {"lru", "none"}, "lru") == "lru"
+                    ? exec::DiskCacheConfig::Evict::kLru
+                    : exec::DiskCacheConfig::Evict::kNone;
+    cfg.max_bytes = static_cast<std::uint64_t>(p.int_or("max_mb", 0)) * 1024 * 1024;
+    p.reject_unknown_keys();
+    return std::make_shared<exec::DiskCache>(cfg);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "[bench] %s\n", e.what());
     std::exit(2);

@@ -3,11 +3,13 @@
 // and uniform labeling/formatting of results.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "arch/gpu_arch.hpp"
 #include "common/table.hpp"
+#include "exec/disk_cache.hpp"
 #include "throttle/runner.hpp"
 #include "workloads/workload.hpp"
 
@@ -77,6 +79,18 @@ int exit_status(const WriteStatus& st);
 /// Runner::sim_options.sched. Spec syntax: see sched::PolicyConfig::parse.
 /// Exits with a diagnostic on a malformed spec.
 sim::sched::PolicyConfig sched_from_args(int argc, char** argv);
+
+/// Parses the shared disk-cache flag `--cache=SPEC` (else the
+/// CATT_CACHE_DIR environment variable as a plain directory path, else
+/// caching off). Spec syntax, via harness::SpecParser:
+///
+///   none                                     caching off
+///   dir:path=DIR[,evict=lru|none][,max_mb=N] disk cache rooted at DIR
+///
+/// Returns null when caching is off; otherwise the opened cache, to hand
+/// to Runner::set_disk_cache(). Exits 2 on a malformed spec (matching
+/// --sched= semantics).
+std::shared_ptr<exec::DiskCache> cache_from_args(int argc, char** argv);
 
 /// RAII observability session for bench main()s. Parses `--trace-out=PATH`
 /// (or the CATT_TRACE_OUT environment variable) and raises the CATT_TRACE

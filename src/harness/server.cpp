@@ -1,0 +1,325 @@
+#include "harness/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "common/log.hpp"
+#include "exec/client.hpp"
+#include "exec/wire.hpp"
+#include "harness/harness.hpp"
+#include "harness/spec.hpp"
+#include "throttle/remote.hpp"
+#include "workloads/workload.hpp"
+
+namespace catt::bench {
+namespace {
+
+namespace rpc = exec::rpc;
+namespace wire = exec::wire;
+
+arch::GpuArch arch_by_name(const std::string& name, int num_sms) {
+  if (name == "titan_v") return arch::GpuArch::titan_v(num_sms);
+  if (name == "titan_v_32k") return arch::GpuArch::titan_v_32k_l1d(num_sms);
+  throw SimError("unknown arch '" + name + "' (use titan_v|titan_v_32k)");
+}
+
+bool bool_knob(const harness::SpecParser& p, const std::string& key, bool fallback) {
+  const std::string v = p.str_or(key, fallback ? "1" : "0");
+  if (v == "0") return false;
+  if (v == "1") return true;
+  p.fail("key '" + key + "' expects 0|1, got '" + v + "'");
+}
+
+double frac_knob(const harness::SpecParser& p, const std::string& key, double fallback) {
+  const std::string v = p.str_or(key, "");
+  if (v.empty()) return fallback;
+  char* end = nullptr;
+  const double x = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0' || x < 0.0 || x > 1.0) {
+    p.fail("key '" + key + "' expects a fraction in [0,1], got '" + v + "'");
+  }
+  return x;
+}
+
+/// Inverse of throttle::policy_to_spec.
+throttle::Policy policy_from_spec(const std::string& spec) {
+  const harness::SpecParser p = harness::SpecParser::parse(spec);
+  const std::string& name = p.name();
+  if (name == "baseline") {
+    p.reject_unknown_keys();
+    return throttle::Policy(throttle::Baseline{});
+  }
+  if (name == "bftt") {
+    p.reject_unknown_keys();
+    return throttle::Policy(throttle::Bftt{});
+  }
+  if (name == "catt") {
+    throttle::Catt c;
+    c.opts.conservative_irregular = bool_knob(p, "conservative", c.opts.conservative_irregular);
+    c.opts.warp_level_first = bool_knob(p, "warp_first", c.opts.warp_level_first);
+    c.opts.enable_tb_level = bool_knob(p, "tb_level", c.opts.enable_tb_level);
+    c.opts.dedupe_tb_footprint = bool_knob(p, "dedupe", c.opts.dedupe_tb_footprint);
+    c.opts.min_active_warps = static_cast<int>(p.int_or("min_warps", c.opts.min_active_warps));
+    p.reject_unknown_keys();
+    return throttle::Policy(std::move(c));
+  }
+  if (name == "fixed") {
+    throttle::Fixed f;
+    if (!p.has("n")) p.fail("policy 'fixed' needs n=N");
+    f.factor.n_divisor = static_cast<int>(p.int_or("n", 1));
+    f.factor.tb_limit = p.has("tb") ? static_cast<int>(p.int_or("tb", 0)) : 0;
+    p.reject_unknown_keys();
+    return throttle::Policy(f);
+  }
+  if (name == "dyncta") {
+    throttle::Dyncta d;
+    d.low_hit = frac_knob(p, "low", d.low_hit);
+    d.high_hit = frac_knob(p, "high", d.high_hit);
+    p.reject_unknown_keys();
+    return throttle::Policy(d);
+  }
+  p.fail("unknown policy '" + name + "' (use baseline|catt|fixed|dyncta|bftt)");
+}
+
+std::string ok_response(std::string_view body) {
+  wire::Writer w;
+  w.u8(rpc::kStatusOk);
+  std::string out = w.take();
+  out.append(body.data(), body.size());
+  return out;
+}
+
+std::string error_response(const std::string& message) {
+  wire::Writer w;
+  w.u8(rpc::kStatusError);
+  std::string out = w.take();
+  out += message;
+  return out;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
+  stats_service_.set_disk(opts_.disk.get());
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opts_.socket_path.empty() || opts_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw SimError("server: bad socket path '" + opts_.socket_path + "'");
+  }
+  std::memcpy(addr.sun_path, opts_.socket_path.c_str(), opts_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw SimError("server: cannot create socket");
+  // Replace a stale socket file from a previous (crashed) daemon.
+  ::unlink(opts_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw SimError("server: cannot bind " + opts_.socket_path);
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conn_fds_.insert(fd);
+    conns_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+}
+
+void Server::handle_connection(int fd) {
+  try {
+    while (!stopping_.load(std::memory_order_acquire)) {
+      std::string request;
+      try {
+        request = rpc::recv_frame(fd);
+      } catch (const SimError&) {
+        break;  // client hung up (or stop() shut the socket down)
+      }
+      rpc::send_frame(fd, dispatch(request));
+    }
+  } catch (const std::exception& e) {
+    log::warn("server: connection dropped: ", e.what());
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conn_fds_.erase(fd);
+  }
+  ::close(fd);
+}
+
+std::string Server::dispatch(const std::string& request) {
+  try {
+    wire::Reader r(request);
+    const std::uint8_t op = r.u8();
+    switch (op) {
+      case rpc::kOpPing: {
+        r.expect_done("ping request");
+        wire::Writer w;
+        w.u32(exec::kEngineVersion);
+        return ok_response(w.buffer());
+      }
+      case rpc::kOpRun:
+      case rpc::kOpPlan: {
+        // Single-flight on the raw request bytes: concurrent identical
+        // queries (same op, same operands) share one computation.
+        const std::uint64_t key = hash::Fnv1a{}.str(request).value();
+        const std::string body = flights_.run(key, [&]() -> std::string {
+          wire::Reader rr(request);
+          rr.u8();  // op, already known
+          return op == rpc::kOpRun ? handle_run(rr) : handle_plan(rr);
+        });
+        return ok_response(body);
+      }
+      case rpc::kOpStats: {
+        return ok_response(handle_stats(r));
+      }
+      case rpc::kOpShutdown: {
+        r.expect_done("shutdown request");
+        {
+          std::lock_guard<std::mutex> lock(stop_mu_);
+          shutdown_requested_ = true;
+        }
+        stop_cv_.notify_all();
+        return ok_response({});
+      }
+      default:
+        throw SimError("unknown op " + std::to_string(op));
+    }
+  } catch (const std::exception& e) {
+    return error_response(e.what());
+  }
+}
+
+std::string Server::handle_run(wire::Reader& r) {
+  const std::string workload = r.str();
+  const int num_sms = static_cast<int>(r.u32());
+  const std::string arch_name = r.str();
+  const std::string policy_spec = r.str();
+  const std::string sched_spec = r.str();
+  r.expect_done("run request");
+
+  const wl::Workload& w = wl::find_workload(workload, num_sms);
+  const throttle::Policy policy = policy_from_spec(policy_spec);
+  throttle::Runner& runner = runner_for(arch_name, num_sms, sched_spec);
+  return throttle::encode_app_result(runner.run(w, policy));
+}
+
+std::string Server::handle_plan(wire::Reader& r) {
+  const std::string workload = r.str();
+  const int num_sms = static_cast<int>(r.u32());
+  const std::string arch_name = r.str();
+  const std::uint32_t index = r.u32();
+  r.expect_done("plan request");
+
+  const wl::Workload& w = wl::find_workload(workload, num_sms);
+  if (index >= w.schedule.size()) {
+    throw SimError("plan: schedule index " + std::to_string(index) + " out of range for '" +
+                   workload + "'");
+  }
+  const wl::KernelRun& entry = w.schedule[index];
+  const analysis::ThrottlePlan plan = planner_for(arch_name, num_sms)
+                                          .plan_for(w.kernel(entry.kernel), entry.launch,
+                                                    entry.params);
+  return wire::encode_throttle_plan(plan);
+}
+
+std::string Server::handle_stats(wire::Reader& r) {
+  const std::uint64_t key = r.u64();
+  r.expect_done("stats request");
+  wire::Writer w;
+  if (const auto stats = stats_service_.stats_for(key); stats.has_value()) {
+    w.b(true);
+    wire::encode(w, *stats);
+  } else {
+    w.b(false);
+  }
+  return w.take();
+}
+
+throttle::Runner& Server::runner_for(const std::string& arch_name, int num_sms,
+                                     const std::string& sched_spec) {
+  const std::string key = arch_name + "/" + std::to_string(num_sms) + "/" + sched_spec;
+  std::lock_guard<std::mutex> lock(services_mu_);
+  auto it = runners_.find(key);
+  if (it == runners_.end()) {
+    auto runner = std::make_unique<throttle::Runner>(arch_by_name(arch_name, num_sms));
+    if (!sched_spec.empty() && sched_spec != "none") {
+      runner->sim_options.sched = sim::sched::PolicyConfig::parse(sched_spec);
+    }
+    runner->set_disk_cache(opts_.disk.get());
+    it = runners_.emplace(key, std::move(runner)).first;
+  }
+  return *it->second;
+}
+
+exec::PlanService& Server::planner_for(const std::string& arch_name, int num_sms) {
+  const std::string key = arch_name + "/" + std::to_string(num_sms);
+  std::lock_guard<std::mutex> lock(services_mu_);
+  auto it = planners_.find(key);
+  if (it == planners_.end()) {
+    it = planners_
+             .emplace(key, std::make_unique<exec::PlanService>(arch_by_name(arch_name, num_sms),
+                                                               opts_.disk.get()))
+             .first;
+  }
+  return *it->second;
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  stop_cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+void Server::stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    shutdown_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  {
+    // Unblock connection threads parked in recv_frame().
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // The accept loop is down, so conns_ can no longer grow.
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::unlink(opts_.socket_path.c_str());
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace catt::bench

@@ -1,0 +1,97 @@
+// The catt_serve daemon core: a unix-socket RPC server wrapping the
+// PlanService / SimService pair so many sweep processes share one warm
+// cache hierarchy. Protocol: see exec/client.hpp.
+//
+// Concurrency model: one accept thread, one thread per connection.
+// Requests that compute (kOpRun, kOpPlan) are single-flighted on the raw
+// request bytes — concurrent identical queries from different clients
+// share one execution and every follower gets a copy of the leader's
+// response. Distinct queries run concurrently; Runner instances are
+// keyed by (arch, SM count, sched spec) so each has fixed SimOptions,
+// and all of them publish into the one attached DiskCache.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/disk_cache.hpp"
+#include "exec/plan_service.hpp"
+#include "exec/sim_service.hpp"
+#include "exec/single_flight.hpp"
+#include "throttle/runner.hpp"
+
+namespace catt::exec::wire {
+class Reader;
+}
+
+namespace catt::bench {
+
+struct ServerOptions {
+  std::string socket_path;
+  /// Shared persistent tier; null = in-memory caches only.
+  std::shared_ptr<exec::DiskCache> disk;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket (replacing a stale file) and starts serving.
+  /// Throws catt::SimError when the socket cannot be bound.
+  void start();
+
+  /// Blocks until a client sends kOpShutdown (or stop() is called).
+  void wait();
+
+  /// Shuts down: stops accepting, unblocks every connection, joins all
+  /// threads, removes the socket file. Idempotent.
+  void stop();
+
+  const std::string& socket_path() const { return opts_.socket_path; }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+  /// Full request payload in, full response payload ([status][body]) out.
+  std::string dispatch(const std::string& request);
+  std::string handle_run(exec::wire::Reader& r);
+  std::string handle_plan(exec::wire::Reader& r);
+  std::string handle_stats(exec::wire::Reader& r);
+  throttle::Runner& runner_for(const std::string& arch_name, int num_sms,
+                               const std::string& sched_spec);
+  exec::PlanService& planner_for(const std::string& arch_name, int num_sms);
+
+  ServerOptions opts_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conns_mu_;
+  std::vector<std::thread> conns_;
+  std::set<int> conn_fds_;
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool shutdown_requested_ = false;
+
+  std::mutex services_mu_;
+  std::map<std::string, std::unique_ptr<throttle::Runner>> runners_;
+  std::map<std::string, std::unique_ptr<exec::PlanService>> planners_;
+  /// L1 for the kOpStats lookup path (kOpRun answers publish to disk, so
+  /// a disk-attached server can serve any previously simulated key).
+  exec::SimCache stats_l1_;
+  exec::SimService stats_service_{stats_l1_};
+  exec::SingleFlight<std::uint64_t, std::string> flights_;
+};
+
+}  // namespace catt::bench

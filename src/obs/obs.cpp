@@ -52,6 +52,13 @@ const SimObs* env_sim_obs() {
   return configured;
 }
 
+void count(const char* name, std::uint64_t delta, const SimObs* obs) {
+  if (const SimObs* ob = resolve(obs)) {
+    Registry& reg = ob->registry_or_global();
+    reg.add(reg.counter(name), delta);
+  }
+}
+
 void Accum::start() { t0_ = std::chrono::steady_clock::now(); }
 
 void Accum::stop() {

@@ -76,6 +76,12 @@ inline const SimObs* resolve(const SimObs* configured) {
   return env_sim_obs();
 }
 
+/// Bumps a named counter on the ambient registry (the attached SimObs, or
+/// the env-configured one when `obs` is null). The shared idiom for
+/// engine-level event counters: a no-op when observability is off, and
+/// never allowed to perturb fingerprints or simulated results.
+void count(const char* name, std::uint64_t delta = 1, const SimObs* obs = nullptr);
+
 /// Wall-clock accumulator, successor of prof::Accum: same ms() contract
 /// (so [profile] lines stay byte-compatible), plus the accumulated time is
 /// mirrored into a registry counter (microseconds) at stop() when a metric

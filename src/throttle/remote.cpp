@@ -1,0 +1,138 @@
+#include "throttle/remote.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "exec/wire.hpp"
+
+namespace catt::throttle {
+namespace {
+
+namespace wire = exec::wire;
+
+void encode_choice(wire::Writer& w, const KernelChoice& c) {
+  w.str(c.kernel);
+  wire::encode(w, c.baseline_occ);
+  w.u64(c.loops.size());
+  for (const LoopTlp& l : c.loops) {
+    w.i32(l.loop_id);
+    w.i32(l.warps);
+    w.i32(l.tbs);
+    w.b(l.unresolvable);
+  }
+}
+
+KernelChoice decode_choice(wire::Reader& r) {
+  KernelChoice c;
+  c.kernel = r.str();
+  c.baseline_occ = wire::decode_occupancy(r);
+  const std::uint64_t n = r.u64();
+  c.loops.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    LoopTlp l;
+    l.loop_id = r.i32();
+    l.warps = r.i32();
+    l.tbs = r.i32();
+    l.unresolvable = r.b();
+    c.loops.push_back(l);
+  }
+  return c;
+}
+
+/// Shortest decimal that round-trips the double (for spec strings).
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string encode_app_result(const AppResult& r) {
+  wire::Writer w;
+  w.str(r.workload);
+  w.str(r.policy);
+  w.i64(r.total_cycles);
+  w.u64(r.launches.size());
+  for (const sim::KernelStats& s : r.launches) wire::encode(w, s);
+  w.u64(r.choices.size());
+  for (const KernelChoice& c : r.choices) encode_choice(w, c);
+  return w.take();
+}
+
+AppResult decode_app_result(std::string_view buf) {
+  wire::Reader r(buf);
+  AppResult res;
+  res.workload = r.str();
+  res.policy = r.str();
+  res.total_cycles = r.i64();
+  const std::uint64_t n_launches = r.u64();
+  res.launches.reserve(n_launches);
+  for (std::uint64_t i = 0; i < n_launches; ++i) {
+    res.launches.push_back(wire::decode_kernel_stats(r));
+  }
+  const std::uint64_t n_choices = r.u64();
+  res.choices.reserve(n_choices);
+  for (std::uint64_t i = 0; i < n_choices; ++i) res.choices.push_back(decode_choice(r));
+  r.expect_done("AppResult");
+  return res;
+}
+
+std::string policy_to_spec(const Policy& policy) {
+  struct Visitor {
+    std::string operator()(const Baseline&) const { return "baseline"; }
+    std::string operator()(const Catt& p) const {
+      const analysis::AnalysisOptions d;
+      std::string knobs;
+      auto add = [&](const std::string& kv) {
+        knobs += (knobs.empty() ? ":" : ",") + kv;
+      };
+      if (p.opts.conservative_irregular != d.conservative_irregular) {
+        add("conservative=" + std::to_string(p.opts.conservative_irregular ? 1 : 0));
+      }
+      if (p.opts.warp_level_first != d.warp_level_first) {
+        add("warp_first=" + std::to_string(p.opts.warp_level_first ? 1 : 0));
+      }
+      if (p.opts.enable_tb_level != d.enable_tb_level) {
+        add("tb_level=" + std::to_string(p.opts.enable_tb_level ? 1 : 0));
+      }
+      if (p.opts.dedupe_tb_footprint != d.dedupe_tb_footprint) {
+        add("dedupe=" + std::to_string(p.opts.dedupe_tb_footprint ? 1 : 0));
+      }
+      if (p.opts.min_active_warps != d.min_active_warps) {
+        add("min_warps=" + std::to_string(p.opts.min_active_warps));
+      }
+      return "catt" + knobs;
+    }
+    std::string operator()(const Fixed& p) const {
+      std::string spec = "fixed:n=" + std::to_string(p.factor.n_divisor);
+      if (p.factor.tb_limit > 0) spec += ",tb=" + std::to_string(p.factor.tb_limit);
+      return spec;
+    }
+    std::string operator()(const Dyncta& p) const {
+      return "dyncta:low=" + fmt_double(p.low_hit) + ",high=" + fmt_double(p.high_hit);
+    }
+    std::string operator()(const Bftt&) const { return "bftt"; }
+  };
+  return std::visit(Visitor{}, policy.variant());
+}
+
+RemoteRunner::RemoteRunner(exec::Client& client, std::string arch_name, int num_sms,
+                           std::string sched_spec)
+    : client_(&client),
+      arch_name_(std::move(arch_name)),
+      num_sms_(num_sms),
+      sched_spec_(std::move(sched_spec)) {}
+
+AppResult RemoteRunner::run(const std::string& workload_name, const Policy& policy) {
+  wire::Writer req;
+  req.str(workload_name);
+  req.u32(static_cast<std::uint32_t>(num_sms_));
+  req.str(arch_name_);
+  req.str(policy_to_spec(policy));
+  req.str(sched_spec_);
+  return decode_app_result(client_->call(exec::rpc::kOpRun, req.buffer()));
+}
+
+}  // namespace catt::throttle

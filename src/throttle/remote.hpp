@@ -1,0 +1,49 @@
+// Daemon-facing throttle-layer pieces: the wire codec for AppResult (the
+// aggregate a kOpRun response carries), the textual policy-spec round-trip
+// the protocol uses to name policies, and RemoteRunner — a Runner-shaped
+// convenience wrapper that answers run() queries from a catt_serve daemon
+// instead of a local simulation.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "exec/client.hpp"
+#include "throttle/runner.hpp"
+
+namespace catt::throttle {
+
+/// Wire codec for AppResult (field-by-field, little-endian; see
+/// exec/wire.hpp for the encoding rules). Decoding throws catt::SimError
+/// on malformed input.
+std::string encode_app_result(const AppResult& r);
+AppResult decode_app_result(std::string_view buf);
+
+/// The protocol's textual policy naming, SpecParser-compatible:
+/// "baseline", "bftt", "dyncta[:low=...,high=...]", "fixed:n=N[,tb=M]",
+/// "catt[:conservative=0|1,warp_first=0|1,tb_level=0|1,dedupe=0|1,
+/// min_warps=K]" (catt knobs emitted only when non-default).
+std::string policy_to_spec(const Policy& policy);
+
+/// Runner-shaped client: every run() is answered by the daemon, which
+/// simulates at most once per distinct query across *all* connected
+/// clients (single-flight + shared caches). The workload is named, not
+/// shipped: both ends resolve it from the registry, so results are
+/// byte-identical to a local Runner with the same arch/sched options.
+class RemoteRunner {
+ public:
+  /// `arch_name` is "titan_v" or "titan_v_32k"; `sched_spec` as accepted
+  /// by sim::sched::PolicyConfig::parse ("" = none).
+  RemoteRunner(exec::Client& client, std::string arch_name, int num_sms,
+               std::string sched_spec = "");
+
+  AppResult run(const std::string& workload_name, const Policy& policy);
+
+ private:
+  exec::Client* client_;
+  std::string arch_name_;
+  int num_sms_;
+  std::string sched_spec_;
+};
+
+}  // namespace catt::throttle

@@ -10,7 +10,7 @@
 #include "common/error.hpp"
 #include "common/hash.hpp"
 #include "common/log.hpp"
-#include "exec/fingerprint.hpp"
+#include "exec/cache_key.hpp"
 #include "exec/sweep.hpp"
 #include "gpusim/bytecode.hpp"
 #include "transform/transform.hpp"
@@ -96,13 +96,11 @@ RunPlan make_plan(const arch::GpuArch& arch, const sim::SimOptions& sim_options,
   RunPlan plan;
   plan.entries.reserve(w.schedule.size());
   // Chain seed: everything launch-independent a simulation depends on —
-  // the architecture, the sim options, and the workload's initial memory
-  // image (identified by the workload name; inputs are deterministic).
-  std::uint64_t chain = hash::Fnv1a{}
-                            .u64(arch.fingerprint())
-                            .u64(sim_options.fingerprint())
-                            .str(w.name)
-                            .value();
+  // the engine version (via CacheKey's salt), the architecture, the sim
+  // options, and the workload's initial memory image (identified by the
+  // workload name; inputs are deterministic).
+  std::uint64_t chain =
+      exec::CacheKey{}.gpu_arch(arch).sim_options(sim_options).str(w.name).value();
   for (const auto& entry : w.schedule) {
     const ir::Kernel& original = w.kernel(entry.kernel);
     PlanEntry pe;
@@ -110,12 +108,12 @@ RunPlan make_plan(const arch::GpuArch& arch, const sim::SimOptions& sim_options,
     pe.choice.kernel = entry.kernel;
     pe.choice.baseline_occ = occupancy::compute(arch, original, entry.launch);
     pe.kernel = fn(original, entry, pe.choice);
-    const std::uint64_t kfp = exec::fingerprint(pe.kernel);
-    const std::uint64_t lfp = exec::fingerprint(entry.launch);
-    const std::uint64_t pfp = exec::fingerprint(entry.params);
-    chain = hash::Fnv1a{}.u64(chain).u64(kfp).u64(lfp).u64(pfp).i32(entry.repeats).value();
+    const std::uint64_t kfp = exec::CacheKey{}.kernel(pe.kernel).value();
+    const std::uint64_t lfp = exec::CacheKey{}.launch(entry.launch).value();
+    const std::uint64_t pfp = exec::CacheKey{}.params(entry.params).value();
+    chain = exec::CacheKey{}.chain(chain).u64(kfp).u64(lfp).u64(pfp).i32(entry.repeats).value();
     pe.key = chain;
-    pe.trace_key = hash::Fnv1a{}.u64(kfp).u64(lfp).u64(pfp).value();
+    pe.trace_key = exec::CacheKey{}.u64(kfp).u64(lfp).u64(pfp).value();
     if (pe.trace_key == 0) pe.trace_key = 1;  // 0 means "dedup off" in SimOptions
     plan.all_pure = plan.all_pure && sim::bc::trace_data_independent(pe.kernel);
     plan.entries.push_back(std::move(pe));
@@ -151,23 +149,23 @@ sim::KernelStats simulate_entry(sim::Gpu& gpu, const PlanEntry& pe,
   return agg;
 }
 
-/// Executes a plan through the cache: if every chained key is present the
-/// run is assembled without simulating (one hit per launch); otherwise the
-/// whole application is simulated from a fresh memory image and each
-/// launch's stats are inserted (one miss per launch). Thread-safe: callers
-/// on different pool threads each build their own Gpu + DeviceMemory.
+/// Executes a plan through the sim service: if every chained key resolves
+/// (from the in-process L1 or the attached disk tier) the run is assembled
+/// without simulating (one hit per launch, atomically — see
+/// SimCache::lookup_run); otherwise the whole application is simulated
+/// from a fresh memory image and each launch's stats are published to
+/// every tier (one miss per launch). Thread-safe: callers on different
+/// pool threads each build their own Gpu + DeviceMemory.
 RunOutput run_plan_cached(const arch::GpuArch& arch, const sim::SimOptions& sim_options,
-                          exec::SimCache& cache, const wl::Workload& w, const RunPlan& plan) {
+                          exec::SimService& service, const wl::Workload& w,
+                          const RunPlan& plan) {
   RunOutput out;
-  bool all_cached = true;
-  for (const auto& pe : plan.entries) all_cached = all_cached && cache.contains(pe.key);
-  if (all_cached) {
-    out.launches.reserve(plan.entries.size());
-    for (const auto& pe : plan.entries) {
-      // The cache never evicts, so the probed keys are still present.
-      out.launches.push_back(*cache.lookup(pe.key));
-      out.total_cycles += out.launches.back().cycles;
-    }
+  std::vector<std::uint64_t> keys;
+  keys.reserve(plan.entries.size());
+  for (const auto& pe : plan.entries) keys.push_back(pe.key);
+  if (auto cached = service.assemble(keys); cached.has_value()) {
+    out.launches = std::move(*cached);
+    for (const auto& launch : out.launches) out.total_cycles += launch.cycles;
     return out;
   }
 
@@ -187,8 +185,7 @@ RunOutput run_plan_cached(const arch::GpuArch& arch, const sim::SimOptions& sim_
       entry_opts.trace_key = pe.trace_key;
     }
     sim::KernelStats agg = simulate_entry(gpu, pe, entry_opts);
-    cache.count_miss();
-    cache.insert(pe.key, agg);
+    service.publish(pe.key, agg);
     out.total_cycles += agg.cycles;
     out.launches.push_back(std::move(agg));
   }
@@ -221,12 +218,13 @@ RunPlan make_baseline_plan(const arch::GpuArch& arch, const sim::SimOptions& sim
 }
 
 RunPlan make_catt_plan(const arch::GpuArch& arch, const sim::SimOptions& sim_options,
-                       const wl::Workload& w, const analysis::AnalysisOptions& opts) {
+                       exec::PlanService& plans, const wl::Workload& w,
+                       const analysis::AnalysisOptions& opts) {
   return make_plan(
       arch, sim_options, w,
       [&](const ir::Kernel& k, const wl::KernelRun& entry, KernelChoice& choice) {
         const analysis::KernelAnalysis ka =
-            analysis::analyze(arch, k, entry.launch, entry.params, opts);
+            plans.analysis_for(k, entry.launch, entry.params, opts);
         const int tbs = ka.plan.tb_limit > 0 ? ka.plan.tb_limit : ka.occ.tbs_per_sm;
         for (const auto& loop : ka.loops) {
           if (!loop.top_level) continue;
@@ -241,7 +239,8 @@ RunPlan make_catt_plan(const arch::GpuArch& arch, const sim::SimOptions& sim_opt
 }
 
 RunPlan make_fixed_plan(const arch::GpuArch& arch, const sim::SimOptions& sim_options,
-                        const wl::Workload& w, const FixedFactor& f) {
+                        exec::PlanService& plans, const wl::Workload& w,
+                        const FixedFactor& f) {
   return make_plan(
       arch, sim_options, w,
       [&](const ir::Kernel& k, const wl::KernelRun& entry, KernelChoice& choice) {
@@ -254,7 +253,7 @@ RunPlan make_fixed_plan(const arch::GpuArch& arch, const sim::SimOptions& sim_op
           {
             analysis::AnalysisOptions aopts;
             const analysis::KernelAnalysis ka =
-                analysis::analyze(arch, k, entry.launch, entry.params, aopts);
+                plans.analysis_for(k, entry.launch, entry.params, aopts);
             const auto loops = ir::collect_loops(k);
             for (const auto& loop : ka.loops) {
               if (!loop.top_level) continue;
@@ -287,7 +286,7 @@ std::vector<KernelChoice> Runner::catt_choices(const wl::Workload& w,
   std::vector<KernelChoice> out;
   for (const auto& entry : w.schedule) {
     const ir::Kernel& k = w.kernel(entry.kernel);
-    const analysis::KernelAnalysis ka = analysis::analyze(arch_, k, entry.launch, entry.params, opts);
+    const analysis::KernelAnalysis ka = plans_.analysis_for(k, entry.launch, entry.params, opts);
     KernelChoice choice;
     choice.kernel = entry.kernel;
     choice.baseline_occ = ka.occ;
@@ -339,7 +338,7 @@ AppResult Runner::run(const wl::Workload& w, const Policy& policy) {
 
     AppResult cached(const RunPlan& plan) const {
       return assemble(w, plan,
-                      run_plan_cached(self.arch_, self.sim_options, self.cache_, w, plan),
+                      run_plan_cached(self.arch_, self.sim_options, self.service_, w, plan),
                       policy.label());
     }
 
@@ -347,10 +346,10 @@ AppResult Runner::run(const wl::Workload& w, const Policy& policy) {
       return cached(make_baseline_plan(self.arch_, self.sim_options, w));
     }
     AppResult operator()(const Catt& p) const {
-      return cached(make_catt_plan(self.arch_, self.sim_options, w, p.opts));
+      return cached(make_catt_plan(self.arch_, self.sim_options, self.plans_, w, p.opts));
     }
     AppResult operator()(const Fixed& p) const {
-      return cached(make_fixed_plan(self.arch_, self.sim_options, w, p.factor));
+      return cached(make_fixed_plan(self.arch_, self.sim_options, self.plans_, w, p.factor));
     }
     AppResult operator()(const Dyncta& p) const { return self.run_dyncta_impl(w, p); }
     AppResult operator()(const Bftt&) const { return self.bftt_sweep(w).best; }
@@ -367,7 +366,7 @@ Runner::BfttOutcome Runner::bftt_sweep(const wl::Workload& w) {
   std::vector<RunPlan> plans;
   plans.reserve(cands.size());
   for (const FixedFactor& f : cands) {
-    plans.push_back(make_fixed_plan(arch_, sim_options, w, f));
+    plans.push_back(make_fixed_plan(arch_, sim_options, plans_, w, f));
   }
   std::vector<std::size_t> group_of(cands.size());
   std::vector<std::size_t> rep;  // group -> representative candidate index
@@ -386,7 +385,7 @@ Runner::BfttOutcome Runner::bftt_sweep(const wl::Workload& w) {
   std::vector<RunOutput> outputs(rep.size());
   exec::SweepEngine engine(*pool_);
   engine.for_each(rep.size(), [&](std::size_t g) {
-    outputs[g] = run_plan_cached(arch_, sim_options, cache_, w, plans[rep[g]]);
+    outputs[g] = run_plan_cached(arch_, sim_options, service_, w, plans[rep[g]]);
   });
 
   BfttOutcome outcome;

@@ -27,8 +27,10 @@
 
 #include "arch/gpu_arch.hpp"
 #include "catt/analysis.hpp"
+#include "exec/plan_service.hpp"
 #include "exec/pool.hpp"
 #include "exec/sim_cache.hpp"
+#include "exec/sim_service.hpp"
 #include "gpusim/gpu.hpp"
 #include "workloads/workload.hpp"
 
@@ -183,9 +185,23 @@ class Runner {
   const arch::GpuArch& gpu_arch() const { return arch_; }
 
   /// Per-Runner memoization of launch simulations (hit/miss counters are
-  /// exposed for tests and capacity planning).
+  /// exposed for tests and capacity planning). This is the L1 tier behind
+  /// sim_service().
   const exec::SimCache& cache() const { return cache_; }
   exec::SimCache& cache() { return cache_; }
+
+  /// Attaches the shared persistent tier to both services (null detaches).
+  /// The caller keeps ownership; the DiskCache must outlive the Runner.
+  void set_disk_cache(exec::DiskCache* disk) {
+    service_.set_disk(disk);
+    plans_.set_disk(disk);
+  }
+
+  /// stats_for service: launch stats through L1 (the SimCache) + disk.
+  exec::SimService& sim_service() { return service_; }
+
+  /// plan_for service: CATT analysis/plans, memoized, never simulating.
+  exec::PlanService& plan_service() const { return plans_; }
 
   /// Forwarded to every simulation (e.g. request-trace collection).
   /// Changing it changes the cache key, so stale reuse cannot occur.
@@ -197,6 +213,8 @@ class Runner {
   arch::GpuArch arch_;
   exec::Pool* pool_;
   exec::SimCache cache_;
+  exec::SimService service_{cache_};
+  mutable exec::PlanService plans_{arch_};
 };
 
 }  // namespace catt::throttle

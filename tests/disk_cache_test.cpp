@@ -1,0 +1,238 @@
+// Disk-cache tier tests: typed payload round-trips, atomic publish under
+// concurrent writers (the TSan target: two pools racing on the same keys),
+// corrupt/truncated-entry recovery, engine-version-salt invalidation, and
+// LRU eviction with touch-on-hit.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/disk_cache.hpp"
+#include "exec/pool.hpp"
+#include "exec/wire.hpp"
+
+namespace catt::exec {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh cache directory per test (removed up front so reruns start cold).
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "catt_disk_cache_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+sim::KernelStats stats_with(std::int64_t cycles) {
+  sim::KernelStats s;
+  s.kernel_name = "k" + std::to_string(cycles);
+  s.cycles = cycles;
+  s.l1.accesses = 100;
+  s.l1.hits = 60;
+  s.dram_lines = 7;
+  return s;
+}
+
+/// The single entry file under `dir` (asserts there is exactly one).
+fs::path only_entry(const std::string& dir) {
+  std::vector<fs::path> entries;
+  for (const auto& e : fs::recursive_directory_iterator(dir)) {
+    if (e.is_regular_file() && e.path().extension() == ".ce") entries.push_back(e.path());
+  }
+  EXPECT_EQ(entries.size(), 1u);
+  return entries.empty() ? fs::path{} : entries.front();
+}
+
+TEST(DiskCache, TypedRoundTripAndKindSeparation) {
+  DiskCache cache({.dir = fresh_dir("roundtrip")});
+  EXPECT_FALSE(cache.get_stats(1).has_value());
+
+  const sim::KernelStats s = stats_with(1234);
+  ASSERT_TRUE(cache.put_stats(1, s));
+  const auto got = cache.get_stats(1);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(wire::encode_kernel_stats(*got), wire::encode_kernel_stats(s));
+
+  analysis::ThrottlePlan p;
+  p.warp_throttles.push_back({0, 4});
+  p.tb_limit = 2;
+  ASSERT_TRUE(cache.put_plan(2, p));
+  const auto gp = cache.get_plan(2);
+  ASSERT_TRUE(gp.has_value());
+  EXPECT_EQ(wire::encode_throttle_plan(*gp), wire::encode_throttle_plan(p));
+
+  // The payload kind is part of the entry identity: a plan key can never
+  // resolve as stats and vice versa.
+  EXPECT_FALSE(cache.get_stats(2).has_value());
+  EXPECT_FALSE(cache.get_plan(1).has_value());
+
+  const auto c = cache.counters();
+  EXPECT_EQ(c.writes, 2u);
+  EXPECT_EQ(c.hits, 2u);
+  EXPECT_EQ(c.misses, 3u);
+  EXPECT_GT(cache.size_bytes(), 0u);
+}
+
+TEST(DiskCache, SecondInstanceSharesEntriesAndDupWritesAreNoOps) {
+  const std::string dir = fresh_dir("shared");
+  DiskCache a({.dir = dir});
+  ASSERT_TRUE(a.put_stats(42, stats_with(7)));
+
+  DiskCache b({.dir = dir});  // scans the existing entry
+  EXPECT_EQ(b.size_bytes(), a.size_bytes());
+  ASSERT_TRUE(b.get_stats(42).has_value());
+
+  // Publishing an already-present key is a no-op, not a rewrite.
+  ASSERT_TRUE(b.put_stats(42, stats_with(7)));
+  EXPECT_EQ(b.counters().writes, 0u);
+  EXPECT_EQ(b.counters().dup_writes, 1u);
+}
+
+TEST(DiskCache, CorruptEntryIsDroppedAndRecomputable) {
+  const std::string dir = fresh_dir("corrupt");
+  DiskCache cache({.dir = dir});
+  ASSERT_TRUE(cache.put_stats(5, stats_with(99)));
+  const fs::path path = only_entry(dir);
+
+  // Flip one payload byte (past the 37-byte header): the checksum must
+  // catch it, the entry must be unlinked, and the key must re-publish.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes.size(), 40u);
+    bytes[40] = static_cast<char>(bytes[40] ^ 0xFF);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_FALSE(cache.get_stats(5).has_value());
+  EXPECT_EQ(cache.counters().dropped, 1u);
+  EXPECT_FALSE(fs::exists(path));
+
+  ASSERT_TRUE(cache.put_stats(5, stats_with(99)));
+  EXPECT_TRUE(cache.get_stats(5).has_value());
+}
+
+TEST(DiskCache, TruncatedEntryIsDropped) {
+  const std::string dir = fresh_dir("truncated");
+  DiskCache cache({.dir = dir});
+  ASSERT_TRUE(cache.put_stats(6, stats_with(11)));
+  const fs::path path = only_entry(dir);
+
+  fs::resize_file(path, 10);  // shorter than the header
+  EXPECT_FALSE(cache.get_stats(6).has_value());
+  EXPECT_EQ(cache.counters().dropped, 1u);
+  EXPECT_FALSE(fs::exists(path));
+
+  // An empty entry (a crashed writer's worst case under rename-on-publish
+  // would still be a complete file, but be paranoid) is also a clean miss.
+  ASSERT_TRUE(cache.put_stats(7, stats_with(12)));
+  fs::resize_file(only_entry(dir), 0);
+  EXPECT_FALSE(cache.get_stats(7).has_value());
+}
+
+TEST(DiskCache, EngineVersionSkewInvalidates) {
+  const std::string dir = fresh_dir("version");
+  DiskCacheConfig old_cfg{.dir = dir};
+  old_cfg.engine_version = kEngineVersion;
+  DiskCache old_engine(old_cfg);
+  ASSERT_TRUE(old_engine.put_stats(8, stats_with(1)));
+
+  // A build with a bumped engine version must treat the entry as invalid
+  // (miss + drop), then repopulate under its own salt.
+  DiskCacheConfig new_cfg{.dir = dir};
+  new_cfg.engine_version = kEngineVersion + 1;
+  DiskCache new_engine(new_cfg);
+  EXPECT_FALSE(new_engine.get_stats(8).has_value());
+  EXPECT_EQ(new_engine.counters().dropped, 1u);
+  ASSERT_TRUE(new_engine.put_stats(8, stats_with(1)));
+  EXPECT_TRUE(new_engine.get_stats(8).has_value());
+
+  // ... and the old engine in turn rejects the new entry.
+  EXPECT_FALSE(old_engine.get_stats(8).has_value());
+}
+
+TEST(DiskCache, EvictNoneRefusesWhenFull) {
+  DiskCacheConfig cfg{.dir = fresh_dir("full")};
+  cfg.max_bytes = 1;  // nothing fits
+  cfg.evict = DiskCacheConfig::Evict::kNone;
+  DiskCache cache(cfg);
+  EXPECT_FALSE(cache.put_stats(1, stats_with(1)));
+  EXPECT_EQ(cache.counters().writes, 0u);
+  EXPECT_EQ(cache.counters().evictions, 0u);
+}
+
+TEST(DiskCache, LruEvictionKeepsTouchedEntries) {
+  const std::string dir = fresh_dir("lru");
+  DiskCache probe({.dir = dir});
+  ASSERT_TRUE(probe.put_stats(0, stats_with(0)));
+  const std::uint64_t entry_bytes = probe.size_bytes();
+  fs::remove_all(dir);
+
+  DiskCacheConfig cfg{.dir = dir};
+  cfg.max_bytes = 3 * entry_bytes + entry_bytes / 2;  // room for three
+  cfg.evict = DiskCacheConfig::Evict::kLru;
+  DiskCache cache(cfg);
+
+  // mtime ordering is the eviction order; space the writes/touches out so
+  // coarse filesystem timestamps cannot tie.
+  const auto tick = [] { std::this_thread::sleep_for(std::chrono::milliseconds(20)); };
+  ASSERT_TRUE(cache.put_stats(1, stats_with(1)));
+  tick();
+  ASSERT_TRUE(cache.put_stats(2, stats_with(2)));
+  tick();
+  ASSERT_TRUE(cache.put_stats(3, stats_with(3)));
+  tick();
+  ASSERT_TRUE(cache.get_stats(1).has_value());  // touch: 1 is now hottest
+  tick();
+
+  ASSERT_TRUE(cache.put_stats(4, stats_with(4)));  // evicts 2 (oldest mtime)
+  EXPECT_GE(cache.counters().evictions, 1u);
+  EXPECT_LE(cache.size_bytes(), cfg.max_bytes);
+  EXPECT_TRUE(cache.get_stats(1).has_value());
+  EXPECT_FALSE(cache.get_stats(2).has_value());
+  EXPECT_TRUE(cache.get_stats(4).has_value());
+}
+
+TEST(DiskCache, ConcurrentWritersPublishAtomically) {
+  // The TSan pin: two pools race to publish and read the same keys.
+  // Rename-on-publish means every get() observes either a miss or a
+  // complete, checksum-valid entry — never a torn write.
+  const std::string dir = fresh_dir("race");
+  DiskCache cache({.dir = dir});
+  constexpr int kKeys = 24;
+
+  {
+    exec::Pool writers(4);
+    exec::Pool more_writers(4);
+    for (exec::Pool* pool : {&writers, &more_writers}) {
+      for (int j = 0; j < 4; ++j) {
+        pool->submit([&cache] {
+          for (int k = 0; k < kKeys; ++k) {
+            const auto key = static_cast<std::uint64_t>(k);
+            cache.put_stats(key, stats_with(k));
+            const auto got = cache.get_stats(key);
+            if (got.has_value()) {
+              EXPECT_EQ(wire::encode_kernel_stats(*got),
+                        wire::encode_kernel_stats(stats_with(k)));
+            }
+          }
+        });
+      }
+    }
+  }  // pools join
+
+  EXPECT_EQ(cache.counters().dropped, 0u);
+  for (int k = 0; k < kKeys; ++k) {
+    const auto got = cache.get_stats(static_cast<std::uint64_t>(k));
+    ASSERT_TRUE(got.has_value()) << "key " << k;
+    EXPECT_EQ(got->cycles, k);
+  }
+}
+
+}  // namespace
+}  // namespace catt::exec

@@ -7,7 +7,7 @@
 #include <atomic>
 #include <stdexcept>
 
-#include "exec/fingerprint.hpp"
+#include "exec/cache_key.hpp"
 #include "exec/pool.hpp"
 #include "exec/sim_cache.hpp"
 #include "exec/sweep.hpp"
@@ -65,17 +65,30 @@ TEST(Fingerprint, ArchAndOptionsDistinguishConfigurations) {
   EXPECT_NE(o1.fingerprint(), o2.fingerprint());
 }
 
-TEST(Fingerprint, KernelHashCoversBodyAndResources) {
+TEST(CacheKey, KernelHashCoversBodyAndResources) {
+  const auto key_of = [](const ir::Kernel& k) { return exec::CacheKey{}.kernel(k).value(); };
   const wl::Workload& w = wl::find_workload("atax", 2);
   const ir::Kernel& k = w.kernels.at(0);
   ir::Kernel same = k.clone();
-  EXPECT_EQ(exec::fingerprint(k), exec::fingerprint(same));
+  EXPECT_EQ(key_of(k), key_of(same));
 
   ir::Kernel more_regs = k.clone();
   more_regs.regs_per_thread += 1;
-  EXPECT_NE(exec::fingerprint(k), exec::fingerprint(more_regs));
+  EXPECT_NE(key_of(k), key_of(more_regs));
 
-  EXPECT_NE(exec::fingerprint(w.kernels.at(0)), exec::fingerprint(w.kernels.at(1)));
+  EXPECT_NE(key_of(w.kernels.at(0)), key_of(w.kernels.at(1)));
+}
+
+TEST(CacheKey, EngineVersionSaltSeedsEveryKey) {
+  // A CacheKey with no fields is exactly the salt; a hand-rolled hash of a
+  // *different* salt must diverge even with identical subsequent fields.
+  const std::uint64_t empty = exec::CacheKey{}.value();
+  EXPECT_EQ(empty, hash::Fnv1a{}.u32(exec::kEngineVersion).value());
+  const std::uint64_t salted = exec::CacheKey{}.u64(7).value();
+  const std::uint64_t other_salt =
+      hash::Fnv1a{}.u32(exec::kEngineVersion + 1).u64(7).value();
+  EXPECT_NE(salted, other_salt);
+  EXPECT_EQ(salted, hash::Fnv1a{}.u32(exec::kEngineVersion).u64(7).value());
 }
 
 TEST(SimCache, CountsHitsAndMisses) {

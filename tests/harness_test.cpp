@@ -83,3 +83,105 @@ TEST(SchedFromArgs, ParsesFlagEnvAndDefault) {
 }
 
 }  // namespace
+// Appended: the reusable spec-parser layer behind --sched= and --cache=,
+// and the cache flag's full grammar (spec, env fallback, exit-2 on a bad
+// spec — matching --sched= semantics).
+#include "common/error.hpp"
+#include "harness/spec.hpp"
+
+namespace {
+
+TEST(SpecParser, DecomposesNameAndKnobs) {
+  const harness::SpecParser p = harness::SpecParser::parse("dir:path=/tmp/c,max_mb=64");
+  EXPECT_EQ(p.name(), "dir");
+  EXPECT_EQ(p.spec(), "dir:path=/tmp/c,max_mb=64");
+  EXPECT_TRUE(p.has("path"));
+  EXPECT_EQ(p.str_or("path", ""), "/tmp/c");
+  EXPECT_EQ(p.int_or("max_mb", 0), 64);
+  EXPECT_EQ(p.str_or("absent", "fallback"), "fallback");
+  p.reject_unknown_keys();  // every key consumed
+
+  const harness::SpecParser bare = harness::SpecParser::parse("none");
+  EXPECT_EQ(bare.name(), "none");
+  bare.reject_unknown_keys();
+}
+
+TEST(SpecParser, RejectsMalformedSpecsAndStrayKeys) {
+  EXPECT_THROW(harness::SpecParser::parse(""), Error);
+  EXPECT_THROW(harness::SpecParser::parse(":k=v"), Error);          // empty name
+  EXPECT_THROW(harness::SpecParser::parse("dir:novalue"), Error);   // knob without '='
+  EXPECT_THROW(harness::SpecParser::parse("dir:=v"), Error);        // empty key
+  EXPECT_THROW(harness::SpecParser::parse("dir:k=1,k=2"), Error);   // duplicate key
+
+  const harness::SpecParser typo = harness::SpecParser::parse("dir:path=x,evcit=lru");
+  (void)typo.str_or("path", "");
+  EXPECT_THROW(typo.reject_unknown_keys(), Error);  // "evcit" never consumed
+
+  const harness::SpecParser p = harness::SpecParser::parse("dir:max_mb=-3,evict=fifo");
+  EXPECT_THROW((void)p.int_or("max_mb", 0), Error);  // positive integers only
+  EXPECT_THROW((void)p.enum_or("evict", {"lru", "none"}, "lru"), Error);
+}
+
+TEST(FlagOrEnv, LastFlagWinsThenEnvThenEmpty) {
+  const ScopedEnv env("CATT_TEST_SPEC", "from_env");
+  char arg0[] = "bench";
+  char arg1[] = "--spec=first";
+  char arg2[] = "--spec=second";
+  char* argv_two[] = {arg0, arg1, arg2};
+  EXPECT_EQ(harness::flag_or_env(3, argv_two, "spec", "CATT_TEST_SPEC"), "second");
+  char* argv_none[] = {arg0};
+  EXPECT_EQ(harness::flag_or_env(1, argv_none, "spec", "CATT_TEST_SPEC"), "from_env");
+  EXPECT_EQ(harness::flag_or_env(1, argv_none, "spec", nullptr), "");
+}
+
+TEST(CacheFromArgs, ParsesSpecEnvFallbackAndNone) {
+  const std::string dir = ::testing::TempDir() + "catt_harness_cache_flag";
+  {
+    const ScopedEnv env("CATT_CACHE_DIR", "");
+    char arg0[] = "bench";
+    char* argv0[] = {arg0};
+    EXPECT_EQ(bench::cache_from_args(1, argv0), nullptr);  // no flag, no env
+
+    const std::string flag = "--cache=dir:path=" + dir + ",evict=none,max_mb=8";
+    std::string flag_copy = flag;
+    char* argv1[] = {arg0, flag_copy.data()};
+    const auto cache = bench::cache_from_args(2, argv1);
+    ASSERT_NE(cache, nullptr);
+    EXPECT_EQ(cache->config().dir, dir);
+    EXPECT_EQ(cache->config().evict, exec::DiskCacheConfig::Evict::kNone);
+    EXPECT_EQ(cache->config().max_bytes, 8u * 1024 * 1024);
+
+    char off[] = "--cache=none";
+    char* argv2[] = {arg0, off};
+    EXPECT_EQ(bench::cache_from_args(2, argv2), nullptr);
+  }
+  {
+    // $CATT_CACHE_DIR is the plain-directory shorthand for the spec.
+    const ScopedEnv env("CATT_CACHE_DIR", dir.c_str());
+    char arg0[] = "bench";
+    char* argv0[] = {arg0};
+    const auto cache = bench::cache_from_args(1, argv0);
+    ASSERT_NE(cache, nullptr);
+    EXPECT_EQ(cache->config().dir, dir);
+    EXPECT_EQ(cache->config().evict, exec::DiskCacheConfig::Evict::kLru);
+  }
+}
+
+TEST(CacheFromArgsDeathTest, BadSpecExitsTwo) {
+  const ScopedEnv env("CATT_CACHE_DIR", "");
+  char arg0[] = "bench";
+  char bad_name[] = "--cache=ramdisk:path=/tmp/x";
+  char* argv_name[] = {arg0, bad_name};
+  EXPECT_EXIT((void)bench::cache_from_args(2, argv_name), ::testing::ExitedWithCode(2),
+              "bad spec");
+  char no_path[] = "--cache=dir:evict=lru";
+  char* argv_path[] = {arg0, no_path};
+  EXPECT_EXIT((void)bench::cache_from_args(2, argv_path), ::testing::ExitedWithCode(2),
+              "bad spec");
+  char typo[] = "--cache=dir:path=/tmp/x,evcit=lru";
+  char* argv_typo[] = {arg0, typo};
+  EXPECT_EXIT((void)bench::cache_from_args(2, argv_typo), ::testing::ExitedWithCode(2),
+              "bad spec");
+}
+
+}  // namespace

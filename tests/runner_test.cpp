@@ -380,3 +380,143 @@ TEST(SchedSeam, DynctaPausesTbsOnContendedWorkload) {
 
 }  // namespace
 }  // namespace catt::throttle
+// Appended: the daemon path must be invisible to results — a RemoteRunner
+// answered by catt_serve's core (cold, warm, and across a server restart
+// over the same disk cache) pins byte-identical AppResults to an
+// in-process Runner.
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "exec/client.hpp"
+#include "exec/wire.hpp"
+#include "harness/server.hpp"
+#include "throttle/remote.hpp"
+
+namespace catt::throttle {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Scoped in-process daemon on a fresh unix socket under TempDir.
+struct ScopedServer {
+  explicit ScopedServer(std::shared_ptr<exec::DiskCache> disk = nullptr) {
+    bench::ServerOptions opts;
+    opts.socket_path = ::testing::TempDir() + "catt_runner_test.sock";
+    opts.disk = std::move(disk);
+    server = std::make_unique<bench::Server>(std::move(opts));
+    server->start();
+  }
+  ~ScopedServer() { server->stop(); }
+  std::unique_ptr<bench::Server> server;
+};
+
+TEST(Daemon, WarmDaemonByteIdenticalToLocalRuns) {
+  const std::string cache_dir = ::testing::TempDir() + "catt_runner_daemon_cache";
+  fs::remove_all(cache_dir);
+  auto disk = std::make_shared<exec::DiskCache>(exec::DiskCacheConfig{.dir = cache_dir});
+
+  Runner local(bench::max_l1d_arch());
+  std::vector<std::string> local_bytes, cold_bytes;
+  for (const Policy& policy :
+       std::initializer_list<Policy>{Baseline{}, Catt{}, Fixed{{2, 0}}}) {
+    local_bytes.push_back(encode_app_result(local.run(wl::find_workload("gsmv", 2), policy)));
+  }
+
+  {
+    ScopedServer daemon(disk);
+    exec::Client client(daemon.server->socket_path());
+    ASSERT_TRUE(client.ping());
+    RemoteRunner remote(client, "titan_v", 2);
+    for (const Policy& policy :
+         std::initializer_list<Policy>{Baseline{}, Catt{}, Fixed{{2, 0}}}) {
+      cold_bytes.push_back(encode_app_result(remote.run("gsmv", policy)));
+      // Warm repeat within the same daemon: served from its caches,
+      // byte-identical.
+      EXPECT_EQ(cold_bytes.back(), encode_app_result(remote.run("gsmv", policy)));
+    }
+  }
+  EXPECT_EQ(cold_bytes, local_bytes);
+
+  // A *restarted* daemon over the same cache directory rebuilds every
+  // answer from the disk tier alone — still byte-identical, and with no
+  // new simulation for the launches already published (stats entries
+  // already on disk stay untouched).
+  const auto writes_before = disk->counters().writes;
+  {
+    ScopedServer daemon(disk);
+    exec::Client client(daemon.server->socket_path());
+    RemoteRunner remote(client, "titan_v", 2);
+    EXPECT_EQ(encode_app_result(remote.run("gsmv", Baseline{})), local_bytes[0]);
+    EXPECT_EQ(encode_app_result(remote.run("gsmv", Catt{})), local_bytes[1]);
+  }
+  EXPECT_EQ(disk->counters().writes, writes_before);
+}
+
+TEST(Daemon, PlanAndStatsOpsAnswerWithoutSimulating) {
+  const std::string cache_dir = ::testing::TempDir() + "catt_runner_daemon_ops";
+  fs::remove_all(cache_dir);
+  auto disk = std::make_shared<exec::DiskCache>(exec::DiskCacheConfig{.dir = cache_dir});
+  ScopedServer daemon(disk);
+  exec::Client client(daemon.server->socket_path());
+
+  // kOpPlan: the daemon's plan for atax schedule entry 0 equals the local
+  // PlanService's (static analysis on both ends, no timing run needed).
+  const wl::Workload& w = wl::find_workload("atax", 2);
+  exec::wire::Writer req;
+  req.str(w.name);
+  req.u32(2);
+  req.str("titan_v");
+  req.u32(0);
+  const std::string resp = client.call(exec::rpc::kOpPlan, req.take());
+  exec::PlanService plans(bench::max_l1d_arch());
+  const wl::KernelRun& entry = w.schedule.front();
+  EXPECT_EQ(resp, exec::wire::encode_throttle_plan(
+                      plans.plan_for(w.kernel(entry.kernel), entry.launch, entry.params)));
+
+  // kOpStats never computes: unknown key -> not found.
+  EXPECT_FALSE(client.stats_for(0xdeadbeefULL).has_value());
+
+  // After a run, every published stats entry is addressable through the
+  // daemon; recover a key from the content-addressed entry file name
+  // (<16 hex>-1.ce) and ask for it.
+  RemoteRunner remote(client, "titan_v", 2);
+  (void)remote.run("gsmv", Baseline{});
+  std::uint64_t key = 0;
+  bool found_entry = false;
+  for (const auto& e : fs::recursive_directory_iterator(cache_dir)) {
+    const std::string fname = e.path().filename().string();
+    if (e.is_regular_file() && fname.size() == 21 && fname.substr(16) == "-1.ce") {
+      key = std::stoull(fname.substr(0, 16), nullptr, 16);
+      found_entry = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found_entry);
+  EXPECT_TRUE(client.stats_for(key).has_value());
+
+  // Malformed and unanswerable requests surface as client-side SimError,
+  // not a dead connection: the same client keeps working afterwards.
+  EXPECT_THROW(client.call(exec::rpc::kOpRun, "garbage"), catt::SimError);
+  EXPECT_THROW(
+      [&] {
+        exec::wire::Writer bad;
+        bad.str("no_such_workload");
+        bad.u32(2);
+        bad.str("titan_v");
+        bad.str("baseline");
+        bad.str("");
+        return client.call(exec::rpc::kOpRun, bad.take());
+      }(),
+      catt::SimError);
+  EXPECT_TRUE(client.ping());
+}
+
+TEST(Daemon, ShutdownOpUnblocksWait) {
+  ScopedServer daemon;
+  std::thread waiter([&] { daemon.server->wait(); });
+  exec::Client(daemon.server->socket_path()).shutdown_server();
+  waiter.join();  // wait() returned because the op was honoured
+}
+
+}  // namespace
+}  // namespace catt::throttle
