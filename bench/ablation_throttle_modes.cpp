@@ -16,8 +16,10 @@ int main(int argc, char** argv) {
 
   throttle::Runner runner(bench::max_l1d_arch());
   runner.sim_options.sched = bench::sched_from_args(argc, argv);
+  runner.sim_options.sim_threads = bench::sim_threads_from_args(argc, argv);
   const auto disk_cache = bench::cache_from_args(argc, argv);
   runner.set_disk_cache(disk_cache.get());
+  bench::AutoRunner auto_runner(runner);
 
   analysis::AnalysisOptions defaults;  // warp-first, conservative
   analysis::AnalysisOptions tb_only;
@@ -31,9 +33,9 @@ int main(int argc, char** argv) {
   std::vector<double> s_def, s_warp, s_tb, s_aggr;
 
   for (const wl::Workload* w : wl::workloads_in_group(wl::Group::kCS, bench::kNumSms)) {
-    const throttle::AppResult base = runner.run(*w, throttle::Baseline{});
+    const throttle::AppResult base = auto_runner.run(*w, throttle::Baseline{});
     auto speedup_of = [&](const analysis::AnalysisOptions& o) {
-      const throttle::AppResult r = runner.run(*w, throttle::Catt{o});
+      const throttle::AppResult r = auto_runner.run(*w, throttle::Catt{o});
       return bench::speedup(base.total_cycles, r.total_cycles);
     };
     const double d = speedup_of(defaults);

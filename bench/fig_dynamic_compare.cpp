@@ -33,8 +33,10 @@ int main(int argc, char** argv) {
   const bench::ObsSession obs_session(argc, argv, "fig_dynamic_compare");
 
   throttle::Runner runner(bench::max_l1d_arch());
+  runner.sim_options.sim_threads = bench::sim_threads_from_args(argc, argv);
   const auto disk_cache = bench::cache_from_args(argc, argv);
   runner.set_disk_cache(disk_cache.get());
+  bench::AutoRunner auto_runner(runner);
   TextTable table({"app", "group", "baseline(cyc)", "CCWS", "DYNCTA", "CATT", "best"});
   CsvWriter csv({"app", "group", "baseline_cycles", "ccws_cycles", "dyncta_cycles",
                  "catt_cycles", "ccws_speedup", "dyncta_speedup", "catt_speedup",
@@ -54,12 +56,12 @@ int main(int argc, char** argv) {
     const char* gname = g == wl::Group::kCS ? "CS" : "CI";
     for (const wl::Workload* w : wl::workloads_in_group(g, bench::kNumSms)) {
       runner.sim_options.sched = none;
-      const throttle::AppResult base = runner.run(*w, throttle::Baseline{});
-      const throttle::AppResult catt = runner.run(*w, throttle::Catt{});
+      const throttle::AppResult base = auto_runner.run(*w, throttle::Baseline{});
+      const throttle::AppResult catt = auto_runner.run(*w, throttle::Catt{});
       runner.sim_options.sched = ccws;
-      const throttle::AppResult r_ccws = runner.run(*w, throttle::Baseline{});
+      const throttle::AppResult r_ccws = auto_runner.run(*w, throttle::Baseline{});
       runner.sim_options.sched = dyncta;
-      const throttle::AppResult r_dyncta = runner.run(*w, throttle::Baseline{});
+      const throttle::AppResult r_dyncta = auto_runner.run(*w, throttle::Baseline{});
       runner.sim_options.sched = none;
 
       const double sc = bench::speedup(base.total_cycles, r_ccws.total_cycles);

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# A/B the parallel timing engine on one build: run fig9_factor_sweep and
+# table3_tlp_selection alternating CATT_SIM_THREADS=1 and =4 (interleaved
+# rounds, same binary, caches off so every launch simulates), require the
+# CSVs byte-identical between the two thread counts, and emit a
+# BENCH_parallel_sim.json-shaped report.
+#
+# usage: parallel_smoke.sh BENCH_DIR OUT_JSON [ROUNDS]
+set -euo pipefail
+
+bench_dir=$1
+out_json=$2
+rounds=${3:-2}
+benches="fig9_factor_sweep table3_tlp_selection"
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+# No disk cache: a warm cache would answer launches without simulating
+# and the comparison would measure nothing.
+unset CATT_CACHE_DIR CATT_SERVE_SOCKET
+
+declare -A runs_1 runs_4
+for b in $benches; do runs_1[$b]=""; runs_4[$b]=""; done
+
+run_one() { # bench threads results_dir -> wall ms on stdout
+  local t0 t1
+  t0=$(date +%s%N)
+  CATT_SIM_THREADS=$2 CATT_RESULTS_DIR=$3 "$bench_dir/$1" > /dev/null
+  t1=$(date +%s%N)
+  echo $(( (t1 - t0) / 1000000 ))
+}
+
+for round in $(seq 1 "$rounds"); do
+  for b in $benches; do
+    # Interleave within the round so drift hits both sides equally.
+    ms1=$(run_one "$b" 1 "$work/csv1")
+    ms4=$(run_one "$b" 4 "$work/csv4")
+    echo "round $round $b: 1-thread ${ms1}ms 4-thread ${ms4}ms" >&2
+    runs_1[$b]+="${runs_1[$b]:+, }$ms1"
+    runs_4[$b]+="${runs_4[$b]:+, }$ms4"
+  done
+done
+
+# Determinism gate: every CSV the two configurations wrote must match.
+diff -r "$work/csv1" "$work/csv4" >&2
+echo "CSVs byte-identical between sim_threads=1 and sim_threads=4" >&2
+
+mean() { # comma-separated list -> integer mean
+  echo "$1" | tr ',' '\n' | awk '{s+=$1; n++} END {printf "%d", s/n}'
+}
+
+{
+  echo '{'
+  echo '  "description": "Parallel timing engine A/B: same binary, fig9_factor_sweep and table3_tlp_selection wall-clock at CATT_SIM_THREADS=1 vs 4, interleaved rounds, caches off, CSVs verified byte-identical between thread counts.",'
+  echo "  \"date\": \"$(date +%F)\","
+  echo "  \"rounds\": $rounds,"
+  echo "  \"host_cores\": $(nproc),"
+  sep=""
+  for b in $benches; do
+    m1=$(mean "${runs_1[$b]}")
+    m4=$(mean "${runs_4[$b]}")
+    sp=$(awk -v a="$m1" -v b="$m4" 'BEGIN {printf "%.2f", a / b}')
+    printf '%s  "%s": {\n' "$sep" "$b"
+    printf '    "one_thread_ms_runs": [%s],\n' "${runs_1[$b]}"
+    printf '    "four_thread_ms_runs": [%s],\n' "${runs_4[$b]}"
+    printf '    "one_thread_ms_mean": %s,\n' "$m1"
+    printf '    "four_thread_ms_mean": %s,\n' "$m4"
+    printf '    "speedup": %s\n' "$sp"
+    printf '  }'
+    sep=$',\n'
+  done
+  printf '\n}\n'
+} > "$out_json"
+cat "$out_json" >&2

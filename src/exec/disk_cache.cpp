@@ -82,8 +82,9 @@ DiskCache::DiskCache(DiskCacheConfig cfg) : cfg_(std::move(cfg)) {
   if (ec) {
     throw SimError("disk cache: cannot create directory " + cfg_.dir + ": " + ec.message());
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  size_bytes_ = scan_locked();
+  // The size/mtime index is built lazily (ensure_index_locked): opening a
+  // cache must stay O(1) even over a directory with thousands of entries,
+  // because most short-lived clients never hit the max_bytes bound.
 }
 
 std::string DiskCache::entry_path(std::uint64_t key, PayloadKind kind) const {
@@ -136,7 +137,18 @@ std::optional<std::string> DiskCache::get(std::uint64_t key, PayloadKind kind) {
   if (cfg_.evict == DiskCacheConfig::Evict::kLru && cfg_.max_bytes > 0) {
     // Touch for LRU: hits must outlive entries that were merely written.
     std::error_code ec;
-    fs::last_write_time(path, std::chrono::file_clock::now(), ec);
+    const auto now = std::chrono::file_clock::now();
+    fs::last_write_time(path, now, ec);
+    if (indexed_) {
+      const auto it = index_.find(path);
+      if (it != index_.end()) {
+        it->second.mtime = now;
+      } else {
+        // Published by another process after our scan; adopt it so the
+        // touch actually protects it from eviction.
+        index_add_locked(path, 0);
+      }
+    }
   }
   return payload;
 }
@@ -148,6 +160,7 @@ bool DiskCache::put(std::uint64_t key, PayloadKind kind, std::string_view payloa
   if (fs::exists(path, ec)) {
     // Content-addressed: an existing entry is byte-identical by
     // construction, so a second publish is a no-op.
+    if (indexed_ && index_.find(path) == index_.end()) index_add_locked(path, 0);
     ++counters_.dup_writes;
     obs::count("exec.diskcache.dup_writes");
     return true;
@@ -164,11 +177,16 @@ bool DiskCache::put(std::uint64_t key, PayloadKind kind, std::string_view payloa
   const std::string& header = w.buffer();
   const std::uint64_t entry_bytes = header.size() + payload.size();
 
-  if (cfg_.max_bytes > 0 && size_bytes_ + entry_bytes > cfg_.max_bytes) {
-    if (cfg_.evict == DiskCacheConfig::Evict::kLru) {
-      evict_to_fit_locked(entry_bytes);
+  if (cfg_.max_bytes > 0) {
+    // First bounded publish is the index's "first use": everything after
+    // runs off the in-process totals, never another directory walk.
+    ensure_index_locked();
+    if (size_bytes_ + entry_bytes > cfg_.max_bytes) {
+      if (cfg_.evict == DiskCacheConfig::Evict::kLru) {
+        evict_to_fit_locked(entry_bytes);
+      }
+      if (size_bytes_ + entry_bytes > cfg_.max_bytes) return false;  // entry larger than budget
     }
-    if (size_bytes_ + entry_bytes > cfg_.max_bytes) return false;  // entry larger than budget
   }
 
   fs::create_directories(fs::path(path).parent_path(), ec);
@@ -200,6 +218,7 @@ bool DiskCache::put(std::uint64_t key, PayloadKind kind, std::string_view payloa
     return false;
   }
   size_bytes_ += entry_bytes;
+  if (indexed_) index_add_locked(path, entry_bytes);
   ++counters_.writes;
   obs::count("exec.diskcache.writes");
   return true;
@@ -238,8 +257,9 @@ DiskCache::Counters DiskCache::counters() const {
   return counters_;
 }
 
-std::uint64_t DiskCache::size_bytes() const {
+std::uint64_t DiskCache::size_bytes() {
   std::lock_guard<std::mutex> lock(mu_);
+  ensure_index_locked();
   return size_bytes_;
 }
 
@@ -248,46 +268,61 @@ void DiskCache::drop_entry_locked(const std::string& path) {
   const auto sz = fs::file_size(path, ec);
   if (!ec) size_bytes_ -= std::min<std::uint64_t>(size_bytes_, sz);
   fs::remove(path, ec);
+  index_.erase(path);
 }
 
-std::uint64_t DiskCache::scan_locked() {
-  std::uint64_t total = 0;
+void DiskCache::ensure_index_locked() {
+  if (indexed_) return;
+  indexed_ = true;
+  size_bytes_ = 0;
+  index_.clear();
   std::error_code ec;
   for (fs::recursive_directory_iterator it(cfg_.dir, ec), end; !ec && it != end;
        it.increment(ec)) {
     if (!it->is_regular_file(ec)) continue;
     if (it->path().extension() != ".ce") continue;
-    const auto sz = it->file_size(ec);
-    if (!ec) total += sz;
+    IndexEntry e;
+    e.size = it->file_size(ec);
+    if (ec) continue;
+    e.mtime = fs::last_write_time(it->path(), ec);
+    if (ec) continue;
+    size_bytes_ += e.size;
+    index_.emplace(it->path().string(), e);
   }
-  return total;
+  ++counters_.rescans;
+  obs::count("exec.diskcache.rescans");
+}
+
+void DiskCache::index_add_locked(const std::string& path, std::uint64_t size) {
+  if (!indexed_) return;
+  std::error_code ec;
+  IndexEntry e;
+  e.size = size != 0 ? size : fs::file_size(path, ec);
+  if (ec) return;
+  e.mtime = fs::last_write_time(path, ec);
+  if (ec) e.mtime = std::chrono::file_clock::now();
+  if (size != 0) {
+    // Fresh publish: the rename just happened, so "now" is exact and one
+    // stat cheaper.
+    e.mtime = std::chrono::file_clock::now();
+  }
+  index_[path] = e;
+  if (size == 0) size_bytes_ += e.size;  // discovered entry: not yet counted
 }
 
 void DiskCache::evict_to_fit_locked(std::uint64_t incoming_bytes) {
-  // Rescan before evicting: other processes may have grown or shrunk the
-  // directory since our running total was last exact.
-  size_bytes_ = scan_locked();
-  if (size_bytes_ + incoming_bytes <= cfg_.max_bytes) return;
-
+  // Evict strictly from the in-process index (built once, updated on every
+  // publish/hit/drop) — the whole point is that overflow no longer walks
+  // the directory. Entries other processes published since the scan are
+  // not candidates and not counted; they age out via their own publisher.
   struct Entry {
     fs::file_time_type mtime;
     std::uint64_t size;
-    fs::path path;
+    std::string path;
   };
   std::vector<Entry> entries;
-  std::error_code ec;
-  for (fs::recursive_directory_iterator it(cfg_.dir, ec), end; !ec && it != end;
-       it.increment(ec)) {
-    if (!it->is_regular_file(ec)) continue;
-    if (it->path().extension() != ".ce") continue;
-    Entry e;
-    e.path = it->path();
-    e.size = it->file_size(ec);
-    if (ec) continue;
-    e.mtime = fs::last_write_time(e.path, ec);
-    if (ec) continue;
-    entries.push_back(std::move(e));
-  }
+  entries.reserve(index_.size());
+  for (const auto& [path, e] : index_) entries.push_back({e.mtime, e.size, path});
   std::sort(entries.begin(), entries.end(),
             [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
   for (const Entry& e : entries) {
@@ -298,6 +333,7 @@ void DiskCache::evict_to_fit_locked(std::uint64_t incoming_bytes) {
       ++counters_.evictions;
       obs::count("exec.diskcache.evictions");
     }
+    index_.erase(e.path);
   }
 }
 

@@ -22,17 +22,27 @@
 // file, and lets the caller recompute: corruption can cost time, never
 // wrong results.
 //
-// Eviction (evict=lru): on insert overflow the directory is rescanned and
-// the oldest entries by mtime are dropped until the cache fits under
-// max_bytes again; hits re-touch their entry's mtime so hot entries
-// survive. evict=none never deletes (max_bytes still bounds *this
-// process's* inserts by refusing them).
+// Eviction (evict=lru): the instance keeps an in-process size/mtime index
+// of every entry, built by scanning the directory once on first use (first
+// bounded put or size_bytes() query — construction is free even over a
+// huge directory) and updated on publish/hit/drop from then on; insert
+// overflow sorts the index, never the filesystem, and drops the oldest
+// entries by mtime until the cache fits under max_bytes again. Hits
+// re-touch their entry's mtime (on disk and in the index) so hot entries
+// survive. Entries published by *other* processes after the scan are
+// invisible to this instance's eviction accounting — the tradeoff for not
+// rescanning on every overflow; the "exec.diskcache.rescans" counter
+// (Counters::rescans) proves the scan happens once. evict=none never
+// deletes (max_bytes still bounds *this process's* inserts by refusing
+// them).
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "catt/analysis.hpp"
 #include "exec/cache_key.hpp"
@@ -85,12 +95,13 @@ class DiskCache {
     std::uint64_t dup_writes = 0;  // puts that found the entry already on disk
     std::uint64_t evictions = 0;   // entries removed to fit max_bytes
     std::uint64_t dropped = 0;     // corrupt/truncated/version-skewed entries removed
+    std::uint64_t rescans = 0;     // full directory scans (at most 1: first use)
   };
   Counters counters() const;
 
-  /// Total on-disk bytes as tracked by this instance (rescan-corrected
-  /// whenever eviction runs).
-  std::uint64_t size_bytes() const;
+  /// Total on-disk bytes as tracked by this instance's index (builds the
+  /// index on first call).
+  std::uint64_t size_bytes();
 
   const DiskCacheConfig& config() const { return cfg_; }
 
@@ -98,11 +109,24 @@ class DiskCache {
   std::string entry_path(std::uint64_t key, PayloadKind kind) const;
   void drop_entry_locked(const std::string& path);
   void evict_to_fit_locked(std::uint64_t incoming_bytes);
-  std::uint64_t scan_locked();
+  /// Builds the size/mtime index by scanning the directory; a no-op after
+  /// the first call, so opening a cache over a large directory costs
+  /// nothing until something actually needs the totals.
+  void ensure_index_locked();
+  /// Records `path` in the index, stat-ing the file when `size` is 0 (an
+  /// entry discovered rather than written). No-op before the first scan.
+  void index_add_locked(const std::string& path, std::uint64_t size);
+
+  struct IndexEntry {
+    std::uint64_t size = 0;
+    std::filesystem::file_time_type mtime;
+  };
 
   DiskCacheConfig cfg_;
   mutable std::mutex mu_;
   std::uint64_t size_bytes_ = 0;
+  bool indexed_ = false;
+  std::unordered_map<std::string, IndexEntry> index_;
   Counters counters_;
   std::uint64_t tmp_seq_ = 0;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "gpusim/parallel.hpp"
 #include "obs/obs.hpp"
 
 namespace catt::exec {
@@ -68,12 +69,20 @@ void Pool::worker_loop() {
 }
 
 int Pool::default_jobs() {
+  int jobs = 0;
   if (const char* env = std::getenv("CATT_JOBS")) {
     const int n = std::atoi(env);
-    if (n > 0) return n;
+    if (n > 0) jobs = n;
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<int>(hw) : 1;
+  if (jobs == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  // The two parallelism layers multiply: each pool job may itself run a
+  // sim_threads-wide launch, so the job count shares the same core budget
+  // rather than oversubscribing jobs x threads workers.
+  const int sim = sim::resolve_sim_threads(0);
+  return std::max(1, jobs / std::max(1, sim));
 }
 
 Pool& Pool::shared() {

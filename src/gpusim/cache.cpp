@@ -2,9 +2,31 @@
 
 #include <algorithm>
 
+#if defined(CATT_CACHE_AVX2_DISPATCH)
+#include <immintrin.h>
+#endif
+
 #include "common/error.hpp"
 
 namespace catt::sim {
+
+#if defined(CATT_CACHE_AVX2_DISPATCH)
+__attribute__((target("avx2"))) int Cache::scan_tags_avx2(const std::uint32_t* tags,
+                                                          int n, std::uint32_t tag) {
+  const __m256i needle = _mm256_set1_epi32(static_cast<int>(tag));
+  int w = 0;
+  for (; w + 8 <= n; w += 8) {
+    const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tags + w));
+    const unsigned m =
+        static_cast<unsigned>(_mm256_movemask_epi8(_mm256_cmpeq_epi32(v, needle)));
+    if (m != 0) return w + std::countr_zero(m) / 4;
+  }
+  for (; w < n; ++w) {
+    if (tags[w] == tag) return w;
+  }
+  return -1;
+}
+#endif
 
 CacheStats& CacheStats::operator+=(const CacheStats& o) {
   accesses += o.accesses;
@@ -77,7 +99,32 @@ std::uint64_t Cache::insert(std::uint64_t line_addr, std::int64_t ready_at,
   return fill_victim(line_addr, ready_at, hint.set);
 }
 
-std::uint64_t Cache::fill_victim(std::uint64_t line_addr, std::int64_t ready_at, int set) {
+Cache::InsertSlot Cache::insert_where(std::uint64_t line_addr, std::int64_t ready_at,
+                                      const SetHint& hint) {
+  InsertSlot slot;
+  if (num_sets_ == 0) return slot;
+  // Callers hold a probe-miss hint, so absence is established; hint.set
+  // can only be -1 for a disabled cache, which returned above.
+  const int set = hint.set >= 0 ? hint.set : set_of(line_addr);
+  slot.set = set;
+  int way = -1;
+  slot.victim = fill_victim(line_addr, ready_at, set, &way);
+  slot.way = way;
+  return slot;
+}
+
+void Cache::set_ready_if(std::int32_t set, std::int32_t way, std::uint64_t line_addr,
+                         std::int64_t ready_at) {
+  if (set < 0 || way < 0) return;
+  const std::size_t idx =
+      static_cast<std::size_t>(set) * static_cast<std::size_t>(assoc_) +
+      static_cast<std::size_t>(way);
+  if (tags_[idx] != tag_of(line_addr)) return;
+  meta_[idx].ready_at = ready_at;
+}
+
+std::uint64_t Cache::fill_victim(std::uint64_t line_addr, std::int64_t ready_at, int set,
+                                 int* way_out) {
   const std::size_t base = static_cast<std::size_t>(set) * static_cast<std::size_t>(assoc_);
   std::uint32_t* tags = tags_.data() + base;
   int victim = -1;
@@ -109,6 +156,7 @@ std::uint64_t Cache::fill_victim(std::uint64_t line_addr, std::int64_t ready_at,
   WayMeta& m = meta_[base + static_cast<std::size_t>(victim)];
   m.ready_at = ready_at;
   if (repl_ == Replacement::kLru) m.lru = ++lru_clock_;
+  if (way_out != nullptr) *way_out = victim;
   return displaced == kInvalidTag ? kNoVictim : static_cast<std::uint64_t>(displaced);
 }
 

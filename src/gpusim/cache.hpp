@@ -13,7 +13,19 @@
 #include <emmintrin.h>
 #endif
 
+// Runtime AVX2 dispatch is only attempted where __builtin_cpu_supports and
+// the target attribute exist (x86-64 gcc/clang); everywhere else scan_tags
+// compiles straight to the SSE2/scalar body below.
+#if defined(__x86_64__) && defined(__SSE2__) && (defined(__GNUC__) || defined(__clang__))
+#define CATT_CACHE_AVX2_DISPATCH 1
+#endif
+
 namespace catt::sim {
+
+#if defined(CATT_CACHE_AVX2_DISPATCH)
+/// Probed once at startup; a plain bool read on the scan hot path.
+inline const bool kCacheHasAvx2 = __builtin_cpu_supports("avx2") != 0;
+#endif
 
 struct CacheStats {
   std::uint64_t accesses = 0;
@@ -109,6 +121,30 @@ class Cache {
   /// and skips the already-present scan the probe just performed.
   std::uint64_t insert(std::uint64_t line_addr, std::int64_t ready_at, const SetHint& hint);
 
+  /// Where an insert placed the line, for engines that must patch the
+  /// fill time after the fact: the parallel engine inserts misses with a
+  /// pending sentinel ready_at and resolves the real fill cycle only
+  /// after its deterministic cross-SM merge.
+  struct InsertSlot {
+    std::uint64_t victim = kNoVictim;
+    std::int32_t set = -1;
+    std::int32_t way = -1;
+  };
+
+  /// insert(line, ready_at, hint) that also reports the (set, way) the
+  /// line landed in. Callers hold a probe-miss hint, so this goes
+  /// straight to victim fill like the hinted insert().
+  InsertSlot insert_where(std::uint64_t line_addr, std::int64_t ready_at,
+                          const SetHint& hint);
+
+  /// Patches the fill-ready cycle of (set, way) — but only if that way
+  /// still holds `line_addr`: it may have been evicted (and even refilled
+  /// with another line) by later inserts since the slot was recorded.
+  /// Patch slots in insertion order and last-write-wins reproduces the
+  /// serial fill times exactly.
+  void set_ready_if(std::int32_t set, std::int32_t way, std::uint64_t line_addr,
+                    std::int64_t ready_at);
+
   /// Write-through, no-allocate store: updates stats and refreshes LRU if
   /// the line is present. Returns true if the line was present.
   bool note_store(std::uint64_t line_addr);
@@ -145,6 +181,12 @@ class Cache {
   /// misses scan the whole set, so on the miss-dominated workloads this
   /// quarters the work of the scalar loop.
   static int scan_tags(const std::uint32_t* tags, int n, std::uint32_t tag) {
+#if defined(CATT_CACHE_AVX2_DISPATCH)
+    // Runtime-dispatched 8-wide path: the L2's 32-way sets scan in four
+    // compares instead of eight. Sub-8-way sets (and non-AVX2 hosts) fall
+    // through to the SSE2 loop below, which handles any n.
+    if (kCacheHasAvx2 && n >= 8) return scan_tags_avx2(tags, n, tag);
+#endif
 #if defined(__SSE2__)
     const __m128i needle = _mm_set1_epi32(static_cast<int>(tag));
     int w = 0;
@@ -185,9 +227,16 @@ class Cache {
     if (set_mask_ != 0) return static_cast<int>(h & set_mask_);
     return static_cast<int>(h % static_cast<std::uint64_t>(num_sets_));
   }
+#if defined(CATT_CACHE_AVX2_DISPATCH)
+  /// Out-of-line 8-wide scan compiled with target("avx2"); first-match
+  /// semantics identical to the SSE2/scalar paths.
+  static int scan_tags_avx2(const std::uint32_t* tags, int n, std::uint32_t tag);
+#endif
+
   /// Way index of `line_addr` in `set`, or -1 when absent.
   int find_in_set(std::uint64_t line_addr, int set) const;
-  std::uint64_t fill_victim(std::uint64_t line_addr, std::int64_t ready_at, int set);
+  std::uint64_t fill_victim(std::uint64_t line_addr, std::int64_t ready_at, int set,
+                            int* way_out = nullptr);
 
   std::size_t capacity_;
   int line_bytes_;

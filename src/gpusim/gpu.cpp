@@ -7,8 +7,9 @@
 #include "common/error.hpp"
 #include "common/hash.hpp"
 #include "common/profile.hpp"
-#include "gpusim/calendar.hpp"
+#include "gpusim/engine.hpp"
 #include "gpusim/interp.hpp"
+#include "gpusim/parallel.hpp"
 #include "gpusim/sm.hpp"
 #include "gpusim/sm_ref.hpp"
 #include "obs/obs.hpp"
@@ -28,221 +29,6 @@ Gpu::Gpu(const arch::GpuArch& arch, DeviceMemory& mem)
     : arch_(arch), mem_(mem), memsys_(arch) {}
 
 namespace {
-
-/// Dispatch: fill SMs round-robin; refill whichever SM frees a slot.
-/// Shared verbatim by both engines — TB admission order is observable
-/// through the functional interpreter's memory effects, so it must not
-/// depend on the engine.
-template <typename SmT, typename OnAdmit>
-class Dispatcher {
- public:
-  Dispatcher(std::vector<SmT>& sms, KernelInterp& interp, std::uint64_t num_blocks,
-             obs::Accum& trace_gen, const obs::SimTraceCtx* trace, OnAdmit on_admit)
-      : sms_(sms),
-        interp_(interp),
-        num_blocks_(num_blocks),
-        trace_gen_(trace_gen),
-        trace_(trace),
-        on_admit_(on_admit) {}
-
-  void admit_where_possible(std::int64_t now) {
-    bool progress = true;
-    while (progress && next_block_ < num_blocks_) {
-      progress = false;
-      for (std::size_t i = 0; i < sms_.size(); ++i) {
-        if (next_block_ >= num_blocks_) break;
-        if (sms_[i].has_free_slot()) {
-          trace_gen_.start();
-          std::vector<WarpTrace> traces = interp_.run_block(next_block_);
-          trace_gen_.stop();
-          sms_[i].admit_tb(std::move(traces), now);
-          if (trace_ != nullptr) {
-            trace_->instant(trace_->id_tb_dispatch, static_cast<std::uint32_t>(i), now,
-                            trace_->arg_block, static_cast<std::int64_t>(next_block_));
-          }
-          on_admit_(i, now);
-          ++next_block_;
-          progress = true;
-        }
-      }
-    }
-  }
-
-  bool blocks_pending() const { return next_block_ < num_blocks_; }
-
- private:
-  std::vector<SmT>& sms_;
-  KernelInterp& interp_;
-  std::uint64_t num_blocks_;
-  std::uint64_t next_block_ = 0;
-  obs::Accum& trace_gen_;
-  const obs::SimTraceCtx* trace_;
-  OnAdmit on_admit_;
-};
-
-[[noreturn]] void throw_deadlock(const LaunchSpec& spec) {
-  throw SimError("simulation deadlock in kernel '" + spec.kernel->name + "'");
-}
-
-/// Interval sampler for the event-driven engine: at each multiple of the
-/// configured interval it snapshots cumulative counters plus the
-/// instantaneous MSHR/ready-warp/DRAM-queue state. Sampling is exact even
-/// though simulated time jumps between calendar pops: all state is
-/// constant on the open interval between consecutive event times, so a
-/// boundary b is sampled when the first event time beyond it is popped
-/// (every event at cycles <= b has then been applied, none later).
-class IntervalSampler {
- public:
-  IntervalSampler(const obs::SimObs& ob, const std::vector<Sm>& sms,
-                  const MemorySystem& memsys, std::string kernel_name)
-      : ob_(ob), sms_(sms), memsys_(memsys), next_(ob.metrics_interval) {
-    series_.kernel = std::move(kernel_name);
-    series_.interval = ob.metrics_interval;
-  }
-
-  /// Samples every boundary strictly before the event time being popped.
-  void advance(std::int64_t now) {
-    while (next_ < now) {
-      sample(next_);
-      next_ += series_.interval;
-    }
-  }
-
-  /// Samples remaining boundaries plus a final sample at `end`, so the
-  /// last cumulative row always equals the launch's KernelStats; then
-  /// feeds the MSHR-occupancy histogram and hands off the series.
-  void finish(std::int64_t end) {
-    while (next_ < end) {
-      sample(next_);
-      next_ += series_.interval;
-    }
-    sample(end);
-    obs::Registry& reg = ob_.registry_or_global();
-    const obs::HistogramDesc* mshr_hist =
-        reg.histogram("sim.mshr_occupancy", {0, 1, 2, 4, 8, 16, 32, 64, 128});
-    for (const obs::IntervalSample& s : series_.samples) {
-      reg.observe(*mshr_hist, s.mshr_in_flight);
-    }
-    if (ob_.on_series) ob_.on_series(series_);
-  }
-
- private:
-  void sample(std::int64_t cycle) {
-    obs::IntervalSample s;
-    s.cycle = cycle;
-    for (const Sm& sm : sms_) {
-      s.warp_insts += sm.stats().warp_insts;
-      s.l1_accesses += sm.l1_stats().accesses;
-      s.l1_hits += sm.l1_stats().hits;
-      s.mshr_in_flight += sm.mshr_in_flight(cycle);
-      s.ready_warps += sm.issuable_warps(cycle);
-    }
-    s.l2_accesses = memsys_.l2_stats().accesses;
-    s.l2_hits = memsys_.l2_stats().hits;
-    s.dram_lines = memsys_.dram_lines();
-    s.dram_backlog = memsys_.dram_backlog(cycle);
-    series_.samples.push_back(s);
-  }
-
-  const obs::SimObs& ob_;
-  const std::vector<Sm>& sms_;
-  const MemorySystem& memsys_;
-  obs::LaunchSeries series_;
-  std::int64_t next_;
-};
-
-/// Event-driven loop: simulated time advances by popping the calendar
-/// queue of SM wake-ups; only SMs due at the popped cycle are stepped.
-/// Equivalence with the stepped reference loop below:
-///  * step() reports the SM's exact next issuable cycle (now+1 while its
-///    ready heap is non-empty, else its earliest warp wake-up) -> due
-///    then. The reference re-steps an SM every cycle from now+1 until
-///    that same time; those intermediate steps issue nothing and touch
-///    no shared state, so skipping them is exact;
-///  * admission makes warps ready at now+1 -> due now+1 (the reference
-///    resets its cache to now+1);
-///  * same-cycle SM steps run in ascending index order (pop_due sorts),
-///    matching the reference's 0..N-1 sweep — observable through the
-///    shared MemorySystem bandwidth cursors.
-std::int64_t run_event_loop(std::vector<Sm>& sms, KernelInterp& interp,
-                            const LaunchSpec& spec, std::uint64_t num_blocks,
-                            obs::Accum& trace_gen, const obs::SimTraceCtx* trace,
-                            IntervalSampler* sampler) {
-  CalendarQueue cal(sms.size());
-  Dispatcher dispatch(sms, interp, num_blocks, trace_gen, trace,
-                      [&](std::size_t i, std::int64_t now) {
-                        cal.schedule(static_cast<int>(i), now + 1);
-                      });
-
-  std::int64_t now = 0;
-  dispatch.admit_where_possible(now);
-  std::vector<int> due;
-  while (true) {
-    bool busy = dispatch.blocks_pending();
-    for (const auto& sm : sms) busy = busy || sm.busy();
-    if (!busy) break;
-
-    const std::int64_t next = cal.next_time();
-    if (next == CalendarQueue::kNever) throw_deadlock(spec);
-    now = next;
-    if (sampler != nullptr) sampler->advance(now);
-    cal.pop_due(now, due);
-    for (const int i : due) {
-      std::int64_t wake = Sm::kNever;
-      sms[static_cast<std::size_t>(i)].step(now, &wake);
-      if (wake != Sm::kNever) cal.schedule(i, wake);
-    }
-    dispatch.admit_where_possible(now);
-  }
-  return now;
-}
-
-/// The retained cycle-stepped loop (SimOptions::use_stepped_reference):
-/// advances the clock cycle by cycle, scanning every SM whose cached
-/// wake-up is due.
-std::int64_t run_stepped_loop(std::vector<SmRef>& sms, KernelInterp& interp,
-                              const LaunchSpec& spec, std::uint64_t num_blocks,
-                              obs::Accum& trace_gen, const obs::SimTraceCtx* trace) {
-  // Per-SM wake-up cache: an SM that issued nothing cannot issue again
-  // before its earliest warp wake-up (stepping it earlier is a no-op, so
-  // skipping those calls is behavior-preserving). Admission resets the
-  // cache: newly admitted warps become ready at now + 1.
-  std::vector<std::int64_t> next_try(sms.size(), 0);
-  Dispatcher dispatch(sms, interp, num_blocks, trace_gen, trace,
-                      [&](std::size_t i, std::int64_t now) { next_try[i] = now + 1; });
-
-  std::int64_t now = 0;
-  dispatch.admit_where_possible(now);
-  while (true) {
-    int issued = 0;
-    for (std::size_t i = 0; i < sms.size(); ++i) {
-      if (next_try[i] > now) continue;
-      std::int64_t wake = SmRef::kNever;
-      const int k = sms[i].step(now, &wake);
-      if (k == 0) next_try[i] = wake;
-      issued += k;
-    }
-    dispatch.admit_where_possible(now);
-
-    bool busy = dispatch.blocks_pending();
-    for (const auto& sm : sms) busy = busy || sm.busy();
-    if (!busy) break;
-
-    if (issued > 0) {
-      ++now;
-      continue;
-    }
-    // Nothing issuable this cycle: jump to the earliest wake-up. With
-    // zero warps issued, every SM was either skipped (wake-up cached in
-    // next_try) or stepped and refreshed its cache, so the minimum over
-    // next_try is exact.
-    std::int64_t next = SmRef::kNever;
-    for (const std::int64_t t : next_try) next = std::min(next, t);
-    if (next == SmRef::kNever) throw_deadlock(spec);
-    now = std::max(now + 1, next);
-  }
-  return now;
-}
 
 template <typename SmT>
 void aggregate_sm_stats(KernelStats& stats, const std::vector<SmT>& sms) {
@@ -347,10 +133,18 @@ KernelStats Gpu::run(const LaunchSpec& spec, const SimOptions& opts) {
     for (int i = 0; i < arch_.num_sms; ++i) policies.push_back(sched::make_policy(opts.sched));
   }
 
+  // < 0 while the serial interpreter path is used; overwritten with the
+  // producer-side wall time when the trace pipeline ran (trace generation
+  // then overlaps timing, so the CATT_PROFILE split is reported
+  // differently below).
+  double pipeline_gen_ms = -1.0;
+  double pipeline_wait_ms = 0.0;
+
   if (opts.use_stepped_reference) {
     std::vector<SmRef> sms = make_sms<SmRef>(arch_, memsys_, occ, opts.collect_request_trace,
                                              series, trace, policies);
-    stats.cycles = run_stepped_loop(sms, interp, spec, num_blocks, trace_gen, trace);
+    InterpSource source(interp, trace_gen);
+    stats.cycles = run_stepped_loop(sms, source, spec, num_blocks, trace);
     aggregate_sm_stats(stats, sms);
   } else {
     std::vector<Sm> sms =
@@ -365,7 +159,31 @@ KernelStats Gpu::run(const LaunchSpec& spec, const SimOptions& opts) {
           std::make_unique<IntervalSampler>(*ob, sms, memsys_, spec.kernel->name);
       sampler = sampler_storage.get();
     }
-    stats.cycles = run_event_loop(sms, interp, spec, num_blocks, trace_gen, trace, sampler);
+    const int threads = resolve_sim_threads(opts.sim_threads);
+    // Fine-grained tracing records per-issue events from inside SM steps;
+    // those assume a single timeline, so it pins the serial engine.
+    const bool fine_trace = trace != nullptr && trace->fine();
+    if (threads > 1 && !fine_trace) {
+      // Trace generation moves to a producer thread even when the launch
+      // is too small for multi-SM partitioning (workers == 1): pipeline
+      // overlap is profitable on its own.
+      obs::Registry* reg = ob != nullptr ? &ob->registry_or_global() : nullptr;
+      TracePipeline pipeline(interp, num_blocks, std::max<std::size_t>(2, 2 * sms.size()),
+                             reg, ob);
+      const int workers = std::min<int>(threads, static_cast<int>(sms.size()));
+      if (workers > 1) {
+        stats.cycles = run_parallel_loop(sms, pipeline, spec, num_blocks, memsys_, arch_,
+                                         workers, trace, sampler, ob);
+      } else {
+        stats.cycles = run_event_loop(sms, pipeline, spec, num_blocks, trace, sampler);
+      }
+      pipeline.finish();
+      pipeline_gen_ms = pipeline.gen_ms();
+      pipeline_wait_ms = pipeline.wait_ms();
+    } else {
+      InterpSource source(interp, trace_gen);
+      stats.cycles = run_event_loop(sms, source, spec, num_blocks, trace, sampler);
+    }
     if (sampler != nullptr) sampler->finish(stats.cycles);
     aggregate_sm_stats(stats, sms);
   }
@@ -401,16 +219,26 @@ KernelStats Gpu::run(const LaunchSpec& spec, const SimOptions& opts) {
 
   if (prof::enabled()) {
     const double total_ms = total.ms();
-    prof::report("kernel=" + spec.kernel->name + " blocks=" + std::to_string(num_blocks) +
-                 " trace_gen_ms=" + std::to_string(trace_gen.ms()) +
-                 " timing_ms=" + std::to_string(total_ms - trace_gen.ms()) +
-                 " total_ms=" + std::to_string(total_ms) +
-                 " warps_rendered=" + std::to_string(interp.warps_rendered()) +
-                 " warps_executed=" + std::to_string(interp.warps_executed()) +
-                 " sm_steps=" + std::to_string(stats.sm_steps) +
-                 " warps_scanned=" + std::to_string(stats.warps_scanned) +
-                 " warps_issued=" + std::to_string(stats.warp_insts) +
-                 " queue_pops=" + std::to_string(stats.queue_pops));
+    const bool overlapped = pipeline_gen_ms >= 0.0;
+    const double gen_ms = overlapped ? pipeline_gen_ms : trace_gen.ms();
+    // With the pipeline, generation runs concurrently with timing, so the
+    // whole wall time is timing; the consumer's stall time is what the
+    // overlap failed to hide.
+    const double timing_ms = overlapped ? total_ms : total_ms - gen_ms;
+    std::string line =
+        "kernel=" + spec.kernel->name + " blocks=" + std::to_string(num_blocks) +
+        " cycles=" + std::to_string(stats.cycles) +
+        " trace_gen_ms=" + std::to_string(gen_ms) +
+        " timing_ms=" + std::to_string(timing_ms) +
+        " total_ms=" + std::to_string(total_ms) +
+        " warps_rendered=" + std::to_string(interp.warps_rendered()) +
+        " warps_executed=" + std::to_string(interp.warps_executed()) +
+        " sm_steps=" + std::to_string(stats.sm_steps) +
+        " warps_scanned=" + std::to_string(stats.warps_scanned) +
+        " warps_issued=" + std::to_string(stats.warp_insts) +
+        " queue_pops=" + std::to_string(stats.queue_pops);
+    if (overlapped) line += " pipeline_wait_ms=" + std::to_string(pipeline_wait_ms);
+    prof::report(line);
   }
   return stats;
 }

@@ -61,15 +61,24 @@ struct SimOptions {
   /// bisecting any future divergence.
   bool use_stepped_reference = false;
 
+  /// Launch-level worker threads for the timing engine (> 1 partitions
+  /// SMs across threads and overlaps trace generation with timing; see
+  /// src/gpusim/parallel.hpp). 0 defers to the CATT_SIM_THREADS
+  /// environment variable, defaulting to 1 (serial). Results are
+  /// bit-identical for every value — pinned by fuzz_kernel_test's
+  /// parallel-vs-serial oracle and tests/memsys_test.cpp.
+  int sim_threads = 0;
+
   /// Observability attachment (null = environment defaults, see
   /// obs::resolve). Read-only for the simulator; sinks inside are written.
   const obs::SimObs* obs = nullptr;
 
   /// Stable content hash; part of the exec::SimCache key (options that
   /// change simulated behaviour or collected outputs must be included).
-  /// skip_functional/trace_key/use_stepped_reference/obs are deliberately
-  /// EXCLUDED: the first three are pure execution-strategy switches that
-  /// cannot change any collected output, and observability must never
+  /// skip_functional/trace_key/use_stepped_reference/sim_threads/obs are
+  /// deliberately EXCLUDED: the first four are pure execution-strategy
+  /// switches that cannot change any collected output (sim_threads is
+  /// bit-exact by construction), and observability must never
   /// perturb memoization keys (runner_test pins trace-on/off CSVs
   /// byte-identical through the cache). `sched` folds in only when
   /// enabled, so a "none" config hashes identically to pre-seam builds.

@@ -97,7 +97,7 @@ std::vector<WarpTrace> KernelInterp::run_block_vm(std::uint64_t block_linear) {
   const int warps = warps_per_block();
   std::vector<WarpTrace> out;
   out.reserve(static_cast<std::size_t>(warps));
-  auto pool = std::make_shared<TxnPool>();
+  auto pool = arena_.acquire();
   for (int w = 0; w < warps; ++w) {
     out.push_back(vm_->run_warp(w, *table_, pool));
     ++executed_;
@@ -121,7 +121,7 @@ std::vector<WarpTrace> KernelInterp::run_block_dedup(std::uint64_t block_linear)
   const int warps = warps_per_block();
   std::vector<WarpTrace> out;
   out.reserve(static_cast<std::size_t>(warps));
-  auto pool = std::make_shared<TxnPool>();
+  auto pool = arena_.acquire();
   bool vm_block_set = false;
   for (int w = 0; w < warps; ++w) {
     const bool affine = static_cast<std::size_t>(w) < entry_->warps.size() &&

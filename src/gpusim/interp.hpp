@@ -95,6 +95,9 @@ class KernelInterp {
 
   std::uint64_t rendered_ = 0;
   std::uint64_t executed_ = 0;
+  /// Recycles per-block TxnPool allocations (safe against the pipeline's
+  /// cross-thread release of finished traces).
+  TxnArena arena_;
 };
 
 }  // namespace catt::sim

@@ -1,0 +1,108 @@
+// Parallel multi-SM timing engine and trace/timing pipeline overlap.
+//
+// A single launch is parallelized two ways, both bit-identical to the
+// serial event engine (see DESIGN.md "Parallel timing engine"):
+//
+//  * TracePipeline runs the functional interpreter on a producer thread,
+//    feeding the dispatcher through a bounded in-order queue, so trace
+//    generation overlaps timing simulation instead of serializing with
+//    it. Blocks are produced and consumed in the same ascending order the
+//    serial engine uses, so functional memory effects and dedup site-id
+//    assignment are unchanged.
+//
+//  * run_parallel_loop partitions SMs across worker threads and advances
+//    them in windows of W = max(1, l1_hit + l2_hit) cycles. Within a
+//    window, SMs interact with nothing shared: every MemorySystem touch
+//    is recorded into a per-SM MemDefer and replayed at the window
+//    boundary in (event cycle, sm, seq) order — exactly the serial
+//    engine's call order — after which dependent warp wake-ups, MSHR
+//    slots, and L1 fill times resolve from the responses. No deferred
+//    response can be consumed concretely inside the window that created
+//    it (its value is >= window end by construction), which is what makes
+//    the in-window schedules independent of thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "gpusim/engine.hpp"
+
+namespace catt::sim {
+
+/// Producer/consumer overlap of trace generation and timing. The producer
+/// thread owns the interpreter for the launch's duration; the consumer
+/// (the dispatcher) pops blocks in ascending order. Bounded queue depth
+/// keeps live trace memory proportional to occupancy, matching the serial
+/// engine's lazy-generation contract. Destruction cancels and joins, so a
+/// timing-loop exception cannot leak the thread.
+class TracePipeline final : public BlockSource {
+ public:
+  /// `reg` may be null (obs off). With a registry, producer interpreter
+  /// time lands on "sim.trace_gen_us" (the same counter the serial path
+  /// uses) and consumer stall time on "sim.pipeline.wait_us".
+  TracePipeline(KernelInterp& interp, std::uint64_t num_blocks, std::size_t depth,
+                obs::Registry* reg, const obs::SimObs* ob);
+  ~TracePipeline() override;
+
+  /// Blocking in-order pop; throws if the producer failed (rethrows its
+  /// exception) or if blocks are requested out of order.
+  std::vector<WarpTrace> run_block(std::uint64_t block_linear) override;
+
+  /// Joins the producer and flushes counters. Idempotent; called by the
+  /// destructor if not already done. After finish(), gen_ms()/wait_ms()
+  /// are stable reads.
+  void finish();
+
+  /// Producer-side interpreter wall time / consumer-side stall wall time,
+  /// for the CATT_PROFILE report line. Valid after finish().
+  double gen_ms() const { return gen_ms_; }
+  double wait_ms() const { return wait_ms_; }
+
+ private:
+  void producer_loop();
+
+  KernelInterp& interp_;
+  const std::uint64_t num_blocks_;
+  const std::size_t depth_;
+  obs::Registry* reg_;
+  const obs::SimObs* ob_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::vector<WarpTrace>> queue_;
+  std::uint64_t next_pop_ = 0;
+  bool cancel_ = false;
+  bool producer_done_ = false;
+  std::exception_ptr error_;
+  std::uint64_t stalls_ = 0;
+  double gen_ms_ = 0.0;
+  double wait_ms_ = 0.0;
+  bool finished_ = false;
+  std::thread thread_;
+};
+
+/// Runs one launch on `threads` worker threads (the calling thread is
+/// worker 0) with deterministic cross-SM merging; drop-in replacement for
+/// run_event_loop with identical KernelStats, interval samples, and
+/// functional effects. `threads` must be >= 2 and is clamped to the SM
+/// count by the caller. `ob` (nullable) receives the per-epoch barrier
+/// counters sim.parallel.windows / sim.parallel.barrier_wait_us.
+std::int64_t run_parallel_loop(std::vector<Sm>& sms, BlockSource& source,
+                               const LaunchSpec& spec, std::uint64_t num_blocks,
+                               MemorySystem& memsys, const arch::GpuArch& arch,
+                               int threads, const obs::SimTraceCtx* trace,
+                               IntervalSampler* sampler, const obs::SimObs* ob);
+
+/// Effective launch-level thread count: `requested` when positive, else
+/// the CATT_SIM_THREADS environment variable (read fresh — tests toggle
+/// it), else 1. Exposed so exec::Pool can divide the CATT_JOBS budget by
+/// the per-launch parallelism and the two levels compose instead of
+/// multiplying.
+int resolve_sim_threads(int requested);
+
+}  // namespace catt::sim

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -138,6 +139,45 @@ class WarpTrace {
   std::vector<std::uint32_t> txn_begin_;
   std::vector<std::uint32_t> txn_count_;
   std::shared_ptr<TxnPool> pool_;
+};
+
+/// Recycles TxnPool allocations across thread blocks. Trace generation
+/// allocates one pool per block and frees it when the block's last warp
+/// releases its trace — tens of thousands of heap round-trips per launch
+/// for large grids. The arena hands back cleared pools with their
+/// capacity intact, so steady state allocates nothing.
+///
+/// Under the trace/timing pipeline, acquire() runs on the producer thread
+/// while release happens wherever the last trace reference dies, so the
+/// freelist is mutex-guarded; the custom deleter shares ownership of the
+/// state, making returns safe even after the arena itself is gone.
+class TxnArena {
+ public:
+  std::shared_ptr<TxnPool> acquire() {
+    std::shared_ptr<State> st = state_;
+    std::unique_ptr<TxnPool> pool;
+    {
+      std::lock_guard<std::mutex> lock(st->mu);
+      if (!st->free.empty()) {
+        pool = std::move(st->free.back());
+        st->free.pop_back();
+      }
+    }
+    if (!pool) pool = std::make_unique<TxnPool>();
+    TxnPool* raw = pool.release();
+    return std::shared_ptr<TxnPool>(raw, [st](TxnPool* p) {
+      p->clear();
+      std::lock_guard<std::mutex> lock(st->mu);
+      st->free.emplace_back(p);
+    });
+  }
+
+ private:
+  struct State {
+    std::mutex mu;
+    std::vector<std::unique_ptr<TxnPool>> free;
+  };
+  std::shared_ptr<State> state_ = std::make_shared<State>();
 };
 
 /// Static memory-instruction site (for reports and Figure 2 labels).

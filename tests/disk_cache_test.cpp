@@ -198,6 +198,37 @@ TEST(DiskCache, LruEvictionKeepsTouchedEntries) {
   EXPECT_TRUE(cache.get_stats(4).has_value());
 }
 
+
+TEST(DiskCache, IndexIsLazyAndScansAtMostOnce) {
+  const std::string dir = fresh_dir("lazy");
+  DiskCache writer({.dir = dir});
+  ASSERT_TRUE(writer.put_stats(1, stats_with(1)));
+  const std::uint64_t entry_bytes = writer.size_bytes();
+  ASSERT_GT(entry_bytes, 0u);
+  // The write path of an unbounded cache never needs totals, so the only
+  // scan is the size_bytes() call above.
+  EXPECT_EQ(writer.counters().rescans, 1u);
+
+  // A second instance over the populated directory: construction is free,
+  // and the one scan happens at the first bounded put — after which every
+  // overflow (three of them here) runs off the in-process index.
+  DiskCacheConfig cfg{.dir = dir};
+  cfg.max_bytes = entry_bytes + entry_bytes / 2;  // room for exactly one
+  cfg.evict = DiskCacheConfig::Evict::kLru;
+  DiskCache cache(cfg);
+  EXPECT_EQ(cache.counters().rescans, 0u);
+  const auto tick = [] { std::this_thread::sleep_for(std::chrono::milliseconds(20)); };
+  for (std::uint64_t key = 2; key <= 4; ++key) {
+    tick();
+    ASSERT_TRUE(cache.put_stats(key, stats_with(static_cast<std::int64_t>(key))));
+  }
+  EXPECT_EQ(cache.counters().rescans, 1u);
+  EXPECT_EQ(cache.counters().evictions, 3u);  // 1, 2, 3 each aged out in turn
+  EXPECT_LE(cache.size_bytes(), cfg.max_bytes);
+  EXPECT_TRUE(cache.get_stats(4).has_value());
+  EXPECT_FALSE(cache.get_stats(1).has_value());
+}
+
 TEST(DiskCache, ConcurrentWritersPublishAtomically) {
   // The TSan pin: two pools race to publish and read the same keys.
   // Rename-on-publish means every get() observes either a miss or a

@@ -263,6 +263,31 @@ TEST(FuzzKernel, DifferentialVmDedupAndEngines) {
     const LaunchSpec spec{&kern, g.launch, g.params};
     expect_stats_equal(gpu_ev.run(spec, opts), gpu_sr.run(spec, opts_ref));
     if (::testing::Test::HasFatalFailure()) return;
+
+    // 4. Parallel engine vs. serial on a 2-SM machine: the deterministic
+    //    window/merge design (src/gpusim/parallel.hpp) promises results
+    //    bit-identical to the serial event loop at any thread count, down
+    //    to the engine-internal step counters (no policy is installed, so
+    //    even trailing idle steps cannot diverge).
+    {
+      SimOptions opts_serial = opts;
+      opts_serial.sim_threads = 1;
+      SimOptions opts_par = opts;
+      opts_par.sim_threads = 4;
+      DeviceMemory mem_s, mem_p;
+      setup_memory(mem_s, seed, g);
+      setup_memory(mem_p, seed, g);
+      Gpu gpu_s(arch::GpuArch::titan_v(2), mem_s);
+      Gpu gpu_p(arch::GpuArch::titan_v(2), mem_p);
+      const KernelStats serial = gpu_s.run(spec, opts_serial);
+      const KernelStats par = gpu_p.run(spec, opts_par);
+      expect_stats_equal(par, serial);
+      EXPECT_EQ(par.sm_steps, serial.sm_steps);
+      EXPECT_EQ(par.warps_scanned, serial.warps_scanned);
+      EXPECT_EQ(par.queue_pops, serial.queue_pops);
+      expect_memory_equal(mem_s, mem_p);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
   }
 
   // Generator sanity: both the affine-pure path (dedup-eligible) and the

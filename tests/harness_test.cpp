@@ -185,3 +185,76 @@ TEST(CacheFromArgsDeathTest, BadSpecExitsTwo) {
 }
 
 }  // namespace
+// Appended: daemon auto-detection (--sim-threads= plumbing rides along).
+// The contract under test: a dead or stale CATT_SERVE_SOCKET must degrade
+// to local simulation — client_from_env() returns null and an AutoRunner
+// still answers run() with the local Runner's (byte-identical) result —
+// never crash a bench.
+#include "workloads/workload.hpp"
+
+namespace {
+
+TEST(SimThreadsFromArgs, ParsesFlagEnvAndDefault) {
+  {
+    const ScopedEnv env("CATT_SIM_THREADS", "");
+    char arg0[] = "bench";
+    char* argv0[] = {arg0};
+    EXPECT_EQ(bench::sim_threads_from_args(1, argv0), 0);
+
+    char arg1[] = "--sim-threads=4";
+    char* argv1[] = {arg0, arg1};
+    EXPECT_EQ(bench::sim_threads_from_args(2, argv1), 4);
+  }
+  {
+    const ScopedEnv env("CATT_SIM_THREADS", "2");
+    char arg0[] = "bench";
+    char* argv0[] = {arg0};
+    EXPECT_EQ(bench::sim_threads_from_args(1, argv0), 2);
+  }
+}
+
+TEST(SimThreadsFromArgsDeathTest, BadValueExitsTwo) {
+  const ScopedEnv env("CATT_SIM_THREADS", "");
+  char arg0[] = "bench";
+  char bad[] = "--sim-threads=fast";
+  char* argv_bad[] = {arg0, bad};
+  EXPECT_EXIT((void)bench::sim_threads_from_args(2, argv_bad), ::testing::ExitedWithCode(2),
+              "non-negative integer");
+  char neg[] = "--sim-threads=-1";
+  char* argv_neg[] = {arg0, neg};
+  EXPECT_EXIT((void)bench::sim_threads_from_args(2, argv_neg), ::testing::ExitedWithCode(2),
+              "non-negative integer");
+}
+
+TEST(ClientFromEnv, UnsetReturnsNull) {
+  const ScopedEnv env("CATT_SERVE_SOCKET", "");
+  EXPECT_EQ(bench::client_from_env(), nullptr);
+}
+
+TEST(ClientFromEnv, DeadSocketWarnsAndReturnsNull) {
+  const std::string sock = ::testing::TempDir() + "catt_harness_dead.sock";
+  std::remove(sock.c_str());
+  const ScopedEnv env("CATT_SERVE_SOCKET", sock.c_str());
+  // Nothing listens at the path: construction throws inside and the
+  // helper swallows it into the local-fallback null.
+  EXPECT_EQ(bench::client_from_env(), nullptr);
+}
+
+TEST(AutoRunner, DeadSocketFallsBackToLocalRun) {
+  const std::string sock = ::testing::TempDir() + "catt_harness_dead2.sock";
+  std::remove(sock.c_str());
+  const ScopedEnv env("CATT_SERVE_SOCKET", sock.c_str());
+
+  throttle::Runner runner(bench::max_l1d_arch());
+  bench::AutoRunner auto_runner(runner);
+  EXPECT_FALSE(auto_runner.uses_daemon());
+  EXPECT_EQ(&auto_runner.local(), &runner);
+
+  const wl::Workload& w = wl::find_workload("atax", bench::kNumSms);
+  const throttle::AppResult via_auto = auto_runner.run(w, throttle::Baseline{});
+  const throttle::AppResult direct = runner.run(w, throttle::Baseline{});
+  EXPECT_EQ(via_auto.total_cycles, direct.total_cycles);
+  EXPECT_GT(via_auto.total_cycles, 0);
+}
+
+}  // namespace
