@@ -21,6 +21,7 @@ namespace {
 std::vector<catt::obs::LaunchSeries> run_sampled(const catt::wl::Workload& w,
                                                  const catt::throttle::Policy& policy,
                                                  std::int64_t interval, int sim_threads,
+                                                 int trace_threads,
                                                  catt::throttle::AppResult& result) {
   using namespace catt;
   std::vector<obs::LaunchSeries> collected;
@@ -35,6 +36,7 @@ std::vector<catt::obs::LaunchSeries> run_sampled(const catt::wl::Workload& w,
 
   throttle::Runner runner(bench::max_l1d_arch());
   runner.sim_options.sim_threads = sim_threads;
+  runner.sim_options.trace_threads = trace_threads;
   runner.sim_options.obs = &so;
   result = runner.run(w, policy);
   return collected;
@@ -73,8 +75,9 @@ int main(int argc, char** argv) {
 
   throttle::AppResult base_res, catt_res;
   const int sim_threads = bench::sim_threads_from_args(argc, argv);
-  const auto base_series = run_sampled(w, throttle::Baseline{}, interval, sim_threads, base_res);
-  const auto catt_series = run_sampled(w, throttle::Catt{}, interval, sim_threads, catt_res);
+  const int trace_threads = bench::trace_threads_from_args(argc, argv);
+  const auto base_series = run_sampled(w, throttle::Baseline{}, interval, sim_threads, trace_threads, base_res);
+  const auto catt_series = run_sampled(w, throttle::Catt{}, interval, sim_threads, trace_threads, catt_res);
 
   std::printf("phase timeline: %s, interval=%lld cycles (L1D hit rate; ' '=0 .. '@'=1)\n\n",
               w.name.c_str(), static_cast<long long>(interval));

@@ -33,6 +33,8 @@ int main(int argc, char** argv) {
   rmax.sim_options.sched = r32.sim_options.sched;
   r32.sim_options.sim_threads = bench::sim_threads_from_args(argc, argv);
   rmax.sim_options.sim_threads = r32.sim_options.sim_threads;
+  r32.sim_options.trace_threads = bench::trace_threads_from_args(argc, argv);
+  rmax.sim_options.trace_threads = r32.sim_options.trace_threads;
   const auto disk_cache = bench::cache_from_args(argc, argv);
   r32.set_disk_cache(disk_cache.get());
   rmax.set_disk_cache(disk_cache.get());

@@ -78,11 +78,13 @@ int Pool::default_jobs() {
     const unsigned hw = std::thread::hardware_concurrency();
     jobs = hw > 0 ? static_cast<int>(hw) : 1;
   }
-  // The two parallelism layers multiply: each pool job may itself run a
-  // sim_threads-wide launch, so the job count shares the same core budget
-  // rather than oversubscribing jobs x threads workers.
-  const int sim = sim::resolve_sim_threads(0);
-  return std::max(1, jobs / std::max(1, sim));
+  // The parallelism layers multiply: each pool job may itself run a
+  // sim_threads-wide timing loop feeding from trace_threads interpreter
+  // workers, so the job count shares the same core budget rather than
+  // oversubscribing jobs x sim x trace workers.
+  const int sim = std::max(1, sim::resolve_sim_threads(0));
+  const int tracegen = std::max(1, sim::resolve_trace_threads(0));
+  return std::max(1, jobs / (sim * tracegen));
 }
 
 Pool& Pool::shared() {

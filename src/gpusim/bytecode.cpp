@@ -9,6 +9,7 @@
 #include <set>
 
 #include "common/error.hpp"
+#include "gpusim/simd.hpp"
 
 namespace catt::sim::bc {
 
@@ -962,6 +963,138 @@ Program compile(const ir::Kernel& kernel, const arch::LaunchConfig& launch,
 
 namespace {
 
+// ---- 32-lane ALU helpers -------------------------------------------------
+//
+// The hot full-width dispatch loops (affine index arithmetic, float math,
+// comparisons and truthiness ops) are extracted into flat lane functions
+// so each can carry an AVX2 clone: the body is written once, the macro
+// compiles it twice (baseline ISA and target("avx2")) and dispatches on
+// the simd.hpp startup probe. The clones compute the identical function —
+// only 64-bit adds/muls/compares and double<->float rounding, all exact —
+// so traces are bit-identical on every path. Masked ops stay in the
+// switch below: their per-lane bit tests do not vectorize profitably.
+
+// Register reuse is legal bytecode (dst may equal a or b, e.g. x = x + 1),
+// so the pointers carry no restrict qualifier; the loops are elementwise
+// over a fixed 32-lane trip count, which the vectorizer versions cheaply.
+#if defined(CATT_SIMD_AVX2_DISPATCH)
+#define CATT_LANE_OP(NAME, DT, ST, ...)                                    \
+  void NAME##_base(DT* d, const ST* a, const ST* b) { __VA_ARGS__ }        \
+  __attribute__((target("avx2"))) void NAME##_avx2(DT* d, const ST* a,     \
+                                                   const ST* b) {          \
+    __VA_ARGS__                                                            \
+  }                                                                        \
+  inline void NAME(DT* d, const ST* a, const ST* b) {                      \
+    if (kSimdHasAvx2) {                                                    \
+      NAME##_avx2(d, a, b);                                                \
+    } else {                                                               \
+      NAME##_base(d, a, b);                                                \
+    }                                                                      \
+  }
+#else
+#define CATT_LANE_OP(NAME, DT, ST, ...) \
+  inline void NAME(DT* d, const ST* a, const ST* b) { __VA_ARGS__ }
+#endif
+
+// Integer ALU (wrapping, full-width).
+CATT_LANE_OP(lanes_add_i, std::int64_t, std::int64_t,
+             for (int l = 0; l < kWarp; ++l) d[l] = wrap_add(a[l], b[l]);)
+CATT_LANE_OP(lanes_sub_i, std::int64_t, std::int64_t,
+             for (int l = 0; l < kWarp; ++l) d[l] = wrap_sub(a[l], b[l]);)
+CATT_LANE_OP(lanes_mul_i, std::int64_t, std::int64_t,
+             for (int l = 0; l < kWarp; ++l) d[l] = wrap_mul(a[l], b[l]);)
+CATT_LANE_OP(lanes_neg_i, std::int64_t, std::int64_t, (void)b;
+             for (int l = 0; l < kWarp; ++l) d[l] = wrap_neg(a[l]);)
+CATT_LANE_OP(lanes_min_i, std::int64_t, std::int64_t,
+             for (int l = 0; l < kWarp; ++l) d[l] = std::min(a[l], b[l]);)
+CATT_LANE_OP(lanes_max_i, std::int64_t, std::int64_t,
+             for (int l = 0; l < kWarp; ++l) d[l] = std::max(a[l], b[l]);)
+
+// Float ALU (double math rounded through float every op).
+CATT_LANE_OP(lanes_add_f, double, double,
+             for (int l = 0; l < kWarp; ++l) d[l] = static_cast<float>(a[l] + b[l]);)
+CATT_LANE_OP(lanes_sub_f, double, double,
+             for (int l = 0; l < kWarp; ++l) d[l] = static_cast<float>(a[l] - b[l]);)
+CATT_LANE_OP(lanes_mul_f, double, double,
+             for (int l = 0; l < kWarp; ++l) d[l] = static_cast<float>(a[l] * b[l]);)
+CATT_LANE_OP(lanes_div_f, double, double,
+             for (int l = 0; l < kWarp; ++l) d[l] = static_cast<float>(a[l] / b[l]);)
+CATT_LANE_OP(lanes_min_f, double, double,
+             for (int l = 0; l < kWarp; ++l) d[l] = static_cast<float>(std::min(a[l], b[l]));)
+CATT_LANE_OP(lanes_max_f, double, double,
+             for (int l = 0; l < kWarp; ++l) d[l] = static_cast<float>(std::max(a[l], b[l]));)
+CATT_LANE_OP(lanes_neg_f, double, double, (void)b;
+             for (int l = 0; l < kWarp; ++l) d[l] = -a[l];)
+
+// Comparisons, unswitched per BinOp so the loops stay branch-free.
+#define CATT_LANE_CMP(SUFFIX, ST, CMP)                         \
+  CATT_LANE_OP(lanes_cmp_##SUFFIX, std::int64_t, ST,           \
+               for (int l = 0; l < kWarp; ++l) d[l] = (a[l] CMP b[l]) ? 1 : 0;)
+CATT_LANE_CMP(lt_i, std::int64_t, <)
+CATT_LANE_CMP(le_i, std::int64_t, <=)
+CATT_LANE_CMP(gt_i, std::int64_t, >)
+CATT_LANE_CMP(ge_i, std::int64_t, >=)
+CATT_LANE_CMP(eq_i, std::int64_t, ==)
+CATT_LANE_CMP(ne_i, std::int64_t, !=)
+CATT_LANE_CMP(lt_f, double, <)
+CATT_LANE_CMP(le_f, double, <=)
+CATT_LANE_CMP(gt_f, double, >)
+CATT_LANE_CMP(ge_f, double, >=)
+CATT_LANE_CMP(eq_f, double, ==)
+CATT_LANE_CMP(ne_f, double, !=)
+#undef CATT_LANE_CMP
+
+/// Vectorized kCmpI/kCmpF bodies; returns false for operators the
+/// unswitched loops do not cover (none reach kCmp today, but compare()
+/// defines the arithmetic BinOps as false and the caller's scalar
+/// fallback must keep matching that).
+bool lanes_compare(expr::BinOp op, std::int64_t* d, const std::int64_t* a,
+                   const std::int64_t* b) {
+  switch (op) {
+    case expr::BinOp::kLt: lanes_cmp_lt_i(d, a, b); return true;
+    case expr::BinOp::kLe: lanes_cmp_le_i(d, a, b); return true;
+    case expr::BinOp::kGt: lanes_cmp_gt_i(d, a, b); return true;
+    case expr::BinOp::kGe: lanes_cmp_ge_i(d, a, b); return true;
+    case expr::BinOp::kEq: lanes_cmp_eq_i(d, a, b); return true;
+    case expr::BinOp::kNe: lanes_cmp_ne_i(d, a, b); return true;
+    default: return false;
+  }
+}
+
+bool lanes_compare(expr::BinOp op, std::int64_t* d, const double* a, const double* b) {
+  switch (op) {
+    case expr::BinOp::kLt: lanes_cmp_lt_f(d, a, b); return true;
+    case expr::BinOp::kLe: lanes_cmp_le_f(d, a, b); return true;
+    case expr::BinOp::kGt: lanes_cmp_gt_f(d, a, b); return true;
+    case expr::BinOp::kGe: lanes_cmp_ge_f(d, a, b); return true;
+    case expr::BinOp::kEq: lanes_cmp_eq_f(d, a, b); return true;
+    case expr::BinOp::kNe: lanes_cmp_ne_f(d, a, b); return true;
+    default: return false;
+  }
+}
+
+// Truthiness ops (int 0/1 results, full-width).
+CATT_LANE_OP(lanes_not_i, std::int64_t, std::int64_t, (void)b;
+             for (int l = 0; l < kWarp; ++l) d[l] = a[l] != 0 ? 0 : 1;)
+CATT_LANE_OP(lanes_bool_i, std::int64_t, std::int64_t, (void)b;
+             for (int l = 0; l < kWarp; ++l) d[l] = a[l] != 0 ? 1 : 0;)
+CATT_LANE_OP(lanes_not_f, std::int64_t, double, (void)b;
+             for (int l = 0; l < kWarp; ++l) d[l] = a[l] != 0.0 ? 0 : 1;)
+CATT_LANE_OP(lanes_bool_f, std::int64_t, double, (void)b;
+             for (int l = 0; l < kWarp; ++l) d[l] = a[l] != 0.0 ? 1 : 0;)
+CATT_LANE_OP(lanes_and_b, std::int64_t, std::int64_t,
+             for (int l = 0; l < kWarp; ++l) d[l] = (a[l] != 0 && b[l] != 0) ? 1 : 0;)
+CATT_LANE_OP(lanes_or_b, std::int64_t, std::int64_t,
+             for (int l = 0; l < kWarp; ++l) d[l] = (a[l] != 0 || b[l] != 0) ? 1 : 0;)
+
+// Conversions (full-width; kCvtIF is exact, kCastF rounds through float).
+CATT_LANE_OP(lanes_cvt_if, double, std::int64_t, (void)b;
+             for (int l = 0; l < kWarp; ++l) d[l] = static_cast<double>(a[l]);)
+CATT_LANE_OP(lanes_cast_f, double, double, (void)b;
+             for (int l = 0; l < kWarp; ++l) d[l] = static_cast<float>(a[l]);)
+
+#undef CATT_LANE_OP
+
 /// Accumulates per-site lane addresses between flush points and converts
 /// them into coalesced Mem events — the exact algorithm (and event order)
 /// of the tree-walk interpreter.
@@ -1073,47 +1206,24 @@ WarpTrace Vm::run_warp(int wid, SiteTable& sites, const std::shared_ptr<TxnPool>
   for (;;) {
     const Ins& ins = p_.code[pc];
     switch (ins.op) {
-      case Op::kAddI: {
-        auto& d = ir_[ins.dst];
-        const auto& a = ir_[ins.a];
-        const auto& b = ir_[ins.b];
-        for (int l = 0; l < kWarp; ++l) d[l] = wrap_add(a[l], b[l]);
+      case Op::kAddI:
+        lanes_add_i(ir_[ins.dst].data(), ir_[ins.a].data(), ir_[ins.b].data());
         break;
-      }
-      case Op::kSubI: {
-        auto& d = ir_[ins.dst];
-        const auto& a = ir_[ins.a];
-        const auto& b = ir_[ins.b];
-        for (int l = 0; l < kWarp; ++l) d[l] = wrap_sub(a[l], b[l]);
+      case Op::kSubI:
+        lanes_sub_i(ir_[ins.dst].data(), ir_[ins.a].data(), ir_[ins.b].data());
         break;
-      }
-      case Op::kMulI: {
-        auto& d = ir_[ins.dst];
-        const auto& a = ir_[ins.a];
-        const auto& b = ir_[ins.b];
-        for (int l = 0; l < kWarp; ++l) d[l] = wrap_mul(a[l], b[l]);
+      case Op::kMulI:
+        lanes_mul_i(ir_[ins.dst].data(), ir_[ins.a].data(), ir_[ins.b].data());
         break;
-      }
-      case Op::kNegI: {
-        auto& d = ir_[ins.dst];
-        const auto& a = ir_[ins.a];
-        for (int l = 0; l < kWarp; ++l) d[l] = wrap_neg(a[l]);
+      case Op::kNegI:
+        lanes_neg_i(ir_[ins.dst].data(), ir_[ins.a].data(), ir_[ins.a].data());
         break;
-      }
-      case Op::kMinI: {
-        auto& d = ir_[ins.dst];
-        const auto& a = ir_[ins.a];
-        const auto& b = ir_[ins.b];
-        for (int l = 0; l < kWarp; ++l) d[l] = std::min(a[l], b[l]);
+      case Op::kMinI:
+        lanes_min_i(ir_[ins.dst].data(), ir_[ins.a].data(), ir_[ins.b].data());
         break;
-      }
-      case Op::kMaxI: {
-        auto& d = ir_[ins.dst];
-        const auto& a = ir_[ins.a];
-        const auto& b = ir_[ins.b];
-        for (int l = 0; l < kWarp; ++l) d[l] = std::max(a[l], b[l]);
+      case Op::kMaxI:
+        lanes_max_i(ir_[ins.dst].data(), ir_[ins.a].data(), ir_[ins.b].data());
         break;
-      }
       case Op::kDivI:
       case Op::kModI: {
         auto& d = ir_[ins.dst];
@@ -1126,60 +1236,35 @@ WarpTrace Vm::run_warp(int wid, SiteTable& sites, const std::shared_ptr<TxnPool>
         }
         break;
       }
-      case Op::kAddF: {
-        auto& d = fr_[ins.dst];
-        const auto& a = fr_[ins.a];
-        const auto& b = fr_[ins.b];
-        for (int l = 0; l < kWarp; ++l) d[l] = static_cast<float>(a[l] + b[l]);
+      case Op::kAddF:
+        lanes_add_f(fr_[ins.dst].data(), fr_[ins.a].data(), fr_[ins.b].data());
         break;
-      }
-      case Op::kSubF: {
-        auto& d = fr_[ins.dst];
-        const auto& a = fr_[ins.a];
-        const auto& b = fr_[ins.b];
-        for (int l = 0; l < kWarp; ++l) d[l] = static_cast<float>(a[l] - b[l]);
+      case Op::kSubF:
+        lanes_sub_f(fr_[ins.dst].data(), fr_[ins.a].data(), fr_[ins.b].data());
         break;
-      }
-      case Op::kMulF: {
-        auto& d = fr_[ins.dst];
-        const auto& a = fr_[ins.a];
-        const auto& b = fr_[ins.b];
-        for (int l = 0; l < kWarp; ++l) d[l] = static_cast<float>(a[l] * b[l]);
+      case Op::kMulF:
+        lanes_mul_f(fr_[ins.dst].data(), fr_[ins.a].data(), fr_[ins.b].data());
         break;
-      }
-      case Op::kDivF: {
-        auto& d = fr_[ins.dst];
-        const auto& a = fr_[ins.a];
-        const auto& b = fr_[ins.b];
-        for (int l = 0; l < kWarp; ++l) d[l] = static_cast<float>(a[l] / b[l]);
+      case Op::kDivF:
+        lanes_div_f(fr_[ins.dst].data(), fr_[ins.a].data(), fr_[ins.b].data());
         break;
-      }
-      case Op::kMinF: {
-        auto& d = fr_[ins.dst];
-        const auto& a = fr_[ins.a];
-        const auto& b = fr_[ins.b];
-        for (int l = 0; l < kWarp; ++l) d[l] = static_cast<float>(std::min(a[l], b[l]));
+      case Op::kMinF:
+        lanes_min_f(fr_[ins.dst].data(), fr_[ins.a].data(), fr_[ins.b].data());
         break;
-      }
-      case Op::kMaxF: {
-        auto& d = fr_[ins.dst];
-        const auto& a = fr_[ins.a];
-        const auto& b = fr_[ins.b];
-        for (int l = 0; l < kWarp; ++l) d[l] = static_cast<float>(std::max(a[l], b[l]));
+      case Op::kMaxF:
+        lanes_max_f(fr_[ins.dst].data(), fr_[ins.a].data(), fr_[ins.b].data());
         break;
-      }
-      case Op::kNegF: {
-        auto& d = fr_[ins.dst];
-        const auto& a = fr_[ins.a];
-        for (int l = 0; l < kWarp; ++l) d[l] = -a[l];
+      case Op::kNegF:
+        lanes_neg_f(fr_[ins.dst].data(), fr_[ins.a].data(), fr_[ins.a].data());
         break;
-      }
       case Op::kCmpI: {
         auto& d = ir_[ins.dst];
         const auto& a = ir_[ins.a];
         const auto& b = ir_[ins.b];
         const auto op = static_cast<expr::BinOp>(ins.t);
-        for (int l = 0; l < kWarp; ++l) d[l] = compare(op, a[l], b[l]) ? 1 : 0;
+        if (!lanes_compare(op, d.data(), a.data(), b.data())) {
+          for (int l = 0; l < kWarp; ++l) d[l] = compare(op, a[l], b[l]) ? 1 : 0;
+        }
         break;
       }
       case Op::kCmpF: {
@@ -1187,47 +1272,29 @@ WarpTrace Vm::run_warp(int wid, SiteTable& sites, const std::shared_ptr<TxnPool>
         const auto& a = fr_[ins.a];
         const auto& b = fr_[ins.b];
         const auto op = static_cast<expr::BinOp>(ins.t);
-        for (int l = 0; l < kWarp; ++l) d[l] = compare(op, a[l], b[l]) ? 1 : 0;
+        if (!lanes_compare(op, d.data(), a.data(), b.data())) {
+          for (int l = 0; l < kWarp; ++l) d[l] = compare(op, a[l], b[l]) ? 1 : 0;
+        }
         break;
       }
-      case Op::kNotI: {
-        auto& d = ir_[ins.dst];
-        const auto& a = ir_[ins.a];
-        for (int l = 0; l < kWarp; ++l) d[l] = a[l] != 0 ? 0 : 1;
+      case Op::kNotI:
+        lanes_not_i(ir_[ins.dst].data(), ir_[ins.a].data(), ir_[ins.a].data());
         break;
-      }
-      case Op::kNotF: {
-        auto& d = ir_[ins.dst];
-        const auto& a = fr_[ins.a];
-        for (int l = 0; l < kWarp; ++l) d[l] = a[l] != 0.0 ? 0 : 1;
+      case Op::kNotF:
+        lanes_not_f(ir_[ins.dst].data(), fr_[ins.a].data(), fr_[ins.a].data());
         break;
-      }
-      case Op::kBoolI: {
-        auto& d = ir_[ins.dst];
-        const auto& a = ir_[ins.a];
-        for (int l = 0; l < kWarp; ++l) d[l] = a[l] != 0 ? 1 : 0;
+      case Op::kBoolI:
+        lanes_bool_i(ir_[ins.dst].data(), ir_[ins.a].data(), ir_[ins.a].data());
         break;
-      }
-      case Op::kBoolF: {
-        auto& d = ir_[ins.dst];
-        const auto& a = fr_[ins.a];
-        for (int l = 0; l < kWarp; ++l) d[l] = a[l] != 0.0 ? 1 : 0;
+      case Op::kBoolF:
+        lanes_bool_f(ir_[ins.dst].data(), fr_[ins.a].data(), fr_[ins.a].data());
         break;
-      }
-      case Op::kAndB: {
-        auto& d = ir_[ins.dst];
-        const auto& a = ir_[ins.a];
-        const auto& b = ir_[ins.b];
-        for (int l = 0; l < kWarp; ++l) d[l] = (a[l] != 0 && b[l] != 0) ? 1 : 0;
+      case Op::kAndB:
+        lanes_and_b(ir_[ins.dst].data(), ir_[ins.a].data(), ir_[ins.b].data());
         break;
-      }
-      case Op::kOrB: {
-        auto& d = ir_[ins.dst];
-        const auto& a = ir_[ins.a];
-        const auto& b = ir_[ins.b];
-        for (int l = 0; l < kWarp; ++l) d[l] = (a[l] != 0 || b[l] != 0) ? 1 : 0;
+      case Op::kOrB:
+        lanes_or_b(ir_[ins.dst].data(), ir_[ins.a].data(), ir_[ins.b].data());
         break;
-      }
       case Op::kLogicalCut: {
         const bool is_or = (ins.t & 1) != 0;
         Mask rhs = 0;
@@ -1264,12 +1331,9 @@ WarpTrace Vm::run_warp(int wid, SiteTable& sites, const std::shared_ptr<TxnPool>
         }
         break;
       }
-      case Op::kCvtIF: {
-        auto& d = fr_[ins.dst];
-        const auto& a = ir_[ins.a];
-        for (int l = 0; l < kWarp; ++l) d[l] = static_cast<double>(a[l]);
+      case Op::kCvtIF:
+        lanes_cvt_if(fr_[ins.dst].data(), ir_[ins.a].data(), ir_[ins.a].data());
         break;
-      }
       case Op::kCvtFI: {
         auto& d = ir_[ins.dst];
         const auto& a = fr_[ins.a];
@@ -1279,12 +1343,9 @@ WarpTrace Vm::run_warp(int wid, SiteTable& sites, const std::shared_ptr<TxnPool>
         }
         break;
       }
-      case Op::kCastF: {
-        auto& d = fr_[ins.dst];
-        const auto& a = fr_[ins.a];
-        for (int l = 0; l < kWarp; ++l) d[l] = static_cast<float>(a[l]);
+      case Op::kCastF:
+        lanes_cast_f(fr_[ins.dst].data(), fr_[ins.a].data(), fr_[ins.a].data());
         break;
-      }
       case Op::kCall: {
         auto& d = fr_[ins.dst];
         const auto& a = fr_[ins.a];

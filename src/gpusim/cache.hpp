@@ -9,23 +9,19 @@
 #include <optional>
 #include <vector>
 
+#include "gpusim/simd.hpp"
+
 #if defined(__SSE2__)
 #include <emmintrin.h>
 #endif
 
-// Runtime AVX2 dispatch is only attempted where __builtin_cpu_supports and
-// the target attribute exist (x86-64 gcc/clang); everywhere else scan_tags
-// compiles straight to the SSE2/scalar body below.
-#if defined(__x86_64__) && defined(__SSE2__) && (defined(__GNUC__) || defined(__clang__))
+// Runtime AVX2 dispatch (shared probe in simd.hpp); where unavailable,
+// scan_tags compiles straight to the SSE2/scalar body below.
+#if defined(CATT_SIMD_AVX2_DISPATCH)
 #define CATT_CACHE_AVX2_DISPATCH 1
 #endif
 
 namespace catt::sim {
-
-#if defined(CATT_CACHE_AVX2_DISPATCH)
-/// Probed once at startup; a plain bool read on the scan hot path.
-inline const bool kCacheHasAvx2 = __builtin_cpu_supports("avx2") != 0;
-#endif
 
 struct CacheStats {
   std::uint64_t accesses = 0;
@@ -185,7 +181,7 @@ class Cache {
     // Runtime-dispatched 8-wide path: the L2's 32-way sets scan in four
     // compares instead of eight. Sub-8-way sets (and non-AVX2 hosts) fall
     // through to the SSE2 loop below, which handles any n.
-    if (kCacheHasAvx2 && n >= 8) return scan_tags_avx2(tags, n, tag);
+    if (kSimdHasAvx2 && n >= 8) return scan_tags_avx2(tags, n, tag);
 #endif
 #if defined(__SSE2__)
     const __m128i needle = _mm_set1_epi32(static_cast<int>(tag));

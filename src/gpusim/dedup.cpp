@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "common/error.hpp"
+#include "gpusim/simd.hpp"
 
 namespace catt::sim::dedup {
 
@@ -933,12 +934,48 @@ std::vector<ParamWarpTrace> symbolize(const bc::Program& prog, const arch::Launc
   return out;
 }
 
+namespace {
+
+/// Translate pass of the render: sector index of every base address
+/// shifted by the block's byte delta. Kept as a separate flat loop so the
+/// AVX2 clone below auto-vectorizes it 4 lanes per 256-bit op (64-bit
+/// add + shift); the branchy sector-dedup/line-merge stays scalar over
+/// the translated buffer.
+void translate_sectors_base(const std::uint64_t* addrs, std::size_t n, std::uint64_t delta,
+                            std::uint64_t* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = (addrs[i] + delta) / 32;
+}
+
+#if defined(CATT_SIMD_AVX2_DISPATCH)
+__attribute__((target("avx2"))) void translate_sectors_avx2(const std::uint64_t* addrs,
+                                                            std::size_t n, std::uint64_t delta,
+                                                            std::uint64_t* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = (addrs[i] + delta) / 32;
+}
+#endif
+
+inline void translate_sectors(const std::uint64_t* addrs, std::size_t n, std::uint64_t delta,
+                              std::uint64_t* out) {
+#if defined(CATT_SIMD_AVX2_DISPATCH)
+  if (kSimdHasAvx2) {
+    translate_sectors_avx2(addrs, n, delta, out);
+    return;
+  }
+#endif
+  translate_sectors_base(addrs, n, delta, out);
+}
+
+}  // namespace
+
 WarpTrace render(const ParamWarpTrace& pt, const bc::Program& prog, bc::SiteTable& table,
                  const arch::Dim3& block_idx, int line_bytes,
                  const std::shared_ptr<TxnPool>& pool) {
   WarpTrace t(pool);
   t.reserve(pt.events.size());
   const std::uint64_t sectors_per_line = static_cast<std::uint64_t>(line_bytes) / 32;
+  // Per-thread scratch for the translated sectors: render runs on every
+  // trace worker concurrently, and steady state allocates nothing.
+  thread_local std::vector<std::uint64_t> sectors;
   for (const ParamEvent& pe : pt.events) {
     switch (pe.kind) {
       case EventKind::kCompute:
@@ -951,11 +988,12 @@ WarpTrace render(const ParamWarpTrace& pt, const bc::Program& prog, bc::SiteTabl
         const std::uint64_t delta = static_cast<std::uint64_t>(pe.dx) * block_idx.x +
                                     static_cast<std::uint64_t>(pe.dy) * block_idx.y +
                                     static_cast<std::uint64_t>(pe.dz) * block_idx.z;
+        sectors.resize(pe.base_addrs.size());
+        translate_sectors(pe.base_addrs.data(), pe.base_addrs.size(), delta, sectors.data());
         // base_addrs is sorted and the delta is uniform, so the translated
-        // sequence stays sorted; sector dedup and line merge in one pass.
+        // sectors stay sorted; sector dedup and line merge in one pass.
         std::uint64_t last_sector = ~std::uint64_t{0};
-        for (const std::uint64_t a : pe.base_addrs) {
-          const std::uint64_t sector = (a + delta) / 32;
+        for (const std::uint64_t sector : sectors) {
           if (sector == last_sector) continue;
           last_sector = sector;
           t.mem_sector(sector / sectors_per_line);

@@ -1,6 +1,7 @@
 #include "gpusim/gpu.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -93,6 +94,13 @@ KernelStats Gpu::run(const LaunchSpec& spec, const SimOptions& opts) {
     interp.set_functional(false);
     if (opts.trace_key != 0) interp.enable_dedup(dedup_, opts.trace_key);
   }
+  // CATT_RENDER_CACHE=0 force-disables the delta-keyed render cache (the
+  // perf-smoke A/B knob); the SimOptions field is the programmatic switch.
+  bool render_cache = opts.render_cache;
+  if (const char* env = std::getenv("CATT_RENDER_CACHE"); env != nullptr && *env == '0') {
+    render_cache = false;
+  }
+  interp.set_render_cache(render_cache);
 
   // Observability: resolved once per launch; null means every hook below
   // is skipped (and in CATT_OBS=OFF builds the compiler deletes them).
@@ -139,6 +147,7 @@ KernelStats Gpu::run(const LaunchSpec& spec, const SimOptions& opts) {
   // differently below).
   double pipeline_gen_ms = -1.0;
   double pipeline_wait_ms = 0.0;
+  int trace_workers_used = 1;
 
   if (opts.use_stepped_reference) {
     std::vector<SmRef> sms = make_sms<SmRef>(arch_, memsys_, occ, opts.collect_request_trace,
@@ -160,16 +169,19 @@ KernelStats Gpu::run(const LaunchSpec& spec, const SimOptions& opts) {
       sampler = sampler_storage.get();
     }
     const int threads = resolve_sim_threads(opts.sim_threads);
+    const int trace_threads = resolve_trace_threads(opts.trace_threads);
     // Fine-grained tracing records per-issue events from inside SM steps;
     // those assume a single timeline, so it pins the serial engine.
     const bool fine_trace = trace != nullptr && trace->fine();
-    if (threads > 1 && !fine_trace) {
-      // Trace generation moves to a producer thread even when the launch
+    if ((threads > 1 || trace_threads > 1) && !fine_trace) {
+      // Trace generation moves to producer threads even when the launch
       // is too small for multi-SM partitioning (workers == 1): pipeline
-      // overlap is profitable on its own.
+      // overlap is profitable on its own. Queue depth scales with the
+      // trace-worker count so sharded producers have room to run ahead.
       obs::Registry* reg = ob != nullptr ? &ob->registry_or_global() : nullptr;
-      TracePipeline pipeline(interp, num_blocks, std::max<std::size_t>(2, 2 * sms.size()),
-                             reg, ob);
+      const std::size_t depth = std::max<std::size_t>(
+          {2, 2 * sms.size(), 2 * static_cast<std::size_t>(trace_threads)});
+      TracePipeline pipeline(interp, num_blocks, depth, trace_threads, reg, ob);
       const int workers = std::min<int>(threads, static_cast<int>(sms.size()));
       if (workers > 1) {
         stats.cycles = run_parallel_loop(sms, pipeline, spec, num_blocks, memsys_, arch_,
@@ -180,6 +192,7 @@ KernelStats Gpu::run(const LaunchSpec& spec, const SimOptions& opts) {
       pipeline.finish();
       pipeline_gen_ms = pipeline.gen_ms();
       pipeline_wait_ms = pipeline.wait_ms();
+      trace_workers_used = pipeline.workers_used();
     } else {
       InterpSource source(interp, trace_gen);
       stats.cycles = run_event_loop(sms, source, spec, num_blocks, trace, sampler);
@@ -206,6 +219,16 @@ KernelStats Gpu::run(const LaunchSpec& spec, const SimOptions& opts) {
     reg.add(reg.counter("sim.warps_scanned"), stats.warps_scanned);
     reg.add(reg.counter("sim.warps_issued"), stats.warp_insts);
     reg.add(reg.counter("sim.queue_pops"), stats.queue_pops);
+    // Trace-generation attribution: how blocks were produced (rendered
+    // vs concretely executed warps), what the render cache saved, and
+    // the sharding width the pipeline actually used.
+    reg.set(reg.gauge("sim.tracegen.workers"),
+            static_cast<std::uint64_t>(trace_workers_used));
+    reg.add(reg.counter("sim.tracegen.warps_rendered"), interp.warps_rendered());
+    reg.add(reg.counter("sim.tracegen.warps_executed"), interp.warps_executed());
+    reg.add(reg.counter("sim.tracegen.render_cache_hits"), interp.render_cache_hits());
+    reg.add(reg.counter("sim.tracegen.render_cache_bytes_saved"),
+            interp.render_cache_bytes_saved());
     if (opts.sched.enabled()) {
       reg.add(reg.counter("sim.sched.vetoes"), stats.sched_vetoes);
       reg.add(reg.counter("sim.sched.victim_tag_hits"), stats.sched_victim_tag_hits);
@@ -233,11 +256,16 @@ KernelStats Gpu::run(const LaunchSpec& spec, const SimOptions& opts) {
         " total_ms=" + std::to_string(total_ms) +
         " warps_rendered=" + std::to_string(interp.warps_rendered()) +
         " warps_executed=" + std::to_string(interp.warps_executed()) +
+        " render_cache_hits=" + std::to_string(interp.render_cache_hits()) +
+        " render_cache_bytes_saved=" + std::to_string(interp.render_cache_bytes_saved()) +
         " sm_steps=" + std::to_string(stats.sm_steps) +
         " warps_scanned=" + std::to_string(stats.warps_scanned) +
         " warps_issued=" + std::to_string(stats.warp_insts) +
         " queue_pops=" + std::to_string(stats.queue_pops);
-    if (overlapped) line += " pipeline_wait_ms=" + std::to_string(pipeline_wait_ms);
+    if (overlapped) {
+      line += " pipeline_wait_ms=" + std::to_string(pipeline_wait_ms) +
+              " trace_workers=" + std::to_string(trace_workers_used);
+    }
     prof::report(line);
   }
   return stats;

@@ -69,15 +69,30 @@ struct SimOptions {
   /// parallel-vs-serial oracle and tests/memsys_test.cpp.
   int sim_threads = 0;
 
+  /// Trace-generation worker threads (> 1 shards renderable blocks
+  /// across interpreter workers; see TracePipeline). 0 defers to the
+  /// CATT_TRACE_THREADS environment variable, defaulting to 1. Results
+  /// are bit-identical for every value — pinned by fuzz_kernel_test's
+  /// trace-worker oracle stage.
+  int trace_threads = 0;
+
+  /// Per-launch delta-keyed render cache for dedup'd trace generation
+  /// (see KernelInterp::set_render_cache). On by default; a pure speed
+  /// knob, bit-identical either way (pinned by fuzz_kernel_test and
+  /// timing_test). CATT_RENDER_CACHE=0 in the environment disables it
+  /// when this field is left true (the A/B knob for perf smoke runs).
+  bool render_cache = true;
+
   /// Observability attachment (null = environment defaults, see
   /// obs::resolve). Read-only for the simulator; sinks inside are written.
   const obs::SimObs* obs = nullptr;
 
   /// Stable content hash; part of the exec::SimCache key (options that
   /// change simulated behaviour or collected outputs must be included).
-  /// skip_functional/trace_key/use_stepped_reference/sim_threads/obs are
-  /// deliberately EXCLUDED: the first four are pure execution-strategy
-  /// switches that cannot change any collected output (sim_threads is
+  /// skip_functional/trace_key/use_stepped_reference/sim_threads/
+  /// trace_threads/render_cache/obs are deliberately EXCLUDED: all but
+  /// the last are pure execution-strategy switches that cannot change
+  /// any collected output (sim_threads/trace_threads/render_cache are
   /// bit-exact by construction), and observability must never
   /// perturb memoization keys (runner_test pins trace-on/off CSVs
   /// byte-identical through the cache). `sched` folds in only when

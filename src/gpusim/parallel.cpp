@@ -14,21 +14,71 @@ namespace catt::sim {
 // ---------------------------------------------------------------------------
 
 TracePipeline::TracePipeline(KernelInterp& interp, std::uint64_t num_blocks,
-                             std::size_t depth, obs::Registry* reg, const obs::SimObs* ob)
+                             std::size_t depth, int workers, obs::Registry* reg,
+                             const obs::SimObs* ob)
     : interp_(interp),
       num_blocks_(num_blocks),
       depth_(std::max<std::size_t>(1, depth)),
+      workers_req_(std::max(1, workers)),
       reg_(reg),
       ob_(ob) {
-  thread_ = std::thread([this] { producer_loop(); });
+  start_ = std::chrono::steady_clock::now();
+  last_offer_ = start_;
+  thread_ = std::thread([this] { leader_loop(); });
 }
 
 TracePipeline::~TracePipeline() { finish(); }
 
-void TracePipeline::producer_loop() {
+/// Claims the next unproduced block id. Blocks while the reorder buffer
+/// is full (claimed blocks count as in-flight, so live traces stay
+/// bounded by depth_); returns false once every block is claimed, the
+/// pipeline is cancelled, or another producer failed.
+bool TracePipeline::claim(std::uint64_t& b) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] {
+    return cancel_ || error_ != nullptr || next_claim_ >= num_blocks_ ||
+           next_claim_ < next_pop_ + depth_;
+  });
+  if (cancel_ || error_ != nullptr || next_claim_ >= num_blocks_) return false;
+  b = next_claim_++;
+  return true;
+}
+
+void TracePipeline::offer(std::uint64_t b, std::vector<WarpTrace> traces) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ready_.emplace(b, std::move(traces));
+  last_offer_ = std::chrono::steady_clock::now();
+  cv_.notify_all();
+}
+
+/// Shared body of the leader and every extra trace worker: claim, run
+/// the interpreter outside the lock, deposit into the reorder buffer.
+/// The first recorded error wins and stops all claims; with sharding the
+/// winning error may belong to a later block than the serial engine
+/// would have hit first, but sharded launches are pure renders, which
+/// cannot fail validation (only allocation can throw here).
+void TracePipeline::produce_loop(obs::Registry* reg) {
   obs::Accum gen;
-  if (reg_ != nullptr) gen = obs::Accum(reg_, reg_->counter("sim.trace_gen_us"));
-  // Producer lifetime span on the host timeline, pool_job-style, so the
+  if (reg != nullptr) gen = obs::Accum(reg, reg->counter("sim.trace_gen_us"));
+  try {
+    std::uint64_t b = 0;
+    while (claim(b)) {
+      gen.start();
+      std::vector<WarpTrace> traces = interp_.run_block(b);
+      gen.stop();
+      offer(b, std::move(traces));
+    }
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error_ == nullptr) error_ = std::current_exception();
+    }
+    cv_.notify_all();
+  }
+}
+
+void TracePipeline::leader_loop() {
+  // Leader lifetime span on the host timeline, pool_job-style, so the
   // Chrome trace shows trace generation overlapping the timing loop.
   obs::Tracer* tr = nullptr;
   std::uint32_t span_name = 0;
@@ -38,25 +88,60 @@ void TracePipeline::producer_loop() {
     span_name = tr->intern("trace_producer");
     span_t0 = tr->host_now_us();
   }
-  try {
-    for (std::uint64_t b = 0; b < num_blocks_; ++b) {
-      gen.start();
-      std::vector<WarpTrace> traces = interp_.run_block(b);
-      gen.stop();
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return cancel_ || queue_.size() < depth_; });
-      if (cancel_) break;
-      queue_.push_back(std::move(traces));
-      cv_.notify_all();
+  std::vector<std::thread> extra;
+  if (num_blocks_ > 0) {
+    // Block 0 first, serially: its concrete execution assigns the dedup
+    // site ids and symbolization derives the parametric warps — the only
+    // order-sensitive generation work in the launch.
+    {
+      obs::Accum gen;
+      if (reg_ != nullptr) gen = obs::Accum(reg_, reg_->counter("sim.trace_gen_us"));
+      try {
+        gen.start();
+        std::vector<WarpTrace> traces = interp_.run_block(0);
+        gen.stop();
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          next_claim_ = 1;
+        }
+        offer(0, std::move(traces));
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (error_ == nullptr) error_ = std::current_exception();
+          next_claim_ = num_blocks_;
+        }
+        cv_.notify_all();
+      }
     }
-  } catch (...) {
-    std::lock_guard<std::mutex> lock(mu_);
-    error_ = std::current_exception();
+    // Shard the rest only when every remaining block is a pure render
+    // (order-independent by construction); otherwise this leader is the
+    // single serial producer, preserving the VM's block-order execution.
+    bool failed;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      failed = error_ != nullptr;
+    }
+    if (!failed) {
+      int shard = 1;
+      if (workers_req_ > 1 && num_blocks_ > 1 && interp_.parallel_renderable()) {
+        shard = static_cast<int>(
+            std::min<std::uint64_t>(static_cast<std::uint64_t>(workers_req_), num_blocks_ - 1));
+      }
+      workers_used_ = shard;
+      extra.reserve(static_cast<std::size_t>(shard - 1));
+      for (int w = 1; w < shard; ++w) {
+        extra.emplace_back([this] { produce_loop(reg_); });
+      }
+      produce_loop(reg_);
+    }
   }
+  for (std::thread& t : extra) t.join();
   {
     std::lock_guard<std::mutex> lock(mu_);
     producer_done_ = true;
-    gen_ms_ = gen.ms();
+    gen_ms_ =
+        std::chrono::duration<double, std::milli>(last_offer_ - start_).count();
   }
   cv_.notify_all();
   if (tr != nullptr) {
@@ -70,24 +155,26 @@ std::vector<WarpTrace> TracePipeline::run_block(std::uint64_t block_linear) {
   if (block_linear != next_pop_) {
     throw SimError("trace pipeline: out-of-order block request");
   }
-  if (queue_.empty()) {
+  auto it = ready_.find(next_pop_);
+  if (it == ready_.end()) {
     ++stalls_;
     const auto t0 = std::chrono::steady_clock::now();
     cv_.wait(lock, [this] {
-      return !queue_.empty() || error_ != nullptr || producer_done_;
+      return ready_.count(next_pop_) != 0 || error_ != nullptr || producer_done_;
     });
     wait_ms_ += std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
-    if (queue_.empty()) {
+    it = ready_.find(next_pop_);
+    if (it == ready_.end()) {
       // The block this pop is waiting for was never produced: surface the
       // producer's failure exactly where the serial path would have hit it.
       if (error_ != nullptr) std::rethrow_exception(error_);
       throw SimError("trace pipeline: producer ended early");
     }
   }
-  std::vector<WarpTrace> traces = std::move(queue_.front());
-  queue_.pop_front();
+  std::vector<WarpTrace> traces = std::move(it->second);
+  ready_.erase(it);
   ++next_pop_;
   cv_.notify_all();
   return traces;
@@ -369,6 +456,15 @@ std::int64_t run_parallel_loop(std::vector<Sm>& sms, BlockSource& source,
 int resolve_sim_threads(int requested) {
   if (requested > 0) return requested;
   if (const char* env = std::getenv("CATT_SIM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 1;
+}
+
+int resolve_trace_threads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("CATT_TRACE_THREADS")) {
     const int n = std::atoi(env);
     if (n > 0) return n;
   }

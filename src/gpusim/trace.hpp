@@ -46,30 +46,52 @@ using TxnPool = std::vector<Txn>;
 /// Build protocol: events are appended in order; at most one kMem event is
 /// open at a time (begin_mem, then mem_sector per touched 32 B sector in
 /// line-sorted order).
+///
+/// Storage is a shared handle: the SoA arrays (and the pool reference)
+/// live in one refcounted Data block, so a copy of a finished trace is a
+/// refcount bump, not a deep copy. This is what lets the per-launch
+/// render cache hand the same rendered trace to many blocks. The replay
+/// side only reads; emission must only ever target a freshly built trace
+/// (every construction site does).
 class WarpTrace {
  public:
   WarpTrace() = default;
-  explicit WarpTrace(std::shared_ptr<TxnPool> pool) : pool_(std::move(pool)) {}
+  explicit WarpTrace(std::shared_ptr<TxnPool> pool)
+      : data_(std::make_shared<Data>()) {
+    data_->pool = std::move(pool);
+  }
 
-  std::size_t size() const { return kind_.size(); }
-  bool empty() const { return kind_.empty(); }
-  EventKind kind(std::size_t i) const { return static_cast<EventKind>(kind_[i]); }
-  std::uint32_t cycles(std::size_t i) const { return cycles_[i]; }
-  std::uint16_t site(std::size_t i) const { return site_[i]; }
-  bool is_store(std::size_t i) const { return store_[i] != 0; }
-  std::uint32_t txn_count(std::size_t i) const { return txn_count_[i]; }
+  std::size_t size() const { return data_ ? data_->kind.size() : 0; }
+  bool empty() const { return size() == 0; }
+  EventKind kind(std::size_t i) const { return static_cast<EventKind>(data_->kind[i]); }
+  std::uint32_t cycles(std::size_t i) const { return data_->cycles[i]; }
+  std::uint16_t site(std::size_t i) const { return data_->site[i]; }
+  bool is_store(std::size_t i) const { return data_->store[i] != 0; }
+  std::uint32_t txn_count(std::size_t i) const { return data_->txn_count[i]; }
   /// First transaction of event `i`'s span (valid only when txn_count > 0).
-  const Txn* txns(std::size_t i) const { return pool_->data() + txn_begin_[i]; }
+  const Txn* txns(std::size_t i) const { return data_->pool->data() + data_->txn_begin[i]; }
 
-  const std::shared_ptr<TxnPool>& pool() const { return pool_; }
+  std::shared_ptr<TxnPool> pool() const { return data_ ? data_->pool : nullptr; }
+
+  /// Heap footprint of the event arrays plus this trace's share of the
+  /// pool (the render cache's bytes-saved accounting).
+  std::size_t bytes() const {
+    if (!data_) return 0;
+    std::size_t txns = 0;
+    for (const std::uint32_t c : data_->txn_count) txns += c;
+    return data_->kind.size() * (sizeof(std::uint8_t) * 2 + sizeof(std::uint32_t) * 3 +
+                                 sizeof(std::uint16_t)) +
+           txns * sizeof(Txn);
+  }
 
   // ---- emission ----
 
   /// Appends compute work, merging into a directly preceding kCompute
   /// event (the interpreters' event-merge rule).
   void push_compute(std::uint32_t cycles) {
-    if (!kind_.empty() && kind_.back() == static_cast<std::uint8_t>(EventKind::kCompute)) {
-      cycles_.back() += cycles;
+    Data& d = ensure();
+    if (!d.kind.empty() && d.kind.back() == static_cast<std::uint8_t>(EventKind::kCompute)) {
+      d.cycles.back() += cycles;
       return;
     }
     push_row(EventKind::kCompute, cycles, 0, false);
@@ -81,7 +103,8 @@ class WarpTrace {
 
   /// Opens a kMem event; transactions follow via mem_sector().
   void begin_mem(std::uint16_t site, bool is_store) {
-    if (!pool_) pool_ = std::make_shared<TxnPool>();
+    Data& d = ensure();
+    if (!d.pool) d.pool = std::make_shared<TxnPool>();
     push_row(EventKind::kMem, 0, site, is_store);
   }
 
@@ -89,56 +112,60 @@ class WarpTrace {
   /// Call sites present sectors line-sorted, so consecutive sectors of the
   /// same line merge into one transaction with a higher sector count.
   void mem_sector(std::uint64_t line) {
-    TxnPool& p = *pool_;
-    if (txn_count_.back() != 0 && p.back().line == line) {
+    Data& d = *data_;
+    TxnPool& p = *d.pool;
+    if (d.txn_count.back() != 0 && p.back().line == line) {
       ++p.back().sectors;
       return;
     }
     p.push_back({line, 1});
-    ++txn_count_.back();
+    ++d.txn_count.back();
   }
 
   void push_barrier() { push_row(EventKind::kBarrier, 0, 0, false); }
   void push_end() { push_row(EventKind::kEnd, 0, 0, false); }
 
-  /// Drops event storage and the pool reference (finished warps are never
-  /// replayed; the block's pool is freed when its last warp releases).
-  void release() {
-    kind_ = {};
-    cycles_ = {};
-    site_ = {};
-    store_ = {};
-    txn_begin_ = {};
-    txn_count_ = {};
-    pool_.reset();
-  }
+  /// Drops this handle's reference (finished warps are never replayed).
+  /// Shared storage — and the block's pool — dies with the last holder.
+  void release() { data_.reset(); }
 
   void reserve(std::size_t events) {
-    kind_.reserve(events);
-    cycles_.reserve(events);
-    site_.reserve(events);
-    store_.reserve(events);
-    txn_begin_.reserve(events);
-    txn_count_.reserve(events);
+    Data& d = ensure();
+    d.kind.reserve(events);
+    d.cycles.reserve(events);
+    d.site.reserve(events);
+    d.store.reserve(events);
+    d.txn_begin.reserve(events);
+    d.txn_count.reserve(events);
   }
 
  private:
-  void push_row(EventKind k, std::uint32_t cycles, std::uint16_t site, bool store) {
-    kind_.push_back(static_cast<std::uint8_t>(k));
-    cycles_.push_back(cycles);
-    site_.push_back(site);
-    store_.push_back(store ? 1 : 0);
-    txn_begin_.push_back(pool_ ? static_cast<std::uint32_t>(pool_->size()) : 0);
-    txn_count_.push_back(0);
+  struct Data {
+    std::vector<std::uint8_t> kind;
+    std::vector<std::uint32_t> cycles;
+    std::vector<std::uint16_t> site;
+    std::vector<std::uint8_t> store;
+    std::vector<std::uint32_t> txn_begin;
+    std::vector<std::uint32_t> txn_count;
+    std::shared_ptr<TxnPool> pool;
+  };
+
+  Data& ensure() {
+    if (!data_) data_ = std::make_shared<Data>();
+    return *data_;
   }
 
-  std::vector<std::uint8_t> kind_;
-  std::vector<std::uint32_t> cycles_;
-  std::vector<std::uint16_t> site_;
-  std::vector<std::uint8_t> store_;
-  std::vector<std::uint32_t> txn_begin_;
-  std::vector<std::uint32_t> txn_count_;
-  std::shared_ptr<TxnPool> pool_;
+  void push_row(EventKind k, std::uint32_t cycles, std::uint16_t site, bool store) {
+    Data& d = ensure();
+    d.kind.push_back(static_cast<std::uint8_t>(k));
+    d.cycles.push_back(cycles);
+    d.site.push_back(site);
+    d.store.push_back(store ? 1 : 0);
+    d.txn_begin.push_back(d.pool ? static_cast<std::uint32_t>(d.pool->size()) : 0);
+    d.txn_count.push_back(0);
+  }
+
+  std::shared_ptr<Data> data_;
 };
 
 /// Recycles TxnPool allocations across thread blocks. Trace generation

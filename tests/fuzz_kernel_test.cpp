@@ -288,6 +288,38 @@ TEST(FuzzKernel, DifferentialVmDedupAndEngines) {
       expect_memory_equal(mem_s, mem_p);
       if (::testing::Test::HasFatalFailure()) return;
     }
+
+    // 5. Trace-worker sharding x render cache vs. the serial producer
+    //    (trace-pure kernels under dedup, where sharding can engage): the
+    //    N-worker pipeline and the delta-keyed render cache both promise
+    //    bit-identical traces, so every stat the timing engine derives
+    //    from them must match the serial single-producer run exactly.
+    if (pure) {
+      auto run_tracegen = [&](int trace_threads, bool render_cache) {
+        SimOptions o = opts;
+        o.skip_functional = true;
+        o.trace_key = seed | 1;
+        o.sim_threads = 1;
+        o.trace_threads = trace_threads;
+        o.render_cache = render_cache;
+        DeviceMemory m;
+        setup_memory(m, seed, g);
+        Gpu gpu(arch::GpuArch::titan_v(2), m);
+        return gpu.run(spec, o);
+      };
+      const KernelStats base = run_tracegen(1, false);
+      const struct { int workers; bool cache; } grid[] = {{1, true}, {4, true}, {4, false}};
+      for (const auto& cfg : grid) {
+        const KernelStats got = run_tracegen(cfg.workers, cfg.cache);
+        SCOPED_TRACE("trace_threads=" + std::to_string(cfg.workers) +
+                     " render_cache=" + std::to_string(cfg.cache));
+        expect_stats_equal(got, base);
+        EXPECT_EQ(got.sm_steps, base.sm_steps);
+        EXPECT_EQ(got.warps_scanned, base.warps_scanned);
+        EXPECT_EQ(got.queue_pops, base.queue_pops);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
   }
 
   // Generator sanity: both the affine-pure path (dedup-eligible) and the
