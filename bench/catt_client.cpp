@@ -39,8 +39,22 @@ int run_fig9(const std::string& socket, const std::string& workloads_csv,
   for (const std::string& name : split(workloads_csv, ',')) {
     if (name.empty()) continue;
     const wl::Workload& w = wl::find_workload(name, bench::kNumSms);
-    const throttle::AppResult base = remote.run(name, throttle::Baseline{});
-    const throttle::AppResult catt = remote.run(name, throttle::Catt{});
+
+    // One batched round-trip per workload: baseline, catt, then the fixed
+    // sweep points (kOpRunv; falls back to per-query runs on old daemons).
+    std::vector<throttle::FixedFactor> sweep;
+    std::vector<throttle::RemoteRunner::Query> batch;
+    batch.push_back({name, throttle::Baseline{}});
+    batch.push_back({name, throttle::Catt{}});
+    for (const throttle::FixedFactor& f : local.candidate_factors(w)) {
+      if (f.tb_limit != 0) continue;
+      sweep.push_back(f);
+      batch.push_back({name, f.n_divisor == 1 ? throttle::Policy(throttle::Baseline{})
+                                              : throttle::Policy(throttle::Fixed{f})});
+    }
+    const std::vector<throttle::AppResult> results = remote.run_batch(batch);
+    const throttle::AppResult& base = results[0];
+    const throttle::AppResult& catt = results[1];
     const double catt_norm =
         static_cast<double>(catt.total_cycles) / static_cast<double>(base.total_cycles);
 
@@ -58,13 +72,10 @@ int run_fig9(const std::string& socket, const std::string& workloads_csv,
       double norm;
     };
     std::vector<Point> pts;
-    for (const throttle::FixedFactor& f : local.candidate_factors(w)) {
-      if (f.tb_limit != 0) continue;
-      const throttle::AppResult r = f.n_divisor == 1
-                                        ? remote.run(name, throttle::Baseline{})
-                                        : remote.run(name, throttle::Fixed{f});
-      pts.push_back(
-          {f, static_cast<double>(r.total_cycles) / static_cast<double>(base.total_cycles)});
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const throttle::AppResult& r = results[i + 2];
+      pts.push_back({sweep[i],
+                     static_cast<double>(r.total_cycles) / static_cast<double>(base.total_cycles)});
     }
     double best = pts.front().norm;
     for (const auto& p : pts) best = std::min(best, p.norm);

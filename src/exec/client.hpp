@@ -17,6 +17,10 @@
 //   kOpStats     body: u64 cache key    -> u8 found [+ KernelStats];
 //                                          lookup only, never computes
 //   kOpShutdown  body: empty            -> empty; server stops afterwards
+//   kOpRunv      body: u32 count, then count kOpRun bodies back to back
+//                                       -> count wire-encoded AppResults,
+//                                          in request order (one round-trip
+//                                          for a whole batch of queries)
 //
 // This class stays generic (framing + the typed ops above); AppResult
 // decoding and the Runner-shaped convenience wrapper live in
@@ -39,6 +43,7 @@ inline constexpr std::uint8_t kOpRun = 2;
 inline constexpr std::uint8_t kOpPlan = 3;
 inline constexpr std::uint8_t kOpStats = 4;
 inline constexpr std::uint8_t kOpShutdown = 5;
+inline constexpr std::uint8_t kOpRunv = 6;
 
 inline constexpr std::uint8_t kStatusOk = 0;
 inline constexpr std::uint8_t kStatusError = 1;

@@ -129,6 +129,15 @@ void encode(Writer& w, const sim::KernelStats& s) {
     w.u64(p.index);
     w.f64(p.mean);
   }
+  w.u64(s.sched_decisions.size());
+  for (const auto& d : s.sched_decisions) {
+    w.i64(d.cycle);
+    w.i32(d.sm);
+    w.i32(d.phase);
+    w.i32(d.from_level);
+    w.i32(d.to_level);
+    w.u8(static_cast<std::uint8_t>(d.reason));
+  }
 }
 
 sim::KernelStats decode_kernel_stats(Reader& r) {
@@ -158,6 +167,18 @@ sim::KernelStats decode_kernel_stats(Reader& r) {
     p.index = r.u64();
     p.mean = r.f64();
     s.request_trace.push_back(p);
+  }
+  const std::uint64_t n_dec = r.u64();
+  s.sched_decisions.reserve(n_dec);
+  for (std::uint64_t i = 0; i < n_dec; ++i) {
+    sim::sched::Decision d;
+    d.cycle = r.i64();
+    d.sm = r.i32();
+    d.phase = r.i32();
+    d.from_level = r.i32();
+    d.to_level = r.i32();
+    d.reason = static_cast<sim::sched::DecisionReason>(r.u8());
+    s.sched_decisions.push_back(d);
   }
   return s;
 }

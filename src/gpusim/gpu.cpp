@@ -65,10 +65,13 @@ std::vector<SmT> make_sms(const arch::GpuArch& arch, MemorySystem& memsys,
 }
 
 /// Sums per-SM PolicyStats into KernelStats (throttle_level takes the max
-/// final level — a per-SM gauge, not an additive counter).
+/// final level — a per-SM gauge, not an additive counter) and merges the
+/// per-SM decision logs, stamped with their SM index and sorted by
+/// (cycle, sm) so the merged sequence is independent of aggregation order.
 void aggregate_policy_stats(KernelStats& stats,
                             const std::vector<std::unique_ptr<sched::SchedPolicy>>& policies) {
-  for (const auto& p : policies) {
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    const auto& p = policies[i];
     const sched::PolicyStats& ps = p->stats();
     stats.sched_vetoes += ps.vetoes;
     stats.sched_victim_tag_hits += ps.victim_tag_hits;
@@ -76,7 +79,17 @@ void aggregate_policy_stats(KernelStats& stats,
     stats.sched_throttle_level = std::max(stats.sched_throttle_level, ps.throttle_level);
     stats.sched_paused_tbs += ps.paused_tbs;
     stats.sched_max_paused_tbs += ps.max_paused_tbs;
+    if (const std::vector<sched::Decision>* log = p->decisions(); log != nullptr) {
+      for (sched::Decision d : *log) {
+        d.sm = static_cast<int>(i);
+        stats.sched_decisions.push_back(d);
+      }
+    }
   }
+  std::stable_sort(stats.sched_decisions.begin(), stats.sched_decisions.end(),
+                   [](const sched::Decision& a, const sched::Decision& b) {
+                     return a.cycle != b.cycle ? a.cycle < b.cycle : a.sm < b.sm;
+                   });
 }
 
 }  // namespace
@@ -210,6 +223,13 @@ KernelStats Gpu::run(const LaunchSpec& spec, const SimOptions& opts) {
   if (trace != nullptr) {
     trace->complete(trace->id_launch, 0, 0, stats.cycles, trace->arg_block,
                     static_cast<std::int64_t>(num_blocks));
+    // Every adaptive N-transition as an instant on its SM's track; the arg
+    // is the new drop-from-static level, so the timeline shows the
+    // controller's staircase directly.
+    for (const sched::Decision& d : stats.sched_decisions) {
+      trace->instant(trace->id_policy, static_cast<std::uint32_t>(d.sm), d.cycle,
+                     trace->arg_level, d.to_level);
+    }
   }
   if (ob != nullptr) {
     obs::Registry& reg = ob->registry_or_global();
@@ -237,6 +257,23 @@ KernelStats Gpu::run(const LaunchSpec& spec, const SimOptions& opts) {
               static_cast<std::uint64_t>(stats.sched_throttle_level));
       reg.set(reg.gauge("sim.sched.paused_tbs"),
               static_cast<std::uint64_t>(stats.sched_paused_tbs));
+    }
+    if (!stats.sched_decisions.empty()) {
+      std::uint64_t throttles = 0;
+      std::uint64_t relaxes = 0;
+      std::uint64_t phase_resets = 0;
+      for (const sched::Decision& d : stats.sched_decisions) {
+        switch (d.reason) {
+          case sched::DecisionReason::kThrottle: ++throttles; break;
+          case sched::DecisionReason::kRelax: ++relaxes; break;
+          case sched::DecisionReason::kPhaseReset: ++phase_resets; break;
+        }
+      }
+      reg.add(reg.counter("sim.policy.decisions"),
+              static_cast<std::uint64_t>(stats.sched_decisions.size()));
+      reg.add(reg.counter("sim.policy.throttles"), throttles);
+      reg.add(reg.counter("sim.policy.relaxes"), relaxes);
+      reg.add(reg.counter("sim.policy.phase_resets"), phase_resets);
     }
   }
 

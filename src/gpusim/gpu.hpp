@@ -125,6 +125,11 @@ struct KernelStats {
   int sched_throttle_level = 0;
   int sched_paused_tbs = 0;
   int sched_max_paused_tbs = 0;
+  /// The adaptive policy's decision log, merged over SMs and sorted by
+  /// (cycle, sm) — deterministic at any CATT_SIM_THREADS (pinned by fuzz
+  /// stage 6). Empty for "none" and the hardware baselines. Exported as
+  /// obs counters (sim.policy.*) and Chrome-trace instant events.
+  std::vector<sched::Decision> sched_decisions;
   occupancy::Occupancy occ;
   /// Figure 2 series: mean coalesced requests per load instruction, over
   /// dynamic instruction sequence (bucketed).

@@ -8,6 +8,7 @@
 #include "common/hash.hpp"
 #include "common/string_util.hpp"
 #include "gpusim/cache.hpp"
+#include "policy/adaptive.hpp"
 
 namespace catt::sim::sched {
 
@@ -16,6 +17,16 @@ const char* to_string(Kind k) {
     case Kind::kNone: return "none";
     case Kind::kCcws: return "ccws";
     case Kind::kDyncta: return "dyncta";
+    case Kind::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+const char* to_string(DecisionReason r) {
+  switch (r) {
+    case DecisionReason::kThrottle: return "throttle";
+    case DecisionReason::kRelax: return "relax";
+    case DecisionReason::kPhaseReset: return "phase_reset";
   }
   return "?";
 }
@@ -30,6 +41,17 @@ std::int64_t parse_int(const std::string& spec, const std::string& v) {
   char* end = nullptr;
   const long long x = std::strtoll(v.c_str(), &end, 10);
   if (end == v.c_str() || *end != '\0' || x <= 0) bad_spec(spec, "expected positive integer, got '" + v + "'");
+  return static_cast<std::int64_t>(x);
+}
+
+/// Knobs where zero is meaningful (adaptive's window=0 degenerate mode,
+/// cooldown=0 for decide-every-window).
+std::int64_t parse_nonneg(const std::string& spec, const std::string& v) {
+  char* end = nullptr;
+  const long long x = std::strtoll(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0' || x < 0) {
+    bad_spec(spec, "expected non-negative integer, got '" + v + "'");
+  }
   return static_cast<std::int64_t>(x);
 }
 
@@ -58,8 +80,10 @@ PolicyConfig PolicyConfig::parse(const std::string& spec) {
     cfg.kind = Kind::kCcws;
   } else if (name == "dyncta") {
     cfg.kind = Kind::kDyncta;
+  } else if (name == "adaptive") {
+    cfg.kind = Kind::kAdaptive;
   } else {
-    bad_spec(spec, "unknown policy '" + name + "' (use none|ccws|dyncta)");
+    bad_spec(spec, "unknown policy '" + name + "' (use none|ccws|dyncta|adaptive)");
   }
   if (cfg.kind == Kind::kNone && !knobs.empty()) bad_spec(spec, "'none' takes no knobs");
 
@@ -87,6 +111,18 @@ PolicyConfig PolicyConfig::parse(const std::string& spec) {
       cfg.dyncta_high_hit = parse_frac(spec, val);
     } else if (cfg.kind == Kind::kDyncta && key == "min_tbs") {
       cfg.dyncta_min_tbs = static_cast<int>(parse_int(spec, val));
+    } else if (cfg.kind == Kind::kAdaptive && key == "window") {
+      cfg.adaptive_window = static_cast<int>(parse_nonneg(spec, val));
+    } else if (cfg.kind == Kind::kAdaptive && key == "low") {
+      cfg.adaptive_low_hit = parse_frac(spec, val);
+    } else if (cfg.kind == Kind::kAdaptive && key == "hysteresis") {
+      cfg.adaptive_hysteresis = parse_frac(spec, val);
+    } else if (cfg.kind == Kind::kAdaptive && key == "cooldown") {
+      cfg.adaptive_cooldown = static_cast<int>(parse_nonneg(spec, val));
+    } else if (cfg.kind == Kind::kAdaptive && key == "max_drop") {
+      cfg.adaptive_max_drop = static_cast<int>(parse_int(spec, val));
+    } else if (cfg.kind == Kind::kAdaptive && key == "min_active") {
+      cfg.adaptive_min_active = static_cast<int>(parse_int(spec, val));
     } else {
       bad_spec(spec, "unknown knob '" + key + "' for policy '" + name + "'");
     }
@@ -108,6 +144,14 @@ std::string PolicyConfig::str() const {
       return "dyncta:interval=" + std::to_string(update_interval) +
              ",low=" + std::to_string(dyncta_low_hit) + ",high=" + std::to_string(dyncta_high_hit) +
              ",min_tbs=" + std::to_string(dyncta_min_tbs);
+    case Kind::kAdaptive:
+      return "adaptive:interval=" + std::to_string(update_interval) +
+             ",window=" + std::to_string(adaptive_window) +
+             ",low=" + std::to_string(adaptive_low_hit) +
+             ",hysteresis=" + std::to_string(adaptive_hysteresis) +
+             ",cooldown=" + std::to_string(adaptive_cooldown) +
+             ",max_drop=" + std::to_string(adaptive_max_drop) +
+             ",min_active=" + std::to_string(adaptive_min_active);
   }
   return "?";
 }
@@ -119,10 +163,17 @@ std::uint64_t PolicyConfig::fingerprint() const {
   if (kind == Kind::kCcws) {
     h.i32(ccws_victim_tags).i32(ccws_hit_score).i32(ccws_decay).i32(ccws_base_score).i32(
         ccws_min_active);
-  } else {
+  } else if (kind == Kind::kDyncta) {
     h.u64(std::bit_cast<std::uint64_t>(dyncta_low_hit))
         .u64(std::bit_cast<std::uint64_t>(dyncta_high_hit))
         .i32(dyncta_min_tbs);
+  } else {
+    h.i32(adaptive_window)
+        .u64(std::bit_cast<std::uint64_t>(adaptive_low_hit))
+        .u64(std::bit_cast<std::uint64_t>(adaptive_hysteresis))
+        .i32(adaptive_cooldown)
+        .i32(adaptive_max_drop)
+        .i32(adaptive_min_active);
   }
   return h.value();
 }
@@ -184,9 +235,12 @@ class CcwsPolicy final : public SchedPolicy {
     if (++w.tag_cursor == w.tags.size()) w.tag_cursor = 0;
   }
 
-  void update(std::int64_t now, const CacheStats& l1, std::uint64_t ready_warps) override {
+  void update(std::int64_t now, const CacheStats& l1, std::uint64_t ready_warps,
+              std::uint64_t mshr_in_flight, std::uint64_t insts_retired) override {
     (void)l1;
     (void)ready_warps;
+    (void)mshr_in_flight;
+    (void)insts_retired;
     ++stats_.updates;
     // Catch up past skipped intervals (the event engine jumps over idle
     // stretches); one decay per elapsed interval keeps decay time-based.
@@ -296,7 +350,10 @@ class DynctaPolicy final : public SchedPolicy {
     }
   }
 
-  void update(std::int64_t now, const CacheStats& l1, std::uint64_t ready_warps) override {
+  void update(std::int64_t now, const CacheStats& l1, std::uint64_t ready_warps,
+              std::uint64_t mshr_in_flight, std::uint64_t insts_retired) override {
+    (void)mshr_in_flight;
+    (void)insts_retired;
     ++stats_.updates;
     while (next_update_ <= now) next_update_ += cfg_.update_interval;
 
@@ -375,6 +432,8 @@ std::unique_ptr<SchedPolicy> make_policy(const PolicyConfig& cfg) {
       return std::make_unique<CcwsPolicy>(cfg);
     case Kind::kDyncta:
       return std::make_unique<DynctaPolicy>(cfg);
+    case Kind::kAdaptive:
+      return policy::make_adaptive(cfg);
     case Kind::kNone:
       break;
   }

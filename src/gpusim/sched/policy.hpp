@@ -3,7 +3,7 @@
 // per SM is consulted by both timing engines (Sm, SmRef) at their issue
 // points and fed L1D access/eviction events by the shared SmDatapath.
 //
-// Three policies:
+// Four policies:
 //  * none   — no policy object is created at all; the engines' scheduling
 //             code path is bit-identical to a build without the seam
 //             (pinned by tests/golden_test.cpp and runner_test.cpp).
@@ -21,6 +21,13 @@
 //             warp count each interval and pauses/resumes whole resident
 //             thread blocks (youngest first) to steer the active TB count
 //             toward the contention sweet spot.
+//  * adaptive — the phase-adaptive feedback controller from src/policy
+//             (APEX-style windowed hysteresis over interval samples, see
+//             policy/engine.hpp). Designed to ride on CATT-transformed
+//             code: the static plan baked into the code is the prior and
+//             the controller only corrects below it (drop-from-static),
+//             resetting to neutral at loop-phase boundaries (barrier
+//             counts). Every level transition is logged as a Decision.
 //
 // Decisions depend only on simulated state (cycle counts, cache events),
 // so every policy is deterministic across repeated runs and across exec
@@ -39,7 +46,7 @@ struct CacheStats;
 
 namespace catt::sim::sched {
 
-enum class Kind : std::uint8_t { kNone, kCcws, kDyncta };
+enum class Kind : std::uint8_t { kNone, kCcws, kDyncta, kAdaptive };
 
 const char* to_string(Kind k);
 
@@ -64,11 +71,22 @@ struct PolicyConfig {
   double dyncta_high_hit = 0.90;  // interval hit rate above which a TB resumes
   int dyncta_min_tbs = 1;         // active TBs never drop below this
 
+  // --- adaptive knobs (see policy/engine.hpp for the controller) ---
+  int adaptive_window = 4;           // samples per decision window; 0 disables
+                                     // the controller entirely (degenerates to
+                                     // the static plan byte-identically)
+  double adaptive_low_hit = 0.55;    // windowed hit rate below which N drops
+  double adaptive_hysteresis = 0.30; // relax band: recover above low+hysteresis
+  int adaptive_cooldown = 2;         // full windows to sit out after a change
+  int adaptive_max_drop = 8;         // never throttle more than this below static
+  int adaptive_min_active = 2;       // never throttle below this many warps
+
   bool enabled() const { return kind != Kind::kNone; }
 
-  /// Parses "none" | "ccws" | "dyncta", optionally followed by
-  /// ":key=value,..." knob overrides (e.g. "ccws:interval=4096,tags=16").
-  /// Throws catt::SimError on unknown names/keys.
+  /// Parses "none" | "ccws" | "dyncta" | "adaptive", optionally followed by
+  /// ":key=value,..." knob overrides (e.g. "ccws:interval=4096,tags=16",
+  /// "adaptive:window=8,hysteresis=0.2"). Throws catt::SimError on unknown
+  /// names/keys.
   static PolicyConfig parse(const std::string& spec);
 
   /// Canonical spec string: "none", or "<kind>:interval=...,..." with every
@@ -78,6 +96,31 @@ struct PolicyConfig {
   /// Stable content hash of the *active* knobs (0 when disabled, so a
   /// "none" config never perturbs SimOptions::fingerprint()).
   std::uint64_t fingerprint() const;
+};
+
+/// Why an adaptive controller changed (or reset) its throttle level.
+enum class DecisionReason : std::uint8_t {
+  kThrottle = 0,    // windowed hit rate below the low band: drop one level
+  kRelax = 1,       // hit rate recovered past low+hysteresis: restore one level
+  kPhaseReset = 2,  // loop-phase boundary: back to the static prior
+};
+
+const char* to_string(DecisionReason r);
+
+/// One effective-N transition taken by an adaptive controller. `sm` is
+/// stamped during per-launch aggregation (a policy instance does not know
+/// its SM index); `phase` is the controller's loop-phase counter (min
+/// completed-barrier count over the SM's live TBs). Levels are drops below
+/// the static plan (0 = run the code as compiled).
+struct Decision {
+  std::int64_t cycle = 0;
+  int sm = 0;
+  int phase = 0;
+  int from_level = 0;
+  int to_level = 0;
+  DecisionReason reason = DecisionReason::kThrottle;
+
+  bool operator==(const Decision&) const = default;
 };
 
 /// Per-launch throttling telemetry, aggregated over SMs into KernelStats
@@ -112,10 +155,32 @@ class SchedPolicy {
   }
   virtual void on_l1_evict(std::uint64_t line) { (void)line; }
 
+  /// Barrier-boundary feedback: called by both engines when a barrier of
+  /// TB `tb` releases (at least one warp resumed). The adaptive policy
+  /// counts these to detect loop-phase transitions; the hardware baselines
+  /// ignore them.
+  virtual void on_barrier(int tb) { (void)tb; }
+
   /// Controller re-evaluation; the engine calls this at the top of step()
   /// whenever `now >= next_update_time()`. `l1` is the SM's cumulative L1D
-  /// stats, `ready_warps` the instantaneous issuable-warp count.
-  virtual void update(std::int64_t now, const CacheStats& l1, std::uint64_t ready_warps) = 0;
+  /// stats, `ready_warps` the instantaneous issuable-warp count,
+  /// `mshr_in_flight` the datapath's in-flight miss count at `now` and
+  /// `insts_retired` the SM's cumulative retired-instruction count (all
+  /// exact between events, and identical at any CATT_SIM_THREADS: per-SM
+  /// step times and datapath state match the serial schedule by the
+  /// parallel engine's window invariant — see DESIGN.md). The retired
+  /// count is the outcome signal: a policy that probes a throttle level
+  /// can compare per-interval IPC before and after instead of trusting
+  /// the cache signature alone.
+  virtual void update(std::int64_t now, const CacheStats& l1, std::uint64_t ready_warps,
+                      std::uint64_t mshr_in_flight, std::uint64_t insts_retired) = 0;
+
+  /// Called once when the policy is bound to an SM, before any update:
+  /// datapath capacities the decision laws normalize against. `l1_mshrs`
+  /// is the SM's miss-status-holding-register count — an in-flight miss
+  /// level only means contention relative to how many the datapath can
+  /// absorb.
+  virtual void on_bind(int l1_mshrs) { (void)l1_mshrs; }
 
   /// Earliest cycle at which a currently-vetoed warp may become eligible
   /// again. The engines fold this into their next-wake computation so a
@@ -126,6 +191,17 @@ class SchedPolicy {
   /// waiting at a barrier (barrier release must never be throttled), so
   /// policies need no barrier awareness. A denial is counted in stats().
   virtual bool may_issue(int warp, int tb) = 0;
+
+  /// True when an SM with no live warps may skip this policy's update
+  /// clock entirely (the event engine's idle early-exit). The adaptive
+  /// policy opts in so trailing idle steps — which the parallel engine's
+  /// lanes take and the serial loop does not — have no observable effect;
+  /// the hardware baselines keep the pre-existing always-tick behaviour.
+  virtual bool idle_skippable() const { return false; }
+
+  /// The adaptive controller's decision log (null for policies that take
+  /// no discrete decisions). Entries are in increasing cycle order.
+  virtual const std::vector<Decision>* decisions() const { return nullptr; }
 
   const PolicyStats& stats() const { return stats_; }
 

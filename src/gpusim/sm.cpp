@@ -237,6 +237,7 @@ Sm::Sm(const arch::GpuArch& arch, MemorySystem& memsys, std::size_t l1_bytes,
       free_slots_(max_resident_tbs),
       warps_per_tb_(warps_per_tb) {
   path_.set_policy(policy);
+  if (policy_ != nullptr) policy_->on_bind(arch.l1_mshrs);
 }
 
 bool Sm::policy_allows(const WarpCtx& w, int wi) {
@@ -332,18 +333,20 @@ std::int64_t Sm::next_ready_time() const {
 int Sm::step(std::int64_t now, std::int64_t* next_ready) {
   // An SM with no live warps has nothing to do until admission wakes it;
   // its leftover stale ready/wake entries are unreachable noise. Bailing
-  // out (for policy-free SMs: a policy keeps its update clock ticking)
+  // out (for policy-free SMs and policies that declare their idle ticks
+  // skippable; the hardware baselines keep their update clock ticking)
   // makes the trailing steps after an SM's last warp completes free of
   // observable effects, which is what lets the parallel engine run lanes
   // past the launch's final completion without diverging from the serial
   // engine, whose loop exits before popping those events.
-  if (active_warps_ == 0 && policy_ == nullptr) {
+  if (active_warps_ == 0 && (policy_ == nullptr || policy_->idle_skippable())) {
     if (next_ready != nullptr) *next_ready = kNever;
     return 0;
   }
   ++path_.stats.sm_steps;
   if (policy_ != nullptr && now >= policy_->next_update_time()) {
-    policy_->update(now, path_.l1_stats(), issuable_warps(now));
+    policy_->update(now, path_.l1_stats(), issuable_warps(now), path_.mshr_in_flight(now),
+                    path_.stats.warp_insts);
   }
   drain_wake(now);
   int issued = 0;
@@ -491,6 +494,7 @@ void Sm::maybe_release_barrier(int tb_id, std::int64_t now) {
     const WarpState s = warps_[static_cast<std::size_t>(wi)].state;
     if (s != WarpState::kAtBarrier && s != WarpState::kDone) return;
   }
+  int released = 0;
   for (int wi : tb.warps) {
     WarpCtx& w = warps_[static_cast<std::size_t>(wi)];
     if (w.state == WarpState::kAtBarrier) {
@@ -498,8 +502,10 @@ void Sm::maybe_release_barrier(int tb_id, std::int64_t now) {
       w.ready_at = now + 2;
       --tb.at_barrier;
       push_wake(wi);
+      ++released;
     }
   }
+  if (released > 0 && policy_ != nullptr) policy_->on_barrier(tb_id);
 }
 
 }  // namespace catt::sim

@@ -16,6 +16,7 @@ SmRef::SmRef(const arch::GpuArch& arch, MemorySystem& memsys, std::size_t l1_byt
       free_slots_(max_resident_tbs),
       warps_per_tb_(warps_per_tb) {
   path_.set_policy(policy);
+  if (policy_ != nullptr) policy_->on_bind(arch.l1_mshrs);
 }
 
 bool SmRef::policy_allows(const WarpCtx& w, int wi) {
@@ -75,7 +76,8 @@ std::int64_t SmRef::next_ready_time() const {
 int SmRef::step(std::int64_t now, std::int64_t* next_ready) {
   ++path_.stats.sm_steps;
   if (policy_ != nullptr && now >= policy_->next_update_time()) {
-    policy_->update(now, path_.l1_stats(), issuable_warps(now));
+    policy_->update(now, path_.l1_stats(), issuable_warps(now), path_.mshr_in_flight(now),
+                    path_.stats.warp_insts);
   }
   int issued = 0;
   for (int slot = 0; slot < arch_.schedulers_per_sm; ++slot) {
@@ -191,14 +193,17 @@ void SmRef::maybe_release_barrier(int tb_id, std::int64_t now) {
     const WarpState s = warps_[static_cast<std::size_t>(wi)].state;
     if (s != WarpState::kAtBarrier && s != WarpState::kDone) return;
   }
+  int released = 0;
   for (int wi : tb.warps) {
     WarpCtx& w = warps_[static_cast<std::size_t>(wi)];
     if (w.state == WarpState::kAtBarrier) {
       w.state = WarpState::kBlocked;
       w.ready_at = now + 2;
       --tb.at_barrier;
+      ++released;
     }
   }
+  if (released > 0 && policy_ != nullptr) policy_->on_barrier(tb_id);
 }
 
 }  // namespace catt::sim

@@ -8,8 +8,10 @@
 #include <sstream>
 #include <string_view>
 
+#include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/profile.hpp"
+#include "common/string_util.hpp"
 #include "harness/spec.hpp"
 #include "obs/obs.hpp"
 #include "throttle/remote.hpp"
@@ -176,6 +178,69 @@ sim::sched::PolicyConfig sched_from_args(int argc, char** argv) {
     std::fprintf(stderr, "[bench] %s\n", e.what());
     std::exit(2);
   }
+}
+
+namespace {
+
+/// One `--policies=` token -> a comparison column. Runtime schemes (ccws,
+/// dyncta) ride on baseline code with the token as the scheduler spec;
+/// adaptive rides on the CATT transform with the token as its scheduler
+/// config; everything else runs under the default scheduler.
+PolicyColumn policy_column(const std::string& token) {
+  const harness::SpecParser p = harness::SpecParser::parse(token);
+  const std::string& name = p.name();
+  if (name == "baseline") {
+    p.reject_unknown_keys();
+    return {token, throttle::Baseline{}, {}};
+  }
+  if (name == "ccws" || name == "dyncta") {
+    // Knob validation is PolicyConfig::parse's job (same vocabulary as
+    // --sched=), so the SpecParser keys are deliberately left unread.
+    return {token, throttle::Baseline{}, sim::sched::PolicyConfig::parse(token)};
+  }
+  if (name == "catt") {
+    p.reject_unknown_keys();
+    return {token, throttle::Catt{}, {}};
+  }
+  if (name == "adaptive") {
+    throttle::Adaptive a;
+    a.sched = sim::sched::PolicyConfig::parse(token);
+    return {token, std::move(a), {}};
+  }
+  if (name == "bftt") {
+    p.reject_unknown_keys();
+    return {token, throttle::Bftt{}, {}};
+  }
+  if (name == "fixed") {
+    throttle::Fixed f;
+    if (!p.has("n")) p.fail("policy 'fixed' needs n=N");
+    f.factor.n_divisor = static_cast<int>(p.int_or("n", 1));
+    f.factor.tb_limit = p.has("tb") ? static_cast<int>(p.int_or("tb", 0)) : 0;
+    p.reject_unknown_keys();
+    return {token, f, {}};
+  }
+  p.fail("unknown policy column '" + name +
+         "' (use baseline|ccws|dyncta|catt|adaptive|bftt|fixed)");
+}
+
+}  // namespace
+
+std::vector<PolicyColumn> policies_from_args(int argc, char** argv,
+                                             const std::string& fallback) {
+  std::string spec = harness::flag_or_env(argc, argv, "policies", "CATT_POLICIES");
+  if (spec.empty()) spec = fallback;
+  std::vector<PolicyColumn> out;
+  try {
+    for (const std::string& token : split(spec, '+')) {
+      if (token.empty()) continue;
+      out.push_back(policy_column(token));
+    }
+    if (out.empty()) throw SimError("--policies: empty policy list '" + spec + "'");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[bench] %s\n", e.what());
+    std::exit(2);
+  }
+  return out;
 }
 
 int sim_threads_from_args(int argc, char** argv) {

@@ -120,6 +120,33 @@ int exit_status(const WriteStatus& st);
 /// Exits with a diagnostic on a malformed spec.
 sim::sched::PolicyConfig sched_from_args(int argc, char** argv);
 
+/// One column of a multi-policy comparison bench (fig_dynamic_compare):
+/// what to run and the scheduler policy to install on the Runner's
+/// SimOptions while running it (runtime schemes ride on baseline code;
+/// static/hybrid schemes carry their own configuration in `policy`).
+struct PolicyColumn {
+  std::string label;  // the spec token, used as the column header
+  throttle::Policy policy;
+  sim::sched::PolicyConfig sched;
+};
+
+/// Parses the shared policy-list flag `--policies=a+b+...` (else the
+/// CATT_POLICIES environment variable, else `fallback`). Tokens are
+/// '+'-separated — ',' belongs to each token's own knob syntax — and each
+/// token is a SpecParser spec:
+///
+///   baseline             unmodified code, default scheduler
+///   ccws[:key=v,...]     baseline code under the CCWS scheduler policy
+///   dyncta[:key=v,...]   baseline code under the DYNCTA scheduler policy
+///   catt                 CATT static transform, default scheduler
+///   adaptive[:key=v,...] CATT static transform + adaptive scheduler
+///   bftt                 best-fixed sweep winner
+///   fixed:n=N[,tb=M]     one fixed throttling factor
+///
+/// Exits 2 on a malformed spec or an empty list (matching --sched=).
+std::vector<PolicyColumn> policies_from_args(int argc, char** argv,
+                                             const std::string& fallback);
+
 /// Parses the shared timing-engine thread flag `--sim-threads=N` (else the
 /// CATT_SIM_THREADS environment variable, else 0 = serial default) for
 /// benches to assign to Runner::sim_options.sim_threads. Results are

@@ -85,7 +85,14 @@ throttle::Policy policy_from_spec(const std::string& spec) {
     p.reject_unknown_keys();
     return throttle::Policy(d);
   }
-  p.fail("unknown policy '" + name + "' (use baseline|catt|fixed|dyncta|bftt)");
+  if (name == "adaptive") {
+    // The whole spec is a scheduler PolicyConfig (PolicyConfig::parse does
+    // its own knob validation); analysis options stay at their defaults.
+    throttle::Adaptive a;
+    a.sched = sim::sched::PolicyConfig::parse(spec);
+    return throttle::Policy(std::move(a));
+  }
+  p.fail("unknown policy '" + name + "' (use baseline|catt|fixed|dyncta|bftt|adaptive)");
 }
 
 std::string ok_response(std::string_view body) {
@@ -179,14 +186,17 @@ std::string Server::dispatch(const std::string& request) {
         return ok_response(w.buffer());
       }
       case rpc::kOpRun:
-      case rpc::kOpPlan: {
+      case rpc::kOpPlan:
+      case rpc::kOpRunv: {
         // Single-flight on the raw request bytes: concurrent identical
         // queries (same op, same operands) share one computation.
         const std::uint64_t key = hash::Fnv1a{}.str(request).value();
         const std::string body = flights_.run(key, [&]() -> std::string {
           wire::Reader rr(request);
           rr.u8();  // op, already known
-          return op == rpc::kOpRun ? handle_run(rr) : handle_plan(rr);
+          if (op == rpc::kOpRun) return handle_run(rr);
+          if (op == rpc::kOpPlan) return handle_plan(rr);
+          return handle_runv(rr);
         });
         return ok_response(body);
       }
@@ -210,18 +220,40 @@ std::string Server::dispatch(const std::string& request) {
   }
 }
 
-std::string Server::handle_run(wire::Reader& r) {
-  const std::string workload = r.str();
-  const int num_sms = static_cast<int>(r.u32());
-  const std::string arch_name = r.str();
-  const std::string policy_spec = r.str();
-  const std::string sched_spec = r.str();
-  r.expect_done("run request");
+Server::RunQuery Server::read_run_query(wire::Reader& r) {
+  RunQuery q;
+  q.workload = r.str();
+  q.num_sms = static_cast<int>(r.u32());
+  q.arch = r.str();
+  q.policy_spec = r.str();
+  q.sched_spec = r.str();
+  return q;
+}
 
-  const wl::Workload& w = wl::find_workload(workload, num_sms);
-  const throttle::Policy policy = policy_from_spec(policy_spec);
-  throttle::Runner& runner = runner_for(arch_name, num_sms, sched_spec);
+std::string Server::run_query(const RunQuery& q) {
+  const wl::Workload& w = wl::find_workload(q.workload, q.num_sms);
+  const throttle::Policy policy = policy_from_spec(q.policy_spec);
+  throttle::Runner& runner = runner_for(q.arch, q.num_sms, q.sched_spec);
   return throttle::encode_app_result(runner.run(w, policy));
+}
+
+std::string Server::handle_run(wire::Reader& r) {
+  const RunQuery q = read_run_query(r);
+  r.expect_done("run request");
+  return run_query(q);
+}
+
+std::string Server::handle_runv(wire::Reader& r) {
+  const std::uint32_t count = r.u32();
+  std::vector<RunQuery> qs;
+  qs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) qs.push_back(read_run_query(r));
+  r.expect_done("runv request");
+  // All queries are validated before any simulation starts, so a malformed
+  // batch fails without burning work; results concatenate in query order.
+  std::string out;
+  for (const RunQuery& q : qs) out += run_query(q);
+  return out;
 }
 
 std::string Server::handle_plan(wire::Reader& r) {

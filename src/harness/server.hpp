@@ -64,7 +64,18 @@ class Server {
   void handle_connection(int fd);
   /// Full request payload in, full response payload ([status][body]) out.
   std::string dispatch(const std::string& request);
+  /// One kOpRun body, decoded (kOpRunv packs `count` of these).
+  struct RunQuery {
+    std::string workload;
+    int num_sms = 0;
+    std::string arch;
+    std::string policy_spec;
+    std::string sched_spec;
+  };
+  static RunQuery read_run_query(exec::wire::Reader& r);
+  std::string run_query(const RunQuery& q);
   std::string handle_run(exec::wire::Reader& r);
+  std::string handle_runv(exec::wire::Reader& r);
   std::string handle_plan(exec::wire::Reader& r);
   std::string handle_stats(exec::wire::Reader& r);
   throttle::Runner& runner_for(const std::string& arch_name, int num_sms,

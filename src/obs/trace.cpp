@@ -243,9 +243,11 @@ SimTraceCtx SimTraceCtx::for_launch(Tracer& tracer, int level,
   ctx.id_tb_dispatch = tracer.intern("tb_dispatch");
   ctx.id_issue = tracer.intern("issue");
   ctx.id_miss = tracer.intern("l1_miss");
+  ctx.id_policy = tracer.intern("policy_level");
   ctx.arg_block = tracer.intern("block");
   ctx.arg_warp = tracer.intern("warp");
   ctx.arg_line = tracer.intern("line");
+  ctx.arg_level = tracer.intern("level");
   return ctx;
 }
 

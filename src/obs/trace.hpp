@@ -122,9 +122,11 @@ struct SimTraceCtx {
   std::uint32_t id_tb_dispatch = 0;
   std::uint32_t id_issue = 0;
   std::uint32_t id_miss = 0;
+  std::uint32_t id_policy = 0;  // adaptive throttle-level transitions
   std::uint32_t arg_block = 0;
   std::uint32_t arg_warp = 0;
   std::uint32_t arg_line = 0;
+  std::uint32_t arg_level = 0;  // id_policy's drop-from-static level
 
   /// Builds a context for one launch (interns ids, claims a pid).
   static SimTraceCtx for_launch(Tracer& tracer, int level,

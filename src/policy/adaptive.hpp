@@ -1,0 +1,18 @@
+// The adaptive SchedPolicy: glue between the gpusim sched seam and the
+// WindowedController in engine.hpp. One instance per SM; samples the SM's
+// engine-internal counters at every update-interval boundary, feeds the
+// controller, and enforces the resulting drop-from-static level by
+// vetoing the youngest live warps. See engine.hpp for the control law and
+// DESIGN.md "Policy engine" for the determinism argument.
+#pragma once
+
+#include <memory>
+
+#include "gpusim/sched/policy.hpp"
+
+namespace catt::policy {
+
+/// Factory used by sim::sched::make_policy; cfg.kind must be kAdaptive.
+std::unique_ptr<sim::sched::SchedPolicy> make_adaptive(const sim::sched::PolicyConfig& cfg);
+
+}  // namespace catt::policy

@@ -1,0 +1,160 @@
+#include "policy/engine.hpp"
+
+#include <algorithm>
+
+namespace catt::policy {
+
+int active_cap(int live_warps, int drop, int min_active) {
+  int cap = live_warps >> std::min(drop, 30);
+  cap = std::max(cap, std::min(min_active, live_warps));
+  return std::max(cap, live_warps > 0 ? 1 : 0);
+}
+
+WindowedController::WindowedController(const ControllerConfig& cfg) : cfg_(cfg) {
+  if (cfg_.window > 0) win_.reserve(static_cast<std::size_t>(cfg_.window));
+}
+
+Verdict WindowedController::observe(const IntervalSample& s) {
+  if (cfg_.window <= 0) return Verdict::kHold;  // controller disabled
+  win_.push_back(s);
+  if (static_cast<int>(win_.size()) < cfg_.window) return Verdict::kHold;
+
+  // A full window is one decision opportunity; the samples are consumed
+  // either way so consecutive decisions never share evidence.
+  double hit_sum = 0.0;
+  double mshr_sum = 0.0;
+  double ready_sum = 0.0;
+  WindowWork work;
+  int traffic = 0;
+  for (const IntervalSample& w : win_) {
+    if (w.had_traffic) {
+      hit_sum += w.hit_rate;
+      ++traffic;
+    }
+    mshr_sum += static_cast<double>(w.mshr_in_flight);
+    ready_sum += static_cast<double>(w.ready_warps);
+    work.insts += w.insts;
+    work.cycles += w.cycles;
+  }
+  const int live = win_.back().live_warps;
+  const int mshr_capacity = win_.back().mshr_capacity;
+  const double n = static_cast<double>(win_.size());
+  win_.clear();
+
+  // The rolling baseline always advances, decisions or not: probes are
+  // judged against representative recent throughput, and after a revert
+  // the ring refills with unthrottled windows before the next phase's
+  // probe can consult it.
+  if (hist_.size() < static_cast<std::size_t>(kBaselineWindows)) {
+    hist_.push_back(work);
+  } else {
+    hist_[hist_next_] = work;
+    hist_next_ = (hist_next_ + 1) % hist_.size();
+  }
+  const double ipc = baseline_ipc();
+
+  if (cooldown_ > 0) {
+    --cooldown_;
+    return Verdict::kHold;
+  }
+
+  if (traffic == 0) {
+    // No memory traffic at all: a compute-bound phase, where any residual
+    // throttle only idles warps. Walk back toward the static prior. A
+    // pending probe verdict is meaningless against a window that ran
+    // different code, so it is abandoned (without suppression).
+    probing_ = false;
+    if (drop_ > 0) {
+      --drop_;
+      cooldown_ = cfg_.cooldown;
+      return Verdict::kRelax;
+    }
+    return Verdict::kHold;
+  }
+
+  if (probing_) {
+    // Probe verdict: did the tighter cap actually retire more work per
+    // cycle than the pre-probe baseline? Commit on a clear improvement;
+    // otherwise revert and stop probing — the low hit rate is streaming,
+    // not thrashing, and every further probe would pay the same toll for
+    // the same answer.
+    probing_ = false;
+    if (ipc <= probe_ipc_ * (1.0 + kProbeMargin)) {
+      --drop_;
+      suppressed_ = true;
+      cooldown_ = cfg_.cooldown;
+      return Verdict::kRelax;
+    }
+  }
+
+  const double hit = hit_sum / static_cast<double>(traffic);
+  const double mshr_mean = mshr_sum / n;
+  (void)ready_sum;  // sampled for observability, not gated on (see header)
+
+  if (hit < cfg_.low_hit) {
+    dead_band_ = 0;
+    // Thrashing signature: poor windowed hit rate with misses queued in
+    // the MSHRs. Without in-flight misses the low hit rate is not
+    // contention; a level that no longer shrinks the cap is not taken.
+    // The new level is provisional until the post-cooldown window's IPC
+    // confirms it (see above).
+    const bool effective =
+        active_cap(live, drop_ + 1, cfg_.min_active) < active_cap(live, drop_, cfg_.min_active);
+    const double contended =
+        mshr_capacity > 0 ? kContendedFrac * static_cast<double>(mshr_capacity) : 1.0;
+    if (!suppressed_ && mshr_mean >= contended && drop_ < cfg_.max_drop && effective) {
+      probe_ipc_ = ipc;
+      probing_ = true;
+      ++drop_;
+      cooldown_ = cfg_.cooldown;
+      return Verdict::kThrottle;
+    }
+    return Verdict::kHold;
+  }
+
+  if (drop_ > 0 && hit > cfg_.low_hit + cfg_.hysteresis) {
+    dead_band_ = 0;
+    --drop_;
+    cooldown_ = cfg_.cooldown;
+    return Verdict::kRelax;
+  }
+
+  if (drop_ > 0 && ++dead_band_ >= kDeadBandPatience) {
+    // Dead band: the signature is gone but locality never recovered past
+    // the relax band. The level stops earning its keep — decay one step
+    // rather than parking a stale correction for the rest of the phase.
+    dead_band_ = 0;
+    --drop_;
+    cooldown_ = cfg_.cooldown;
+    return Verdict::kRelax;
+  }
+  return Verdict::kHold;
+}
+
+double WindowedController::baseline_ipc() const {
+  std::uint64_t insts = 0;
+  std::int64_t cycles = 0;
+  for (const WindowWork& w : hist_) {
+    insts += w.insts;
+    cycles += w.cycles;
+  }
+  return cycles > 0 ? static_cast<double>(insts) / static_cast<double>(cycles) : 0.0;
+}
+
+void WindowedController::reset() {
+  win_.clear();
+  hist_.clear();
+  hist_next_ = 0;
+  drop_ = 0;
+  cooldown_ = 0;
+  dead_band_ = 0;
+  probing_ = false;
+  suppressed_ = false;
+  probe_ipc_ = 0.0;
+}
+
+std::unique_ptr<PolicyEngine> make_windowed_controller(const ControllerConfig& cfg) {
+  return std::make_unique<WindowedController>(cfg);
+}
+
+}  // namespace catt::policy

@@ -47,6 +47,24 @@ std::string fmt_double(double v) {
   return buf;
 }
 
+/// Body-only decode (no trailing-bytes check), so a kOpRunv response can
+/// be decoded as `count` results back to back from one Reader.
+AppResult decode_app_result_body(wire::Reader& r) {
+  AppResult res;
+  res.workload = r.str();
+  res.policy = r.str();
+  res.total_cycles = r.i64();
+  const std::uint64_t n_launches = r.u64();
+  res.launches.reserve(n_launches);
+  for (std::uint64_t i = 0; i < n_launches; ++i) {
+    res.launches.push_back(wire::decode_kernel_stats(r));
+  }
+  const std::uint64_t n_choices = r.u64();
+  res.choices.reserve(n_choices);
+  for (std::uint64_t i = 0; i < n_choices; ++i) res.choices.push_back(decode_choice(r));
+  return res;
+}
+
 }  // namespace
 
 std::string encode_app_result(const AppResult& r) {
@@ -63,18 +81,7 @@ std::string encode_app_result(const AppResult& r) {
 
 AppResult decode_app_result(std::string_view buf) {
   wire::Reader r(buf);
-  AppResult res;
-  res.workload = r.str();
-  res.policy = r.str();
-  res.total_cycles = r.i64();
-  const std::uint64_t n_launches = r.u64();
-  res.launches.reserve(n_launches);
-  for (std::uint64_t i = 0; i < n_launches; ++i) {
-    res.launches.push_back(wire::decode_kernel_stats(r));
-  }
-  const std::uint64_t n_choices = r.u64();
-  res.choices.reserve(n_choices);
-  for (std::uint64_t i = 0; i < n_choices; ++i) res.choices.push_back(decode_choice(r));
+  AppResult res = decode_app_result_body(r);
   r.expect_done("AppResult");
   return res;
 }
@@ -114,6 +121,13 @@ std::string policy_to_spec(const Policy& policy) {
       return "dyncta:low=" + fmt_double(p.low_hit) + ",high=" + fmt_double(p.high_hit);
     }
     std::string operator()(const Bftt&) const { return "bftt"; }
+    std::string operator()(const Adaptive& p) const {
+      // PolicyConfig::str() spells every knob, so the spec round-trips
+      // through PolicyConfig::parse on the server byte-exactly. Analysis
+      // options ride at their defaults (adaptive always seeds from the
+      // default static CATT plan over the wire).
+      return p.sched.str();
+    }
   };
   return std::visit(Visitor{}, policy.variant());
 }
@@ -133,6 +147,40 @@ AppResult RemoteRunner::run(const std::string& workload_name, const Policy& poli
   req.str(policy_to_spec(policy));
   req.str(sched_spec_);
   return decode_app_result(client_->call(exec::rpc::kOpRun, req.buffer()));
+}
+
+std::vector<AppResult> RemoteRunner::run_batch(const std::vector<Query>& queries) {
+  std::vector<AppResult> out;
+  out.reserve(queries.size());
+  if (queries.empty()) return out;
+  if (!runv_unsupported_) {
+    wire::Writer req;
+    req.u32(static_cast<std::uint32_t>(queries.size()));
+    for (const Query& q : queries) {
+      req.str(q.workload);
+      req.u32(static_cast<std::uint32_t>(num_sms_));
+      req.str(arch_name_);
+      req.str(policy_to_spec(q.policy));
+      req.str(sched_spec_);
+    }
+    try {
+      const std::string resp = client_->call(exec::rpc::kOpRunv, req.buffer());
+      wire::Reader r(resp);
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        out.push_back(decode_app_result_body(r));
+      }
+      r.expect_done("runv response");
+      return out;
+    } catch (const SimError& e) {
+      // Only an "unknown op" rejection means the daemon predates kOpRunv;
+      // anything else (workload/policy errors, truncation) is real.
+      if (std::string_view(e.what()).find("unknown op") == std::string_view::npos) throw;
+      runv_unsupported_ = true;
+      out.clear();
+    }
+  }
+  for (const Query& q : queries) out.push_back(run(q.workload, q.policy));
+  return out;
 }
 
 }  // namespace catt::throttle

@@ -7,6 +7,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "exec/client.hpp"
 #include "throttle/runner.hpp"
@@ -22,7 +23,9 @@ AppResult decode_app_result(std::string_view buf);
 /// The protocol's textual policy naming, SpecParser-compatible:
 /// "baseline", "bftt", "dyncta[:low=...,high=...]", "fixed:n=N[,tb=M]",
 /// "catt[:conservative=0|1,warp_first=0|1,tb_level=0|1,dedupe=0|1,
-/// min_warps=K]" (catt knobs emitted only when non-default).
+/// min_warps=K]" (catt knobs emitted only when non-default), or
+/// "adaptive:interval=...,window=...,..." (every scheduler knob spelled,
+/// straight from sim::sched::PolicyConfig::str()).
 std::string policy_to_spec(const Policy& policy);
 
 /// Runner-shaped client: every run() is answered by the daemon, which
@@ -39,11 +42,25 @@ class RemoteRunner {
 
   AppResult run(const std::string& workload_name, const Policy& policy);
 
+  /// One (workload, policy) query of a batched round-trip.
+  struct Query {
+    std::string workload;
+    Policy policy;
+  };
+
+  /// Answers every query in ONE kOpRunv round-trip (results in query
+  /// order). Against a daemon that predates kOpRunv the call transparently
+  /// falls back to per-query run() — same results, more round-trips.
+  std::vector<AppResult> run_batch(const std::vector<Query>& queries);
+
  private:
   exec::Client* client_;
   std::string arch_name_;
   int num_sms_;
   std::string sched_spec_;
+  /// Set after a daemon rejects kOpRunv, so the fallback is paid once per
+  /// RemoteRunner rather than once per batch.
+  bool runv_unsupported_ = false;
 };
 
 }  // namespace catt::throttle

@@ -39,6 +39,7 @@ std::string Policy::label() const {
     std::string operator()(const Fixed& p) const { return "fixed[" + p.factor.str() + "]"; }
     std::string operator()(const Dyncta&) const { return "dyncta"; }
     std::string operator()(const Bftt&) const { return "bftt"; }
+    std::string operator()(const Adaptive&) const { return "catt+adaptive"; }
   };
   return std::visit(Visitor{}, v_);
 }
@@ -353,6 +354,16 @@ AppResult Runner::run(const wl::Workload& w, const Policy& policy) {
     }
     AppResult operator()(const Dyncta& p) const { return self.run_dyncta_impl(w, p); }
     AppResult operator()(const Bftt&) const { return self.bftt_sweep(w).best; }
+    AppResult operator()(const Adaptive& p) const {
+      // Same transformed kernels as Catt, simulated under the adaptive
+      // scheduler policy. The per-policy SimOptions copy flows into the
+      // plan's chain seed, so adaptive runs get their own cache identity.
+      sim::SimOptions o = self.sim_options;
+      o.sched = p.sched;
+      const RunPlan plan = make_catt_plan(self.arch_, o, self.plans_, w, p.opts);
+      return assemble(w, plan, run_plan_cached(self.arch_, o, self.service_, w, plan),
+                      policy.label());
+    }
   };
   return std::visit(Visitor{*this, w, policy}, policy.variant());
 }

@@ -11,6 +11,10 @@
 //   * Bftt     — best-fixed thread throttling (the paper's Best-SWL-style
 //                baseline): exhaustively simulates every fixed factor and
 //                keeps the fastest.
+//   * Adaptive — CATT's static plan plus the runtime policy engine: the
+//                transformed kernels run under the "adaptive" scheduler
+//                policy, which corrects the static prior from observed
+//                per-interval L1D behaviour (see src/policy/engine.hpp).
 //
 // Runner::run(workload, policy) is the single entry point. Execution goes
 // through the exec:: engine: candidate simulations fan out across a thread
@@ -102,18 +106,30 @@ struct Dyncta {
 /// Use Runner::bftt_sweep for the full per-candidate sweep (Figure 9).
 struct Bftt {};
 
-/// Sum type over the five alternatives, with the canonical result label.
+/// CATT's static plan with the adaptive policy engine closing the loop at
+/// runtime: the same transformed kernels as Catt, simulated under
+/// sched=adaptive. The static plan is the controller's prior; the
+/// controller can only throttle *below* it (and relax back), so a window
+/// of 0 degenerates to Catt exactly. `sched.kind` must be kAdaptive.
+struct Adaptive {
+  sim::sched::PolicyConfig sched = sim::sched::PolicyConfig::parse("adaptive");
+  analysis::AnalysisOptions opts{};
+};
+
+/// Sum type over the six alternatives, with the canonical result label.
 class Policy {
  public:
-  using Variant = std::variant<Baseline, Catt, Fixed, Dyncta, Bftt>;
+  using Variant = std::variant<Baseline, Catt, Fixed, Dyncta, Bftt, Adaptive>;
 
   Policy(Baseline p) : v_(p) {}
   Policy(Catt p) : v_(std::move(p)) {}
   Policy(Fixed p) : v_(p) {}
   Policy(Dyncta p) : v_(p) {}
   Policy(Bftt p) : v_(p) {}
+  Policy(Adaptive p) : v_(std::move(p)) {}
 
-  /// "baseline", "catt", "fixed[N=2,TB<=3]", "dyncta", or "bftt".
+  /// "baseline", "catt", "fixed[N=2,TB<=3]", "dyncta", "bftt", or
+  /// "catt+adaptive".
   std::string label() const;
 
   const Variant& variant() const { return v_; }

@@ -60,6 +60,7 @@ const std::vector<Workload>& all_workloads(int num_sms) {
   w.push_back(make_hw(num_sms));
   w.push_back(make_mc(num_sms));
   w.push_back(make_nw(num_sms));
+  w.push_back(make_fbank(num_sms));
   // Microbenchmarks (Figure 3).
   w.push_back(make_l1d_full_micro(num_sms, 4));
   w.push_back(make_l1d_full_micro(num_sms, 8));

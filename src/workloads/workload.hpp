@@ -78,6 +78,7 @@ Workload make_lud(int num_sms);
 Workload make_hw(int num_sms);
 Workload make_mc(int num_sms);
 Workload make_nw(int num_sms);
+Workload make_fbank(int num_sms);
 Workload make_l1d_full_micro(int num_sms, int fill_warps);
 
 }  // namespace catt::wl

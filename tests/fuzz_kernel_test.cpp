@@ -320,6 +320,40 @@ TEST(FuzzKernel, DifferentialVmDedupAndEngines) {
         if (::testing::Test::HasFatalFailure()) return;
       }
     }
+
+    // 6. Adaptive policy under the parallel engine: the feedback loop
+    //    (interval sampling -> windowed controller -> issue vetoes) runs
+    //    entirely on simulated state, so the decision *sequence* — not
+    //    just the aggregate stats — must be bit-identical between the
+    //    serial event loop and the parallel lanes. Aggressive knobs
+    //    (short interval, small window, no cooldown slack) so random
+    //    kernels actually trip decisions now and then.
+    {
+      SimOptions opts_serial = opts;
+      opts_serial.sched =
+          sched::PolicyConfig::parse("adaptive:interval=512,window=2,cooldown=1");
+      opts_serial.sim_threads = 1;
+      SimOptions opts_par = opts_serial;
+      opts_par.sim_threads = 4;
+      DeviceMemory mem_s, mem_p;
+      setup_memory(mem_s, seed, g);
+      setup_memory(mem_p, seed, g);
+      Gpu gpu_s(arch::GpuArch::titan_v(2), mem_s);
+      Gpu gpu_p(arch::GpuArch::titan_v(2), mem_p);
+      const KernelStats serial = gpu_s.run(spec, opts_serial);
+      const KernelStats par = gpu_p.run(spec, opts_par);
+      expect_stats_equal(par, serial);
+      EXPECT_EQ(par.sched_updates, serial.sched_updates);
+      EXPECT_EQ(par.sched_vetoes, serial.sched_vetoes);
+      EXPECT_EQ(par.sched_throttle_level, serial.sched_throttle_level);
+      ASSERT_EQ(par.sched_decisions.size(), serial.sched_decisions.size());
+      for (std::size_t i = 0; i < par.sched_decisions.size(); ++i) {
+        EXPECT_TRUE(par.sched_decisions[i] == serial.sched_decisions[i])
+            << "decision " << i << " diverged";
+      }
+      expect_memory_equal(mem_s, mem_p);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
   }
 
   // Generator sanity: both the affine-pure path (dedup-eligible) and the

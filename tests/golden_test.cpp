@@ -285,6 +285,31 @@ std::string fig10_mini(throttle::Runner& r32) {
   return csv.str();
 }
 
+std::string fig_dynamic_mini(throttle::Runner& runner) {
+  // Reduced-scale fig_dynamic_compare: static CATT vs. the adaptive
+  // controller riding on it, over the same CS subset the other compare
+  // minis use. The decision count pins the controller's entire trajectory
+  // (every decision changes machine state, so drift shows in the cycle
+  // columns too — the count just names the culprit).
+  CsvWriter csv({"app", "baseline_cycles", "catt_cycles", "adaptive_cycles",
+                 "adaptive_decisions", "adaptive_vetoes"});
+  for (const std::string& name : kCsMini) {
+    const wl::Workload& w = wl::find_workload(name, bench::kNumSms);
+    const throttle::AppResult base = runner.run(w, throttle::Baseline{});
+    const throttle::AppResult catt = runner.run(w, throttle::Catt{});
+    const throttle::AppResult adp = runner.run(w, throttle::Adaptive{});
+    std::uint64_t decisions = 0, vetoes = 0;
+    for (const auto& l : adp.launches) {
+      decisions += l.sched_decisions.size();
+      vetoes += l.sched_vetoes;
+    }
+    csv.add_row({w.name, std::to_string(base.total_cycles), std::to_string(catt.total_cycles),
+                 std::to_string(adp.total_cycles), std::to_string(decisions),
+                 std::to_string(vetoes)});
+  }
+  return csv.str();
+}
+
 std::string phase_timeline_mini() {
   const std::int64_t interval = 1024;
   const wl::Workload& w = wl::find_workload("gsmv", bench::kNumSms);
@@ -349,6 +374,7 @@ TEST(GoldenCsv, BenchConfigsReducedScale) {
   check_golden("fig9_factor_sweep.csv", fig9_mini(rmax));
   check_golden("fig10_small_l1d.csv", fig10_mini(r32));
   check_golden("table3_tlp_selection.csv", table3_mini(r32, rmax));
+  check_golden("fig_dynamic_compare.csv", fig_dynamic_mini(rmax));
   check_golden("fig_phase_timeline.csv", phase_timeline_mini());
 }
 

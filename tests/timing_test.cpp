@@ -264,6 +264,45 @@ TEST(TimingEngine, EnabledPoliciesChangeTheFingerprint) {
   EXPECT_NE(SimOptions{}.fingerprint(), dyncta.fingerprint());
   EXPECT_NE(ccws.fingerprint(), dyncta.fingerprint());
   EXPECT_NE(ccws.fingerprint(), ccws_tuned.fingerprint());
+  SimOptions adaptive;
+  adaptive.sched = sched::PolicyConfig::parse("adaptive");
+  SimOptions adaptive_tuned;
+  adaptive_tuned.sched = sched::PolicyConfig::parse("adaptive:window=8");
+  EXPECT_NE(SimOptions{}.fingerprint(), adaptive.fingerprint());
+  EXPECT_NE(adaptive.fingerprint(), ccws.fingerprint());
+  EXPECT_NE(adaptive.fingerprint(), dyncta.fingerprint());
+  EXPECT_NE(adaptive.fingerprint(), adaptive_tuned.fingerprint());
+}
+
+// The adaptive policy's degenerate mode: window=0 disables the controller,
+// so the policy object is installed (distinct fingerprint, update clock
+// ticking) but never takes a decision — the simulated machine must be
+// bit-identical to the static plan baked into the code, on both engines.
+TEST(TimingEngine, AdaptiveEmptyWindowDegeneratesToStatic) {
+  const wl::Workload& w = wl::find_workload("hp", 2);
+  SimOptions adaptive_opts;
+  adaptive_opts.sched = sched::PolicyConfig::parse("adaptive:window=0");
+  EXPECT_NE(SimOptions{}.fingerprint(), adaptive_opts.fingerprint());
+  EXPECT_TRUE(adaptive_opts.sched.enabled());
+
+  DeviceMemory mem_def, mem_adp;
+  w.setup(mem_def);
+  w.setup(mem_adp);
+  Gpu gpu_def(arch::GpuArch::titan_v(2), mem_def);
+  Gpu gpu_adp(arch::GpuArch::titan_v(2), mem_adp);
+  for (std::size_t e = 0; e < w.schedule.size(); ++e) {
+    const wl::KernelRun& run = w.schedule[e];
+    const LaunchSpec spec{&w.kernel(run.kernel), run.launch, run.params};
+    const KernelStats def = gpu_def.run(spec, SimOptions{});
+    const KernelStats adp = gpu_adp.run(spec, adaptive_opts);
+    const std::string label = w.name + "#" + std::to_string(e) + " default-vs-adaptive0";
+    expect_stats_equal(def, adp, label);
+    // The controller is disabled: the update clock ran, nothing else did.
+    EXPECT_GT(adp.sched_updates, 0u) << label;
+    EXPECT_EQ(adp.sched_vetoes, 0u) << label;
+    EXPECT_TRUE(adp.sched_decisions.empty()) << label;
+  }
+  run_workload_both_engines(w, adaptive_opts);
 }
 
 }  // namespace

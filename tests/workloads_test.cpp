@@ -20,7 +20,7 @@ const arch::GpuArch kArch = arch::GpuArch::titan_v(2);
 TEST(Workloads, RegistryComplete) {
   const auto& all = all_workloads(2);
   EXPECT_EQ(workloads_in_group(Group::kCS, 2).size(), 10u);   // Table 2 CS group
-  EXPECT_EQ(workloads_in_group(Group::kCI, 2).size(), 14u);   // Table 2 CI group
+  EXPECT_EQ(workloads_in_group(Group::kCI, 2).size(), 15u);   // Table 2 CI group + fbank
   EXPECT_EQ(workloads_in_group(Group::kMicro, 2).size(), 3u); // Figure 3
   std::set<std::string> names;
   for (const auto& w : all) EXPECT_TRUE(names.insert(w.name).second) << w.name;
