@@ -74,6 +74,13 @@ class AccessCollector {
         walk_body(s.body);
         loop_stack_.pop_back();
         break;
+      case StmtKind::kWhile:
+        // A while loop carries no loop_id (its trip count is data-dependent
+        // by construction); accesses inside it attribute to the enclosing
+        // kFor stack only, which keeps planning conservative.
+        walk_expr(*s.cond);
+        walk_body(s.body);
+        break;
       case StmtKind::kIf:
         walk_expr(*s.cond);
         walk_body(s.body);

@@ -114,6 +114,12 @@ void encode(Writer& w, const sim::KernelStats& s) {
   w.u64(s.warp_insts);
   w.u64(s.mem_insts);
   w.u64(s.mem_requests);
+  w.u64(s.lane_cycles);
+  w.u64(s.lane_mem_insts);
+  w.u64(s.div.branches);
+  w.u64(s.div.divergent_branches);
+  w.u64(s.div.reconvergences);
+  w.u32(s.div.max_depth);
   w.u64(s.sm_steps);
   w.u64(s.warps_scanned);
   w.u64(s.queue_pops);
@@ -150,6 +156,12 @@ sim::KernelStats decode_kernel_stats(Reader& r) {
   s.warp_insts = r.u64();
   s.mem_insts = r.u64();
   s.mem_requests = r.u64();
+  s.lane_cycles = r.u64();
+  s.lane_mem_insts = r.u64();
+  s.div.branches = r.u64();
+  s.div.divergent_branches = r.u64();
+  s.div.reconvergences = r.u64();
+  s.div.max_depth = r.u32();
   s.sm_steps = r.u64();
   s.warps_scanned = r.u64();
   s.queue_pops = r.u64();

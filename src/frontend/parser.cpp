@@ -190,6 +190,7 @@ class Parser {
   StmtPtr statement() {
     if (is_ident("int") || is_ident("float")) return local_decl();
     if (is_ident("for")) return for_stmt();
+    if (is_ident("while")) return while_stmt();
     if (is_ident("if")) return if_stmt();
     if (is_ident("__syncthreads")) {
       next();
@@ -258,6 +259,15 @@ class Parser {
       return expression();
     }
     fail("unsupported for-increment");
+  }
+
+  StmtPtr while_stmt() {
+    expect_keyword("while");
+    expect_punct("(");
+    ExprPtr cond = expression();
+    expect_punct(")");
+    auto body = block_or_single();
+    return ir::make_while(std::move(cond), std::move(body));
   }
 
   StmtPtr if_stmt() {

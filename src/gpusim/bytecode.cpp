@@ -10,6 +10,7 @@
 
 #include "common/error.hpp"
 #include "gpusim/simd.hpp"
+#include "gpusim/simt.hpp"
 
 namespace catt::sim::bc {
 
@@ -347,6 +348,9 @@ class Compiler {
           break;
         case StmtKind::kFor:
           out.insert(s.name);
+          collect_assigned(s.body, out);
+          break;
+        case StmtKind::kWhile:
           collect_assigned(s.body, out);
           break;
         case StmtKind::kIf:
@@ -846,6 +850,49 @@ class Compiler {
     vars_.erase(s.name);  // the loop variable's scope ends with the loop
   }
 
+  /// `while (cond) body` shares the kFor control scheme (kLoopEnter /
+  /// kLoopBranch / kLoopExit) minus the loop variable and step. Lanes whose
+  /// condition goes false retire at the branch; the rest keep iterating
+  /// until the active set empties, then every lane reconverges at kLoopExit.
+  void compile_while(const Stmt& s) {
+    emit_compute(cost_of(s));
+
+    Frame frame;
+    collect_assigned(s.body, frame.assigned);
+    frames_.push_back(std::move(frame));
+    ++emit_level_;
+
+    std::vector<Item> scratch;
+    std::vector<Item>* saved_out = out_;
+    out_ = &scratch;
+
+    const std::int32_t top = new_label();
+    const std::int32_t exit = new_label();
+    bind(top);
+    emit_compute(iter_cost_of(s));
+    RV cond = compile_expr(*s.cond);
+    emit({Op::kFlush});
+    Ins br{Op::kLoopBranch};
+    br.a = cond.reg;
+    br.t = cond.type == ScalarType::kFloat ? 2 : 0;
+    br.x = exit;
+    emit(br);
+    compile_body(s.body);
+    Ins j{Op::kJump};
+    j.x = top;
+    emit(j);
+    bind(exit);
+    emit({Op::kLoopExit});
+
+    out_ = saved_out;
+    --emit_level_;
+    Frame done = std::move(frames_.back());
+    frames_.pop_back();
+    for (auto& it : done.preheader) out_->push_back(std::move(it));
+    emit({Op::kLoopEnter});
+    for (auto& it : scratch) out_->push_back(std::move(it));
+  }
+
   void compile_if(const Stmt& s) {
     emit_compute(cost_of(s));
     RV cond = compile_expr(*s.cond);
@@ -897,6 +944,9 @@ class Compiler {
           break;
         case StmtKind::kFor:
           compile_for(s);
+          break;
+        case StmtKind::kWhile:
+          compile_while(s);
           break;
         case StmtKind::kIf:
           compile_if(s);
@@ -1109,7 +1159,7 @@ struct TraceBuilder {
   };
   std::vector<Rec> recs;
 
-  void compute(std::uint32_t cycles) { t.push_compute(cycles); }
+  void compute(std::uint32_t cycles, std::uint32_t active) { t.push_compute(cycles, active); }
 
   Rec& rec_for(std::uint16_t site, bool is_store) {
     for (auto& r : recs) {
@@ -1121,7 +1171,9 @@ struct TraceBuilder {
 
   void flush() {
     for (auto& r : recs) {
-      t.begin_mem(r.site, r.is_store);
+      // Lane work = per-lane accesses before coalescing (recorded while
+      // the addresses are still one-per-active-lane).
+      t.begin_mem(r.site, r.is_store, static_cast<std::uint32_t>(r.byte_addrs.size()));
       auto& addrs = r.byte_addrs;
       const std::uint64_t sectors_per_line = static_cast<std::uint64_t>(line_bytes) / 32;
       for (auto& a : addrs) a /= 32;
@@ -1194,17 +1246,14 @@ WarpTrace Vm::run_warp(int wid, SiteTable& sites, const std::shared_ptr<TxnPool>
                    std::to_string(size) + " elements)");
   };
 
-  Mask cur = full;
-  struct Ctl {
-    Mask saved;
-    Mask pending;
-  };
-  std::vector<Ctl> stack;
-  stack.reserve(16);
+  simt::ReconvStack rs(full);
 
   std::size_t pc = 0;
   for (;;) {
     const Ins& ins = p_.code[pc];
+    // Control ops refine the stack and then `continue`, so within one
+    // instruction the active mask is a constant.
+    const Mask cur = rs.active();
     switch (ins.op) {
       case Op::kAddI:
         lanes_add_i(ir_[ins.dst].data(), ir_[ins.a].data(), ir_[ins.b].data());
@@ -1311,8 +1360,7 @@ WarpTrace Vm::run_warp(int wid, SiteTable& sites, const std::shared_ptr<TxnPool>
             if ((a[l] != 0) != is_or) rhs |= 1u << l;
           }
         }
-        stack.push_back({cur, 0});
-        cur = rhs;
+        rs.push_pred(rhs);
         if (rhs == 0) {
           pc = static_cast<std::size_t>(ins.x);
           continue;
@@ -1320,8 +1368,7 @@ WarpTrace Vm::run_warp(int wid, SiteTable& sites, const std::shared_ptr<TxnPool>
         break;
       }
       case Op::kLogicalEnd: {
-        cur = stack.back().saved;
-        stack.pop_back();
+        rs.pop_pred();
         const bool is_or = (ins.t & 1) != 0;
         auto& d = ir_[ins.dst];
         for (int l = 0; l < kWarp; ++l) {
@@ -1501,7 +1548,7 @@ WarpTrace Vm::run_warp(int wid, SiteTable& sites, const std::shared_ptr<TxnPool>
         break;
       }
       case Op::kCompute:
-        tb.compute(static_cast<std::uint32_t>(ins.x));
+        tb.compute(static_cast<std::uint32_t>(ins.x), rs.active_lanes());
         break;
       case Op::kFlush:
         tb.flush();
@@ -1527,27 +1574,25 @@ WarpTrace Vm::run_warp(int wid, SiteTable& sites, const std::shared_ptr<TxnPool>
             if (a[l] != 0) m1 |= 1u << l;
           }
         }
-        stack.push_back({cur, cur & ~m1});
+        rs.begin_if(m1);
         if (m1 == 0) {
           pc = static_cast<std::size_t>(ins.x);
           continue;
         }
-        cur = m1;
         break;
       }
       case Op::kElse:
-        cur = stack.back().pending;
-        if (cur == 0) {
+        rs.to_else();
+        if (rs.active() == 0) {
           pc = static_cast<std::size_t>(ins.x);
           continue;
         }
         break;
       case Op::kIfEnd:
-        cur = stack.back().saved;
-        stack.pop_back();
+        rs.end_if();
         break;
       case Op::kLoopEnter:
-        stack.push_back({cur, 0});
+        rs.enter_loop();
         break;
       case Op::kLoopBranch: {
         Mask next = 0;
@@ -1564,7 +1609,7 @@ WarpTrace Vm::run_warp(int wid, SiteTable& sites, const std::shared_ptr<TxnPool>
             if (a[l] != 0) next |= 1u << l;
           }
         }
-        cur = next;
+        rs.loop_branch(next);
         if (next == 0) {
           pc = static_cast<std::size_t>(ins.x);
           continue;
@@ -1572,12 +1617,12 @@ WarpTrace Vm::run_warp(int wid, SiteTable& sites, const std::shared_ptr<TxnPool>
         break;
       }
       case Op::kLoopExit:
-        cur = stack.back().saved;
-        stack.pop_back();
+        rs.exit_loop();
         break;
       case Op::kError:
         throw SimError(p_.strings[static_cast<std::size_t>(ins.y)]);
       case Op::kEnd:
+        t.set_div(rs.counters());
         t.push_end();
         return t;
     }
@@ -1653,6 +1698,12 @@ struct PurityScan {
           break;
         case StmtKind::kFor:
           if (tainted(*s.value) || tainted(*s.step)) taint_var(s.name);
+          if (tainted(*s.cond)) pure = false;
+          scan(s.body);
+          break;
+        case StmtKind::kWhile:
+          // A while loop's trip count is data-dependent unless the condition
+          // stays untainted through the fixed point.
           if (tainted(*s.cond)) pure = false;
           scan(s.body);
           break;

@@ -157,15 +157,17 @@ class Symbolic {
 
   // ---- trace event capture ----
 
-  void emit_compute(std::uint32_t cycles) {
+  void emit_compute(std::uint32_t cycles, std::uint32_t active) {
     auto& ev = out_->events;
     if (!ev.empty() && ev.back().kind == EventKind::kCompute) {
       ev.back().cycles += cycles;
+      ev.back().lanes += cycles * active;
       return;
     }
     ParamEvent e;
     e.kind = EventKind::kCompute;
     e.cycles = cycles;
+    e.lanes = cycles * active;
     ev.push_back(std::move(e));
   }
 
@@ -186,6 +188,9 @@ class Symbolic {
       e.dx = r.dx;
       e.dy = r.dy;
       e.dz = r.dz;
+      // Pre-dedup lane accesses: identical to the concrete VM's count
+      // (one address per active lane per instruction).
+      e.lanes = static_cast<std::uint32_t>(r.base_addrs.size());
       std::sort(r.base_addrs.begin(), r.base_addrs.end());
       e.base_addrs = std::move(r.base_addrs);
       out_->events.push_back(std::move(e));
@@ -267,17 +272,14 @@ ParamWarpTrace Symbolic::run_warp(int wid) {
     }
   }
 
-  Mask cur = full;
-  struct Ctl {
-    Mask saved;
-    Mask pending;
-  };
-  std::vector<Ctl> stack;
-  stack.reserve(16);
+  simt::ReconvStack rs(full);
 
   std::size_t pc = 0;
   for (;;) {
     const Ins& ins = p_.code[pc];
+    // Same invariant as the concrete VM: control ops refine the stack and
+    // `continue`, so the active mask is constant within one instruction.
+    const Mask cur = rs.active();
     switch (ins.op) {
       case Op::kAddI:
       case Op::kSubI: {
@@ -570,8 +572,7 @@ ParamWarpTrace Symbolic::run_warp(int wid) {
           if (!t) throw Bail{};
           if (*t != is_or) rhs |= 1u << l;
         }
-        stack.push_back({cur, 0});
-        cur = rhs;
+        rs.push_pred(rhs);
         if (rhs == 0) {
           pc = static_cast<std::size_t>(ins.x);
           continue;
@@ -579,8 +580,7 @@ ParamWarpTrace Symbolic::run_warp(int wid) {
         break;
       }
       case Op::kLogicalEnd: {
-        cur = stack.back().saved;
-        stack.pop_back();
+        rs.pop_pred();
         const bool is_or = (ins.t & 1) != 0;
         SInt& d = si_[ins.dst];
         Mask poison = 0;
@@ -845,7 +845,7 @@ ParamWarpTrace Symbolic::run_warp(int wid) {
         break;
       }
       case Op::kCompute:
-        emit_compute(static_cast<std::uint32_t>(ins.x));
+        emit_compute(static_cast<std::uint32_t>(ins.x), rs.active_lanes());
         break;
       case Op::kFlush:
         flush();
@@ -861,39 +861,37 @@ ParamWarpTrace Symbolic::run_warp(int wid) {
         continue;
       case Op::kIfBegin: {
         const Mask m1 = cond_mask(ins, cur);
-        stack.push_back({cur, cur & ~m1});
+        rs.begin_if(m1);
         if (m1 == 0) {
           pc = static_cast<std::size_t>(ins.x);
           continue;
         }
-        cur = m1;
         break;
       }
       case Op::kElse:
-        cur = stack.back().pending;
-        if (cur == 0) {
+        rs.to_else();
+        if (rs.active() == 0) {
           pc = static_cast<std::size_t>(ins.x);
           continue;
         }
         break;
       case Op::kIfEnd:
-        cur = stack.back().saved;
-        stack.pop_back();
+        rs.end_if();
         break;
       case Op::kLoopEnter:
-        stack.push_back({cur, 0});
+        rs.enter_loop();
         break;
       case Op::kLoopBranch: {
-        cur = cond_mask(ins, cur);
-        if (cur == 0) {
+        const Mask next = cond_mask(ins, cur);
+        rs.loop_branch(next);
+        if (next == 0) {
           pc = static_cast<std::size_t>(ins.x);
           continue;
         }
         break;
       }
       case Op::kLoopExit:
-        cur = stack.back().saved;
-        stack.pop_back();
+        rs.exit_loop();
         break;
       case Op::kError:
         throw Bail{};  // the fallback VM raises the error per block
@@ -901,6 +899,7 @@ ParamWarpTrace Symbolic::run_warp(int wid) {
         ParamEvent e;
         e.kind = EventKind::kEnd;
         out_->events.push_back(std::move(e));
+        pt.div = rs.counters();
         pt.valid = true;
         out_ = nullptr;
         return pt;
@@ -981,10 +980,10 @@ WarpTrace render(const ParamWarpTrace& pt, const bc::Program& prog, bc::SiteTabl
       case EventKind::kCompute:
         // Symbolic events are already merged; replay them one-for-one so
         // the rendered trace matches the concrete VM's event sequence.
-        t.push_compute_raw(pe.cycles);
+        t.push_compute_raw(pe.cycles, pe.lanes);
         break;
       case EventKind::kMem: {
-        t.begin_mem(table.id_for(prog, pe.slot), pe.is_store);
+        t.begin_mem(table.id_for(prog, pe.slot), pe.is_store, pe.lanes);
         const std::uint64_t delta = static_cast<std::uint64_t>(pe.dx) * block_idx.x +
                                     static_cast<std::uint64_t>(pe.dy) * block_idx.y +
                                     static_cast<std::uint64_t>(pe.dz) * block_idx.z;
@@ -1004,6 +1003,7 @@ WarpTrace render(const ParamWarpTrace& pt, const bc::Program& prog, bc::SiteTabl
         t.push_barrier();
         break;
       case EventKind::kEnd:
+        t.set_div(pt.div);
         t.push_end();
         break;
     }

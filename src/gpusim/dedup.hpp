@@ -38,6 +38,7 @@ namespace catt::sim::dedup {
 struct ParamEvent {
   EventKind kind = EventKind::kCompute;
   std::uint32_t cycles = 0;                // kCompute
+  std::uint32_t lanes = 0;                 // lane work (see WarpTrace::lane_work)
   std::int32_t slot = -1;                  // kMem: Program site slot
   bool is_store = false;                   // kMem
   std::int64_t dx = 0, dy = 0, dz = 0;     // kMem: byte delta per block coord
@@ -47,6 +48,11 @@ struct ParamEvent {
 struct ParamWarpTrace {
   bool valid = false;  // false => render impossible, use the concrete VM
   std::vector<ParamEvent> events;
+  // Divergence counters are block-invariant for a provably-affine warp:
+  // cond_mask() bails unless every branch decision is uniform over the
+  // grid, so the mask history (and thus these counters and every event's
+  // lane work) is identical in all rendered blocks.
+  simt::DivCounters div;
 };
 
 /// Cached state for one (kernel, launch, params) fingerprint. The site

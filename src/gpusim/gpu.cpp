@@ -38,6 +38,9 @@ void aggregate_sm_stats(KernelStats& stats, const std::vector<SmT>& sms) {
     stats.warp_insts += sm.stats().warp_insts;
     stats.mem_insts += sm.stats().mem_insts;
     stats.mem_requests += sm.stats().mem_requests;
+    stats.lane_cycles += sm.stats().lane_cycles;
+    stats.lane_mem_insts += sm.stats().lane_mem_insts;
+    stats.div.merge(sm.stats().div);
     stats.sm_steps += sm.stats().sm_steps;
     stats.warps_scanned += sm.stats().warps_scanned;
     stats.queue_pops += sm.stats().queue_pops;

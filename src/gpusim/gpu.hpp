@@ -110,6 +110,12 @@ struct KernelStats {
   std::uint64_t warp_insts = 0;
   std::uint64_t mem_insts = 0;
   std::uint64_t mem_requests = 0;
+  /// SIMT lane accounting and divergence counters (aggregated SmStats).
+  /// Deterministic sums/max, so part of the engine-equality pin alongside
+  /// cycles — both engines replay the same traces.
+  std::uint64_t lane_cycles = 0;
+  std::uint64_t lane_mem_insts = 0;
+  simt::DivCounters div;
   /// Scheduler-attribution counters (aggregated SmStats; surfaced in the
   /// CATT_PROFILE=1 report line, see DESIGN.md). Engine-dependent by
   /// design — excluded from the cycle-exactness pin in timing_test.
@@ -140,6 +146,15 @@ struct KernelStats {
   double requests_per_mem_inst() const {
     return mem_insts == 0 ? 0.0
                           : static_cast<double>(mem_requests) / static_cast<double>(mem_insts);
+  }
+  /// SIMD lane efficiency of memory instructions: mean active lanes per
+  /// issued memory instruction over a full 32-lane warp. 1.0 for a
+  /// convergent full-warp kernel; divergence and partial tail warps pull
+  /// it below 1.
+  double simd_mem_efficiency() const {
+    return mem_insts == 0 ? 0.0
+                          : static_cast<double>(lane_mem_insts) /
+                                (32.0 * static_cast<double>(mem_insts));
   }
 };
 

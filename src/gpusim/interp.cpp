@@ -62,6 +62,9 @@ KernelInterp::KernelInterp(const ir::Kernel& kernel, const arch::LaunchConfig& l
       if (s.kind == StmtKind::kFor) {
         iter_cost[&s] = 2 + cm.expr_cost(*s.cond) + cm.expr_cost(*s.step);
       }
+      if (s.kind == StmtKind::kWhile) {
+        iter_cost[&s] = 2 + cm.expr_cost(*s.cond);
+      }
       cost[&s] = c;
       body(s.body);
       body(s.else_body);

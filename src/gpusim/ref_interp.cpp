@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "gpusim/simt.hpp"
 
 namespace catt::sim {
 
@@ -104,6 +105,9 @@ RefKernelInterp::RefKernelInterp(const ir::Kernel& kernel, const arch::LaunchCon
       if (s.kind == StmtKind::kFor) {
         iter_cost[&s] = 2 + cm.expr_cost(*s.cond) + cm.expr_cost(*s.step);
       }
+      if (s.kind == StmtKind::kWhile) {
+        iter_cost[&s] = 2 + cm.expr_cost(*s.cond);
+      }
       cost[&s] = c;
       body(s.body);
       body(s.else_body);
@@ -134,6 +138,10 @@ struct RefKernelInterp::Impl {
   std::array<std::int64_t, kWarp> tid_x{}, tid_y{}, tid_z{};
   std::map<std::string, WVal> vars;
   WarpTrace* trace = nullptr;
+  // Reconvergence stack driven in lockstep with the explicit mask
+  // threading below; the VM drives the same type from its control ops,
+  // which keeps the divergence counters bit-identical across executors.
+  simt::ReconvStack rs{0};
 
   struct SiteRec {
     std::uint16_t site;
@@ -155,7 +163,9 @@ struct RefKernelInterp::Impl {
 
   // ---- event emission ----
 
-  void emit_compute(std::uint32_t cycles) { trace->push_compute(cycles); }
+  void emit_compute(std::uint32_t cycles, Mask m) {
+    trace->push_compute(cycles, simt::active_count(m));
+  }
 
   SiteRec& rec_for(std::uint16_t site, bool is_store) {
     for (auto& r : recs) {
@@ -169,7 +179,7 @@ struct RefKernelInterp::Impl {
   /// events: distinct lines, each with its touched 32 B sector count.
   void flush_mem() {
     for (auto& r : recs) {
-      trace->begin_mem(r.site, r.is_store);
+      trace->begin_mem(r.site, r.is_store, static_cast<std::uint32_t>(r.byte_addrs.size()));
       auto& addrs = r.byte_addrs;
       // Sector address = byte / 32; line = sector / (line/32).
       const std::uint64_t sectors_per_line =
@@ -544,7 +554,7 @@ struct RefKernelInterp::Impl {
       switch (s.kind) {
         case StmtKind::kDeclInt:
         case StmtKind::kAssign: {
-          emit_compute(cost_of(s));
+          emit_compute(cost_of(s), mask);
           WVal v = eval(*s.value, mask);
           flush_mem();
           // kAssign may target a float local; keep the declared type.
@@ -557,32 +567,34 @@ struct RefKernelInterp::Impl {
           break;
         }
         case StmtKind::kDeclFloat: {
-          emit_compute(cost_of(s));
+          emit_compute(cost_of(s), mask);
           WVal v = eval(*s.value, mask);
           flush_mem();
           write_var(s.name, v, mask, ScalarType::kFloat);
           break;
         }
         case StmtKind::kStore:
-          emit_compute(cost_of(s));
+          emit_compute(cost_of(s), mask);
           exec_store(s, mask);
           break;
         case StmtKind::kFor: {
-          emit_compute(cost_of(s));
+          emit_compute(cost_of(s), mask);
           WVal init = eval(*s.value, mask);
           flush_mem();
           write_var(s.name, init, mask, ScalarType::kInt);
           const auto ic = I.loop_iter_cost_.find(&s);
           const std::uint32_t iter_cost = ic == I.loop_iter_cost_.end() ? 3 : ic->second;
+          rs.enter_loop();
           Mask m = mask;
           while (m != 0) {
-            emit_compute(iter_cost);
+            emit_compute(iter_cost, m);
             WVal c = eval(*s.cond, m);
             flush_mem();
             Mask next = 0;
             for (int l = 0; l < kWarp; ++l) {
               if ((m & (1u << l)) && c.truthy(l)) next |= 1u << l;
             }
+            rs.loop_branch(next);
             m = next;
             if (m == 0) break;
             exec_body(s.body, m);
@@ -593,11 +605,34 @@ struct RefKernelInterp::Impl {
               if (m & (1u << l)) slot.i[l] += step.as_int(l);
             }
           }
+          rs.exit_loop();
           vars.erase(s.name);
           break;
         }
+        case StmtKind::kWhile: {
+          emit_compute(cost_of(s), mask);
+          const auto ic = I.loop_iter_cost_.find(&s);
+          const std::uint32_t iter_cost = ic == I.loop_iter_cost_.end() ? 3 : ic->second;
+          rs.enter_loop();
+          Mask m = mask;
+          while (m != 0) {
+            emit_compute(iter_cost, m);
+            WVal c = eval(*s.cond, m);
+            flush_mem();
+            Mask next = 0;
+            for (int l = 0; l < kWarp; ++l) {
+              if ((m & (1u << l)) && c.truthy(l)) next |= 1u << l;
+            }
+            rs.loop_branch(next);
+            m = next;
+            if (m == 0) break;
+            exec_body(s.body, m);
+          }
+          rs.exit_loop();
+          break;
+        }
         case StmtKind::kIf: {
-          emit_compute(cost_of(s));
+          emit_compute(cost_of(s), mask);
           WVal c = eval(*s.cond, mask);
           flush_mem();
           Mask m1 = 0;
@@ -605,8 +640,11 @@ struct RefKernelInterp::Impl {
             if ((mask & (1u << l)) && c.truthy(l)) m1 |= 1u << l;
           }
           const Mask m2 = mask & ~m1;
+          rs.begin_if(m1);
           if (m1 != 0) exec_body(s.body, m1);
+          rs.to_else();
           if (m2 != 0 && !s.else_body.empty()) exec_body(s.else_body, m2);
+          rs.end_if();
           break;
         }
         case StmtKind::kSync:
@@ -638,7 +676,9 @@ struct RefKernelInterp::Impl {
       }
     }
 
+    rs = simt::ReconvStack(full_mask);
     exec_body(I.kernel_.body, full_mask);
+    t.set_div(rs.counters());
     t.push_end();
     trace = nullptr;
     return t;

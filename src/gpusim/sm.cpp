@@ -73,6 +73,7 @@ std::int64_t SmDatapath::exec_mem_now(const WarpTrace& t, std::size_t pc, std::i
   const bool is_store = t.is_store(pc);
   ++stats.mem_insts;
   stats.mem_requests += n;
+  stats.lane_mem_insts += t.lane_work(pc);
   if (request_series_ != nullptr && !is_store) {
     request_series_->add(static_cast<double>(n));
   }
@@ -127,6 +128,7 @@ std::int64_t SmDatapath::exec_mem_deferred(const WarpTrace& t, std::size_t pc,
   const bool is_store = t.is_store(pc);
   ++stats.mem_insts;
   stats.mem_requests += n;
+  stats.lane_mem_insts += t.lane_work(pc);
   if (request_series_ != nullptr && !is_store) {
     request_series_->add(static_cast<double>(n));
   }
@@ -423,6 +425,7 @@ void Sm::issue(WarpCtx& w, std::int64_t now) {
 
   switch (w.trace.kind(pc)) {
     case EventKind::kCompute: {
+      path_.stats.lane_cycles += w.trace.lane_work(pc);
       w.state = WarpState::kBlocked;
       w.ready_at = now + std::max<std::uint32_t>(1, w.trace.cycles(pc));
       push_wake(static_cast<int>(&w - warps_.data()));
@@ -446,6 +449,7 @@ void Sm::issue(WarpCtx& w, std::int64_t now) {
       return;
     }
     case EventKind::kEnd: {
+      path_.stats.div.merge(w.trace.div());
       w.state = WarpState::kDone;
       if (policy_ != nullptr) policy_->on_warp_done(static_cast<int>(&w - warps_.data()), w.tb);
       --active_warps_;

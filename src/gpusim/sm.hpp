@@ -144,6 +144,15 @@ struct SmStats {
   std::uint64_t mem_insts = 0;
   std::uint64_t mem_requests = 0;  // coalesced line transactions
   std::uint64_t barriers = 0;
+  // SIMT lane accounting (see WarpTrace::lane_work): cycles weighted by
+  // active lanes for compute, pre-coalescing lane accesses for memory.
+  // With the per-warp divergence counters these quantify how much issue
+  // bandwidth divergence wastes (simd efficiency = lane_cycles /
+  // (32 * busy compute cycles)). Commutative sums, so totals are
+  // bit-identical at any CATT_SIM_THREADS / CATT_TRACE_THREADS.
+  std::uint64_t lane_cycles = 0;
+  std::uint64_t lane_mem_insts = 0;
+  simt::DivCounters div;
   // Scheduler-attribution counters (CATT_PROFILE=1; see DESIGN.md). Not
   // part of the cycle-exactness contract — the two engines legitimately
   // differ here.

@@ -133,6 +133,7 @@ void SmRef::issue(WarpCtx& w, std::int64_t now) {
 
   switch (w.trace.kind(pc)) {
     case EventKind::kCompute: {
+      path_.stats.lane_cycles += w.trace.lane_work(pc);
       w.state = WarpState::kBlocked;
       w.ready_at = now + std::max<std::uint32_t>(1, w.trace.cycles(pc));
       return;
@@ -150,6 +151,7 @@ void SmRef::issue(WarpCtx& w, std::int64_t now) {
       return;
     }
     case EventKind::kEnd: {
+      path_.stats.div.merge(w.trace.div());
       w.state = WarpState::kDone;
       if (policy_ != nullptr) policy_->on_warp_done(static_cast<int>(&w - warps_.data()), w.tb);
       --active_warps_;

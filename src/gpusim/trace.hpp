@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "gpusim/simt.hpp"
+
 namespace catt::sim {
 
 enum class EventKind : std::uint8_t {
@@ -71,6 +73,17 @@ class WarpTrace {
   /// First transaction of event `i`'s span (valid only when txn_count > 0).
   const Txn* txns(std::size_t i) const { return data_->pool->data() + data_->txn_begin[i]; }
 
+  /// Per-lane work of event `i`: for kCompute, cycles x active lanes
+  /// summed over the merged ops; for kMem, the lane accesses the
+  /// instruction(s) issued before coalescing. Zero for barriers/end.
+  std::uint32_t lane_work(std::size_t i) const { return data_->lanes[i]; }
+
+  /// Divergence counters accumulated while this warp's trace was built
+  /// (identical whether the trace came from the VM, the reference
+  /// interpreter, or a dedup render).
+  const simt::DivCounters& div() const { return data_->div; }
+  void set_div(const simt::DivCounters& d) { ensure().div = d; }
+
   std::shared_ptr<TxnPool> pool() const { return data_ ? data_->pool : nullptr; }
 
   /// Heap footprint of the event arrays plus this trace's share of the
@@ -79,33 +92,41 @@ class WarpTrace {
     if (!data_) return 0;
     std::size_t txns = 0;
     for (const std::uint32_t c : data_->txn_count) txns += c;
-    return data_->kind.size() * (sizeof(std::uint8_t) * 2 + sizeof(std::uint32_t) * 3 +
+    return data_->kind.size() * (sizeof(std::uint8_t) * 2 + sizeof(std::uint32_t) * 4 +
                                  sizeof(std::uint16_t)) +
            txns * sizeof(Txn);
   }
 
   // ---- emission ----
 
-  /// Appends compute work, merging into a directly preceding kCompute
-  /// event (the interpreters' event-merge rule).
-  void push_compute(std::uint32_t cycles) {
+  /// Appends compute work under `active` lanes, merging into a directly
+  /// preceding kCompute event (the interpreters' event-merge rule). The
+  /// lane-work column merges additively, so the merged event's lane work
+  /// stays the exact sum of cycles x active over the ops it covers even
+  /// when the active mask changed between them.
+  void push_compute(std::uint32_t cycles, std::uint32_t active) {
     Data& d = ensure();
     if (!d.kind.empty() && d.kind.back() == static_cast<std::uint8_t>(EventKind::kCompute)) {
       d.cycles.back() += cycles;
+      d.lanes.back() += cycles * active;
       return;
     }
-    push_row(EventKind::kCompute, cycles, 0, false);
+    push_row(EventKind::kCompute, cycles, 0, false, cycles * active);
   }
 
   /// Appends a kCompute event without merging (dedup render replays
-  /// already-merged symbolic events one-for-one).
-  void push_compute_raw(std::uint32_t cycles) { push_row(EventKind::kCompute, cycles, 0, false); }
+  /// already-merged symbolic events one-for-one; `lane_work` is the
+  /// already-summed cycles x active of the symbolic event).
+  void push_compute_raw(std::uint32_t cycles, std::uint32_t lane_work) {
+    push_row(EventKind::kCompute, cycles, 0, false, lane_work);
+  }
 
-  /// Opens a kMem event; transactions follow via mem_sector().
-  void begin_mem(std::uint16_t site, bool is_store) {
+  /// Opens a kMem event; transactions follow via mem_sector(). `lanes`
+  /// is the pre-coalescing lane-access count of the instruction(s).
+  void begin_mem(std::uint16_t site, bool is_store, std::uint32_t lanes) {
     Data& d = ensure();
     if (!d.pool) d.pool = std::make_shared<TxnPool>();
-    push_row(EventKind::kMem, 0, site, is_store);
+    push_row(EventKind::kMem, 0, site, is_store, lanes);
   }
 
   /// Records one touched 32 B sector of `line` for the open kMem event.
@@ -122,8 +143,8 @@ class WarpTrace {
     ++d.txn_count.back();
   }
 
-  void push_barrier() { push_row(EventKind::kBarrier, 0, 0, false); }
-  void push_end() { push_row(EventKind::kEnd, 0, 0, false); }
+  void push_barrier() { push_row(EventKind::kBarrier, 0, 0, false, 0); }
+  void push_end() { push_row(EventKind::kEnd, 0, 0, false, 0); }
 
   /// Drops this handle's reference (finished warps are never replayed).
   /// Shared storage — and the block's pool — dies with the last holder.
@@ -137,6 +158,7 @@ class WarpTrace {
     d.store.reserve(events);
     d.txn_begin.reserve(events);
     d.txn_count.reserve(events);
+    d.lanes.reserve(events);
   }
 
  private:
@@ -147,6 +169,8 @@ class WarpTrace {
     std::vector<std::uint8_t> store;
     std::vector<std::uint32_t> txn_begin;
     std::vector<std::uint32_t> txn_count;
+    std::vector<std::uint32_t> lanes;
+    simt::DivCounters div;
     std::shared_ptr<TxnPool> pool;
   };
 
@@ -155,7 +179,8 @@ class WarpTrace {
     return *data_;
   }
 
-  void push_row(EventKind k, std::uint32_t cycles, std::uint16_t site, bool store) {
+  void push_row(EventKind k, std::uint32_t cycles, std::uint16_t site, bool store,
+                std::uint32_t lanes) {
     Data& d = ensure();
     d.kind.push_back(static_cast<std::uint8_t>(k));
     d.cycles.push_back(cycles);
@@ -163,6 +188,7 @@ class WarpTrace {
     d.store.push_back(store ? 1 : 0);
     d.txn_begin.push_back(d.pool ? static_cast<std::uint32_t>(d.pool->size()) : 0);
     d.txn_count.push_back(0);
+    d.lanes.push_back(lanes);
   }
 
   std::shared_ptr<Data> data_;

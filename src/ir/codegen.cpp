@@ -29,6 +29,11 @@ void emit_stmt(std::ostream& os, const Stmt& s, int indent, int width) {
       emit_body(os, s.body, indent + 1, width);
       os << pad << "}\n";
       break;
+    case StmtKind::kWhile:
+      os << pad << "while (" << s.cond->str() << ") {\n";
+      emit_body(os, s.body, indent + 1, width);
+      os << pad << "}\n";
+      break;
     case StmtKind::kIf:
       os << pad << "if (" << s.cond->str() << ") {\n";
       emit_body(os, s.body, indent + 1, width);

@@ -86,6 +86,14 @@ StmtPtr make_for(std::string var, expr::ExprPtr init, expr::ExprPtr cond, expr::
   return s;
 }
 
+StmtPtr make_while(expr::ExprPtr cond, std::vector<StmtPtr> body) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kWhile;
+  s->cond = std::move(cond);
+  s->body = std::move(body);
+  return s;
+}
+
 StmtPtr make_if(expr::ExprPtr cond, std::vector<StmtPtr> then_body,
                 std::vector<StmtPtr> else_body) {
   auto s = std::make_unique<Stmt>();
@@ -237,6 +245,11 @@ void check_body(const Kernel& k, const std::vector<StmtPtr>& body, std::set<std:
         check_expr(k, *s->cond, inner);
         check_expr(k, *s->step, inner);
         check_body(k, s->body, inner);
+        break;
+      }
+      case StmtKind::kWhile: {
+        check_expr(k, *s->cond, in_scope);
+        check_body(k, s->body, in_scope);
         break;
       }
       case StmtKind::kIf: {

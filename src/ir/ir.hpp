@@ -26,6 +26,7 @@ enum class StmtKind : std::uint8_t {
   kAssign,     // name = value;            (re-assignment of a local)
   kStore,      // name[index] = value;     (global or shared array)
   kFor,        // for (int name = value; cond; name += step) body
+  kWhile,      // while (cond) body      (data-dependent trip counts allowed)
   kIf,         // if (cond) body else else_body
   kSync,       // __syncthreads();
 };
@@ -58,6 +59,7 @@ StmtPtr assign(std::string name, expr::ExprPtr value);
 StmtPtr store(std::string array, expr::ExprPtr index, expr::ExprPtr value);
 StmtPtr make_for(std::string var, expr::ExprPtr init, expr::ExprPtr cond, expr::ExprPtr step,
                  std::vector<StmtPtr> body);
+StmtPtr make_while(expr::ExprPtr cond, std::vector<StmtPtr> body);
 StmtPtr make_if(expr::ExprPtr cond, std::vector<StmtPtr> then_body,
                 std::vector<StmtPtr> else_body = {});
 StmtPtr sync();

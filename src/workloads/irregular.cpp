@@ -1,0 +1,179 @@
+// Irregular, divergence-heavy workloads (the fig_divergence bench set).
+// Both kernels branch on loaded values, so warps split at runtime in ways
+// no affine model can predict: CATT's analysis must classify their hot
+// accesses as non-affine and fall back to C_tid := 1 (no throttling).
+// fig_divergence quantifies the reuse that conservatism leaves on the
+// table by sweeping fixed factors next to the CATT decision.
+//
+// bfs_wf     — BFS frontier walk: each lane walks its own CSR adjacency
+//              span with a data-dependent `while`, indirecting through
+//              col[] (a[b[i]] pattern). Lane trip counts differ, so warps
+//              diverge at the loop branch and reconverge at its exit.
+// stencil_div — 2D stencil whose interior/boundary `if` splits the warps
+//              covering tile edges, plus a per-cell `while` refinement
+//              loop whose trip count is loaded from steps[].
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "frontend/parser.hpp"
+#include "workloads/workload.hpp"
+
+namespace catt::wl {
+
+namespace {
+
+using arch::Dim3;
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.next_float(0.0f, 1.0f);
+  return v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// bfs_wf: frontier-centric BFS expansion. Unlike make_bfs (for-loop over
+// the span), the walk is an explicit data-dependent `while`, and only a
+// random ~1/4 of nodes are on the frontier — so within one warp some
+// lanes idle, some walk short spans, some walk long ones.
+// ---------------------------------------------------------------------------
+Workload make_bfs_wf(int num_sms) {
+  const int nn = 512 * 4 * num_sms;  // nodes; 4 TBs of 512 per SM
+  static const char* kSrc = R"(
+//@regs=24
+__global__ void bfs_wf_expand(int *row_start, int *col, int *frontier, int *depth, float *rank, int NN) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NN) {
+        if (frontier[i] > 0) {
+            int j = row_start[i];
+            int end = row_start[i + 1];
+            while (j < end) {
+                int nb = col[j];
+                if (depth[nb] == 0) {
+                    rank[nb] = rank[nb] + rank[i];
+                    depth[nb] = depth[i] + 1;
+                }
+                j = j + 1;
+            }
+        }
+    }
+}
+//@regs=16
+__global__ void bfs_wf_filter(int *frontier, int *depth, int *hops, int NN) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NN) {
+        int h = hops[i];
+        int k = 0;
+        while (k < h) {
+            frontier[i] = frontier[i] + depth[i];
+            k = k + 1;
+        }
+    }
+}
+)";
+  Workload w;
+  w.name = "bfs_wf";
+  w.description = "BFS frontier walk with data-dependent while loops (irregular)";
+  w.group = Group::kIrregular;
+  w.kernels = frontend::parse_program(kSrc);
+  const Dim3 block{512};
+  const Dim3 grid{static_cast<std::uint32_t>(nn / 512)};
+  const expr::ParamEnv params{{"NN", nn}};
+  w.schedule = {
+      {"bfs_wf_expand", {grid, block}, params},
+      {"bfs_wf_filter", {grid, block}, params},
+      {"bfs_wf_expand", {grid, block}, params},
+  };
+  w.setup = [nn](sim::DeviceMemory& mem) {
+    // Random CSR graph with skewed degrees (0..12): adjacent lanes get
+    // different trip counts, which is the whole point of the workload.
+    Rng rng(0xD176001);
+    std::vector<std::int32_t> row_start(static_cast<std::size_t>(nn) + 1);
+    std::vector<std::int32_t> col;
+    col.reserve(static_cast<std::size_t>(nn) * 6);
+    for (int i = 0; i < nn; ++i) {
+      row_start[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(col.size());
+      const int deg = static_cast<int>(rng.next_below(13));
+      for (int d = 0; d < deg; ++d) {
+        col.push_back(static_cast<std::int32_t>(rng.next_below(static_cast<std::uint64_t>(nn))));
+      }
+    }
+    row_start[static_cast<std::size_t>(nn)] = static_cast<std::int32_t>(col.size());
+    mem.alloc_i32("row_start", std::move(row_start));
+    mem.alloc_i32("col", std::move(col));
+
+    std::vector<std::int32_t> frontier(static_cast<std::size_t>(nn), 0);
+    std::vector<std::int32_t> depth(static_cast<std::size_t>(nn), 0);
+    std::vector<std::int32_t> hops(static_cast<std::size_t>(nn));
+    for (int i = 0; i < nn; ++i) {
+      if (rng.next_below(4) == 0) frontier[static_cast<std::size_t>(i)] = 1;
+      if (rng.next_below(8) == 0) depth[static_cast<std::size_t>(i)] = 1;
+      hops[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(rng.next_below(5));
+    }
+    mem.alloc_i32("frontier", std::move(frontier));
+    mem.alloc_i32("depth", std::move(depth));
+    mem.alloc_i32("hops", std::move(hops));
+    mem.alloc_f32("rank", random_vec(static_cast<std::size_t>(nn), 0xD1760A));
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// stencil_div: 2D Jacobi-style sweep over a W x H grid with 32x8 tiles.
+// Boundary cells take the else path (copy-through), so every warp that
+// covers a tile touching the grid edge splits; interior cells run a
+// refinement `while` whose trip count is loaded per cell.
+// ---------------------------------------------------------------------------
+Workload make_stencil_div(int num_sms) {
+  const int width = 256;
+  const int height = 8 * 4 * num_sms;  // 4 TB rows per SM at 32x8 tiles
+  static const char* kSrc = R"(
+//@regs=32
+__global__ void stencil_div_step(float *in, float *out, int *steps, int W, int H) {
+    int x = blockIdx.x * blockDim.x + threadIdx.x;
+    int y = blockIdx.y * blockDim.y + threadIdx.y;
+    if (x < W && y < H) {
+        int id = y * W + x;
+        float v = in[id];
+        if (x > 0 && x < W - 1 && y > 0 && y < H - 1) {
+            float acc = in[id - 1] + in[id + 1] + in[id - W] + in[id + W];
+            int n = steps[id];
+            int k = 0;
+            while (k < n) {
+                acc = acc * 0.5f + v;
+                k = k + 1;
+            }
+            out[id] = 0.25f * acc;
+        } else {
+            out[id] = v;
+        }
+    }
+}
+)";
+  Workload w;
+  w.name = "stencil_div";
+  w.description = "Boundary-divergent 2D stencil with data-dependent refinement (irregular)";
+  w.group = Group::kIrregular;
+  w.kernels = frontend::parse_program(kSrc);
+  const Dim3 block{32, 8};
+  const Dim3 grid{static_cast<std::uint32_t>(width / 32), static_cast<std::uint32_t>(height / 8)};
+  const expr::ParamEnv params{{"W", width}, {"H", height}};
+  w.schedule = {
+      {"stencil_div_step", {grid, block}, params},
+      {"stencil_div_step", {grid, block}, params},
+  };
+  w.setup = [width, height](sim::DeviceMemory& mem) {
+    const std::size_t cells = static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
+    Rng rng(0xD176002);
+    std::vector<std::int32_t> steps(cells);
+    for (auto& s : steps) s = static_cast<std::int32_t>(rng.next_below(7));
+    mem.alloc_f32("in", random_vec(cells, 0xD1760B));
+    mem.alloc_f32("out", cells, 0.0f);
+    mem.alloc_i32("steps", std::move(steps));
+  };
+  return w;
+}
+
+}  // namespace catt::wl

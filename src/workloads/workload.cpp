@@ -12,6 +12,7 @@ const char* to_string(Group g) {
     case Group::kCS: return "CS";
     case Group::kCI: return "CI";
     case Group::kMicro: return "micro";
+    case Group::kIrregular: return "irregular";
   }
   return "?";
 }
@@ -65,6 +66,11 @@ const std::vector<Workload>& all_workloads(int num_sms) {
   w.push_back(make_l1d_full_micro(num_sms, 4));
   w.push_back(make_l1d_full_micro(num_sms, 8));
   w.push_back(make_l1d_full_micro(num_sms, 16));
+  // Irregular / divergence-heavy (fig_divergence). Registered after the
+  // paper's Table 2 groups so existing group- and index-based iteration
+  // stays byte-identical.
+  w.push_back(make_bfs_wf(num_sms));
+  w.push_back(make_stencil_div(num_sms));
 
   auto [ins, ok] = cache.emplace(num_sms, std::move(w));
   (void)ok;

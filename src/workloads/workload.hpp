@@ -19,7 +19,7 @@
 
 namespace catt::wl {
 
-enum class Group { kCS, kCI, kMicro };
+enum class Group { kCS, kCI, kMicro, kIrregular };
 
 const char* to_string(Group g);
 
@@ -80,5 +80,7 @@ Workload make_mc(int num_sms);
 Workload make_nw(int num_sms);
 Workload make_fbank(int num_sms);
 Workload make_l1d_full_micro(int num_sms, int fill_warps);
+Workload make_bfs_wf(int num_sms);
+Workload make_stencil_div(int num_sms);
 
 }  // namespace catt::wl

@@ -1,5 +1,6 @@
-// Golden-CSV regression suite: reduced-scale replicas of the nine bench
-// configurations (Figures 2/3/6/7/8/9/10, Table 3, phase timeline), run
+// Golden-CSV regression suite: reduced-scale replicas of the bench
+// configurations (Figures 2/3/6/7/8/9/10, Table 3, phase timeline, the
+// dynamic and divergence studies), run
 // through the same Runner/compare paths the benches use and byte-diffed
 // against checked-in CSVs under tests/golden/. This replaces the manual
 // "CSVs verified byte-identical" review step: any change to the timing
@@ -310,6 +311,56 @@ std::string fig_dynamic_mini(throttle::Runner& runner) {
   return csv.str();
 }
 
+std::string fig_divergence_mini(throttle::Runner& runner) {
+  // Reduced-scale fig_divergence over the irregular group (bfs_wf,
+  // stencil_div): per-launch divergence counters of the baseline run,
+  // then the TB-axis oracle sweep (the warp axis no-ops on these kernels
+  // — the hot loops sit under data-dependent control — so its rows are
+  // redundant at golden scale) and CATT's pick. Pins the reconvergence
+  // stack's counters, the per-lane stats plumbing, and the conservative
+  // C_tid := 1 classification end-to-end through the Runner.
+  CsvWriter csv({"app", "kernel", "factor", "cycles", "normalized_time", "branches",
+                 "divergent_branches", "reconvergences", "max_depth", "simd_mem_eff",
+                 "is_catt_pick", "is_best"});
+  for (const wl::Workload* w : wl::workloads_in_group(wl::Group::kIrregular, bench::kNumSms)) {
+    const throttle::AppResult base = runner.run(*w, throttle::Baseline{});
+    const throttle::AppResult catt = runner.run(*w, throttle::Catt{});
+    const double catt_norm =
+        static_cast<double>(catt.total_cycles) / static_cast<double>(base.total_cycles);
+    for (std::size_t i = 0; i < base.launches.size(); ++i) {
+      const sim::KernelStats& s = base.launches[i];
+      csv.add_row({w->name, s.kernel_name + "#" + std::to_string(i), "base",
+                   std::to_string(s.cycles), "1.000000", std::to_string(s.div.branches),
+                   std::to_string(s.div.divergent_branches),
+                   std::to_string(s.div.reconvergences), std::to_string(s.div.max_depth),
+                   std::to_string(s.simd_mem_efficiency()), "0", "0"});
+    }
+    struct Point {
+      throttle::FixedFactor f;
+      double norm;
+    };
+    std::vector<Point> pts;
+    for (const throttle::FixedFactor& f : runner.candidate_factors(*w)) {
+      if (f.n_divisor != 1) continue;  // TB axis only at golden scale
+      const throttle::AppResult r = f.tb_limit == 0 ? runner.run(*w, throttle::Baseline{})
+                                                    : runner.run(*w, throttle::Fixed{f});
+      pts.push_back(
+          {f, static_cast<double>(r.total_cycles) / static_cast<double>(base.total_cycles)});
+    }
+    double best = pts.front().norm;
+    for (const auto& p : pts) best = std::min(best, p.norm);
+    for (const auto& p : pts) {
+      csv.add_row({w->name, "-", p.f.str(), "-", std::to_string(p.norm), "-", "-", "-", "-",
+                   "-", (p.f.n_divisor == 1 && p.f.tb_limit == 0) ? "1" : "0",
+                   p.norm == best ? "1" : "0"});
+    }
+    csv.add_row({w->name, "-", "catt", std::to_string(catt.total_cycles),
+                 std::to_string(catt_norm), "-", "-", "-", "-", "-", "1",
+                 catt_norm <= best ? "1" : "0"});
+  }
+  return csv.str();
+}
+
 std::string phase_timeline_mini() {
   const std::int64_t interval = 1024;
   const wl::Workload& w = wl::find_workload("gsmv", bench::kNumSms);
@@ -375,6 +426,7 @@ TEST(GoldenCsv, BenchConfigsReducedScale) {
   check_golden("fig10_small_l1d.csv", fig10_mini(r32));
   check_golden("table3_tlp_selection.csv", table3_mini(r32, rmax));
   check_golden("fig_dynamic_compare.csv", fig_dynamic_mini(rmax));
+  check_golden("fig_divergence.csv", fig_divergence_mini(rmax));
   check_golden("fig_phase_timeline.csv", phase_timeline_mini());
 }
 

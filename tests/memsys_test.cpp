@@ -79,7 +79,7 @@ TEST(MemorySystem, StoreMissConsumesDramBandwidth) {
 /// Builds a single-warp trace with one `n_lines`-transaction load.
 WarpTrace divergent_load(int n_lines) {
   WarpTrace t;
-  t.begin_mem(/*site=*/0, /*is_store=*/false);
+  t.begin_mem(/*site=*/0, /*is_store=*/false, /*lanes=*/32);
   for (int i = 0; i < n_lines; ++i) {
     // Distinct lines far apart so every probe misses a small L1.
     t.mem_sector(static_cast<std::uint64_t>(i) * 1000);
@@ -123,7 +123,7 @@ TEST(SmDatapath, SingleTxnFastPathMatchesGeneralPath) {
   const arch::GpuArch a = test_arch();
 
   WarpTrace single;
-  single.begin_mem(0, false);
+  single.begin_mem(0, false, /*lanes=*/32);
   single.mem_sector(42);
   single.push_end();
 

@@ -33,6 +33,9 @@ void expect_stats_equal(const KernelStats& ev, const KernelStats& ref, const std
   EXPECT_EQ(ev.warp_insts, ref.warp_insts) << label;
   EXPECT_EQ(ev.mem_insts, ref.mem_insts) << label;
   EXPECT_EQ(ev.mem_requests, ref.mem_requests) << label;
+  EXPECT_EQ(ev.lane_cycles, ref.lane_cycles) << label;
+  EXPECT_EQ(ev.lane_mem_insts, ref.lane_mem_insts) << label;
+  EXPECT_TRUE(ev.div == ref.div) << label;
   ASSERT_EQ(ev.request_trace.size(), ref.request_trace.size()) << label;
   for (std::size_t i = 0; i < ev.request_trace.size(); ++i) {
     EXPECT_EQ(ev.request_trace[i].index, ref.request_trace[i].index) << label << " point " << i;

@@ -22,6 +22,7 @@ TEST(Workloads, RegistryComplete) {
   EXPECT_EQ(workloads_in_group(Group::kCS, 2).size(), 10u);   // Table 2 CS group
   EXPECT_EQ(workloads_in_group(Group::kCI, 2).size(), 15u);   // Table 2 CI group + fbank
   EXPECT_EQ(workloads_in_group(Group::kMicro, 2).size(), 3u); // Figure 3
+  EXPECT_EQ(workloads_in_group(Group::kIrregular, 2).size(), 2u);  // fig_divergence
   std::set<std::string> names;
   for (const auto& w : all) EXPECT_TRUE(names.insert(w.name).second) << w.name;
   EXPECT_NO_THROW(find_workload("atax", 2));
@@ -87,7 +88,7 @@ INSTANTIATE_TEST_SUITE_P(All, CiWorkload, ::testing::ValuesIn(ci_names()),
                          [](const auto& info) { return info.param; });
 
 TEST(Classification, IrregularCsAppsKeepBaseline) {
-  for (const char* name : {"bfs", "cfd"}) {
+  for (const char* name : {"bfs", "cfd", "bfs_wf", "stencil_div"}) {
     const Workload& w = find_workload(name, 2);
     for (const auto& entry : w.schedule) {
       const analysis::KernelAnalysis ka =
